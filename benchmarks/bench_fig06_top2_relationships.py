@@ -1,0 +1,42 @@
+"""Figure 6: tickets vs the top-two MI practices (devices, change events).
+
+Paper shape: both show a strong, visually obvious positive dependence.
+"""
+
+import numpy as np
+
+from repro.reporting.figures import relationship_figure
+from repro.util.binning import equal_width_bins
+from repro.util.stats import pearson_correlation
+
+
+def _run(dataset):
+    out = {}
+    for metric in ("n_devices", "n_change_events"):
+        column = dataset.column(metric)
+        spec = equal_width_bins(column, n_bins=5)
+        assignments = spec.assign_many(column)
+        groups = [dataset.tickets[assignments == b] for b in range(5)]
+        corr = pearson_correlation(column.tolist(),
+                                   dataset.tickets.tolist())
+        out[metric] = (groups, corr)
+    return out
+
+
+def test_fig06_top_practices_vs_tickets(benchmark, dataset):
+    results = benchmark.pedantic(_run, args=(dataset,), rounds=1,
+                                 iterations=1)
+
+    print()
+    for metric, (groups, corr) in results.items():
+        print(relationship_figure(
+            metric, [f"bin {i + 1}" for i in range(5)],
+            [g.tolist() for g in groups],
+        ))
+        print(f"  corr with tickets: {corr:.2f}")
+        print()
+
+    for metric, (groups, corr) in results.items():
+        assert corr > 0.25, metric
+        populated = [g.mean() for g in groups if len(g) >= 5]
+        assert populated[-1] > 1.3 * populated[0], metric

@@ -1,0 +1,40 @@
+"""Figure 10: structure of the learned decision trees.
+
+Paper shape: the root of the tree is the practice with the strongest
+statistical dependence (number of devices in the paper's data; one of the
+top-MI volume metrics in ours), and the second level mixes in practices
+that are NOT in the global top-10 — showing that the importance of some
+practices depends on others.
+"""
+
+from repro.analysis.dependence import rank_practices_by_mi
+from repro.core.prediction import FIVE_CLASS, TWO_CLASS, OrganizationModel
+
+
+def _run(dataset):
+    two = OrganizationModel(scheme=TWO_CLASS, variant="dt").fit(dataset)
+    five = OrganizationModel(scheme=FIVE_CLASS, variant="dt").fit(dataset)
+    return two, five
+
+
+def test_fig10_tree_structure(benchmark, dataset):
+    two, five = benchmark.pedantic(_run, args=(dataset,), rounds=1,
+                                   iterations=1)
+
+    print()
+    print("Figure 10(b): 2-class tree (top levels)")
+    print(two.decision_tree.describe(feature_names=dataset.names,
+                                     max_depth=2))
+    print()
+    print("Figure 10(a): 5-class tree (top levels)")
+    print(five.decision_tree.describe(feature_names=dataset.names,
+                                      max_depth=2))
+
+    ranked = [r.practice for r in rank_practices_by_mi(dataset)]
+    for model in (two, five):
+        root = model.decision_tree.root_
+        assert root is not None and not root.is_leaf
+        root_metric = dataset.names[root.feature]
+        # trees are built by MI, so the root is a strongly dependent
+        # practice (paper: the top-MI practice)
+        assert root_metric in ranked[:10], root_metric

@@ -1,0 +1,36 @@
+"""Figure 13: characterization of change events (Appendix A.2).
+
+Paper shape: (a) most change events touch only one or two devices on
+average, with a tail of larger events; (b) the fraction of events
+touching a middlebox varies widely across networks.
+"""
+
+import numpy as np
+
+from repro.core.characterize import characterize_operational
+from repro.reporting.figures import ascii_cdf
+from repro.synthesis.organization import SCALES
+
+
+def test_fig13_change_events(benchmark, dataset, changes, workspace):
+    n_months = SCALES[workspace.scale].n_months
+    chars = benchmark.pedantic(
+        characterize_operational, args=(dataset, changes, n_months),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(ascii_cdf(chars.mean_devices_per_event,
+                    title="Fig 13(a): mean devices changed per event"))
+    print(ascii_cdf(chars.frac_events_mbox,
+                    title="Fig 13(b): frac events touching a middlebox"))
+
+    dpe = chars.mean_devices_per_event[chars.mean_devices_per_event > 0]
+    # (a) typical events are small ...
+    assert np.median(dpe) < 3.0
+    # ... with a real tail (network-wide sweeps)
+    assert dpe.max() > 2 * np.median(dpe)
+
+    # (b) middlebox-event fraction is diverse
+    mbox = chars.frac_events_mbox
+    assert np.percentile(mbox, 90) - np.percentile(mbox, 10) > 0.2

@@ -1,0 +1,46 @@
+"""Section 6.1: the 2-class organization model.
+
+Paper numbers: pruned decision tree 91.6% (5-fold CV) vs 64.8% for the
+majority-class predictor; DT precision/recall 0.92/0.98 on healthy and
+0.62/0.31 on unhealthy; SVMs performed poorly ("worse than a simple
+majority classifier" in the paper; below the DT in our reproduction —
+see EXPERIMENTS.md for the divergence note).
+"""
+
+from repro.core.prediction import TWO_CLASS, evaluate_model
+from repro.reporting.tables import format_class_report
+
+VARIANTS = ("dt", "majority", "svm")
+
+
+def _run(dataset):
+    return {
+        variant: evaluate_model(dataset, TWO_CLASS, variant, seed=1)
+        for variant in VARIANTS
+    }
+
+
+def test_sec61_two_class_model(benchmark, dataset):
+    reports = benchmark.pedantic(_run, args=(dataset,), rounds=1,
+                                 iterations=1)
+
+    print()
+    for variant, report in reports.items():
+        print(format_class_report(report, TWO_CLASS.labels,
+                                  title=f"Section 6.1 — {variant}"))
+        print()
+
+    dt = reports["dt"]
+    majority = reports["majority"]
+    svm = reports["svm"]
+
+    # the headline: the tree clearly beats the majority baseline
+    assert dt.accuracy > majority.accuracy + 0.05
+    # majority classifier has no recall on the unhealthy class
+    assert majority.report_for(1).recall == 0.0
+    # DT is much better on healthy than unhealthy (paper: 0.98 vs 0.31
+    # recall), reflecting the skew
+    assert dt.report_for(0).recall > dt.report_for(1).recall
+    # the DT also beats the linear SVM (the unhealthy pocket is an
+    # axis-aligned corner in practice space)
+    assert dt.accuracy >= svm.accuracy - 0.01

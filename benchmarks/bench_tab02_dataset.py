@@ -1,0 +1,31 @@
+"""Table 2: dataset sizes.
+
+Paper values: 17 months, 850+ networks, O(100) services, O(10K) devices,
+O(100K) config snapshots (~450 GB), O(10K) tickets. The synthetic corpus
+reproduces the *relative* magnitudes at every scale and the absolute ones
+at ``MPA_SCALE=paper``.
+"""
+
+from repro.synthesis.organization import SCALES
+from repro.util.tables import render_kv
+
+
+def test_tab02_dataset_summary(benchmark, workspace):
+    summary = benchmark(workspace.summary)
+
+    print()
+    print(render_kv(sorted(summary.items()),
+                    title="Table 2: size of datasets"))
+
+    spec = SCALES[workspace.scale]
+    assert summary["months"] == spec.n_months
+    assert summary["networks"] == spec.n_networks
+    assert summary["services"] >= spec.n_networks * 0.8
+    assert summary["devices"] > 5 * summary["networks"]
+    assert summary["config_snapshots"] > 5 * summary["devices"]
+    assert summary["tickets"] > summary["networks"]
+    if workspace.scale == "paper":
+        assert summary["networks"] >= 850
+        assert summary["devices"] >= 5_000
+        assert summary["config_snapshots"] >= 100_000
+        assert summary["tickets"] >= 10_000

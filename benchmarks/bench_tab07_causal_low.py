@@ -1,0 +1,60 @@
+"""Table 7: causal analysis (bins 1 vs 2) for the top-10 MI practices.
+
+Paper shape: 8 of 10 practices show a causal relationship at 1:2 —
+including number of change events, change types, VLANs, and the fraction
+of events with an ACL change (contradicting operator opinion) — while
+intra-device complexity and the fraction of events with an interface
+change do NOT (their dependence is explained by confounding practices).
+
+Documented divergence (see DESIGN.md / EXPERIMENTS.md): our synthetic
+generator entangles network composition (devices/models/roles) more
+tightly than the OSP's real networks, so those treatments can fail the
+balance checks and report ``Imbal.`` where the paper reports causality.
+"""
+
+from repro.analysis.qed.experiment import run_causal_analysis
+from repro.reporting.tables import format_causal_table
+
+
+def _run(dataset, practices):
+    return [run_causal_analysis(dataset, practice)
+            for practice in practices]
+
+
+def test_tab07_causal_low_bins(benchmark, dataset, top10, large_scale):
+    experiments = benchmark.pedantic(_run, args=(dataset, top10), rounds=1,
+                                     iterations=1)
+
+    print()
+    print(format_causal_table(
+        experiments, points=("1:2",),
+        title="Table 7: causal analysis, bins 1:2, top-10 MI practices",
+    ))
+
+    by_practice = {e.practice: e for e in experiments}
+
+    def low_result(practice):
+        if practice not in by_practice:
+            return None
+        try:
+            return by_practice[practice].result_for("1:2")
+        except KeyError:
+            return None
+
+    # planted-causal operational practices: significant at 1:2
+    confirmed = 0
+    for practice in ("n_change_events", "n_change_types"):
+        result = low_result(practice)
+        if result is not None:
+            assert result.sign.n_more_tickets > result.sign.n_fewer_tickets
+            if large_scale:
+                assert result.causal, practice
+            confirmed += 1
+    assert confirmed >= 1
+
+    # planted non-causal practices must NOT be declared causal
+    for practice in ("intra_device_complexity", "frac_events_interface"):
+        result = low_result(practice)
+        if result is not None:
+            assert not (result.causal
+                        and result.sign.direction == "worse"), practice

@@ -1,0 +1,50 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+it (run pytest with ``-s`` to see the output), and asserts the result
+*shape* the paper reports. All benches share one cached workspace; set
+``MPA_SCALE=medium`` (≈ the paper's 11K cases) or ``MPA_SCALE=paper``
+(850 networks x 17 months) for full-scale runs — the default ``small``
+keeps a cold run fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mpa import MPA
+from repro.core.workspace import Workspace
+
+
+@pytest.fixture(scope="session")
+def workspace() -> Workspace:
+    ws = Workspace.default()
+    ws.ensure()
+    return ws
+
+
+@pytest.fixture(scope="session")
+def dataset(workspace):
+    return workspace.dataset()
+
+
+@pytest.fixture(scope="session")
+def changes(workspace):
+    return workspace.changes()
+
+
+@pytest.fixture(scope="session")
+def mpa(dataset):
+    return MPA(dataset)
+
+
+@pytest.fixture(scope="session")
+def top10(mpa):
+    """The top-10 MI practices (input to the causal benches)."""
+    return [result.practice for result in mpa.top_practices(10)]
+
+
+@pytest.fixture(scope="session")
+def large_scale(workspace) -> bool:
+    """True when running at a scale with paper-like statistical power."""
+    return workspace.scale in ("medium", "paper")

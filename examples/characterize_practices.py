@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Characterize an organization's management practices (Appendix A).
+
+Prints the design- and operational-practice distributions behind the
+paper's Figures 11-13: heterogeneity, protocol usage, VLANs, referential
+complexity, change volumes/types/modality, and change-event composition.
+
+Usage::
+
+    python examples/characterize_practices.py [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.characterize import (
+    automation_by_type,
+    characterize_design,
+    characterize_operational,
+)
+from repro.core.workspace import Workspace
+from repro.reporting.figures import ascii_cdf
+from repro.synthesis.organization import SCALES
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    workspace = Workspace.default(scale)
+    dataset = workspace.dataset()
+    changes = workspace.changes()
+
+    print("== Design practices (Figure 11) ==")
+    design = characterize_design(dataset)
+    print(ascii_cdf(design.hardware_entropy, "hardware heterogeneity"))
+    print(ascii_cdf(design.n_protocols, "protocols in use"))
+    print(ascii_cdf(design.n_vlans, "VLANs configured"))
+    print(ascii_cdf(design.intra_complexity, "intra-device complexity"))
+    print(ascii_cdf(design.inter_complexity, "inter-device complexity"))
+    bgp_share = (design.n_bgp_instances > 0).mean()
+    ospf_share = (design.n_ospf_instances > 0).mean()
+    print(f"BGP used by {bgp_share:.0%} of networks, OSPF by "
+          f"{ospf_share:.0%} (paper: 86% / 31%)")
+    print()
+
+    print("== Operational practices (Figures 12-13) ==")
+    oper = characterize_operational(dataset, changes,
+                                    SCALES[scale].n_months)
+    print(f"corr(network size, changes/month) = "
+          f"{oper.size_change_correlation:.2f} (paper: 0.64)")
+    print(ascii_cdf(oper.avg_events_per_month, "change events per month"))
+    print(ascii_cdf(oper.frac_changes_automated, "fraction automated"))
+    print(ascii_cdf(oper.mean_devices_per_event, "devices per event"))
+    medians = {stype: float(np.median(fracs))
+               for stype, fracs in oper.type_fractions.items()}
+    print("median fraction of changes touching each type:")
+    for stype, median in sorted(medians.items(), key=lambda kv: -kv[1]):
+        print(f"  {stype:10s} {median:.2f}")
+    rates = automation_by_type(changes)
+    top = sorted(rates.items(), key=lambda kv: -kv[1])[:5]
+    print("most automated change types:",
+          ", ".join(f"{k} ({v:.0%})" for k, v in top))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Apply MPA to your own data: build a corpus by hand.
+
+The paper's tool is meant for any organization's networks. This example
+shows the integration surface: you provide the three data sources —
+inventory records, config snapshots (raw vendor text + login metadata),
+and trouble tickets — and MPA infers everything else.
+
+Here we hand-author a miniature two-network organization: "prod" follows
+good practices (homogeneous hardware, few batched changes), "lab" churns
+constantly with heterogeneous gear. MPA's metric table then makes the
+difference visible.
+
+Usage::
+
+    python examples/custom_organization.py
+"""
+
+from repro.inventory.store import InventoryStore
+from repro.metrics.dataset import build_dataset
+from repro.synthesis.corpus import Corpus
+from repro.tickets.models import TicketCategory, TicketRecord
+from repro.tickets.store import TicketStore
+from repro.types import (
+    ChangeModality,
+    ConfigSnapshot,
+    DeviceRecord,
+    DeviceRole,
+    MonthKey,
+    NetworkRecord,
+)
+
+IOS_TEMPLATE = """\
+hostname {host}
+version cxos-15.2
+!
+vlan 101
+ name vlan-101
+!
+interface TenGig0/1
+ description {description}
+ ip address {ip} 255.255.255.0
+!
+"""
+
+
+def snapshot(device: str, network: str, ts: int, login: str,
+             description: str, ip: str) -> ConfigSnapshot:
+    automated = login.startswith("svc-")
+    return ConfigSnapshot(
+        device_id=device, network_id=network, timestamp=ts, login=login,
+        modality=(ChangeModality.AUTOMATED if automated
+                  else ChangeModality.MANUAL),
+        config_text=IOS_TEMPLATE.format(host=device,
+                                        description=description, ip=ip),
+    )
+
+
+def main() -> None:
+    inventory = InventoryStore()
+    inventory.add_network(NetworkRecord("prod", workloads=("webshop",)))
+    inventory.add_network(NetworkRecord("lab", workloads=("sandbox",)))
+    for i in range(4):
+        inventory.add_device(DeviceRecord(
+            f"prod-sw{i}", "prod", "cirrus", "cx-3100",
+            DeviceRole.SWITCH, "cxos-15.2",
+        ))
+    inventory.add_device(DeviceRecord(
+        "lab-sw0", "lab", "cirrus", "cx-3100", DeviceRole.SWITCH,
+        "cxos-15.0",
+    ))
+    inventory.add_device(DeviceRecord(
+        "lab-r0", "lab", "meridian", "m-940", DeviceRole.ROUTER, "mos-4.0",
+    ))
+
+    minutes_per_month = 43200
+    snapshots: dict[str, list[ConfigSnapshot]] = {}
+
+    # prod: a baseline and one small batched change per month
+    for i in range(4):
+        device = f"prod-sw{i}"
+        ip = f"10.1.0.{i + 1}"
+        rows = [snapshot(device, "prod", 0, "svc-provision", "port", ip)]
+        for month in range(3):
+            ts = month * minutes_per_month + 1000 + i  # batched within 5 min
+            rows.append(snapshot(device, "prod", ts, "svc-netbot",
+                                 f"port r{month}", ip))
+        snapshots[device] = rows
+
+    # lab: scattered manual changes all month long
+    for device, ip in (("lab-sw0", "10.2.0.1"), ("lab-r0", "10.2.0.2")):
+        rows = [snapshot(device, "lab", 0, "svc-provision", "port", ip)]
+        for month in range(3):
+            for k in range(6):
+                ts = month * minutes_per_month + 2000 + k * 3000
+                rows.append(snapshot(device, "lab", ts, "alice",
+                                     f"tweak {month}-{k}", ip))
+        snapshots[device] = rows
+
+    tickets = TicketStore()
+    for month in range(3):
+        for k in range(3):  # the lab hurts
+            ts = month * minutes_per_month + 500 + k
+            tickets.add(TicketRecord(
+                ticket_id=f"lab-{month}-{k}", network_id="lab",
+                opened_at=ts, resolved_at=ts + 120,
+                category=TicketCategory.ALARM, impact="medium",
+            ))
+
+    corpus = Corpus(
+        epoch=MonthKey(2026, 1), n_months=3, seed=0, inventory=inventory,
+        snapshots=snapshots, tickets=tickets,
+        dialects={"cirrus/cx-3100": "ios", "meridian/m-940": "ios"},
+    )
+
+    dataset = build_dataset(corpus)
+    print("inferred metric table (one row per network-month):\n")
+    interesting = ("n_devices", "n_models", "n_config_changes",
+                   "n_change_events", "frac_changes_automated")
+    header = f"{'case':14s} " + " ".join(f"{m:>22s}" for m in interesting) \
+             + f" {'tickets':>8s}"
+    print(header)
+    for i, key in enumerate(dataset.case_keys()):
+        row = " ".join(
+            f"{dataset.column(m)[i]:22.2f}" for m in interesting
+        )
+        print(f"{str(key):14s} {row} {dataset.tickets[i]:8d}")
+
+    print("\nprod batches changes into single events and stays quiet;")
+    print("lab scatters manual changes and collects tickets — exactly the")
+    print("contrast MPA is built to quantify.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables in one script run (no pytest needed).
+
+Walks the evaluation narrative end to end: dataset (Table 2), dependence
+(Tables 3-4), causal analysis (Tables 5-7), prediction (Section 6.1,
+Figure 8's variants), and online prediction (Table 9). The benchmark
+suite does the same with assertions; this script is the human-paced
+version.
+
+Usage::
+
+    python examples/paper_walkthrough.py [scale]
+
+At ``tiny`` this finishes in well under a minute; ``medium`` approximates
+the paper's statistics (budget a few minutes on a cold cache).
+"""
+
+import sys
+
+from repro.core import MPA
+from repro.core.prediction import FIVE_CLASS, TWO_CLASS
+from repro.core.workspace import Workspace
+from repro.reporting.tables import (
+    format_causal_table,
+    format_class_report,
+    format_cmi_table,
+    format_matching_table,
+    format_mi_table,
+    format_online_table,
+    format_signtest_table,
+)
+from repro.util.tables import render_kv
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    workspace = Workspace.default(scale)
+    workspace.ensure()
+    mpa = MPA(workspace.dataset())
+    months = sorted(set(mpa.dataset.case_month_indices))
+
+    print(render_kv(sorted(workspace.summary().items()),
+                    title="Table 2: size of datasets"))
+    print()
+
+    top = mpa.top_practices(10)
+    print(format_mi_table(top))
+    print()
+    print(format_cmi_table(mpa.dependent_pairs(10)))
+    print()
+
+    experiment = mpa.causal_analysis("n_change_events")
+    print(format_matching_table(
+        experiment, title="Table 5: matching (treatment = n_change_events)"
+    ))
+    print()
+    print(format_signtest_table(
+        experiment, title="Table 6: sign test (treatment = n_change_events)"
+    ))
+    print()
+
+    experiments = [mpa.causal_analysis(r.practice) for r in top[:5]]
+    print(format_causal_table(
+        experiments, points=("1:2",),
+        title="Table 7 (top-5 shown): causal analysis at bins 1:2",
+    ))
+    print()
+
+    print("Section 6.1 / Figure 8: model quality (5-fold CV)")
+    for scheme in (TWO_CLASS, FIVE_CLASS):
+        for variant in ("majority", "dt", "dt+ab+os"):
+            report = mpa.evaluate(scheme=scheme, variant=variant, seed=1)
+            print(f"  {scheme.name:8s} {variant:9s} "
+                  f"accuracy={report.accuracy:.3f}")
+    report = mpa.evaluate(scheme=FIVE_CLASS, variant="dt+ab+os", seed=1)
+    print()
+    print(format_class_report(report, FIVE_CLASS.labels,
+                              title="Figure 8 detail: 5-class DT+AB+OS"))
+    print()
+
+    results = []
+    for history in (1, 3):
+        if history >= len(months):
+            continue
+        for scheme in (FIVE_CLASS, TWO_CLASS):
+            results.append(mpa.predict_future(history, scheme=scheme,
+                                              variant="dt"))
+    if results:
+        print(format_online_table(results, ["5 classes", "2 classes"],
+                                  title="Table 9 (M=1,3 shown; DT model)"))
+
+
+if __name__ == "__main__":
+    main()

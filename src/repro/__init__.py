@@ -1,0 +1,33 @@
+"""Management Plane Analytics (MPA) — reproduction of Gember-Jacobson et
+al., "Management Plane Analytics", IMC 2015.
+
+Quickstart::
+
+    from repro.core.workspace import Workspace
+    from repro.core import MPA
+
+    workspace = Workspace.default("tiny")   # or "small"/"medium"/"paper"
+    mpa = MPA(workspace.dataset())
+    for result in mpa.top_practices(10):    # Table 3
+        print(result.practice, result.avg_monthly_mi)
+    experiment = mpa.causal_analysis("n_change_events")   # Tables 5-6
+    report = mpa.evaluate()                 # Section 6.1 cross-validation
+
+Subpackages:
+
+* ``repro.synthesis`` — synthetic OSP data generator (the proprietary-
+  data substitute),
+* ``repro.confparse`` / ``repro.confgen`` — multi-vendor config parsing
+  and rendering,
+* ``repro.inventory`` / ``repro.tickets`` — the other two data sources,
+* ``repro.metrics`` — practice-metric inference,
+* ``repro.analysis`` — MI/CMI dependence + QED causal analysis,
+* ``repro.ml`` — from-scratch C4.5 / AdaBoost / forests / SVM / logistic,
+* ``repro.core`` — the MPA facade, prediction, online evaluation,
+* ``repro.reporting`` — paper-style tables/figures as text.
+"""
+
+from repro.version import __version__
+from repro.core.mpa import MPA
+
+__all__ = ["__version__", "MPA"]

@@ -1,0 +1,33 @@
+"""Statistical analyses: dependence (MI/CMI) and causal inference (QED)."""
+
+from repro.analysis.mutual_information import (
+    mutual_information,
+    conditional_mutual_information,
+    binned_mutual_information,
+)
+from repro.analysis.dependence import (
+    DependenceResult,
+    PairDependenceResult,
+    rank_practices_by_mi,
+    rank_practice_pairs_by_cmi,
+)
+from repro.analysis.intent import classify_event, intent_fractions, profile_events
+from repro.analysis.transfer import TransferResult, evaluate_transfer
+from repro.analysis.validation import RandomizedResult, run_randomized_experiment
+
+__all__ = [
+    "mutual_information",
+    "conditional_mutual_information",
+    "binned_mutual_information",
+    "DependenceResult",
+    "PairDependenceResult",
+    "rank_practices_by_mi",
+    "rank_practice_pairs_by_cmi",
+    "classify_event",
+    "intent_fractions",
+    "profile_events",
+    "TransferResult",
+    "evaluate_transfer",
+    "RandomizedResult",
+    "run_randomized_experiment",
+]

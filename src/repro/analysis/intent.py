@@ -1,0 +1,104 @@
+"""Change-intent inference (paper Section 7, "Intent of Management
+Practices" — flagged as ongoing/future work).
+
+The paper quantifies practices by their direct effect on configs (which
+stanzas changed); it proposes also quantifying *intent* — the goal the
+operator was pursuing. This module implements a first-order version:
+classify each change event into an intent class from the signature of
+vendor-agnostic stanza types it touched.
+
+The rules are deliberately simple and documented; they are signatures,
+not semantics — e.g. a {vlan, interface} event is provisioning a new
+segment whether the operator thought of it that way or not.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.types import ChangeEvent
+
+#: Intent classes, ordered by rule priority (first match wins).
+INTENT_CLASSES = (
+    "capacity_adjustment",      # LB pool/VIP churn
+    "security_policy",          # ACL-centred work
+    "segment_provisioning",     # VLAN (+ interface) work
+    "routing_change",           # BGP/OSPF/static-route work
+    "access_administration",    # user account churn
+    "telemetry_tuning",         # snmp/ntp/logging/sflow/qos
+    "port_maintenance",         # pure interface work
+    "mixed",                    # anything broader
+)
+
+_TELEMETRY = frozenset({"snmp", "ntp", "logging", "sflow", "qos"})
+_ROUTING = frozenset({"router", "static_route"})
+_SECURITY = frozenset({"acl"})
+_CAPACITY = frozenset({"pool", "vip"})
+_SEGMENT = frozenset({"vlan"})
+_ADMIN = frozenset({"user", "aaa"})
+#: types that never determine intent on their own (incidental edits)
+_NEUTRAL = frozenset({"system", "banner", "interface"})
+
+
+def classify_event(event: ChangeEvent) -> str:
+    """Intent class of one change event (first matching rule wins)."""
+    types = set(event.stanza_types)
+    core = types - _NEUTRAL
+    if core & _CAPACITY:
+        return "capacity_adjustment"
+    if core and core <= _SECURITY:
+        return "security_policy"
+    if core & _SEGMENT:
+        return "segment_provisioning"
+    if core and core <= _ROUTING:
+        return "routing_change"
+    if core and core <= _ADMIN:
+        return "access_administration"
+    if core and core <= _TELEMETRY:
+        return "telemetry_tuning"
+    if not core and "interface" in types:
+        return "port_maintenance"
+    if not core:
+        return "port_maintenance" if types else "mixed"
+    return "mixed"
+
+
+@dataclass(frozen=True, slots=True)
+class IntentProfile:
+    """Intent mix of one network (or any event collection)."""
+
+    counts: tuple[tuple[str, int], ...]
+
+    @property
+    def total(self) -> int:
+        return sum(count for _, count in self.counts)
+
+    def fraction(self, intent: str) -> float:
+        if intent not in INTENT_CLASSES:
+            raise KeyError(f"unknown intent class {intent!r}")
+        total = self.total
+        if total == 0:
+            return 0.0
+        lookup = dict(self.counts)
+        return lookup.get(intent, 0) / total
+
+    def dominant(self) -> str | None:
+        if not self.counts or self.total == 0:
+            return None
+        return max(self.counts, key=lambda kv: kv[1])[0]
+
+
+def profile_events(events: Iterable[ChangeEvent]) -> IntentProfile:
+    """Classify a stream of events into an :class:`IntentProfile`."""
+    counter: Counter = Counter()
+    for event in events:
+        counter[classify_event(event)] += 1
+    return IntentProfile(counts=tuple(sorted(counter.items())))
+
+
+def intent_fractions(events: Sequence[ChangeEvent]) -> dict[str, float]:
+    """Fraction of events per intent class (zeros included)."""
+    profile = profile_events(events)
+    return {intent: profile.fraction(intent) for intent in INTENT_CLASSES}

@@ -1,0 +1,98 @@
+"""Mutual information and conditional mutual information (Section 5.1.1).
+
+MI between a practice X and health Y is ``H(Y) - H(Y|X)`` — how much
+knowing the practice reduces uncertainty about health. CMI between two
+practices X1, X2 relative to health Y is ``H(X1|Y) - H(X1|X2, Y)`` — the
+practices' expected dependence given health. Both are computed over
+*binned* values (10 equal-width bins clamped at the 5th/95th percentiles;
+Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.util.binning import equal_width_bins
+
+
+def _entropy_from_counts(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def mutual_information(x: np.ndarray, y: np.ndarray,
+                       bias_correction: bool = False) -> float:
+    """MI (bits) between two already-discretized sequences.
+
+    Symmetric in its arguments; 0 for independent variables.
+
+    With ``bias_correction=True``, applies the Miller-Madow correction
+    ``MI - (K_xy - K_x - K_y + 1) / (2 N ln 2)`` (K = occupied cells).
+    The plug-in MI estimator is biased upward for small samples, which
+    inflates high-cardinality metrics; the paper's per-month samples are
+    large enough (~850) not to need this, but reduced-scale runs do.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same length")
+    if x.size == 0:
+        raise ValueError("cannot compute MI on empty data")
+    x_offset = x - x.min()
+    y_offset = y - y.min()
+    nx = int(x_offset.max()) + 1
+    ny = int(y_offset.max()) + 1
+    joint = np.bincount(x_offset * ny + y_offset, minlength=nx * ny).reshape(
+        nx, ny
+    ).astype(float)
+    h_y = _entropy_from_counts(joint.sum(axis=0))
+    # H(Y|X) = sum_x p(x) H(Y | X=x)
+    row_totals = joint.sum(axis=1)
+    total = joint.sum()
+    h_y_given_x = 0.0
+    for i in range(nx):
+        if row_totals[i] > 0:
+            h_y_given_x += (row_totals[i] / total) * _entropy_from_counts(joint[i])
+    mi = h_y - h_y_given_x
+    if bias_correction:
+        k_joint = int((joint > 0).sum())
+        k_x = int((row_totals > 0).sum())
+        k_y = int((joint.sum(axis=0) > 0).sum())
+        mi -= (k_joint - k_x - k_y + 1) / (2.0 * total * np.log(2.0))
+    return max(float(mi), 0.0)
+
+
+def conditional_mutual_information(x1: np.ndarray, x2: np.ndarray,
+                                   y: np.ndarray) -> float:
+    """CMI ``I(X1; X2 | Y) = H(X1|Y) - H(X1|X2,Y)`` over discrete data.
+
+    Symmetric in ``x1``/``x2``.
+    """
+    x1 = np.asarray(x1, dtype=np.int64)
+    x2 = np.asarray(x2, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    if not (x1.shape == x2.shape == y.shape):
+        raise ValueError("x1, x2, y must have the same length")
+    if x1.size == 0:
+        raise ValueError("cannot compute CMI on empty data")
+    total = float(x1.size)
+    cmi = 0.0
+    for value in np.unique(y):
+        mask = y == value
+        weight = mask.sum() / total
+        cmi += weight * mutual_information(x1[mask], x2[mask])
+    return max(cmi, 0.0)
+
+
+def binned_mutual_information(x: Sequence[float], y: Sequence[float],
+                              n_bins: int = 10, low_pct: float = 5.0,
+                              high_pct: float = 95.0) -> float:
+    """MI after applying the paper's percentile-clamped binning to both."""
+    x_binned = equal_width_bins(x, n_bins, low_pct, high_pct).assign_many(x)
+    y_binned = equal_width_bins(y, n_bins, low_pct, high_pct).assign_many(y)
+    return mutual_information(x_binned, y_binned)

@@ -1,0 +1,124 @@
+"""Operator opinion vs measured impact (the paper's headline contrast).
+
+Abstract: "our causal analysis uncovers some high impact practices that
+operators thought had a low impact on network health" — e.g. the
+ACL-change fraction (majority opinion: low impact; measurement: causal),
+and conversely the middlebox-change fraction (opinion: high; measurement:
+weak). This module joins the survey (Figure 2) with the MI ranking and
+QED verdicts (Tables 3/7) and reports where operators are wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.analysis.dependence import rank_practices_by_mi
+from repro.analysis.qed.experiment import run_causal_analysis
+from repro.metrics.dataset import MetricDataset
+from repro.types import SurveyResponse
+
+#: Survey practice -> inferred metric. Only practices with a directly
+#: measurable counterpart participate in the contrast.
+SURVEY_TO_METRIC: dict[str, str] = {
+    "no_of_devices": "n_devices",
+    "no_of_models": "n_models",
+    "no_of_firmware_versions": "n_firmware",
+    "inter_device_complexity": "inter_device_complexity",
+    "no_of_change_events": "n_change_events",
+    "avg_devices_changed_per_event": "avg_devices_per_event",
+    "frac_events_mbox_change": "frac_events_mbox",
+    "frac_events_automated": "frac_events_automated",
+    "frac_events_router_change": "frac_events_router",
+    "frac_events_acl_change": "frac_events_acl",
+}
+
+_OPINION_SCORES = {
+    "no_impact": 0.0,
+    "low_impact": 1.0,
+    "medium_impact": 2.0,
+    "high_impact": 3.0,
+    # "not_sure" excluded from the mean
+}
+
+
+@dataclass(frozen=True, slots=True)
+class OpinionGap:
+    """One practice's opinion-vs-measurement comparison."""
+
+    practice: str  # survey name
+    metric: str
+    #: mean opinion in [0, 3] (no..high impact), "not sure" excluded
+    mean_opinion: float
+    #: MI rank among all metrics (1 = most dependent)
+    mi_rank: int
+    n_metrics: int
+    #: QED verdict at 1:2: "causal" / "not significant" / "imbalanced" /
+    #: "too few cases"
+    causal_verdict: str
+
+    @property
+    def operators_think_high(self) -> bool:
+        return self.mean_opinion >= 2.0
+
+    @property
+    def measured_high(self) -> bool:
+        """High measured impact: top-third MI rank or causal verdict."""
+        return (self.mi_rank <= self.n_metrics // 3
+                or self.causal_verdict == "causal")
+
+    @property
+    def misjudged(self) -> bool:
+        return self.operators_think_high != self.measured_high
+
+
+def mean_opinion(responses: Sequence[SurveyResponse],
+                 practice: str) -> float:
+    """Mean numeric opinion for one practice (ignoring "not sure")."""
+    scores = [
+        _OPINION_SCORES[r.opinion] for r in responses
+        if r.practice == practice and r.opinion in _OPINION_SCORES
+    ]
+    if not scores:
+        raise ValueError(f"no scoreable responses for {practice!r}")
+    return sum(scores) / len(scores)
+
+
+def opinion_gaps(dataset: MetricDataset,
+                 responses: Sequence[SurveyResponse],
+                 run_qed: bool = True) -> list[OpinionGap]:
+    """Compute the opinion-vs-measurement table for all mapped practices.
+
+    ``run_qed=False`` skips the causal analyses (faster; verdicts are
+    reported as "skipped").
+    """
+    ranking = rank_practices_by_mi(dataset)
+    rank_of = {r.practice: i + 1 for i, r in enumerate(ranking)}
+    gaps: list[OpinionGap] = []
+    for survey_name, metric in SURVEY_TO_METRIC.items():
+        if metric not in rank_of:
+            continue
+        verdict = "skipped"
+        if run_qed:
+            experiment = run_causal_analysis(dataset, metric)
+            try:
+                low = experiment.result_for("1:2")
+                verdict = ("causal" if low.causal
+                           else "imbalanced" if low.imbalanced
+                           else "not significant")
+            except KeyError:
+                verdict = "too few cases"
+        gaps.append(OpinionGap(
+            practice=survey_name,
+            metric=metric,
+            mean_opinion=mean_opinion(responses, survey_name),
+            mi_rank=rank_of[metric],
+            n_metrics=len(ranking),
+            causal_verdict=verdict,
+        ))
+    return gaps
+
+
+def misjudged_practices(gaps: Sequence[OpinionGap]) -> list[OpinionGap]:
+    """The practices where operator opinion disagrees with measurement."""
+    return [gap for gap in gaps if gap.misjudged]

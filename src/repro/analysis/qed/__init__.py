@@ -1,0 +1,40 @@
+"""Quasi-experimental design (QED) with propensity-score matching.
+
+Implements the paper's Section 5.2 pipeline: define treatment via binning
+(5.2.2), match treated/untreated cases on propensity scores with k=1
+nearest neighbour and replacement (5.2.3), verify covariate balance
+(5.2.4), and sign-test the outcome differences (5.2.5).
+"""
+
+from repro.analysis.qed.treatment import TreatmentBinning, ComparisonPoint
+from repro.analysis.qed.propensity import propensity_scores
+from repro.analysis.qed.matching import (
+    MatchedPairs,
+    nearest_neighbor_match,
+    exact_match,
+)
+from repro.analysis.qed.balance import BalanceReport, check_balance
+from repro.analysis.qed.significance import SignTestResult, sign_test
+from repro.analysis.qed.experiment import (
+    CausalExperiment,
+    ComparisonResult,
+    run_comparison,
+    run_causal_analysis,
+)
+
+__all__ = [
+    "TreatmentBinning",
+    "ComparisonPoint",
+    "propensity_scores",
+    "MatchedPairs",
+    "nearest_neighbor_match",
+    "exact_match",
+    "BalanceReport",
+    "check_balance",
+    "SignTestResult",
+    "sign_test",
+    "CausalExperiment",
+    "ComparisonResult",
+    "run_comparison",
+    "run_causal_analysis",
+]

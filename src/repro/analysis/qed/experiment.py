@@ -1,0 +1,262 @@
+"""End-to-end causal experiments (paper Sections 5.2.2-5.2.6).
+
+:func:`run_comparison` executes the four QED steps for one comparison
+point; :func:`run_causal_analysis` sweeps all comparison points of one
+treatment practice (a Table 5/6 pair of tables); running it for the top-k
+MI practices reproduces Tables 7 and 8.
+
+Confounder operationalization
+------------------------------
+The paper includes "all practice metrics minus the treatment" as
+confounders. Several operational metrics are *definitionally entangled*
+with one another — they are computed from the same month's change events
+(e.g. the number of config changes and the number of change events), so
+for an operational treatment they are post-treatment variables, and
+conditioning on their same-month values controls away the effect under
+study. The default mode (``confounders="practices"``) therefore groups
+operational metrics into measurement families:
+
+* **volume**: change/event/device-changed counts, change types,
+  devices-per-event;
+* **composition**: the fraction-of-changes/events-by-type metrics;
+* **modality**: the automation fractions.
+
+Confounders for a treatment use same-month values for design metrics and
+for operational metrics *outside* the treatment's family, but replace
+metrics *inside* the treatment's family with the network's leave-one-out
+mean over its other months (the network's habitual practice level,
+measured without peeking at the treated month). Design treatments use
+all operational metrics at same-month values.
+
+``confounders="same-month"`` is the literal reading (every metric from
+the same case) and is kept for the matching ablation bench.
+
+All confounders enter the propensity model and balance checks on a
+``log1p`` scale — practice metrics are long-tailed counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.qed.balance import BalanceReport, check_balance
+from repro.analysis.qed.matching import MatchedPairs, nearest_neighbor_match
+from repro.analysis.qed.propensity import propensity_scores
+from repro.analysis.qed.significance import SignTestResult, sign_test
+from repro.analysis.qed.treatment import ComparisonPoint, TreatmentBinning
+from repro.errors import InsufficientDataError, MatchingError
+from repro.metrics.dataset import MetricDataset
+
+#: Minimum cases per group for a comparison to be attempted at all.
+MIN_GROUP_SIZE = 8
+
+#: Confounder operationalization modes.
+CONFOUNDER_MODES = ("practices", "same-month")
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonResult:
+    """Everything the paper reports about one comparison point."""
+
+    practice: str
+    point_label: str
+    n_untreated: int
+    n_treated: int
+    n_pairs: int
+    n_untreated_matched: int
+    balance: BalanceReport
+    sign: SignTestResult
+
+    @property
+    def imbalanced(self) -> bool:
+        """True when balance checks fail — a Table 8 ``Imbal.`` cell."""
+        return not self.balance.balanced
+
+    @property
+    def causal(self) -> bool:
+        """Causality affirmed: balanced matches + significant sign test."""
+        return (not self.imbalanced) and self.sign.significant
+
+
+@dataclass
+class CausalExperiment:
+    """A causal analysis of one treatment practice across all points."""
+
+    practice: str
+    results: list[ComparisonResult]
+    skipped: list[str]  # comparison points with too few cases
+
+    def result_for(self, label: str) -> ComparisonResult:
+        for result in self.results:
+            if result.point_label == label:
+                return result
+        raise KeyError(f"no comparison point {label!r}")
+
+
+def loo_network_means(dataset: MetricDataset, metric: str) -> np.ndarray:
+    """Leave-one-out mean of a metric over each case's sibling months."""
+    column = dataset.column(metric)
+    networks = np.asarray(dataset.case_networks)
+    loo = np.empty_like(column)
+    for network in np.unique(networks):
+        mask = networks == network
+        count = int(mask.sum())
+        if count <= 1:
+            loo[mask] = column[mask]
+            continue
+        total = column[mask].sum()
+        loo[mask] = (total - column[mask]) / (count - 1)
+    return loo
+
+
+#: Measurement families of operational metrics (see module docstring).
+METRIC_FAMILIES: dict[str, frozenset[str]] = {
+    "volume": frozenset({
+        "n_config_changes", "n_devices_changed", "frac_devices_changed",
+        "n_change_events", "n_change_types", "avg_devices_per_event",
+    }),
+    "composition": frozenset({
+        "frac_changes_interface", "frac_changes_acl",
+        "frac_events_interface", "frac_events_acl",
+        "frac_events_router", "frac_events_mbox",
+    }),
+    "modality": frozenset({
+        "frac_changes_automated", "frac_events_automated",
+    }),
+}
+
+
+def metric_family(name: str) -> str:
+    """The measurement family of a metric ("design" for design metrics)."""
+    for family, members in METRIC_FAMILIES.items():
+        if name in members:
+            return family
+    return "design"
+
+
+def build_confounders(dataset: MetricDataset, treatment: str,
+                      mode: str = "practices",
+                      ) -> tuple[list[str], np.ndarray]:
+    """Confounder matrix (log1p scale) for one treatment practice."""
+    if mode not in CONFOUNDER_MODES:
+        raise ValueError(f"mode must be one of {CONFOUNDER_MODES}")
+    names: list[str] = []
+    columns: list[np.ndarray] = []
+    treatment_family = metric_family(treatment)
+    for name in dataset.names:
+        if name == treatment:
+            continue
+        if (mode == "practices" and treatment_family != "design"
+                and metric_family(name) == treatment_family):
+            # same measurement family as the treatment: use the network's
+            # habitual level (leave-one-out over sibling months) instead
+            # of the definitionally-entangled same-month value
+            names.append(f"{name}(practice)")
+            columns.append(loo_network_means(dataset, name))
+        else:
+            names.append(name)
+            columns.append(dataset.column(name))
+    matrix = np.column_stack([np.log1p(np.maximum(c, 0.0)) for c in columns])
+    return names, matrix
+
+
+def _to_logit(scores: np.ndarray) -> np.ndarray:
+    clipped = np.clip(scores, 1e-9, 1.0 - 1e-9)
+    return np.log(clipped / (1.0 - clipped))
+
+
+def run_comparison(dataset: MetricDataset, treatment: str,
+                   binning: TreatmentBinning, point: ComparisonPoint,
+                   confounder_mode: str = "practices",
+                   propensity_l2: float = 0.1,
+                   caliper_sd: float | None = 0.25) -> ComparisonResult:
+    """Run the full QED pipeline for one comparison point.
+
+    Raises :class:`InsufficientDataError` when either bin is too small,
+    and :class:`MatchingError` when matching produces no usable pairs.
+    """
+    untreated_idx, treated_idx = binning.split(point)
+    if (len(untreated_idx) < MIN_GROUP_SIZE
+            or len(treated_idx) < MIN_GROUP_SIZE):
+        raise InsufficientDataError(
+            f"{treatment} {point.label}: groups too small "
+            f"({len(untreated_idx)} untreated, {len(treated_idx)} treated)"
+        )
+
+    confounder_names, confounders = build_confounders(
+        dataset, treatment, confounder_mode
+    )
+    scores_untreated, scores_treated = propensity_scores(
+        confounders[untreated_idx], confounders[treated_idx],
+        l2=propensity_l2,
+    )
+    logit_untreated = _to_logit(scores_untreated)
+    logit_treated = _to_logit(scores_treated)
+    pairs: MatchedPairs = nearest_neighbor_match(
+        logit_untreated, logit_treated, untreated_idx, treated_idx,
+        caliper_sd=caliper_sd,
+    )
+    if pairs.n_pairs < MIN_GROUP_SIZE:
+        raise MatchingError(
+            f"{treatment} {point.label}: only {pairs.n_pairs} pairs matched"
+        )
+
+    score_by_case = dict(zip(untreated_idx.tolist(), logit_untreated))
+    score_by_case.update(zip(treated_idx.tolist(), logit_treated))
+    matched_treated_scores = np.array(
+        [score_by_case[int(i)] for i in pairs.treated_indices]
+    )
+    matched_untreated_scores = np.array(
+        [score_by_case[int(i)] for i in pairs.untreated_indices]
+    )
+
+    balance = check_balance(
+        confounder_names,
+        confounders[pairs.treated_indices],
+        confounders[pairs.untreated_indices],
+        matched_treated_scores,
+        matched_untreated_scores,
+    )
+
+    sign = sign_test(
+        dataset.tickets[pairs.treated_indices],
+        dataset.tickets[pairs.untreated_indices],
+    )
+
+    return ComparisonResult(
+        practice=treatment,
+        point_label=point.label,
+        n_untreated=len(untreated_idx),
+        n_treated=len(treated_idx),
+        n_pairs=pairs.n_pairs,
+        n_untreated_matched=pairs.n_untreated_matched,
+        balance=balance,
+        sign=sign,
+    )
+
+
+def run_causal_analysis(dataset: MetricDataset, treatment: str,
+                        n_bins: int = 5, confounder_mode: str = "practices",
+                        propensity_l2: float = 0.1,
+                        caliper_sd: float | None = 0.25) -> CausalExperiment:
+    """Sweep every neighbouring-bin comparison point for one practice."""
+    if treatment not in dataset.names:
+        raise KeyError(f"unknown treatment practice {treatment!r}")
+    values = dataset.column(treatment)
+    binning = TreatmentBinning.fit(treatment, values, n_bins=n_bins)
+    results: list[ComparisonResult] = []
+    skipped: list[str] = []
+    for point in binning.comparison_points():
+        try:
+            results.append(run_comparison(
+                dataset, treatment, binning, point,
+                confounder_mode=confounder_mode,
+                propensity_l2=propensity_l2,
+                caliper_sd=caliper_sd,
+            ))
+        except (InsufficientDataError, MatchingError):
+            skipped.append(point.label)
+    return CausalExperiment(practice=treatment, results=results,
+                            skipped=skipped)

@@ -1,0 +1,45 @@
+"""Propensity-score estimation (paper Section 5.2.3).
+
+A propensity score is the probability of a case being *treated* given its
+observed confounding practices, estimated with logistic regression over
+all confounders (every practice metric except the treatment practice).
+Cases with equal scores are equally likely to be treated regardless of
+their confounder values, so matching on the score mimics a randomized
+experiment (Stuart & Rubin [33]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.logistic import LogisticRegression
+
+
+def propensity_scores(confounders_untreated: np.ndarray,
+                      confounders_treated: np.ndarray,
+                      l2: float = 1e-2,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Fit P(treated | confounders) and score both groups.
+
+    Args:
+        confounders_untreated: (n_u, d) confounder matrix of untreated cases.
+        confounders_treated: (n_t, d) confounder matrix of treated cases.
+
+    Returns:
+        (scores_untreated, scores_treated), each in (0, 1).
+    """
+    n_untreated = confounders_untreated.shape[0]
+    n_treated = confounders_treated.shape[0]
+    if n_untreated == 0 or n_treated == 0:
+        raise ValueError("both groups must be non-empty")
+    if confounders_untreated.shape[1] != confounders_treated.shape[1]:
+        raise ValueError("confounder dimensionality differs between groups")
+    X = np.vstack([confounders_untreated, confounders_treated])
+    y = np.concatenate([
+        np.zeros(n_untreated, dtype=np.int64),
+        np.ones(n_treated, dtype=np.int64),
+    ])
+    model = LogisticRegression(l2=l2)
+    model.fit(X, y)
+    scores = model.predict_proba(X)
+    return scores[:n_untreated], scores[n_untreated:]

@@ -1,0 +1,73 @@
+"""Outcome significance: the sign test (paper Section 5.2.5).
+
+For each matched pair the outcome difference ``y_treated - y_untreated``
+is reduced to its sign; zero differences are excluded (standard sign-test
+practice, and the paper tabulates the "No Effect" column separately).
+The null hypothesis — the median outcome difference is zero — is tested
+with an exact two-sided binomial test. The paper rejects at p < 0.001.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+#: The paper's "moderately conservative" significance threshold.
+SIGNIFICANCE_THRESHOLD = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class SignTestResult:
+    """Sign-test outcome for one comparison point (a Table 6 row)."""
+
+    n_fewer_tickets: int  # pairs where treatment led to fewer tickets
+    n_no_effect: int
+    n_more_tickets: int
+    p_value: float
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_fewer_tickets + self.n_no_effect + self.n_more_tickets
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < SIGNIFICANCE_THRESHOLD
+
+    @property
+    def direction(self) -> str:
+        """"worse" when treatment raises tickets, "better" when it lowers."""
+        if self.n_more_tickets > self.n_fewer_tickets:
+            return "worse"
+        if self.n_fewer_tickets > self.n_more_tickets:
+            return "better"
+        return "none"
+
+
+def sign_test(outcome_treated: np.ndarray,
+              outcome_untreated: np.ndarray) -> SignTestResult:
+    """Exact two-sided sign test over matched-pair outcome differences."""
+    outcome_treated = np.asarray(outcome_treated, dtype=float)
+    outcome_untreated = np.asarray(outcome_untreated, dtype=float)
+    if outcome_treated.shape != outcome_untreated.shape:
+        raise ValueError("outcome arrays must align pairwise")
+    if outcome_treated.size == 0:
+        raise ValueError("sign test needs at least one pair")
+    differences = outcome_treated - outcome_untreated
+    n_more = int((differences > 0).sum())
+    n_fewer = int((differences < 0).sum())
+    n_zero = int((differences == 0).sum())
+    n_informative = n_more + n_fewer
+    if n_informative == 0:
+        p_value = 1.0
+    else:
+        p_value = float(stats.binomtest(
+            n_more, n_informative, p=0.5, alternative="two-sided"
+        ).pvalue)
+    return SignTestResult(
+        n_fewer_tickets=n_fewer,
+        n_no_effect=n_zero,
+        n_more_tickets=n_more,
+        p_value=p_value,
+    )

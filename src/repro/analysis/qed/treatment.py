@@ -1,0 +1,63 @@
+"""Treatment definition for the QED (paper Section 5.2.2).
+
+Most practice metrics have no natural "treated" value, so the paper bins
+cases into 5 bins (same percentile-clamped equal-width strategy as the
+MI analysis) and compares neighbouring bins: 1:2, 2:3, 3:4, 4:5 —
+bin ``b`` untreated vs bin ``b+1`` treated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.binning import BinSpec, equal_width_bins
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonPoint:
+    """One untreated-vs-treated bin pairing.
+
+    ``label`` follows the paper's notation: ``"1:2"`` compares bin 1
+    (untreated) against bin 2 (treated), using 1-based bin numbers.
+    """
+
+    untreated_bin: int  # 0-based
+    treated_bin: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.untreated_bin + 1}:{self.treated_bin + 1}"
+
+
+@dataclass
+class TreatmentBinning:
+    """5-bin discretization of a treatment practice across all cases."""
+
+    practice: str
+    spec: BinSpec
+    assignments: np.ndarray  # bin index per case
+
+    @classmethod
+    def fit(cls, practice: str, values: np.ndarray,
+            n_bins: int = 5) -> "TreatmentBinning":
+        values = np.asarray(values, dtype=float)
+        spec = equal_width_bins(values, n_bins=n_bins)
+        return cls(practice=practice, spec=spec,
+                   assignments=spec.assign_many(values))
+
+    def comparison_points(self) -> list[ComparisonPoint]:
+        """All neighbouring-bin comparisons: 1:2, 2:3, ..."""
+        return [
+            ComparisonPoint(b, b + 1) for b in range(self.spec.n_bins - 1)
+        ]
+
+    def cases_in_bin(self, bin_index: int) -> np.ndarray:
+        """Case indices whose treatment value falls in ``bin_index``."""
+        return np.flatnonzero(self.assignments == bin_index)
+
+    def split(self, point: ComparisonPoint) -> tuple[np.ndarray, np.ndarray]:
+        """(untreated case indices, treated case indices) for a point."""
+        return (self.cases_in_bin(point.untreated_bin),
+                self.cases_in_bin(point.treated_bin))

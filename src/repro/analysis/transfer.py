@@ -1,0 +1,77 @@
+"""Cross-organization model transfer (paper Sections 7 and 9).
+
+The paper cautions that its findings "may not apply to all organizations"
+and lists "how to extend MPA to apply across organizations" as open
+work. This module measures exactly that: train an organization model on
+one organization's metric table and evaluate it on another's.
+
+Feature binning is the subtle part — bin edges are fit on the *source*
+organization (that is all the model owner has), so a target organization
+with a different practice scale lands in shifted bins. The transfer gap
+(in-org CV accuracy minus cross-org accuracy) quantifies how
+organization-specific the learned model is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.prediction import (
+    HealthClassScheme,
+    OrganizationModel,
+    TWO_CLASS,
+    evaluate_model,
+    health_classes,
+)
+from repro.metrics.dataset import MetricDataset
+
+
+@dataclass(frozen=True, slots=True)
+class TransferResult:
+    """Outcome of one source -> target transfer evaluation."""
+
+    scheme_name: str
+    variant: str
+    source_cv_accuracy: float
+    target_accuracy: float
+    target_majority_accuracy: float
+
+    @property
+    def transfer_gap(self) -> float:
+        """How much accuracy is lost by crossing organizations."""
+        return self.source_cv_accuracy - self.target_accuracy
+
+    @property
+    def transfers_usefully(self) -> bool:
+        """A transferred model should still beat the target's majority."""
+        return self.target_accuracy > self.target_majority_accuracy
+
+
+def evaluate_transfer(source: MetricDataset, target: MetricDataset,
+                      scheme: HealthClassScheme = TWO_CLASS,
+                      variant: str = "dt", k: int = 5,
+                      seed: int = 0) -> TransferResult:
+    """Train on ``source``, evaluate on ``target``.
+
+    Raises ``ValueError`` when the two tables disagree on metric columns.
+    """
+    if source.names != target.names:
+        raise ValueError("source and target must share metric columns")
+    model = OrganizationModel(scheme=scheme, variant=variant).fit(source)
+    predictions = model.predict_dataset(target)
+    actual = health_classes(target.tickets, scheme)
+    target_accuracy = float((predictions == actual).mean())
+
+    source_report = evaluate_model(source, scheme=scheme, variant=variant,
+                                   k=k, seed=seed)
+    majority_class = int(
+        max(set(actual.tolist()), key=actual.tolist().count)
+    )
+    majority_accuracy = float((actual == majority_class).mean())
+    return TransferResult(
+        scheme_name=scheme.name,
+        variant=variant,
+        source_cv_accuracy=source_report.accuracy,
+        target_accuracy=target_accuracy,
+        target_majority_accuracy=majority_accuracy,
+    )

@@ -1,0 +1,196 @@
+"""Command-line interface: ``mpa <command>``.
+
+Commands:
+
+* ``mpa synthesize --scale small`` — build + cache the corpus/dataset,
+* ``mpa summary`` — dataset sizes (Table 2),
+* ``mpa top`` — top practices by MI (Table 3),
+* ``mpa pairs`` — top practice pairs by CMI (Table 4),
+* ``mpa causal --treatment n_change_events`` — Tables 5/6 for one practice,
+* ``mpa evaluate --classes 2 --variant dt+ab+os`` — cross-validated model,
+* ``mpa online --history 3`` — Table 9-style rolling prediction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.mpa import MPA
+from repro.core.prediction import FIVE_CLASS, TWO_CLASS
+from repro.core.workspace import Workspace
+from repro.reporting.tables import (
+    format_causal_table,
+    format_class_report,
+    format_cmi_table,
+    format_matching_table,
+    format_mi_table,
+    format_online_table,
+    format_signtest_table,
+)
+from repro.util.tables import render_kv
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default=None,
+                        help="tiny/small/medium/paper (default: MPA_SCALE "
+                             "env var or 'small')")
+
+
+def _scheme(n: int):
+    if n == 2:
+        return TWO_CLASS
+    if n == 5:
+        return FIVE_CLASS
+    raise SystemExit("--classes must be 2 or 5")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="mpa", description="Management Plane Analytics (IMC'15 repro)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="build and cache the corpus")
+    _add_scale(p)
+
+    p = sub.add_parser("summary", help="dataset sizes (Table 2)")
+    _add_scale(p)
+
+    p = sub.add_parser("top", help="top practices by MI (Table 3)")
+    _add_scale(p)
+    p.add_argument("-k", type=int, default=10)
+
+    p = sub.add_parser("pairs", help="top practice pairs by CMI (Table 4)")
+    _add_scale(p)
+    p.add_argument("-k", type=int, default=10)
+
+    p = sub.add_parser("causal", help="QED causal analysis (Tables 5/6)")
+    _add_scale(p)
+    p.add_argument("--treatment", required=True)
+
+    p = sub.add_parser("evaluate", help="cross-validated model (Section 6.1)")
+    _add_scale(p)
+    p.add_argument("--classes", type=int, default=2)
+    p.add_argument("--variant", default="dt")
+
+    p = sub.add_parser("online", help="rolling prediction (Table 9)")
+    _add_scale(p)
+    p.add_argument("--history", type=int, default=3)
+    p.add_argument("--classes", type=int, default=2)
+
+    p = sub.add_parser("report", help="full organization report (markdown)")
+    _add_scale(p)
+    p.add_argument("--output", default="-",
+                   help="file path, or - for stdout (default)")
+
+    p = sub.add_parser("drift", help="flag practice drift per network")
+    _add_scale(p)
+    p.add_argument("--threshold", type=float, default=3.5,
+                   help="robust z-score cut (default 3.5)")
+    p.add_argument("--limit", type=int, default=20)
+
+    p = sub.add_parser("gaps",
+                       help="operator opinion vs measured impact")
+    _add_scale(p)
+    p.add_argument("--skip-qed", action="store_true",
+                   help="skip causal verdicts (faster)")
+
+    p = sub.add_parser("export", help="export the metric table as CSV")
+    _add_scale(p)
+    p.add_argument("--output", required=True, help="CSV file path")
+
+    args = parser.parse_args(argv)
+    workspace = Workspace.default(args.scale)
+
+    if args.command == "synthesize":
+        workspace.ensure()
+        print(f"workspace ready under {workspace.root}")
+        return 0
+    if args.command == "summary":
+        print(render_kv(sorted(workspace.summary().items()),
+                        title="Dataset summary (Table 2)"))
+        return 0
+
+    mpa = MPA(workspace.dataset())
+    if args.command == "top":
+        print(format_mi_table(mpa.top_practices(args.k)))
+    elif args.command == "pairs":
+        print(format_cmi_table(mpa.dependent_pairs(args.k)))
+    elif args.command == "causal":
+        experiment = mpa.causal_analysis(args.treatment)
+        print(format_matching_table(
+            experiment, title=f"Matching for {args.treatment}"
+        ))
+        print()
+        print(format_signtest_table(
+            experiment, title=f"Sign test for {args.treatment}"
+        ))
+        print()
+        print(format_causal_table([experiment],
+                                  points=("1:2", "2:3", "3:4", "4:5"),
+                                  title="All comparison points"))
+    elif args.command == "evaluate":
+        scheme = _scheme(args.classes)
+        report = mpa.evaluate(scheme=scheme, variant=args.variant)
+        print(format_class_report(
+            report, scheme.labels,
+            title=f"{scheme.name} {args.variant}",
+        ))
+    elif args.command == "online":
+        scheme = _scheme(args.classes)
+        result = mpa.predict_future(args.history, scheme=scheme)
+        print(format_online_table([result], [scheme.name]))
+    elif args.command == "report":
+        from repro.reporting.report import generate_report
+        text = generate_report(workspace)
+        if args.output == "-":
+            print(text)
+        else:
+            from pathlib import Path
+            Path(args.output).write_text(text)
+            print(f"report written to {args.output}")
+    elif args.command == "drift":
+        from repro.core.drift import detect_drift, summarize_drift
+        findings = detect_drift(mpa.dataset, threshold=args.threshold)
+        summary = summarize_drift(findings)
+        print(f"{summary.n_findings} drift findings across "
+              f"{summary.n_networks_affected} networks")
+        from repro.util.tables import render_table
+        rows = [
+            [f.network_id, f.month_index, f.metric, f"{f.value:.1f}",
+             f"{f.baseline_median:.1f}", f"{f.robust_z:+.1f}"]
+            for f in findings[:args.limit]
+        ]
+        if rows:
+            print(render_table(
+                ["network", "month", "metric", "value", "baseline",
+                 "robust z"], rows,
+            ))
+    elif args.command == "export":
+        from repro.metrics.export import write_csv
+        write_csv(mpa.dataset, args.output)
+        print(f"{mpa.dataset.n_cases} cases written to {args.output}")
+    elif args.command == "gaps":
+        from repro.analysis.opinion_gap import opinion_gaps
+        from repro.synthesis.survey import synthesize_survey
+        from repro.util.tables import render_table
+        gaps = opinion_gaps(mpa.dataset, synthesize_survey(seed=7),
+                            run_qed=not args.skip_qed)
+        rows = [
+            [g.practice, f"{g.mean_opinion:.2f}",
+             f"{g.mi_rank}/{g.n_metrics}", g.causal_verdict,
+             "MISJUDGED" if g.misjudged else ""]
+            for g in sorted(gaps, key=lambda g: g.mi_rank)
+        ]
+        print(render_table(
+            ["survey practice", "opinion (0-3)", "MI rank", "QED (1:2)",
+             "gap"], rows,
+            title="Operator opinion vs measured impact",
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

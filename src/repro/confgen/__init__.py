@@ -1,0 +1,36 @@
+"""Configuration-text generation: structured device state -> vendor text.
+
+The synthesizer maintains a dialect-neutral :class:`DeviceState` for every
+device and renders it to the device's native dialect whenever a snapshot
+is taken. Renderers are exact inverses of the :mod:`repro.confparse`
+parsers at the stanza level (round-trip tested), so the analysis pipeline
+sees realistic vendor text rather than pre-digested structures.
+"""
+
+from repro.confgen.state import (
+    AclState,
+    BgpState,
+    DeviceState,
+    InterfaceState,
+    OspfState,
+    PoolState,
+    QosPolicyState,
+    UserState,
+    VipState,
+    VlanState,
+)
+from repro.confgen.base import render_config
+
+__all__ = [
+    "DeviceState",
+    "InterfaceState",
+    "VlanState",
+    "AclState",
+    "BgpState",
+    "OspfState",
+    "PoolState",
+    "VipState",
+    "UserState",
+    "QosPolicyState",
+    "render_config",
+]

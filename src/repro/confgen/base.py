@@ -1,0 +1,32 @@
+"""Dialect dispatch for config rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.confgen import eos, ios, junos
+from repro.confgen.state import DeviceState
+from repro.errors import UnknownVendorError
+
+_RENDERERS: dict[str, Callable[[DeviceState], str]] = {
+    "ios": ios.render,
+    "junos": junos.render,
+    "eos": eos.render,
+}
+
+
+def render_config(state: DeviceState) -> str:
+    """Render a device state to its dialect's configuration text."""
+    try:
+        renderer = _RENDERERS[state.dialect]
+    except KeyError:
+        raise UnknownVendorError(state.dialect) from None
+    return renderer(state)
+
+
+def register_renderer(name: str,
+                      renderer: Callable[[DeviceState], str]) -> None:
+    """Register an additional dialect renderer (extension point)."""
+    if name in _RENDERERS:
+        raise ValueError(f"dialect {name!r} already registered")
+    _RENDERERS[name] = renderer

@@ -1,0 +1,123 @@
+"""Render :class:`DeviceState` to EOS-dialect configuration text.
+
+Placement notes (vendor asymmetries, cf. :mod:`repro.confparse.eos`):
+
+* DHCP relay servers render as ``ip helper-address`` lines on the
+  management interface, so relay changes are typed ``interface`` on EOS;
+* addresses/routes are CIDR; ACL rules carry sequence numbers;
+* there is no load-balancer syntax — EOS devices with pools/VIPs cannot
+  be rendered (the extended catalog only assigns EOS to switches/routers).
+"""
+
+from __future__ import annotations
+
+from repro.confgen.state import DeviceState
+
+
+def render(state: DeviceState) -> str:
+    """Produce EOS-dialect text parseable by :func:`repro.confparse.eos.parse`."""
+    if state.pools or state.vips:
+        raise ValueError(
+            "the eos dialect has no load-balancer syntax; do not assign it "
+            "to load-balancer/ADC hardware"
+        )
+    lines: list[str] = []
+
+    def sep() -> None:
+        if lines and lines[-1] != "!":
+            lines.append("!")
+
+    lines.append(f"hostname {state.hostname}")
+    lines.append(f"version {state.firmware}")
+    sep()
+
+    if state.aaa_enabled:
+        lines.append("aaa authorization exec default local")
+    if state.banner:
+        lines.append(f"banner login ^{state.banner}^")
+    if state.stp_enabled:
+        lines.append("spanning-tree mode mstp")
+    sep()
+
+    for user in sorted(state.users.values(), key=lambda u: u.name):
+        lines.append(f"username {user.name} privilege 15 secret {user.secret_tag}")
+    for community in state.snmp_communities:
+        lines.append(f"snmp-server community {community} ro")
+    for server in state.ntp_servers:
+        lines.append(f"ntp server {server}")
+    for host in state.syslog_hosts:
+        lines.append(f"logging host {host}")
+    for collector in state.sflow_collectors:
+        lines.append(f"sflow destination {collector}")
+    sep()
+
+    for vlan in sorted(state.vlans.values(), key=lambda v: int(v.vlan_id)):
+        lines.append(f"vlan {vlan.vlan_id}")
+        lines.append(f" name {vlan.name}")
+        sep()
+
+    mgmt_seen = False
+    for iface in sorted(state.interfaces.values(), key=lambda i: i.name):
+        lines.append(f"interface {iface.name}")
+        if iface.description:
+            lines.append(f" description {iface.description}")
+        if iface.shutdown:
+            lines.append(" shutdown")
+        if iface.access_vlan is not None:
+            lines.append(f" switchport access vlan {iface.access_vlan}")
+        if iface.address is not None:
+            lines.append(f" ip address {iface.address}")
+            if not mgmt_seen:
+                # relay servers live on the first addressed interface
+                for server in state.dhcp_relay_servers:
+                    lines.append(f" ip helper-address {server}")
+                mgmt_seen = True
+        if iface.acl_in is not None:
+            lines.append(f" ip access-group {iface.acl_in} in")
+        if iface.lag_group is not None:
+            lines.append(f" channel-group {iface.lag_group} mode active")
+        sep()
+
+    for acl in sorted(state.acls.values(), key=lambda a: a.name):
+        lines.append(f"ip access-list {acl.name}")
+        for seq, (action, protocol, dest_ip, port) in enumerate(acl.rules,
+                                                                start=1):
+            lines.append(
+                f" {seq * 10} {action} {protocol} any host {dest_ip} eq {port}"
+            )
+        lines.append(f" {len(acl.rules) * 10 + 10} deny ip any any")
+        sep()
+
+    if state.bgp is not None:
+        lines.append(f"router bgp {state.bgp.asn}")
+        for neighbor_ip in sorted(state.bgp.neighbors):
+            lines.append(
+                f" neighbor {neighbor_ip} remote-as "
+                f"{state.bgp.neighbors[neighbor_ip]}"
+            )
+        for prefix in state.bgp.networks:
+            lines.append(f" network {prefix}")
+        sep()
+
+    if state.ospf is not None:
+        lines.append(f"router ospf {state.ospf.process_id}")
+        for area_id in sorted(state.ospf.areas):
+            for prefix in state.ospf.areas[area_id]:
+                lines.append(f" network {prefix} area {area_id}")
+        sep()
+
+    for prefix, nexthop in sorted(state.static_routes.items()):
+        lines.append(f"ip route {prefix} {nexthop}")
+    sep()
+
+    for policy in sorted(state.qos_policies.values(), key=lambda p: p.name):
+        lines.append(f"policy-map {policy.name}")
+        for class_name in sorted(policy.classes):
+            lines.append(f" class {class_name} dscp {policy.classes[class_name]}")
+        sep()
+
+    for group_id, virtual_ip in sorted(state.vrrp_groups.items()):
+        lines.append(f"vrrp {group_id} ipv4 {virtual_ip}")
+    sep()
+
+    return "\n".join(lines) + "\n"

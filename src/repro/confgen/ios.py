@@ -1,0 +1,134 @@
+"""Render :class:`DeviceState` to IOS-dialect configuration text."""
+
+from __future__ import annotations
+
+from repro.confgen.state import DeviceState
+from repro.util.ipaddr import prefixlen_to_mask, wildcard_for
+
+
+def _split_cidr(cidr: str) -> tuple[str, int]:
+    address, prefixlen = cidr.split("/")
+    return address, int(prefixlen)
+
+
+def render(state: DeviceState) -> str:
+    """Produce IOS-dialect text parseable by :func:`repro.confparse.ios.parse`."""
+    lines: list[str] = []
+
+    def sep() -> None:
+        if lines and lines[-1] != "!":
+            lines.append("!")
+
+    lines.append(f"hostname {state.hostname}")
+    lines.append(f"version {state.firmware}")
+    sep()
+
+    if state.aaa_enabled:
+        lines.append("aaa new-model")
+    if state.banner:
+        lines.append(f"banner motd ^{state.banner}^")
+    if state.stp_enabled:
+        lines.append("spanning-tree mode rapid-pvst")
+    if state.udld_enabled:
+        lines.append("udld enable")
+    for server in state.dhcp_relay_servers:
+        lines.append(f"ip dhcp-relay server {server}")
+    sep()
+
+    for user in sorted(state.users.values(), key=lambda u: u.name):
+        lines.append(f"username {user.name} privilege 15 secret 5 {user.secret_tag}")
+    for community in state.snmp_communities:
+        lines.append(f"snmp-server community {community} ro")
+    for server in state.ntp_servers:
+        lines.append(f"ntp server {server}")
+    for host in state.syslog_hosts:
+        lines.append(f"logging host {host}")
+    for collector in state.sflow_collectors:
+        lines.append(f"sflow collector {collector}")
+    sep()
+
+    for group_id, description in sorted(state.lag_groups.items()):
+        lines.append(f"port-channel {group_id}")
+        if description:
+            lines.append(f" description {description}")
+        sep()
+
+    for vlan in sorted(state.vlans.values(), key=lambda v: int(v.vlan_id)):
+        lines.append(f"vlan {vlan.vlan_id}")
+        lines.append(f" name {vlan.name}")
+        sep()
+
+    for iface in sorted(state.interfaces.values(), key=lambda i: i.name):
+        lines.append(f"interface {iface.name}")
+        if iface.description:
+            lines.append(f" description {iface.description}")
+        if iface.shutdown:
+            lines.append(" shutdown")
+        if iface.access_vlan is not None:
+            lines.append(f" switchport access vlan {iface.access_vlan}")
+        if iface.address is not None:
+            address, prefixlen = _split_cidr(iface.address)
+            lines.append(f" ip address {address} {prefixlen_to_mask(prefixlen)}")
+        if iface.acl_in is not None:
+            lines.append(f" ip access-group {iface.acl_in} in")
+        if iface.lag_group is not None:
+            lines.append(f" channel-group {iface.lag_group} mode active")
+        sep()
+
+    for acl in sorted(state.acls.values(), key=lambda a: a.name):
+        lines.append(f"ip access-list extended {acl.name}")
+        for action, protocol, dest_ip, port in acl.rules:
+            lines.append(f" {action} {protocol} any host {dest_ip} eq {port}")
+        lines.append(" deny ip any any")
+        sep()
+
+    if state.bgp is not None:
+        lines.append(f"router bgp {state.bgp.asn}")
+        for neighbor_ip in sorted(state.bgp.neighbors):
+            peer_asn = state.bgp.neighbors[neighbor_ip]
+            lines.append(f" neighbor {neighbor_ip} remote-as {peer_asn}")
+        for prefix in state.bgp.networks:
+            address, prefixlen = _split_cidr(prefix)
+            lines.append(f" network {address} mask {prefixlen_to_mask(prefixlen)}")
+        sep()
+
+    if state.ospf is not None:
+        lines.append(f"router ospf {state.ospf.process_id}")
+        for area_id in sorted(state.ospf.areas):
+            for prefix in state.ospf.areas[area_id]:
+                address, prefixlen = _split_cidr(prefix)
+                lines.append(
+                    f" network {address} {wildcard_for(prefixlen)} area {area_id}"
+                )
+        sep()
+
+    for prefix, nexthop in sorted(state.static_routes.items()):
+        address, prefixlen = _split_cidr(prefix)
+        lines.append(f"ip route {address} {prefixlen_to_mask(prefixlen)} {nexthop}")
+    sep()
+
+    for policy in sorted(state.qos_policies.values(), key=lambda p: p.name):
+        lines.append(f"qos policy {policy.name}")
+        for class_name in sorted(policy.classes):
+            lines.append(f" class {class_name} dscp {policy.classes[class_name]}")
+        sep()
+
+    for pool in sorted(state.pools.values(), key=lambda p: p.name):
+        lines.append(f"slb pool {pool.name}")
+        for member in pool.members:
+            ip, _, port = member.partition(":")
+            lines.append(f" member {ip} {port or '80'}")
+        sep()
+
+    for vip in sorted(state.vips.values(), key=lambda v: v.name):
+        lines.append(f"slb vip {vip.name}")
+        ip, _, port = vip.address.partition(":")
+        lines.append(f" virtual {ip} {port or '80'}")
+        lines.append(f" pool {vip.pool}")
+        sep()
+
+    for group_id, virtual_ip in sorted(state.vrrp_groups.items()):
+        lines.append(f"vrrp {group_id} ip {virtual_ip}")
+    sep()
+
+    return "\n".join(lines) + "\n"

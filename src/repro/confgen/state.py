@@ -1,0 +1,160 @@
+"""Dialect-neutral structured device configuration state.
+
+This is the synthesizer's mutable model of "what is configured on this
+device". Renderers (:mod:`repro.confgen.ios`, :mod:`repro.confgen.junos`,
+:mod:`repro.confgen.eos`) turn it into vendor text; the change engine
+mutates it between snapshots.
+
+Placement semantics differ per dialect on purpose: e.g. an interface's
+VLAN membership is stored once here (``InterfaceState.access_vlan``) but
+rendered inside the interface stanza on IOS and inside the vlan stanza on
+JunOS — reproducing the change-typing asymmetry the paper documents.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InterfaceState:
+    """One physical or logical interface."""
+
+    name: str
+    description: str = ""
+    address: str | None = None  # "a.b.c.d/len"
+    access_vlan: str | None = None  # vlan id as string
+    acl_in: str | None = None
+    lag_group: str | None = None
+    shutdown: bool = False
+
+
+@dataclass
+class VlanState:
+    """One VLAN definition (name defaults to ``vlan-<id>``)."""
+
+    vlan_id: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"vlan-{self.vlan_id}"
+
+
+@dataclass
+class AclState:
+    """An ACL / firewall filter, as abstract permit/deny rules.
+
+    Each rule is ``(action, protocol, dest_ip, port)``; renderers emit the
+    dialect's concrete syntax.
+    """
+
+    name: str
+    rules: list[tuple[str, str, str, int]] = field(default_factory=list)
+
+
+@dataclass
+class BgpState:
+    """A device's BGP process: local ASN, neighbors, announcements."""
+
+    asn: str
+    #: neighbor ip -> peer asn
+    neighbors: dict[str, str] = field(default_factory=dict)
+    #: announced prefixes, as "a.b.c.d/len"
+    networks: list[str] = field(default_factory=list)
+
+
+@dataclass
+class OspfState:
+    """A device's OSPF process: id and per-area covered prefixes."""
+
+    process_id: str
+    #: area id -> covered prefixes ("a.b.c.d/len")
+    areas: dict[str, list[str]] = field(default_factory=dict)
+
+
+@dataclass
+class PoolState:
+    """A load-balancer server pool."""
+
+    name: str
+    members: list[str] = field(default_factory=list)  # "ip:port"
+
+
+@dataclass
+class VipState:
+    """A load-balancer virtual server fronting a pool."""
+
+    name: str
+    address: str  # "ip:port"
+    pool: str
+
+
+@dataclass
+class UserState:
+    """A local login account."""
+
+    name: str
+    secret_tag: str = "s0"  # opaque stand-in for a password hash
+
+
+@dataclass
+class QosPolicyState:
+    """A QoS policy: class name -> DSCP marking."""
+
+    name: str
+    #: class name -> dscp value
+    classes: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class DeviceState:
+    """Complete structured configuration of one device."""
+
+    hostname: str
+    dialect: str  # "ios" | "junos" | "eos"
+    firmware: str
+    interfaces: dict[str, InterfaceState] = field(default_factory=dict)
+    vlans: dict[str, VlanState] = field(default_factory=dict)
+    acls: dict[str, AclState] = field(default_factory=dict)
+    bgp: BgpState | None = None
+    ospf: OspfState | None = None
+    pools: dict[str, PoolState] = field(default_factory=dict)
+    vips: dict[str, VipState] = field(default_factory=dict)
+    users: dict[str, UserState] = field(default_factory=dict)
+    static_routes: dict[str, str] = field(default_factory=dict)  # prefix -> nexthop
+    qos_policies: dict[str, QosPolicyState] = field(default_factory=dict)
+    ntp_servers: list[str] = field(default_factory=list)
+    syslog_hosts: list[str] = field(default_factory=list)
+    snmp_communities: list[str] = field(default_factory=list)
+    sflow_collectors: list[str] = field(default_factory=list)
+    dhcp_relay_servers: list[str] = field(default_factory=list)
+    lag_groups: dict[str, str] = field(default_factory=dict)  # group id -> description
+    vrrp_groups: dict[str, str] = field(default_factory=dict)  # group id -> virtual ip
+    stp_enabled: bool = False
+    udld_enabled: bool = False
+    aaa_enabled: bool = False
+    banner: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dialect not in ("ios", "junos", "eos"):
+            raise ValueError(f"unknown dialect {self.dialect!r}")
+
+    def clone(self) -> "DeviceState":
+        """Deep copy, used by the change engine to fork timelines."""
+        return copy.deepcopy(self)
+
+    # -- convenience accessors used by mutations ---------------------------
+
+    @property
+    def addressed_interfaces(self) -> list[InterfaceState]:
+        return [i for i in self.interfaces.values() if i.address]
+
+    def interface_names(self) -> list[str]:
+        return sorted(self.interfaces)
+
+    def ensure_vlan(self, vlan_id: str) -> VlanState:
+        if vlan_id not in self.vlans:
+            self.vlans[vlan_id] = VlanState(vlan_id=vlan_id)
+        return self.vlans[vlan_id]

@@ -1,0 +1,31 @@
+"""Configuration-parsing substrate (a minimal stand-in for Batfish).
+
+The paper extends Batfish [11] to parse multi-vendor device configurations
+into a vendor-agnostic model, from which it derives:
+
+* stanza-level configuration diffs and change types (Section 2.2, O1/O3),
+* data-plane construct usage (Table 1, D4),
+* routing instances per Benson et al. (Table 1, D5),
+* intra-/inter-device referential complexity (Table 1, D6).
+
+This package implements that pipeline from scratch for two dialects:
+``ios`` (Cisco-IOS-like, line/indent structured) and ``junos``
+(Juniper-JunOS-like, brace structured).
+"""
+
+from repro.confparse.stanza import Stanza, StanzaKey, DeviceConfig
+from repro.confparse.registry import parse_config, available_dialects
+from repro.confparse.diff import diff_configs, changed_stanza_types
+from repro.confparse.normalize import normalize_type, VENDOR_AGNOSTIC_TYPES
+
+__all__ = [
+    "Stanza",
+    "StanzaKey",
+    "DeviceConfig",
+    "parse_config",
+    "available_dialects",
+    "diff_configs",
+    "changed_stanza_types",
+    "normalize_type",
+    "VENDOR_AGNOSTIC_TYPES",
+]

@@ -1,0 +1,92 @@
+"""Stanza-level configuration diffing (paper Section 2.2, O1/O3).
+
+Two successive snapshots of the same device are compared stanza-by-stanza:
+if at least one stanza differs the pair counts as one configuration
+change, and every added/removed/updated stanza contributes a change of its
+(vendor-agnostic) type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.confparse.normalize import normalize_type
+from repro.confparse.stanza import DeviceConfig, StanzaKey
+
+
+class StanzaChangeKind(enum.Enum):
+    """How a stanza differs between two snapshots."""
+
+    ADDED = "added"
+    REMOVED = "removed"
+    UPDATED = "updated"
+
+
+@dataclass(frozen=True, slots=True)
+class StanzaChange:
+    """One stanza-level difference between two configs."""
+
+    key: StanzaKey
+    kind: StanzaChangeKind
+    agnostic_type: str
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigDiff:
+    """All stanza-level differences between two configs of one device."""
+
+    changes: tuple[StanzaChange, ...]
+
+    def __bool__(self) -> bool:
+        return bool(self.changes)
+
+    @property
+    def changed_types(self) -> tuple[str, ...]:
+        """Sorted distinct vendor-agnostic types touched by this diff."""
+        return tuple(sorted({change.agnostic_type for change in self.changes}))
+
+    def of_kind(self, kind: StanzaChangeKind) -> tuple[StanzaChange, ...]:
+        return tuple(change for change in self.changes if change.kind is kind)
+
+
+def diff_configs(before: DeviceConfig, after: DeviceConfig) -> ConfigDiff:
+    """Stanza diff of two parsed configurations of the *same* device.
+
+    Raises ``ValueError`` when the two configs use different dialects
+    (a device cannot change vendor between snapshots).
+    """
+    if before.dialect != after.dialect:
+        raise ValueError(
+            f"cannot diff across dialects ({before.dialect} vs {after.dialect})"
+        )
+    dialect = before.dialect
+    before_keys = before.keys()
+    after_keys = after.keys()
+
+    changes: list[StanzaChange] = []
+    for key in sorted(after_keys - before_keys, key=str):
+        changes.append(
+            StanzaChange(key, StanzaChangeKind.ADDED,
+                         normalize_type(dialect, key.stype))
+        )
+    for key in sorted(before_keys - after_keys, key=str):
+        changes.append(
+            StanzaChange(key, StanzaChangeKind.REMOVED,
+                         normalize_type(dialect, key.stype))
+        )
+    for key in sorted(before_keys & after_keys, key=str):
+        stanza_before = before.get(key)
+        stanza_after = after.get(key)
+        assert stanza_before is not None and stanza_after is not None
+        if stanza_before.body_fingerprint() != stanza_after.body_fingerprint():
+            changes.append(
+                StanzaChange(key, StanzaChangeKind.UPDATED,
+                             normalize_type(dialect, key.stype))
+            )
+    return ConfigDiff(changes=tuple(changes))
+
+
+def changed_stanza_types(before: DeviceConfig, after: DeviceConfig) -> tuple[str, ...]:
+    """Convenience wrapper: the distinct agnostic types that changed."""
+    return diff_configs(before, after).changed_types

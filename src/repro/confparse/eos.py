@@ -1,0 +1,179 @@
+"""Parser for the ``eos`` dialect (Arista-EOS-like configurations).
+
+EOS shares IOS's line/indent structure but differs in syntax details the
+paper's vendor-agnostic normalization has to absorb:
+
+* addresses and routes use CIDR notation (``ip address 10.0.0.1/24``,
+  ``ip route 10.0.0.0/24 10.0.0.254``) instead of dotted netmasks;
+* ACL rules carry sequence numbers (``10 permit tcp any host ...``);
+* DHCP relay is configured *per interface* (``ip helper-address``), so a
+  relay change is typed ``interface`` on EOS — a third instance of the
+  paper's vendor-typing caveat (after IOS/JunOS VLAN membership);
+* QoS uses ``policy-map`` stanzas.
+
+This dialect is exercised by the extended hardware catalog
+(:data:`repro.inventory.catalog.EXTENDED_CATALOG`).
+"""
+
+from __future__ import annotations
+
+from repro.confparse.stanza import DeviceConfig, Stanza, StanzaKey, collapse_whitespace
+from repro.errors import ConfigParseError
+
+DIALECT = "eos"
+
+_OPENERS: tuple[tuple[tuple[str, ...], str], ...] = (
+    (("ip", "access-list"), "ip access-list"),
+    (("ip", "route"), "ip route"),
+    (("router", "bgp"), "router bgp"),
+    (("router", "ospf"), "router ospf"),
+    (("policy-map",), "policy-map"),
+    (("interface",), "interface"),
+    (("vlan",), "vlan"),
+    (("username",), "username"),
+    (("snmp-server",), "snmp-server"),
+    (("ntp",), "ntp"),
+    (("logging",), "logging"),
+    (("sflow",), "sflow"),
+    (("spanning-tree",), "spanning-tree"),
+    (("vrrp",), "vrrp"),
+    (("aaa",), "aaa"),
+    (("banner",), "banner"),
+    (("hostname",), "hostname"),
+    (("version",), "version"),
+)
+
+_SINGLETON_TYPES = frozenset(
+    {"spanning-tree", "aaa", "banner", "hostname", "version"}
+)
+
+_WHOLE_LINE_NAMED_TYPES = frozenset(
+    {"ntp", "logging", "snmp-server", "sflow"}
+)
+
+
+def _match_opener(tokens: list[str]) -> tuple[str, str] | None:
+    for keywords, stype in _OPENERS:
+        k = len(keywords)
+        if tuple(tokens[:k]) == keywords:
+            rest = tokens[k:]
+            if stype in _SINGLETON_TYPES:
+                return stype, "global"
+            if stype == "ip route":
+                # EOS routes are CIDR: identity is the destination prefix
+                name = rest[0] if rest else "global"
+            elif stype in _WHOLE_LINE_NAMED_TYPES:
+                name = " ".join(rest) if rest else "global"
+            elif rest:
+                name = rest[0]
+            else:
+                name = "global"
+            return stype, name
+    return None
+
+
+def _extract_attributes(stype: str, name: str,
+                        lines: list[str]) -> dict[str, tuple]:
+    attrs: dict[str, list] = {}
+
+    def push(key: str, value: object) -> None:
+        attrs.setdefault(key, []).append(value)
+
+    if stype == "vlan":
+        push("vlan_id", name)
+    if stype == "router bgp":
+        push("bgp_asn", name)
+    if stype == "router ospf":
+        push("ospf_pid", name)
+
+    for raw in lines[1:]:
+        tokens = raw.split()
+        if not tokens:
+            continue
+        if stype == "interface":
+            if tokens[:3] == ["switchport", "access", "vlan"] and len(tokens) > 3:
+                push("vlan_refs", tokens[3])
+            elif tokens[:2] == ["ip", "address"] and len(tokens) >= 3:
+                if "/" not in tokens[2]:
+                    raise ConfigParseError(
+                        f"EOS addresses are CIDR, got {raw!r}", vendor=DIALECT
+                    )
+                push("addresses", tokens[2])
+            elif tokens[:2] == ["ip", "access-group"] and len(tokens) >= 3:
+                push("acl_refs", tokens[2])
+            elif tokens[0] == "channel-group" and len(tokens) >= 2:
+                push("lag_refs", tokens[1])
+            elif tokens[:2] == ["ip", "helper-address"] and len(tokens) >= 3:
+                push("dhcp_relay_refs", tokens[2])
+        elif stype == "router bgp":
+            if (tokens[0] == "neighbor" and len(tokens) >= 4
+                    and tokens[2] == "remote-as"):
+                push("bgp_neighbors", tokens[1])
+                push("bgp_peer_asns", tokens[3])
+        elif stype == "router ospf":
+            if tokens[0] == "network" and "area" in tokens:
+                push("ospf_areas", tokens[tokens.index("area") + 1])
+
+    return {key: tuple(values) for key, values in attrs.items()}
+
+
+class _StanzaBuilder:
+    def __init__(self, stype: str, name: str, header: str) -> None:
+        self.stype = stype
+        self.name = name
+        self.lines: list[str] = [header]
+
+    def add(self, line: str) -> None:
+        self.lines.append(line)
+
+    def build(self) -> Stanza:
+        return Stanza(
+            key=StanzaKey(self.stype, self.name),
+            lines=tuple(self.lines),
+            attributes=_extract_attributes(self.stype, self.name, self.lines),
+        )
+
+
+def parse(text: str) -> DeviceConfig:
+    """Parse EOS-dialect configuration text into a :class:`DeviceConfig`."""
+    stanzas: list[Stanza] = []
+    hostname = ""
+    current: _StanzaBuilder | None = None
+
+    def finish() -> None:
+        nonlocal current
+        if current is not None:
+            stanzas.append(current.build())
+            current = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        if raw.lstrip().startswith("!"):
+            finish()
+            continue
+        indented = raw[0] in (" ", "\t")
+        line = collapse_whitespace(raw)
+        if indented:
+            if current is None:
+                raise ConfigParseError(
+                    "indented line outside any stanza", vendor=DIALECT,
+                    line_no=line_no, line=raw,
+                )
+            current.add(line)
+            continue
+        finish()
+        opened = _match_opener(line.split())
+        if opened is None:
+            raise ConfigParseError(
+                f"unrecognized top-level line {line!r}", vendor=DIALECT,
+                line_no=line_no, line=raw,
+            )
+        stype, name = opened
+        current = _StanzaBuilder(stype, name, line)
+        if stype == "hostname":
+            parts = line.split()
+            hostname = parts[1] if len(parts) > 1 else ""
+    finish()
+
+    return DeviceConfig(hostname=hostname, dialect=DIALECT, stanzas=stanzas)

@@ -1,0 +1,195 @@
+"""Parser for the ``ios`` dialect (Cisco-IOS-like configurations).
+
+IOS configs are line/indent structured: an unindented line opens a stanza,
+indented lines are its options, and ``!`` lines are separators. Stanza
+types are identified by their leading keywords (e.g. ``ip access-list
+extended NAME`` opens an ``ip access-list`` stanza named ``NAME``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigParseError
+from repro.confparse.stanza import DeviceConfig, Stanza, StanzaKey, collapse_whitespace
+from repro.util.ipaddr import mask_to_prefixlen
+
+DIALECT = "ios"
+
+#: Top-level openers: maps leading keywords (as a tuple of tokens) to the
+#: native stanza type and how many tokens of the remainder form the name.
+#: Longest keyword sequences are matched first.
+_OPENERS: tuple[tuple[tuple[str, ...], str], ...] = (
+    (("ip", "access-list", "extended"), "ip access-list"),
+    (("ip", "dhcp-relay"), "ip dhcp-relay"),
+    (("ip", "route"), "ip route"),
+    (("router", "bgp"), "router bgp"),
+    (("router", "ospf"), "router ospf"),
+    (("qos", "policy"), "qos policy"),
+    (("slb", "pool"), "slb pool"),
+    (("slb", "vip"), "slb vip"),
+    (("interface",), "interface"),
+    (("vlan",), "vlan"),
+    (("port-channel",), "port-channel"),
+    (("username",), "username"),
+    (("snmp-server",), "snmp-server"),
+    (("ntp",), "ntp"),
+    (("logging",), "logging"),
+    (("sflow",), "sflow"),
+    (("spanning-tree",), "spanning-tree"),
+    (("udld",), "udld"),
+    (("vrrp",), "vrrp"),
+    (("aaa",), "aaa"),
+    (("banner",), "banner"),
+    (("hostname",), "hostname"),
+    (("version",), "version"),
+)
+
+#: Stanza types whose whole identity is the type (singleton per device).
+_SINGLETON_TYPES = frozenset(
+    {"spanning-tree", "udld", "aaa", "banner", "hostname", "version"}
+)
+
+#: Single-line stanza types that may repeat; identified by their full text.
+_WHOLE_LINE_NAMED_TYPES = frozenset(
+    {"ntp", "logging", "snmp-server", "sflow", "ip dhcp-relay"}
+)
+
+
+def _match_opener(tokens: list[str]) -> tuple[str, str] | None:
+    """Return ``(stype, name)`` if the token list opens a known stanza."""
+    for keywords, stype in _OPENERS:
+        k = len(keywords)
+        if tuple(tokens[:k]) == keywords:
+            rest = tokens[k:]
+            if stype in _SINGLETON_TYPES:
+                return stype, "global"
+            if stype == "ip route":
+                # identity of a static route is its destination prefix+mask
+                name = " ".join(rest[:2]) if len(rest) >= 2 else " ".join(rest)
+            elif stype in _WHOLE_LINE_NAMED_TYPES:
+                # single-line stanzas that can repeat (two NTP servers, two
+                # syslog hosts, ...): the whole remainder is the identity
+                name = " ".join(rest) if rest else "global"
+            elif rest:
+                name = rest[0]
+            else:
+                name = "global"
+            return stype, name
+    return None
+
+
+class _StanzaBuilder:
+    """Accumulates one stanza's lines, then extracts typed attributes."""
+
+    def __init__(self, stype: str, name: str, header: str) -> None:
+        self.stype = stype
+        self.name = name
+        self.lines: list[str] = [header]
+
+    def add(self, line: str) -> None:
+        self.lines.append(line)
+
+    def build(self) -> Stanza:
+        attributes = _extract_attributes(self.stype, self.name, self.lines)
+        return Stanza(
+            key=StanzaKey(self.stype, self.name),
+            lines=tuple(self.lines),
+            attributes=attributes,
+        )
+
+
+def _extract_attributes(stype: str, name: str,
+                        lines: list[str]) -> dict[str, tuple]:
+    attrs: dict[str, list] = {}
+
+    def push(key: str, value: object) -> None:
+        attrs.setdefault(key, []).append(value)
+
+    if stype == "vlan":
+        push("vlan_id", name)
+    if stype == "router bgp":
+        push("bgp_asn", name)
+    if stype == "router ospf":
+        push("ospf_pid", name)
+
+    for raw in lines[1:]:
+        tokens = raw.split()
+        if not tokens:
+            continue
+        if stype == "interface":
+            if tokens[:3] == ["switchport", "access", "vlan"] and len(tokens) > 3:
+                push("vlan_refs", tokens[3])
+            elif tokens[:2] == ["ip", "address"] and len(tokens) >= 4:
+                try:
+                    plen = mask_to_prefixlen(tokens[3])
+                except ValueError as exc:
+                    raise ConfigParseError(
+                        f"bad netmask in {raw!r}", vendor=DIALECT
+                    ) from exc
+                push("addresses", f"{tokens[2]}/{plen}")
+            elif tokens[:2] == ["ip", "access-group"] and len(tokens) >= 3:
+                push("acl_refs", tokens[2])
+            elif tokens[0] == "channel-group" and len(tokens) >= 2:
+                push("lag_refs", tokens[1])
+        elif stype == "router bgp":
+            if tokens[0] == "neighbor" and len(tokens) >= 4 and tokens[2] == "remote-as":
+                push("bgp_neighbors", tokens[1])
+                push("bgp_peer_asns", tokens[3])
+        elif stype == "router ospf":
+            if tokens[0] == "network" and "area" in tokens:
+                push("ospf_areas", tokens[tokens.index("area") + 1])
+        elif stype == "slb vip":
+            if tokens[0] == "pool" and len(tokens) >= 2:
+                push("pool_refs", tokens[1])
+        elif stype == "slb pool":
+            if tokens[0] == "member" and len(tokens) >= 2:
+                push("pool_members", tokens[1])
+
+    return {key: tuple(values) for key, values in attrs.items()}
+
+
+def parse(text: str) -> DeviceConfig:
+    """Parse IOS-dialect configuration text into a :class:`DeviceConfig`.
+
+    Raises :class:`~repro.errors.ConfigParseError` on indented lines that
+    appear outside any stanza or on unrecognized top-level lines.
+    """
+    stanzas: list[Stanza] = []
+    hostname = ""
+    current: _StanzaBuilder | None = None
+
+    def finish() -> None:
+        nonlocal current
+        if current is not None:
+            stanzas.append(current.build())
+            current = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        if raw.lstrip().startswith("!"):
+            finish()
+            continue
+        indented = raw[0] in (" ", "\t")
+        line = collapse_whitespace(raw)
+        if indented:
+            if current is None:
+                raise ConfigParseError(
+                    "indented line outside any stanza", vendor=DIALECT,
+                    line_no=line_no, line=raw,
+                )
+            current.add(line)
+            continue
+        finish()
+        opened = _match_opener(line.split())
+        if opened is None:
+            raise ConfigParseError(
+                f"unrecognized top-level line {line!r}", vendor=DIALECT,
+                line_no=line_no, line=raw,
+            )
+        stype, name = opened
+        current = _StanzaBuilder(stype, name, line)
+        if stype == "hostname":
+            hostname = line.split()[1] if len(line.split()) > 1 else ""
+    finish()
+
+    return DeviceConfig(hostname=hostname, dialect=DIALECT, stanzas=stanzas)

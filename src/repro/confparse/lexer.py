@@ -1,0 +1,141 @@
+"""Tokenizer and tree builder for brace-structured (JunOS-like) configs.
+
+The ``junos`` dialect uses the curly-brace hierarchy of Juniper
+configurations::
+
+    interfaces {
+        xe-0/0/1 {
+            description "uplink to core";
+            unit 0 { family inet { address 10.0.0.1/24; } }
+        }
+    }
+
+:func:`parse_tree` produces a :class:`ConfigNode` tree; leaf statements
+(``;``-terminated) become entries in ``ConfigNode.statements``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigParseError
+
+DIALECT = "junos"
+
+
+@dataclass
+class ConfigNode:
+    """One hierarchy level of a brace-structured configuration."""
+
+    name: str
+    children: dict[str, "ConfigNode"] = field(default_factory=dict)
+    statements: list[str] = field(default_factory=list)
+
+    def child(self, *path: str) -> "ConfigNode | None":
+        """Descend through named children; None when any hop is missing."""
+        node: ConfigNode | None = self
+        for hop in path:
+            if node is None:
+                return None
+            node = node.children.get(hop)
+        return node
+
+    def walk_statements(self) -> list[tuple[str, str]]:
+        """All (path, statement) pairs under this node, depth-first."""
+        found: list[tuple[str, str]] = []
+
+        def visit(node: ConfigNode, prefix: str) -> None:
+            for stmt in node.statements:
+                found.append((prefix, stmt))
+            for name, sub in node.children.items():
+                visit(sub, f"{prefix}/{name}" if prefix else name)
+
+        visit(self, "")
+        return found
+
+    def flatten_lines(self) -> tuple[str, ...]:
+        """Deterministic flat rendering used for change fingerprinting."""
+        return tuple(
+            f"{path} :: {stmt}" if path else stmt
+            for path, stmt in self.walk_statements()
+        )
+
+
+def tokenize(text: str) -> list[str]:
+    """Split config text into tokens: words, quoted strings, ``{ } ;``.
+
+    Quoted strings keep their quotes so rendering round-trips.
+    """
+    tokens: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "{};":
+            tokens.append(ch)
+            i += 1
+        elif ch == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise ConfigParseError("unterminated string", vendor=DIALECT)
+            tokens.append(text[i:j + 1])
+            i = j + 1
+        elif ch == "#":
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "{};#":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def parse_tree(text: str) -> ConfigNode:
+    """Parse brace-structured text into a :class:`ConfigNode` tree.
+
+    A sequence of words followed by ``{`` opens a child named by those
+    words (joined with spaces); words followed by ``;`` form a statement.
+    """
+    root = ConfigNode(name="")
+    stack = [root]
+    pending: list[str] = []
+    for token in tokenize(text):
+        if token == "{":
+            if not pending:
+                raise ConfigParseError("'{' with no preceding name",
+                                       vendor=DIALECT)
+            name = " ".join(pending)
+            pending = []
+            parent = stack[-1]
+            if name in parent.children:
+                node = parent.children[name]
+            else:
+                node = ConfigNode(name=name)
+                parent.children[name] = node
+            stack.append(node)
+        elif token == "}":
+            if pending:
+                raise ConfigParseError(
+                    f"dangling tokens {' '.join(pending)!r} before '}}'",
+                    vendor=DIALECT,
+                )
+            if len(stack) == 1:
+                raise ConfigParseError("unbalanced '}'", vendor=DIALECT)
+            stack.pop()
+        elif token == ";":
+            if pending:
+                stack[-1].statements.append(" ".join(pending))
+                pending = []
+        else:
+            pending.append(token)
+    if pending:
+        raise ConfigParseError(
+            f"trailing tokens {' '.join(pending)!r}", vendor=DIALECT
+        )
+    if len(stack) != 1:
+        raise ConfigParseError("unbalanced '{'", vendor=DIALECT)
+    return root

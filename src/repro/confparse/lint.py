@@ -1,0 +1,125 @@
+"""Configuration hygiene linting (reproduction extension).
+
+The paper measures configuration *complexity*; a natural companion is
+configuration *hygiene* — dangling references and orphaned constructs
+that indicate decaying management practices. This linter runs over
+parsed configs and reports:
+
+* interfaces referencing undefined ACLs or VLANs (dangling refs),
+* VIPs referencing undefined pools,
+* VLANs defined on a device but never attached to any interface
+  (network-wide orphan detection needs cross-device data; this is the
+  per-device approximation),
+* shutdown interfaces that still carry addresses or VLAN assignments.
+
+These checks feed the ``hygiene`` example and give downstream users a
+concrete management-plane quality signal beyond ticket counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.confparse.stanza import DeviceConfig
+
+_ACL_TYPES = frozenset({"ip access-list", "firewall filter"})
+_POOL_TYPES = frozenset({"slb pool", "lb pool"})
+_VIP_TYPES = frozenset({"slb vip", "lb virtual-server"})
+_VLAN_TYPES = frozenset({"vlan", "vlans"})
+_INTERFACE_TYPES = frozenset({"interface", "interfaces"})
+
+
+class LintRule(enum.Enum):
+    """Hygiene rules the linter can flag."""
+
+    DANGLING_ACL_REF = "dangling-acl-ref"
+    DANGLING_VLAN_REF = "dangling-vlan-ref"
+    DANGLING_POOL_REF = "dangling-pool-ref"
+    ORPHAN_VLAN = "orphan-vlan"
+    SHUTDOWN_WITH_CONFIG = "shutdown-with-config"
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One hygiene issue in one device's configuration."""
+
+    rule: LintRule
+    device: str
+    stanza: str
+    detail: str
+
+
+def lint_device(config: DeviceConfig) -> list[LintFinding]:
+    """All findings for one parsed device configuration."""
+    findings: list[LintFinding] = []
+    device = config.hostname or "<unknown>"
+
+    acl_names = {s.name for s in config if s.stype in _ACL_TYPES}
+    pool_names = {s.name for s in config if s.stype in _POOL_TYPES}
+    vlan_ids: set[str] = set()
+    for stanza in config:
+        if stanza.stype in _VLAN_TYPES:
+            ids = stanza.attr("vlan_id")
+            vlan_ids.update(ids if ids else (stanza.name,))
+
+    referenced_vlans: set[str] = set()
+    for stanza in config:
+        for ref in stanza.attr("acl_refs"):
+            if ref not in acl_names:
+                findings.append(LintFinding(
+                    LintRule.DANGLING_ACL_REF, device, str(stanza.key),
+                    f"references undefined ACL {ref!r}",
+                ))
+        for ref in stanza.attr("vlan_refs"):
+            referenced_vlans.add(ref)
+            if ref not in vlan_ids:
+                findings.append(LintFinding(
+                    LintRule.DANGLING_VLAN_REF, device, str(stanza.key),
+                    f"references undefined VLAN {ref!r}",
+                ))
+        for ref in stanza.attr("pool_refs"):
+            if ref not in pool_names:
+                findings.append(LintFinding(
+                    LintRule.DANGLING_POOL_REF, device, str(stanza.key),
+                    f"references undefined pool {ref!r}",
+                ))
+        if stanza.stype in _INTERFACE_TYPES:
+            lines = " ".join(stanza.lines)
+            is_down = " shutdown" in f" {lines}" or " disable" in f" {lines}"
+            if is_down and (stanza.attr("addresses")
+                            or stanza.attr("vlan_refs")):
+                findings.append(LintFinding(
+                    LintRule.SHUTDOWN_WITH_CONFIG, device, str(stanza.key),
+                    "shut down but still configured",
+                ))
+
+    # per-device orphan vlans: defined but not referenced by any interface
+    # (junos membership lives in the vlan stanza itself -> interface_refs)
+    for stanza in config:
+        if stanza.stype in _VLAN_TYPES:
+            ids = set(stanza.attr("vlan_id")) or {stanza.name}
+            attached = bool(stanza.attr("interface_refs"))
+            if not attached and not (ids & referenced_vlans):
+                findings.append(LintFinding(
+                    LintRule.ORPHAN_VLAN, device, str(stanza.key),
+                    "defined but attached to no interface on this device",
+                ))
+    return findings
+
+
+def lint_network(configs: Mapping[str, DeviceConfig]) -> list[LintFinding]:
+    """Findings across a network's devices (simple concatenation)."""
+    findings: list[LintFinding] = []
+    for config in configs.values():
+        findings.extend(lint_device(config))
+    return findings
+
+
+def hygiene_score(configs: Mapping[str, DeviceConfig]) -> float:
+    """1.0 = no findings; decreases with findings per device."""
+    if not configs:
+        return 1.0
+    per_device = len(lint_network(configs)) / len(configs)
+    return 1.0 / (1.0 + per_device)

@@ -1,0 +1,145 @@
+"""Vendor-agnostic change-type normalization (paper Section 2.2).
+
+Type names differ between vendors — an ACL is an ``ip access-list`` stanza
+in the IOS dialect but a ``firewall filter`` stanza in the JunOS dialect.
+The paper addresses this by manually mapping native types that serve the
+same purpose onto a vendor-agnostic identifier; this module is that map.
+
+Note the deliberate *limitation* preserved from the paper: assigning an
+interface to a VLAN is typed ``interface`` on IOS (the option lives in the
+interface stanza) but ``vlan`` on JunOS (the interface ref lives in the
+vlan stanza). Normalization operates on stanza types, not change intents,
+so this asymmetry survives — exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownVendorError
+
+#: The universe of vendor-agnostic stanza types.
+VENDOR_AGNOSTIC_TYPES = (
+    "system",
+    "interface",
+    "vlan",
+    "acl",
+    "router",
+    "static_route",
+    "user",
+    "snmp",
+    "ntp",
+    "logging",
+    "sflow",
+    "stp",
+    "udld",
+    "dhcp_relay",
+    "qos",
+    "pool",
+    "vip",
+    "aaa",
+    "banner",
+    "lag",
+    "vrrp",
+)
+
+_IOS_MAP: dict[str, str] = {
+    "hostname": "system",
+    "version": "system",
+    "interface": "interface",
+    "vlan": "vlan",
+    "ip access-list": "acl",
+    "router bgp": "router",
+    "router ospf": "router",
+    "ip route": "static_route",
+    "username": "user",
+    "snmp-server": "snmp",
+    "ntp": "ntp",
+    "logging": "logging",
+    "sflow": "sflow",
+    "spanning-tree": "stp",
+    "udld": "udld",
+    "ip dhcp-relay": "dhcp_relay",
+    "qos policy": "qos",
+    "slb pool": "pool",
+    "slb vip": "vip",
+    "aaa": "aaa",
+    "banner": "banner",
+    "port-channel": "lag",
+    "vrrp": "vrrp",
+}
+
+_JUNOS_MAP: dict[str, str] = {
+    "system": "system",
+    "interfaces": "interface",
+    "vlans": "vlan",
+    "firewall filter": "acl",
+    "protocols bgp": "router",
+    "protocols ospf": "router",
+    "routing-options static": "static_route",
+    "system login user": "user",
+    "snmp": "snmp",
+    "system ntp": "ntp",
+    "system syslog": "logging",
+    "protocols sflow": "sflow",
+    "protocols rstp": "stp",
+    "protocols udld": "udld",
+    "forwarding-options dhcp-relay": "dhcp_relay",
+    "class-of-service": "qos",
+    "lb pool": "pool",
+    "lb virtual-server": "vip",
+    "protocols lacp": "lag",
+    "protocols vrrp": "vrrp",
+}
+
+_EOS_MAP: dict[str, str] = {
+    "hostname": "system",
+    "version": "system",
+    "interface": "interface",
+    "vlan": "vlan",
+    "ip access-list": "acl",
+    "router bgp": "router",
+    "router ospf": "router",
+    "ip route": "static_route",
+    "username": "user",
+    "snmp-server": "snmp",
+    "ntp": "ntp",
+    "logging": "logging",
+    "sflow": "sflow",
+    "spanning-tree": "stp",
+    "policy-map": "qos",
+    "aaa": "aaa",
+    "banner": "banner",
+    "vrrp": "vrrp",
+    # NOTE: EOS has no dhcp_relay / lag / pool / vip stanza types — relay
+    # renders inside interfaces (typed ``interface``), LAG membership via
+    # channel-group (also ``interface``), and there is no LB syntax.
+}
+
+_MAPS: dict[str, dict[str, str]] = {
+    "ios": _IOS_MAP,
+    "junos": _JUNOS_MAP,
+    "eos": _EOS_MAP,
+}
+
+#: Routing-protocol native types, used to sub-type ``router`` changes.
+ROUTER_SUBTYPES: dict[tuple[str, str], str] = {
+    ("ios", "router bgp"): "bgp",
+    ("ios", "router ospf"): "ospf",
+    ("junos", "protocols bgp"): "bgp",
+    ("junos", "protocols ospf"): "ospf",
+    ("eos", "router bgp"): "bgp",
+    ("eos", "router ospf"): "ospf",
+}
+
+
+def normalize_type(dialect: str, native_type: str) -> str:
+    """Map a native stanza type to its vendor-agnostic identifier.
+
+    Unmapped native types fall back to the native name prefixed with the
+    dialect (the paper keeps ~480 distinct raw types; we keep unknown ones
+    distinguishable rather than dropping them).
+    """
+    try:
+        mapping = _MAPS[dialect]
+    except KeyError:
+        raise UnknownVendorError(dialect) from None
+    return mapping.get(native_type, f"{dialect}:{native_type}")

@@ -1,0 +1,114 @@
+"""Data/control-plane construct enumeration (paper Table 1 line D4).
+
+Given parsed configurations, enumerates which logical constructs a device
+or network uses (VLANs, spanning tree, link aggregation, UDLD, DHCP relay,
+VRRP for layer 2; BGP, OSPF, static routes for layer 3) and how many
+instances of each are configured (e.g. number of VLANs) — feeding the
+protocol-usage characterization of Figure 11(b-c).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.confparse.normalize import normalize_type
+from repro.confparse.stanza import DeviceConfig
+
+#: Vendor-agnostic types counted as layer-2 constructs (Section A.1 lists
+#: "VLAN, spanning tree, link aggregation, UDLD, DHCP relay, etc.").
+L2_CONSTRUCTS = frozenset({"vlan", "stp", "lag", "udld", "dhcp_relay", "vrrp"})
+
+#: Layer-3 (control-plane) constructs: routing protocols + static routing.
+L3_CONSTRUCTS = frozenset({"bgp", "ospf", "static_route"})
+
+
+def device_construct_counts(config: DeviceConfig) -> Counter:
+    """Instance counts per construct for one device.
+
+    ``router`` stanzas are sub-typed into ``bgp``/``ospf`` via the native
+    type so that protocol usage can be reported per protocol.
+    """
+    counts: Counter = Counter()
+    for stanza in config:
+        agnostic = normalize_type(config.dialect, stanza.stype)
+        if agnostic == "router":
+            if "bgp" in stanza.stype:
+                counts["bgp"] += max(1, len(stanza.attr("bgp_neighbors")))
+            elif "ospf" in stanza.stype:
+                counts["ospf"] += max(1, len(stanza.attr("ospf_areas")))
+        else:
+            counts[agnostic] += 1
+    return counts
+
+
+def network_construct_counts(configs: Mapping[str, DeviceConfig]) -> Counter:
+    """Construct usage for a network.
+
+    For identity-bearing constructs (VLANs) the count is the number of
+    *distinct* instances across devices (a VLAN spanning five switches is
+    one VLAN); for the rest it is presence-weighted per device.
+    """
+    counts: Counter = Counter()
+    distinct_vlans: set[str] = set()
+    for config in configs.values():
+        for stanza in config:
+            agnostic = normalize_type(config.dialect, stanza.stype)
+            if agnostic == "vlan":
+                ids = stanza.attr("vlan_id")
+                distinct_vlans.update(ids if ids else (stanza.name,))
+            elif agnostic == "router":
+                if "bgp" in stanza.stype:
+                    counts["bgp"] += 1
+                elif "ospf" in stanza.stype:
+                    counts["ospf"] += 1
+            else:
+                counts[agnostic] += 1
+    if distinct_vlans:
+        counts["vlan"] = len(distinct_vlans)
+    return counts
+
+
+def protocols_used(configs: Mapping[str, DeviceConfig]) -> dict[str, set[str]]:
+    """The L2 and L3 construct *types* present in a network."""
+    counts = network_construct_counts(configs)
+    present = {construct for construct, count in counts.items() if count > 0}
+    return {
+        "l2": present & L2_CONSTRUCTS,
+        "l3": present & L3_CONSTRUCTS,
+    }
+
+
+def count_protocols(configs: Mapping[str, DeviceConfig]) -> tuple[int, int]:
+    """(number of L2 constructs, number of L3 constructs) used."""
+    used = protocols_used(configs)
+    return len(used["l2"]), len(used["l3"])
+
+
+def distinct_vlan_ids(configs: Mapping[str, DeviceConfig]) -> set[str]:
+    """All distinct VLAN ids configured anywhere in the network."""
+    vlans: set[str] = set()
+    for config in configs.values():
+        for stanza in config:
+            if normalize_type(config.dialect, stanza.stype) == "vlan":
+                ids = stanza.attr("vlan_id")
+                vlans.update(ids if ids else (stanza.name,))
+    return vlans
+
+
+def firmware_versions(configs: Iterable[DeviceConfig]) -> set[str]:
+    """Firmware versions parsed out of ``version`` lines (IOS) or
+    ``system`` stanzas (JunOS)."""
+    versions: set[str] = set()
+    for config in configs:
+        for stanza in config:
+            if stanza.stype == "version" and len(stanza.lines) > 0:
+                tokens = stanza.lines[0].split()
+                if len(tokens) > 1:
+                    versions.add(tokens[1])
+            elif stanza.stype == "system":
+                for line in stanza.lines:
+                    tokens = line.split()
+                    if tokens[:1] == ["version"] and len(tokens) > 1:
+                        versions.add(tokens[1])
+    return versions

@@ -1,0 +1,143 @@
+"""Referential-complexity metrics (paper Table 1 line D6; Benson et al.).
+
+*Intra-device* references are links from one stanza to another stanza of
+the same device: an interface referencing a VLAN id, an ACL name, or a
+LAG group; a VIP referencing a pool; a VLAN referencing member interfaces.
+
+*Inter-device* references are links between devices of the same network:
+a BGP neighbor statement naming another device's interface address, and
+VLAN ids configured on multiple devices (each co-occurrence of a VLAN on
+a device pair is one reference, as shared VLANs couple those configs).
+
+Both are reported as per-device means for a network, matching the paper's
+"average number of inter- and intra-device configuration references".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+
+from repro.confparse.stanza import DeviceConfig
+
+
+def count_intra_device_references(config: DeviceConfig) -> int:
+    """Number of stanza-to-stanza references within one device config.
+
+    Only references whose *target stanza exists* are counted — a dangling
+    ACL name on an interface is a misconfiguration, not complexity coupling.
+    """
+    vlan_ids = set()
+    acl_names = set()
+    pool_names = set()
+    lag_names = set()
+    interface_names = set()
+    for stanza in config:
+        if stanza.stype in ("vlan", "vlans"):
+            vlan_ids.update(stanza.attr("vlan_id"))
+        elif stanza.stype in ("ip access-list", "firewall filter"):
+            acl_names.add(stanza.name)
+        elif stanza.stype in ("slb pool", "lb pool"):
+            pool_names.add(stanza.name)
+        elif stanza.stype in ("port-channel",):
+            lag_names.add(stanza.name)
+        elif stanza.stype in ("interface", "interfaces"):
+            interface_names.add(stanza.name)
+
+    count = 0
+    for stanza in config:
+        count += sum(1 for ref in stanza.attr("vlan_refs") if ref in vlan_ids)
+        count += sum(1 for ref in stanza.attr("acl_refs") if ref in acl_names)
+        count += sum(1 for ref in stanza.attr("pool_refs") if ref in pool_names)
+        count += sum(1 for ref in stanza.attr("lag_refs") if ref in lag_names)
+        count += sum(
+            1 for ref in stanza.attr("interface_refs") if ref in interface_names
+        )
+    return count
+
+
+def _device_addresses(config: DeviceConfig) -> set[str]:
+    """All interface IP addresses (without prefix length) of a device."""
+    addresses: set[str] = set()
+    for stanza in config:
+        for cidr in stanza.attr("addresses"):
+            addresses.add(cidr.split("/")[0])
+    return addresses
+
+
+def _device_vlan_ids(config: DeviceConfig) -> set[str]:
+    vlan_ids: set[str] = set()
+    for stanza in config:
+        vlan_ids.update(stanza.attr("vlan_id"))
+    return vlan_ids
+
+
+def _device_bgp_neighbors(config: DeviceConfig) -> set[str]:
+    neighbors: set[str] = set()
+    for stanza in config:
+        neighbors.update(stanza.attr("bgp_neighbors"))
+    return neighbors
+
+
+def count_inter_device_references(
+    configs: Mapping[str, DeviceConfig],
+) -> int:
+    """Number of cross-device references within one network.
+
+    Args:
+        configs: device id -> parsed config, all from the same network.
+    """
+    return inter_refs_from_summaries(
+        addresses={d: sorted(_device_addresses(c)) for d, c in configs.items()},
+        bgp_neighbors={d: _device_bgp_neighbors(c) for d, c in configs.items()},
+        vlan_ids={d: _device_vlan_ids(c) for d, c in configs.items()},
+    )
+
+
+def inter_refs_from_summaries(
+    addresses: Mapping[str, list[str]],
+    bgp_neighbors: Mapping[str, set[str]],
+    vlan_ids: Mapping[str, set[str]],
+) -> int:
+    """Inter-device reference count from pre-extracted per-device summaries.
+
+    ``addresses`` values may be CIDRs (``a.b.c.d/len``) or bare addresses.
+    """
+    address_owner: dict[str, str] = {}
+    for device_id, addrs in addresses.items():
+        for addr in addrs:
+            address_owner[addr.split("/")[0]] = device_id
+
+    count = 0
+    # BGP neighbor statements that point at another device of the network.
+    for device_id, neighbors in bgp_neighbors.items():
+        for neighbor_ip in neighbors:
+            owner = address_owner.get(neighbor_ip)
+            if owner is not None and owner != device_id:
+                count += 1
+
+    # Shared VLANs: each (vlan, device pair) co-occurrence is one reference.
+    vlan_devices: dict[str, list[str]] = defaultdict(list)
+    for device_id, ids in vlan_ids.items():
+        for vlan_id in ids:
+            vlan_devices[vlan_id].append(device_id)
+    for devices in vlan_devices.values():
+        n = len(devices)
+        count += n * (n - 1) // 2
+
+    return count
+
+
+def mean_intra_device_references(configs: Mapping[str, DeviceConfig]) -> float:
+    """Network-level intra-device complexity: mean references per device."""
+    if not configs:
+        return 0.0
+    total = sum(count_intra_device_references(c) for c in configs.values())
+    return total / len(configs)
+
+
+def mean_inter_device_references(configs: Mapping[str, DeviceConfig]) -> float:
+    """Network-level inter-device complexity: references per device."""
+    if not configs:
+        return 0.0
+    return count_inter_device_references(configs) / len(configs)

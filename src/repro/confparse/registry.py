@@ -1,0 +1,40 @@
+"""Dialect registry: dispatch config text to the right parser."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.confparse import eos, ios, junos
+from repro.confparse.stanza import DeviceConfig
+from repro.errors import UnknownVendorError
+
+_PARSERS: dict[str, Callable[[str], DeviceConfig]] = {
+    "ios": ios.parse,
+    "junos": junos.parse,
+    "eos": eos.parse,
+}
+
+
+def available_dialects() -> tuple[str, ...]:
+    """Dialects with a registered parser."""
+    return tuple(sorted(_PARSERS))
+
+
+def parse_config(text: str, dialect: str) -> DeviceConfig:
+    """Parse ``text`` using the named dialect's parser.
+
+    Raises :class:`~repro.errors.UnknownVendorError` for unknown dialects
+    and :class:`~repro.errors.ConfigParseError` for malformed text.
+    """
+    try:
+        parser = _PARSERS[dialect]
+    except KeyError:
+        raise UnknownVendorError(dialect) from None
+    return parser(text)
+
+
+def register_dialect(name: str, parser: Callable[[str], DeviceConfig]) -> None:
+    """Register an additional dialect parser (extension point)."""
+    if name in _PARSERS:
+        raise ValueError(f"dialect {name!r} already registered")
+    _PARSERS[name] = parser

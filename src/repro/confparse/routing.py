@@ -1,0 +1,160 @@
+"""Routing-instance extraction (paper Table 1 line D5; Benson et al. [5]).
+
+A *routing instance* is a collection of routing processes of the same type
+(e.g. OSPF processes) on different devices that are in the transitive
+closure of the "adjacent-to" relationship. Adjacency rules:
+
+* **BGP**: device A's BGP process is adjacent to device B's when A lists
+  one of B's interface addresses as a neighbor (or vice versa).
+* **OSPF**: two OSPF processes are adjacent when they share an area id and
+  the devices have interface addresses in a common subnet.
+
+Connected components of the adjacency graph (networkx) are the instances.
+Isolated processes form singleton instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+import networkx as nx
+
+from repro.confparse.stanza import DeviceConfig
+from repro.util.ipaddr import same_subnet
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingInstance:
+    """One extracted routing instance."""
+
+    protocol: str  # "bgp" or "ospf"
+    members: frozenset[str]  # device ids participating
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingProfile:
+    """All routing instances of a network plus summary statistics."""
+
+    instances: tuple[RoutingInstance, ...]
+
+    def of_protocol(self, protocol: str) -> tuple[RoutingInstance, ...]:
+        return tuple(i for i in self.instances if i.protocol == protocol)
+
+    def count(self, protocol: str) -> int:
+        return len(self.of_protocol(protocol))
+
+    def mean_size(self, protocol: str) -> float:
+        instances = self.of_protocol(protocol)
+        if not instances:
+            return 0.0
+        return sum(i.size for i in instances) / len(instances)
+
+
+def _bgp_devices(configs: Mapping[str, DeviceConfig]) -> dict[str, set[str]]:
+    """Device -> set of BGP neighbor IPs, for devices running BGP."""
+    result: dict[str, set[str]] = {}
+    for device_id, config in configs.items():
+        neighbors: set[str] = set()
+        has_bgp = False
+        for stanza in config:
+            if stanza.stype in ("router bgp", "protocols bgp"):
+                has_bgp = True
+                neighbors.update(stanza.attr("bgp_neighbors"))
+        if has_bgp:
+            result[device_id] = neighbors
+    return result
+
+
+def _ospf_devices(configs: Mapping[str, DeviceConfig]) -> dict[str, set[str]]:
+    """Device -> set of OSPF area ids, for devices running OSPF."""
+    result: dict[str, set[str]] = {}
+    for device_id, config in configs.items():
+        areas: set[str] = set()
+        has_ospf = False
+        for stanza in config:
+            if stanza.stype in ("router ospf", "protocols ospf"):
+                has_ospf = True
+                areas.update(stanza.attr("ospf_areas"))
+        if has_ospf:
+            result[device_id] = areas
+    return result
+
+
+def _interface_addresses(config: DeviceConfig) -> list[str]:
+    addresses: list[str] = []
+    for stanza in config:
+        addresses.extend(stanza.attr("addresses"))
+    return addresses
+
+
+def extract_routing_instances(
+    configs: Mapping[str, DeviceConfig],
+) -> RoutingProfile:
+    """Extract BGP and OSPF routing instances from one network's configs."""
+    addresses = {
+        device_id: _interface_addresses(config)
+        for device_id, config in configs.items()
+    }
+    return instances_from_summaries(
+        bgp_neighbors=_bgp_devices(configs),
+        ospf_areas=_ospf_devices(configs),
+        addresses=addresses,
+    )
+
+
+def instances_from_summaries(
+    bgp_neighbors: Mapping[str, set[str]],
+    ospf_areas: Mapping[str, set[str]],
+    addresses: Mapping[str, list[str]],
+) -> RoutingProfile:
+    """Routing instances from pre-extracted per-device summaries.
+
+    Args:
+        bgp_neighbors: device id -> neighbor IPs, for BGP-speaking devices.
+        ospf_areas: device id -> area ids, for OSPF-speaking devices.
+        addresses: device id -> interface CIDRs, for **all** devices.
+    """
+    instances: list[RoutingInstance] = []
+
+    if bgp_neighbors:
+        address_owner: dict[str, str] = {}
+        for device_id, cidrs in addresses.items():
+            for cidr in cidrs:
+                address_owner[cidr.split("/")[0]] = device_id
+        graph = nx.Graph()
+        graph.add_nodes_from(bgp_neighbors)
+        for device_id, neighbor_ips in bgp_neighbors.items():
+            for ip in neighbor_ips:
+                owner = address_owner.get(ip)
+                if (owner is not None and owner != device_id
+                        and owner in bgp_neighbors):
+                    graph.add_edge(device_id, owner)
+        for component in nx.connected_components(graph):
+            instances.append(RoutingInstance("bgp", frozenset(component)))
+
+    if ospf_areas:
+        graph = nx.Graph()
+        graph.add_nodes_from(ospf_areas)
+        device_ids = sorted(ospf_areas)
+        for i, dev_a in enumerate(device_ids):
+            for dev_b in device_ids[i + 1:]:
+                if not (ospf_areas[dev_a] & ospf_areas[dev_b]):
+                    continue
+                if _share_subnet(addresses.get(dev_a, []),
+                                 addresses.get(dev_b, [])):
+                    graph.add_edge(dev_a, dev_b)
+        for component in nx.connected_components(graph):
+            instances.append(RoutingInstance("ospf", frozenset(component)))
+
+    return RoutingProfile(instances=tuple(instances))
+
+
+def _share_subnet(addrs_a: list[str], addrs_b: list[str]) -> bool:
+    return any(
+        same_subnet(a, b) for a in addrs_a for b in addrs_b
+    )

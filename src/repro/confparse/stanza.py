@@ -1,0 +1,115 @@
+"""Vendor-agnostic parsed-configuration model.
+
+A parsed device configuration is a collection of *stanzas*. A stanza is
+identified by a ``(type, name)`` pair — e.g. ``("interface", "TenGig0/1")``
+— and carries its option lines plus any typed attributes the dialect parser
+extracted (addresses, referenced names, process ids, ...). This mirrors the
+paper's change-typing model: "a stanza is identified by a type and a name"
+(Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class StanzaKey:
+    """Identity of a stanza within one device configuration."""
+
+    stype: str  # native (vendor-specific) stanza type
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.stype}[{self.name}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Stanza:
+    """One parsed configuration stanza.
+
+    Attributes:
+        key: the ``(type, name)`` identity.
+        lines: normalized option lines (whitespace-collapsed, order kept).
+        attributes: typed values extracted by the dialect parser. Keys used
+            by downstream analyses include:
+
+            * ``"vlan_refs"``: VLAN ids this stanza references,
+            * ``"acl_refs"``: ACL/filter names referenced,
+            * ``"pool_refs"``: load-balancer pool names referenced,
+            * ``"interface_refs"``: interface names referenced,
+            * ``"addresses"``: interface IP addresses (``a.b.c.d/len``),
+            * ``"bgp_neighbors"``: neighbor IP addresses,
+            * ``"bgp_asn"`` / ``"bgp_peer_asns"``: local and peer AS numbers,
+            * ``"ospf_areas"``: OSPF area ids,
+            * ``"vlan_id"``: a VLAN stanza's id.
+    """
+
+    key: StanzaKey
+    lines: tuple[str, ...] = ()
+    attributes: Mapping[str, tuple] = field(default_factory=dict)
+
+    @property
+    def stype(self) -> str:
+        return self.key.stype
+
+    @property
+    def name(self) -> str:
+        return self.key.name
+
+    def attr(self, key: str) -> tuple:
+        """Attribute tuple, empty when the parser extracted none."""
+        return tuple(self.attributes.get(key, ()))
+
+    def body_fingerprint(self) -> tuple[str, ...]:
+        """Content identity used for change detection (lines as-is)."""
+        return self.lines
+
+
+class DeviceConfig:
+    """A fully parsed device configuration."""
+
+    def __init__(self, hostname: str, dialect: str,
+                 stanzas: Iterable[Stanza]) -> None:
+        self.hostname = hostname
+        self.dialect = dialect
+        self._stanzas: dict[StanzaKey, Stanza] = {}
+        for stanza in stanzas:
+            if stanza.key in self._stanzas:
+                raise ValueError(f"duplicate stanza {stanza.key} in {hostname}")
+            self._stanzas[stanza.key] = stanza
+
+    def __len__(self) -> int:
+        return len(self._stanzas)
+
+    def __iter__(self):
+        return iter(self._stanzas.values())
+
+    def __contains__(self, key: StanzaKey) -> bool:
+        return key in self._stanzas
+
+    @property
+    def stanzas(self) -> dict[StanzaKey, Stanza]:
+        return dict(self._stanzas)
+
+    def get(self, key: StanzaKey) -> Stanza | None:
+        return self._stanzas.get(key)
+
+    def of_type(self, stype: str) -> list[Stanza]:
+        """All stanzas with the given *native* type."""
+        return [s for s in self._stanzas.values() if s.stype == stype]
+
+    def first_of_type(self, stype: str) -> Stanza | None:
+        for stanza in self._stanzas.values():
+            if stanza.stype == stype:
+                return stanza
+        return None
+
+    def keys(self) -> set[StanzaKey]:
+        return set(self._stanzas)
+
+
+def collapse_whitespace(line: str) -> str:
+    """Normalize a config line: strip and collapse internal whitespace."""
+    return " ".join(line.split())

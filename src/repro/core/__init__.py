@@ -1,0 +1,39 @@
+"""The MPA framework facade: the paper's primary contribution, assembled."""
+
+from repro.core.mpa import MPA
+from repro.core.prediction import (
+    HealthClassScheme,
+    TWO_CLASS,
+    FIVE_CLASS,
+    OrganizationModel,
+    evaluate_model,
+    health_classes,
+)
+from repro.core.online import online_prediction_accuracy
+from repro.core.workspace import Workspace
+from repro.core.whatif import (
+    Adjustment,
+    AdjustmentKind,
+    Scenario,
+    ScenarioOutcome,
+    evaluate_scenario,
+    PREBUILT_SCENARIOS,
+)
+
+__all__ = [
+    "MPA",
+    "HealthClassScheme",
+    "TWO_CLASS",
+    "FIVE_CLASS",
+    "OrganizationModel",
+    "evaluate_model",
+    "health_classes",
+    "online_prediction_accuracy",
+    "Workspace",
+    "Adjustment",
+    "AdjustmentKind",
+    "Scenario",
+    "ScenarioOutcome",
+    "evaluate_scenario",
+    "PREBUILT_SCENARIOS",
+]

@@ -1,0 +1,171 @@
+"""Characterization of management practices (paper Section 3.2 + Appendix A).
+
+Computes the distributions behind Figures 11 (design practices),
+12 (operational practices), and 13 (change events) from the inferred
+metric table and raw change records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.dataset import MetricDataset
+from repro.metrics.events import group_change_events
+from repro.types import ChangeModality, ChangeRecord
+from repro.util.stats import pearson_correlation
+
+
+def network_level(dataset: MetricDataset, metric: str,
+                  aggregate: str = "mean") -> np.ndarray:
+    """Collapse a per-case metric to one value per network."""
+    column = dataset.column(metric)
+    networks = np.asarray(dataset.case_networks)
+    values = []
+    for network in np.unique(networks):
+        mask = networks == network
+        if aggregate == "mean":
+            values.append(float(column[mask].mean()))
+        elif aggregate == "max":
+            values.append(float(column[mask].max()))
+        elif aggregate == "last":
+            values.append(float(column[mask][-1]))
+        else:
+            raise ValueError(f"unknown aggregate {aggregate!r}")
+    return np.asarray(values)
+
+
+@dataclass(frozen=True, slots=True)
+class DesignCharacterization:
+    """Per-network design-practice distributions (Figure 11)."""
+
+    hardware_entropy: np.ndarray
+    firmware_entropy: np.ndarray
+    n_l2_protocols: np.ndarray
+    n_l3_protocols: np.ndarray
+    n_protocols: np.ndarray
+    n_vlans: np.ndarray
+    intra_complexity: np.ndarray
+    inter_complexity: np.ndarray
+    n_bgp_instances: np.ndarray
+    n_ospf_instances: np.ndarray
+
+
+def characterize_design(dataset: MetricDataset) -> DesignCharacterization:
+    """Per-network design distributions behind Figure 11."""
+    return DesignCharacterization(
+        hardware_entropy=network_level(dataset, "hardware_entropy"),
+        firmware_entropy=network_level(dataset, "firmware_entropy"),
+        n_l2_protocols=network_level(dataset, "n_l2_protocols", "last"),
+        n_l3_protocols=network_level(dataset, "n_l3_protocols", "last"),
+        n_protocols=(network_level(dataset, "n_l2_protocols", "last")
+                     + network_level(dataset, "n_l3_protocols", "last")),
+        n_vlans=network_level(dataset, "n_vlans", "last"),
+        intra_complexity=network_level(dataset, "intra_device_complexity"),
+        inter_complexity=network_level(dataset, "inter_device_complexity"),
+        n_bgp_instances=network_level(dataset, "n_bgp_instances", "last"),
+        n_ospf_instances=network_level(dataset, "n_ospf_instances", "last"),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OperationalCharacterization:
+    """Per-network operational-practice distributions (Figures 12/13)."""
+
+    avg_changes_per_month: np.ndarray
+    n_devices: np.ndarray
+    size_change_correlation: float
+    frac_devices_changed_month: np.ndarray
+    frac_devices_changed_year: np.ndarray
+    #: change-type -> per-network fraction of changes touching that type
+    type_fractions: dict[str, np.ndarray]
+    frac_changes_automated: np.ndarray
+    automation_change_correlation: float
+    avg_events_per_month: np.ndarray
+    mean_devices_per_event: np.ndarray
+    frac_events_mbox: np.ndarray
+
+
+_FIG12C_TYPES = ("interface", "pool", "acl", "user", "router")
+
+
+def characterize_operational(dataset: MetricDataset,
+                             changes: dict[str, list[ChangeRecord]],
+                             n_months: int,
+                             ) -> OperationalCharacterization:
+    """Per-network operational distributions behind Figures 12-13."""
+    avg_changes = network_level(dataset, "n_config_changes")
+    n_devices = network_level(dataset, "n_devices", "last")
+    frac_month = network_level(dataset, "frac_devices_changed")
+    frac_auto = network_level(dataset, "frac_changes_automated")
+    avg_events = network_level(dataset, "n_change_events")
+    frac_mbox = network_level(dataset, "frac_events_mbox")
+
+    networks = sorted(changes)
+    frac_year: list[float] = []
+    type_fracs: dict[str, list[float]] = {t: [] for t in _FIG12C_TYPES}
+    dpe: list[float] = []
+    device_counts = {
+        network: count for network, count in zip(
+            np.unique(np.asarray(dataset.case_networks)),
+            network_level(dataset, "n_devices", "last"),
+        )
+    }
+    for network in networks:
+        records = changes[network]
+        total_devices = max(int(device_counts.get(network, 1)), 1)
+        # devices changed across a 12-month (or full-period) window
+        window = 12 * 43200
+        changed = {r.device_id for r in records if r.timestamp < window}
+        frac_year.append(len(changed) / total_devices)
+        n_changes = len(records)
+        counts: Counter = Counter()
+        for record in records:
+            for stype in set(record.stanza_types):
+                counts[stype] += 1
+        for stype in _FIG12C_TYPES:
+            type_fracs[stype].append(
+                counts.get(stype, 0) / n_changes if n_changes else 0.0
+            )
+        events = group_change_events(records) if records else []
+        if events:
+            dpe.append(float(np.mean([e.num_devices for e in events])))
+        else:
+            dpe.append(0.0)
+
+    return OperationalCharacterization(
+        avg_changes_per_month=avg_changes,
+        n_devices=n_devices,
+        size_change_correlation=pearson_correlation(
+            n_devices.tolist(), avg_changes.tolist()
+        ),
+        frac_devices_changed_month=frac_month,
+        frac_devices_changed_year=np.asarray(frac_year),
+        type_fractions={t: np.asarray(v) for t, v in type_fracs.items()},
+        frac_changes_automated=frac_auto,
+        automation_change_correlation=pearson_correlation(
+            frac_auto.tolist(), avg_changes.tolist()
+        ),
+        avg_events_per_month=avg_events,
+        mean_devices_per_event=np.asarray(dpe),
+        frac_events_mbox=frac_mbox,
+    )
+
+
+def automation_by_type(changes: dict[str, list[ChangeRecord]],
+                       ) -> dict[str, float]:
+    """Fraction of changes of each type that were automated (Section A.2)."""
+    automated: Counter = Counter()
+    total: Counter = Counter()
+    for records in changes.values():
+        for record in records:
+            for stype in set(record.stanza_types):
+                total[stype] += 1
+                if record.modality is ChangeModality.AUTOMATED:
+                    automated[stype] += 1
+    return {
+        stype: automated[stype] / count
+        for stype, count in total.items() if count >= 20
+    }

@@ -1,0 +1,114 @@
+"""Practice-drift detection (operationalizing Section 4's monitoring goal).
+
+The paper's second MPA goal lets operators "closely monitor networks that
+are predicted to have more problems". A natural companion signal is
+*practice drift*: a network whose operational metrics suddenly deviate
+from its own history is changing behaviour — often before the tickets
+arrive. This module flags (network, month) cases whose metric values sit
+far outside the network's trailing distribution (robust z-score on
+median/MAD), and summarizes which metrics drift most across the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.catalog import metric_names
+from repro.metrics.dataset import MetricDataset
+
+#: Metrics monitored for drift by default: the operational ones (design
+#: metrics are quasi-static, so their drift is almost always a real
+#: redesign rather than noise — still detectable by passing them in).
+DEFAULT_DRIFT_METRICS = tuple(metric_names("operational"))
+
+
+@dataclass(frozen=True, slots=True)
+class DriftFinding:
+    """One network-month metric that deviates from the network's history."""
+
+    network_id: str
+    month_index: int
+    metric: str
+    value: float
+    baseline_median: float
+    robust_z: float
+
+    @property
+    def direction(self) -> str:
+        return "up" if self.value > self.baseline_median else "down"
+
+
+def _robust_z(value: float, history: np.ndarray) -> tuple[float, float]:
+    median = float(np.median(history))
+    mad = float(np.median(np.abs(history - median)))
+    scale = 1.4826 * mad  # MAD -> sigma under normality
+    if scale == 0:
+        spread = history.std()
+        scale = spread if spread > 0 else 1.0
+    return (value - median) / scale, median
+
+
+def detect_drift(dataset: MetricDataset, threshold: float = 3.5,
+                 min_history: int = 3,
+                 metrics: tuple[str, ...] = DEFAULT_DRIFT_METRICS,
+                 ) -> list[DriftFinding]:
+    """Flag metric values deviating > ``threshold`` robust z-scores from
+    the network's own trailing months.
+
+    Only months with at least ``min_history`` prior months are evaluated;
+    3.5 is the conventional robust-outlier cut (Iglewicz & Hoaglin).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if min_history < 2:
+        raise ValueError("need at least 2 history months")
+    networks = np.asarray(dataset.case_networks)
+    months = np.asarray(dataset.case_month_indices)
+    findings: list[DriftFinding] = []
+    for network in np.unique(networks):
+        mask = networks == network
+        order = np.argsort(months[mask])
+        rows = np.flatnonzero(mask)[order]
+        for metric in metrics:
+            column = dataset.column(metric)[rows]
+            for position in range(min_history, len(rows)):
+                history = column[:position]
+                z, median = _robust_z(float(column[position]), history)
+                if abs(z) > threshold:
+                    findings.append(DriftFinding(
+                        network_id=str(network),
+                        month_index=int(months[rows[position]]),
+                        metric=metric,
+                        value=float(column[position]),
+                        baseline_median=median,
+                        robust_z=float(z),
+                    ))
+    findings.sort(key=lambda f: -abs(f.robust_z))
+    return findings
+
+
+@dataclass(frozen=True, slots=True)
+class DriftSummary:
+    """Fleet-level drift digest."""
+
+    n_findings: int
+    n_networks_affected: int
+    #: metric -> finding count, most-drifting first
+    by_metric: tuple[tuple[str, int], ...]
+
+
+def summarize_drift(findings: list[DriftFinding]) -> DriftSummary:
+    """Aggregate findings into a fleet-level digest."""
+    counts: dict[str, int] = {}
+    networks: set[str] = set()
+    for finding in findings:
+        counts[finding.metric] = counts.get(finding.metric, 0) + 1
+        networks.add(finding.network_id)
+    ordered = tuple(sorted(counts.items(), key=lambda kv: -kv[1]))
+    return DriftSummary(
+        n_findings=len(findings),
+        n_networks_affected=len(networks),
+        by_metric=ordered,
+    )

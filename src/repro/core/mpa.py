@@ -1,0 +1,98 @@
+"""The MPA facade: the framework's public entry point.
+
+Wraps the full Section 4 workflow over an inferred metric table:
+
+* ``top_practices`` — Table 3: strongest statistical dependence (MI),
+* ``dependent_pairs`` — Table 4: strongest practice-pair CMI,
+* ``causal_analysis`` — Tables 5-8: QED with propensity matching,
+* ``build_model`` / ``evaluate`` — Section 6: predictive models,
+* ``predict_future`` — Table 9: rolling online prediction.
+
+>>> from repro.core import MPA
+>>> from repro.core.workspace import Workspace
+>>> mpa = MPA(Workspace.default("tiny").dataset())    # doctest: +SKIP
+>>> [r.practice for r in mpa.top_practices(3)]        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dependence import (
+    DependenceResult,
+    PairDependenceResult,
+    rank_practice_pairs_by_cmi,
+    rank_practices_by_mi,
+)
+from repro.analysis.qed.experiment import CausalExperiment, run_causal_analysis
+from repro.core.online import OnlineResult, online_prediction_accuracy
+from repro.core.prediction import (
+    HealthClassScheme,
+    OrganizationModel,
+    TWO_CLASS,
+    evaluate_model,
+)
+from repro.metrics.dataset import MetricDataset
+from repro.ml.model_eval import EvalReport
+
+
+class MPA:
+    """Management Plane Analytics over one organization's metric table."""
+
+    def __init__(self, dataset: MetricDataset) -> None:
+        if dataset.n_cases == 0:
+            raise ValueError("dataset has no cases")
+        self._dataset = dataset
+
+    @property
+    def dataset(self) -> MetricDataset:
+        return self._dataset
+
+    # -- goal 1: which practices impact health -------------------------------
+
+    def top_practices(self, k: int = 10) -> list[DependenceResult]:
+        """The k practices most statistically dependent with health."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        return rank_practices_by_mi(self._dataset)[:k]
+
+    def dependent_pairs(self, k: int = 10,
+                        practices: list[str] | None = None,
+                        ) -> list[PairDependenceResult]:
+        """The k practice pairs with the strongest CMI given health."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        return rank_practice_pairs_by_cmi(self._dataset,
+                                          practices=practices)[:k]
+
+    def causal_analysis(self, treatment: str, **kwargs) -> CausalExperiment:
+        """QED causal analysis of one treatment practice (Section 5.2)."""
+        return run_causal_analysis(self._dataset, treatment, **kwargs)
+
+    def causal_analyses(self, k: int = 10, **kwargs) -> list[CausalExperiment]:
+        """Causal analyses for the top-k MI practices (Tables 7/8)."""
+        return [
+            self.causal_analysis(result.practice, **kwargs)
+            for result in self.top_practices(k)
+        ]
+
+    # -- goal 2: predict health ------------------------------------------------
+
+    def build_model(self, scheme: HealthClassScheme = TWO_CLASS,
+                    variant: str = "dt+ab+os") -> OrganizationModel:
+        """Fit an organization model on all cases."""
+        return OrganizationModel(scheme=scheme, variant=variant).fit(
+            self._dataset
+        )
+
+    def evaluate(self, scheme: HealthClassScheme = TWO_CLASS,
+                 variant: str = "dt", k: int = 5, seed: int = 0) -> EvalReport:
+        """Cross-validated model quality (Section 6.1)."""
+        return evaluate_model(self._dataset, scheme=scheme, variant=variant,
+                              k=k, seed=seed)
+
+    def predict_future(self, history_months: int,
+                       scheme: HealthClassScheme = TWO_CLASS,
+                       variant: str = "dt+ab+os") -> OnlineResult:
+        """Rolling online prediction (Section 6.2, Table 9)."""
+        return online_prediction_accuracy(
+            self._dataset, history_months, scheme=scheme, variant=variant
+        )

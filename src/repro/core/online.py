@@ -1,0 +1,86 @@
+"""Online (rolling) health prediction (paper Section 6.2, Table 9).
+
+For each prediction month ``t``: train an organization model on the cases
+of months ``t-M .. t-1``, then predict each network's health class for
+month ``t`` from its month-``t`` practice metrics. The reported number is
+the accuracy averaged over all evaluated ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prediction import (
+    HealthClassScheme,
+    OrganizationModel,
+    TWO_CLASS,
+    health_classes,
+)
+from repro.errors import InsufficientDataError
+from repro.metrics.dataset import MetricDataset
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineResult:
+    """Rolling-prediction outcome for one history length M."""
+
+    history_months: int
+    monthly_accuracy: tuple[float, ...]
+    evaluated_months: tuple[int, ...]
+
+    @property
+    def mean_accuracy(self) -> float:
+        if not self.monthly_accuracy:
+            return float("nan")
+        return float(np.mean(self.monthly_accuracy))
+
+
+def online_prediction_accuracy(dataset: MetricDataset,
+                               history_months: int,
+                               scheme: HealthClassScheme = TWO_CLASS,
+                               variant: str = "dt+ab+os",
+                               first_month: int | None = None,
+                               last_month: int | None = None) -> OnlineResult:
+    """Rolling train-on-[t-M, t-1] / predict-month-t evaluation.
+
+    Args:
+        history_months: M, the number of training months before each t.
+        first_month / last_month: month-index range to evaluate (defaults:
+            every t with a full M-month history).
+    """
+    if history_months < 1:
+        raise ValueError("history_months must be positive")
+    months = sorted(set(dataset.case_month_indices))
+    if len(months) <= history_months:
+        raise InsufficientDataError(
+            f"need more than {history_months} months of data, "
+            f"have {len(months)}"
+        )
+    start = months[history_months] if first_month is None else first_month
+    end = months[-1] if last_month is None else last_month
+
+    accuracies: list[float] = []
+    evaluated: list[int] = []
+    for t in months:
+        if t < start or t > end:
+            continue
+        train_months = {m for m in months if t - history_months <= m < t}
+        if len(train_months) < history_months:
+            continue
+        train = dataset.restrict_months(train_months)
+        test = dataset.restrict_months({t})
+        if train.n_cases == 0 or test.n_cases == 0:
+            continue
+        model = OrganizationModel(scheme=scheme, variant=variant).fit(train)
+        predictions = model.predict_dataset(test)
+        actual = health_classes(test.tickets, scheme)
+        accuracies.append(float((predictions == actual).mean()))
+        evaluated.append(t)
+
+    return OnlineResult(
+        history_months=history_months,
+        monthly_accuracy=tuple(accuracies),
+        evaluated_months=tuple(evaluated),
+    )

@@ -1,0 +1,234 @@
+"""Predictive health models (paper Section 6).
+
+The paper's recipe: bin every practice metric into **5 bins** (not the 10
+used for MI — there isn't enough data for finer models), map tickets into
+either 2 health classes (healthy <= 1 ticket) or 5 classes (excellent /
+good / moderate / poor / very poor), learn a pruned C4.5 tree
+(alpha = 1% of data), and counter class skew with AdaBoost (15 rounds)
+and minority-class oversampling. SVM and majority-class baselines are
+included to reproduce the paper's negative results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.metrics.dataset import MetricDataset
+from repro.ml.base import Classifier
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.majority import MajorityClassifier
+from repro.ml.model_eval import EvalReport, cross_validate
+from repro.ml.sampling import (
+    PAPER_2CLASS_FACTORS,
+    PAPER_5CLASS_FACTORS,
+    oversample,
+)
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.util.binning import BinSpec, equal_width_bins
+
+#: Feature bins used for model learning (Section 6.1).
+N_FEATURE_BINS = 5
+
+
+@dataclass(frozen=True, slots=True)
+class HealthClassScheme:
+    """A mapping from ticket counts to ordinal health classes.
+
+    ``boundaries[i]`` is the *inclusive* upper ticket bound of class i;
+    counts above the last boundary fall in the final class.
+    """
+
+    name: str
+    boundaries: tuple[int, ...]
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.boundaries) + 1:
+            raise ValueError("need exactly one more label than boundaries")
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError("boundaries must be non-decreasing")
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.labels)
+
+    def classify(self, tickets: int) -> int:
+        for klass, bound in enumerate(self.boundaries):
+            if tickets <= bound:
+                return klass
+        return len(self.boundaries)
+
+    def classify_many(self, tickets: np.ndarray) -> np.ndarray:
+        tickets = np.asarray(tickets)
+        out = np.full(tickets.shape, len(self.boundaries), dtype=np.int64)
+        for klass in range(len(self.boundaries) - 1, -1, -1):
+            out[tickets <= self.boundaries[klass]] = klass
+        return out
+
+
+#: Healthy (<=1 ticket) vs unhealthy (Section 6.1).
+TWO_CLASS = HealthClassScheme(
+    name="2-class", boundaries=(1,), labels=("healthy", "unhealthy"),
+)
+
+#: Excellent / good / moderate / poor / very poor (<=2, 3-5, 6-8, 9-11, >=12).
+FIVE_CLASS = HealthClassScheme(
+    name="5-class", boundaries=(2, 5, 8, 11),
+    labels=("excellent", "good", "moderate", "poor", "very_poor"),
+)
+
+#: Model variants evaluated in Figure 8 plus the Section 6.1 baselines and
+#: the footnote-2 random forests.
+MODEL_VARIANTS = (
+    "dt", "dt+ab", "dt+os", "dt+ab+os",
+    "svm", "majority",
+    "rf", "rf-balanced", "rf-weighted",
+)
+
+
+def health_classes(tickets: np.ndarray,
+                   scheme: HealthClassScheme) -> np.ndarray:
+    """Vectorized ticket-count -> class mapping."""
+    return scheme.classify_many(tickets)
+
+
+def oversample_factors(scheme: HealthClassScheme) -> dict[int, int]:
+    """The paper's replication factors for a scheme."""
+    if scheme.n_classes == 2:
+        return dict(PAPER_2CLASS_FACTORS)
+    if scheme.n_classes == 5:
+        return dict(PAPER_5CLASS_FACTORS)
+    # generic fallback: triple every non-majority class
+    return {}
+
+
+def model_factory(variant: str,
+                  n_boost_rounds: int = 15) -> Callable[[], Classifier]:
+    """A zero-argument constructor for one model variant."""
+    if variant == "dt":
+        return lambda: DecisionTreeClassifier(min_support_fraction=0.01)
+    if variant == "dt+ab" or variant == "dt+ab+os":
+        return lambda: AdaBoostClassifier(n_rounds=n_boost_rounds)
+    if variant == "dt+os":
+        return lambda: DecisionTreeClassifier(min_support_fraction=0.01)
+    if variant == "svm":
+        return lambda: LinearSVMClassifier()
+    if variant == "majority":
+        return lambda: MajorityClassifier()
+    if variant == "rf":
+        return lambda: RandomForestClassifier(mode="plain")
+    if variant == "rf-balanced":
+        return lambda: RandomForestClassifier(mode="balanced")
+    if variant == "rf-weighted":
+        return lambda: RandomForestClassifier(mode="weighted")
+    raise ValueError(f"unknown model variant {variant!r}; "
+                     f"choose from {MODEL_VARIANTS}")
+
+
+def uses_oversampling(variant: str) -> bool:
+    """Whether a model variant requests minority oversampling."""
+    return variant.endswith("+os")
+
+
+@dataclass
+class _FittedBins:
+    specs: list[BinSpec]
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        binned = np.empty(values.shape, dtype=np.int64)
+        for j, spec in enumerate(self.specs):
+            binned[:, j] = spec.assign_many(values[:, j])
+        return binned
+
+
+def fit_feature_bins(values: np.ndarray,
+                     n_bins: int = N_FEATURE_BINS) -> _FittedBins:
+    """Fit the 5-bin percentile-clamped discretization per metric."""
+    specs = [
+        equal_width_bins(values[:, j], n_bins=n_bins)
+        for j in range(values.shape[1])
+    ]
+    return _FittedBins(specs=specs)
+
+
+class OrganizationModel:
+    """A fitted organization-wide health model (Section 6.1/6.2).
+
+    Wraps feature binning + the chosen classifier variant so callers can
+    train on one period and predict later months from raw metric rows.
+    """
+
+    def __init__(self, scheme: HealthClassScheme = TWO_CLASS,
+                 variant: str = "dt+ab+os", n_boost_rounds: int = 15) -> None:
+        if variant not in MODEL_VARIANTS:
+            raise ValueError(f"unknown model variant {variant!r}")
+        self.scheme = scheme
+        self.variant = variant
+        self.n_boost_rounds = n_boost_rounds
+        self._bins: _FittedBins | None = None
+        self._model: Classifier | None = None
+        self.feature_names: list[str] | None = None
+
+    def fit(self, dataset: MetricDataset) -> "OrganizationModel":
+        self.feature_names = list(dataset.names)
+        self._bins = fit_feature_bins(dataset.values)
+        X = self._bins.transform(dataset.values)
+        y = health_classes(dataset.tickets, self.scheme)
+        if uses_oversampling(self.variant):
+            X, y = oversample(X, y, oversample_factors(self.scheme))
+        self._model = model_factory(self.variant, self.n_boost_rounds)()
+        self._model.fit(X, y)
+        return self
+
+    def predict(self, values: np.ndarray) -> np.ndarray:
+        """Predict health classes for raw (unbinned) metric rows."""
+        if self._bins is None or self._model is None:
+            raise NotFittedError("OrganizationModel must be fit first")
+        return self._model.predict(self._bins.transform(values))
+
+    def predict_dataset(self, dataset: MetricDataset) -> np.ndarray:
+        if self.feature_names != list(dataset.names):
+            raise ValueError("dataset metric columns differ from training")
+        return self.predict(dataset.values)
+
+    @property
+    def decision_tree(self) -> DecisionTreeClassifier:
+        """The underlying tree (first boosting round for ensembles)."""
+        if self._model is None:
+            raise NotFittedError("OrganizationModel must be fit first")
+        if isinstance(self._model, DecisionTreeClassifier):
+            return self._model
+        if isinstance(self._model, AdaBoostClassifier):
+            assert self._model.estimators_ is not None
+            return self._model.estimators_[0]
+        raise TypeError(f"variant {self.variant!r} is not tree-based")
+
+
+def evaluate_model(dataset: MetricDataset,
+                   scheme: HealthClassScheme = TWO_CLASS,
+                   variant: str = "dt", k: int = 5,
+                   seed: int = 0) -> EvalReport:
+    """k-fold cross-validated evaluation (Section 6.1's protocol).
+
+    Feature bins are fit on the full dataset (as the paper bins before
+    learning); oversampling — when the variant requests it — is applied
+    to each fold's training split only, never the test split.
+    """
+    bins = fit_feature_bins(dataset.values)
+    X = bins.transform(dataset.values)
+    y = health_classes(dataset.tickets, scheme)
+    transform = None
+    if uses_oversampling(variant):
+        factors = oversample_factors(scheme)
+
+        def transform(X_train: np.ndarray, y_train: np.ndarray):
+            return oversample(X_train, y_train, factors)
+
+    return cross_validate(model_factory(variant), X, y, k=k, seed=seed,
+                          train_transform=transform)

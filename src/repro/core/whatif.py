@@ -1,0 +1,170 @@
+"""What-if analysis over a fitted organization model (paper Section 6.2).
+
+The paper's second goal includes "aid what-if analysis": an operator asks
+"will combining configuration changes into fewer, larger changes improve
+network health?" and the model answers by re-predicting under adjusted
+practice metrics. This module makes that a first-class operation:
+
+* an :class:`Adjustment` describes one metric change (set / scale / add),
+* a :class:`Scenario` bundles adjustments with a name,
+* :func:`evaluate_scenario` applies a scenario to selected cases and
+  compares predicted health classes before and after.
+
+Pre-built scenarios cover the paper's motivating question plus common
+operator levers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prediction import OrganizationModel
+from repro.metrics.dataset import MetricDataset
+
+
+class AdjustmentKind(enum.Enum):
+    """How an adjustment combines with the existing metric value."""
+
+    SET = "set"
+    SCALE = "scale"
+    ADD = "add"
+
+
+@dataclass(frozen=True, slots=True)
+class Adjustment:
+    """One metric adjustment applied to every selected case."""
+
+    metric: str
+    kind: AdjustmentKind
+    value: float
+    #: optional clamp so scenarios cannot produce absurd values
+    minimum: float = 0.0
+    maximum: float = float("inf")
+
+    def apply(self, column: np.ndarray) -> np.ndarray:
+        if self.kind is AdjustmentKind.SET:
+            adjusted = np.full_like(column, self.value)
+        elif self.kind is AdjustmentKind.SCALE:
+            adjusted = column * self.value
+        else:
+            adjusted = column + self.value
+        return np.clip(adjusted, self.minimum, self.maximum)
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A named bundle of adjustments."""
+
+    name: str
+    description: str
+    adjustments: tuple[Adjustment, ...]
+
+    def apply(self, dataset: MetricDataset,
+              rows: np.ndarray | None = None) -> np.ndarray:
+        """Adjusted copy of the metric matrix (all rows or a subset)."""
+        values = dataset.values.copy() if rows is None \
+            else dataset.values[rows].copy()
+        for adjustment in self.adjustments:
+            if adjustment.metric not in dataset.names:
+                raise KeyError(f"unknown metric {adjustment.metric!r}")
+            j = dataset.names.index(adjustment.metric)
+            values[:, j] = adjustment.apply(values[:, j])
+        return values
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioOutcome:
+    """Predicted effect of a scenario on the selected cases."""
+
+    scenario: str
+    n_cases: int
+    baseline_unhealthy: int
+    adjusted_unhealthy: int
+    improved: int   # unhealthy -> healthy
+    worsened: int   # healthy -> unhealthy
+
+    @property
+    def net_improvement(self) -> int:
+        return self.improved - self.worsened
+
+
+def evaluate_scenario(model: OrganizationModel, dataset: MetricDataset,
+                      scenario: Scenario,
+                      rows: np.ndarray | None = None) -> ScenarioOutcome:
+    """Predict health before/after a scenario for the selected cases.
+
+    "Unhealthy" means any class above the scheme's best class, so this
+    works for both the 2-class and 5-class schemes.
+    """
+    if rows is None:
+        rows = np.arange(dataset.n_cases)
+    baseline = model.predict(dataset.values[rows])
+    adjusted = model.predict(scenario.apply(dataset, rows))
+    baseline_bad = baseline > 0
+    adjusted_bad = adjusted > 0
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        n_cases=len(rows),
+        baseline_unhealthy=int(baseline_bad.sum()),
+        adjusted_unhealthy=int(adjusted_bad.sum()),
+        improved=int((baseline_bad & ~adjusted_bad).sum()),
+        worsened=int((~baseline_bad & adjusted_bad).sum()),
+    )
+
+
+# -- pre-built scenarios ------------------------------------------------------
+
+#: The paper's motivating what-if: batch changes into fewer, larger events
+#: (same device-level change volume).
+BATCH_CHANGES = Scenario(
+    name="batch-changes",
+    description="combine configuration changes into half as many, "
+                "twice-as-large change events",
+    adjustments=(
+        Adjustment("n_change_events", AdjustmentKind.SCALE, 0.5, minimum=1.0),
+        Adjustment("avg_devices_per_event", AdjustmentKind.SCALE, 2.0),
+        Adjustment("frac_events_automated", AdjustmentKind.SCALE, 1.0),
+    ),
+)
+
+#: Freeze non-essential change activity.
+CHANGE_FREEZE = Scenario(
+    name="change-freeze",
+    description="suppress all but one change event per month",
+    adjustments=(
+        Adjustment("n_change_events", AdjustmentKind.SET, 1.0),
+        Adjustment("n_config_changes", AdjustmentKind.SET, 1.0),
+        Adjustment("n_devices_changed", AdjustmentKind.SET, 1.0),
+        Adjustment("n_change_types", AdjustmentKind.SET, 1.0),
+    ),
+)
+
+#: Standardize hardware: one model per role.
+HARDWARE_STANDARDIZATION = Scenario(
+    name="hardware-standardization",
+    description="consolidate to one model per role and uniform firmware",
+    adjustments=(
+        Adjustment("n_models", AdjustmentKind.SET, 3.0, minimum=1.0),
+        Adjustment("n_firmware", AdjustmentKind.SET, 3.0, minimum=1.0),
+        Adjustment("hardware_entropy", AdjustmentKind.SCALE, 0.5),
+        Adjustment("firmware_entropy", AdjustmentKind.SCALE, 0.5),
+    ),
+)
+
+#: Full automation of change execution.
+AUTOMATE_EVERYTHING = Scenario(
+    name="automate-everything",
+    description="execute every change through automation",
+    adjustments=(
+        Adjustment("frac_changes_automated", AdjustmentKind.SET, 1.0,
+                   maximum=1.0),
+        Adjustment("frac_events_automated", AdjustmentKind.SET, 1.0,
+                   maximum=1.0),
+    ),
+)
+
+PREBUILT_SCENARIOS = (BATCH_CHANGES, CHANGE_FREEZE,
+                      HARDWARE_STANDARDIZATION, AUTOMATE_EVERYTHING)

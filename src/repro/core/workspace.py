@@ -1,0 +1,177 @@
+"""Cached build of the synthetic corpus + inferred artifacts.
+
+Benchmarks and examples share one expensive pipeline run per scale:
+synthesize the corpus, infer the metric table, and extract the raw change
+records. :class:`Workspace` memoizes all three on disk, keyed by scale
+and seed, so ``pytest benchmarks/`` only pays the cost once.
+
+Control knobs (environment variables):
+
+* ``MPA_SCALE``: ``tiny`` / ``small`` / ``medium`` / ``paper``
+  (default ``small``; ``medium`` approximates the paper's 11K cases,
+  ``paper`` matches Table 2's 850 networks x 17 months).
+* ``MPA_CACHE_DIR``: cache directory (default ``<repo>/.mpa_cache``).
+* ``MPA_SEED``: corpus seed (default 7).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CorpusError
+from repro.metrics.dataset import MetricDataset, build_full
+from repro.synthesis.corpus import Corpus
+from repro.synthesis.organization import SCALES, OrganizationSynthesizer, SynthesisSpec
+from repro.types import ChangeModality, ChangeRecord
+from repro.version import CORPUS_FORMAT_VERSION
+
+DEFAULT_SCALE = "small"
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("MPA_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".mpa_cache"
+
+
+def active_scale() -> str:
+    """The scale selected by ``MPA_SCALE`` (validated)."""
+    scale = os.environ.get("MPA_SCALE", DEFAULT_SCALE)
+    if scale not in SCALES:
+        raise ValueError(f"MPA_SCALE={scale!r} not in {sorted(SCALES)}")
+    return scale
+
+
+@dataclass
+class Workspace:
+    """Disk-cached pipeline artifacts for one (scale, seed)."""
+
+    scale: str
+    seed: int
+    cache_dir: Path
+
+    @classmethod
+    def default(cls, scale: str | None = None) -> "Workspace":
+        scale = scale or active_scale()
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}")
+        seed = int(os.environ.get("MPA_SEED", SCALES[scale].seed))
+        return cls(scale=scale, seed=seed, cache_dir=_default_cache_dir())
+
+    @property
+    def spec(self) -> SynthesisSpec:
+        base = SCALES[self.scale]
+        return SynthesisSpec(base.n_networks, base.n_months, self.seed,
+                             base.epoch)
+
+    @property
+    def root(self) -> Path:
+        return self.cache_dir / f"{self.scale}-seed{self.seed}"
+
+    # -- artifact paths -----------------------------------------------------
+
+    @property
+    def corpus_dir(self) -> Path:
+        return self.root / "corpus"
+
+    @property
+    def dataset_path(self) -> Path:
+        return self.root / "dataset.npz"
+
+    @property
+    def changes_path(self) -> Path:
+        return self.root / "changes.jsonl.gz"
+
+    @property
+    def summary_path(self) -> Path:
+        return self.root / "summary.json"
+
+    # -- loading (building on miss) ------------------------------------------
+
+    @property
+    def version_path(self) -> Path:
+        return self.root / "format_version.txt"
+
+    def _cache_is_current(self) -> bool:
+        if not (self.dataset_path.exists() and self.changes_path.exists()
+                and self.summary_path.exists()
+                and self.version_path.exists()):
+            return False
+        return self.version_path.read_text().strip() == str(
+            CORPUS_FORMAT_VERSION
+        )
+
+    def ensure(self) -> None:
+        """Build and cache everything this workspace serves, if missing or
+        built by an older generator version."""
+        if self._cache_is_current():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        corpus = self._load_or_build_corpus()
+        result = build_full(corpus)
+        result.dataset.save(self.dataset_path)
+        self._save_changes(result.changes)
+        self.summary_path.write_text(json.dumps(corpus.summary()))
+        self.version_path.write_text(str(CORPUS_FORMAT_VERSION))
+
+    def _load_or_build_corpus(self) -> Corpus:
+        if (self.corpus_dir / "meta.json").exists():
+            try:
+                return Corpus.load(self.corpus_dir)
+            except CorpusError:
+                pass  # stale format: rebuild below
+        corpus = OrganizationSynthesizer(self.spec).build()
+        corpus.save(self.corpus_dir)
+        return corpus
+
+    def corpus(self) -> Corpus:
+        """The full corpus (slow to load at large scales)."""
+        if not (self.corpus_dir / "meta.json").exists():
+            self.ensure()
+        return Corpus.load(self.corpus_dir)
+
+    def dataset(self) -> MetricDataset:
+        """The inferred metric table (cached)."""
+        self.ensure()
+        return MetricDataset.load(self.dataset_path)
+
+    def summary(self) -> dict:
+        """The corpus size summary (Table 2) without loading the corpus."""
+        self.ensure()
+        return json.loads(self.summary_path.read_text())
+
+    def changes(self) -> dict[str, list[ChangeRecord]]:
+        """All inferred device-level changes, grouped by network."""
+        self.ensure()
+        changes: dict[str, list[ChangeRecord]] = {}
+        with gzip.open(self.changes_path, "rt") as fh:
+            for line in fh:
+                row = json.loads(line)
+                record = ChangeRecord(
+                    device_id=row["d"],
+                    network_id=row["n"],
+                    timestamp=row["t"],
+                    modality=ChangeModality(row["m"]),
+                    stanza_types=tuple(row["y"]),
+                    login=row.get("l", ""),
+                )
+                changes.setdefault(record.network_id, []).append(record)
+        return changes
+
+    def _save_changes(self, changes: dict[str, list[ChangeRecord]]) -> None:
+        with gzip.open(self.changes_path, "wt") as fh:
+            for network_id in sorted(changes):
+                for change in changes[network_id]:
+                    fh.write(json.dumps({
+                        "d": change.device_id,
+                        "n": change.network_id,
+                        "t": change.timestamp,
+                        "m": change.modality.value,
+                        "y": list(change.stanza_types),
+                        "l": change.login,
+                    }) + "\n")

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the MPA reproduction.
+
+All library-raised exceptions derive from :class:`MPAError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class MPAError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigParseError(MPAError):
+    """A device configuration could not be parsed.
+
+    Attributes:
+        vendor: the vendor dialect being parsed (e.g. ``"ios"``).
+        line_no: 1-based line number of the offending line, if known.
+        line: the offending line text, if known.
+    """
+
+    def __init__(self, message: str, *, vendor: str = "", line_no: int | None = None,
+                 line: str = "") -> None:
+        self.vendor = vendor
+        self.line_no = line_no
+        self.line = line
+        location = f" ({vendor}" + (f", line {line_no}" if line_no else "") + ")" if vendor else ""
+        super().__init__(f"{message}{location}")
+
+
+class UnknownVendorError(ConfigParseError):
+    """No parser or generator is registered for the requested vendor."""
+
+    def __init__(self, vendor: str) -> None:
+        super().__init__(f"unknown vendor {vendor!r}", vendor=vendor)
+
+
+class DataError(MPAError):
+    """Input data is malformed or inconsistent (e.g. a corrupt corpus)."""
+
+
+class InsufficientDataError(DataError):
+    """An analysis step has too few samples to produce a meaningful result."""
+
+
+class MatchingError(MPAError):
+    """Propensity-score matching could not produce a usable matched set."""
+
+
+class ImbalancedMatchError(MatchingError):
+    """Matched sets failed the covariate-balance quality thresholds.
+
+    The paper (Table 8) reports these comparison points as ``Imbal.``.
+    """
+
+    def __init__(self, message: str, *, worst_metric: str = "",
+                 worst_value: float = float("nan")) -> None:
+        self.worst_metric = worst_metric
+        self.worst_value = worst_value
+        super().__init__(message)
+
+
+class NotFittedError(MPAError):
+    """A model was used for prediction before being fit."""
+
+
+class CorpusError(DataError):
+    """A synthetic corpus on disk is missing, partial, or versioned wrong."""

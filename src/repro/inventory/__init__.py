@@ -1,0 +1,6 @@
+"""Inventory substrate: device/network records and queries over them."""
+
+from repro.inventory.catalog import HardwareCatalog, HardwareModel, DEFAULT_CATALOG
+from repro.inventory.store import InventoryStore
+
+__all__ = ["HardwareCatalog", "HardwareModel", "DEFAULT_CATALOG", "InventoryStore"]

@@ -1,0 +1,136 @@
+"""Hardware catalog: the universe of vendors, models, roles, and firmware.
+
+The OSP's networks mix devices from up to 6 vendors and up to 25 models
+per network (Appendix A.1). The catalog below defines a plausible universe
+the synthesizer draws from; names are fictional but structured like real
+product lines so the config generators can key off them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import DeviceRole
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareModel:
+    """One purchasable device model.
+
+    ``config_dialect`` selects which vendor config language the device
+    speaks: ``"ios"`` (Cisco-IOS-like), ``"junos"`` (Juniper-JunOS-like),
+    or ``"eos"`` (Arista-EOS-like, extended catalog only).
+    """
+
+    vendor: str
+    model: str
+    roles: tuple[DeviceRole, ...]
+    config_dialect: str
+    firmware_versions: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.config_dialect not in ("ios", "junos", "eos"):
+            raise ValueError(f"unknown config dialect {self.config_dialect!r}")
+        if not self.roles:
+            raise ValueError("a model must support at least one role")
+        if not self.firmware_versions:
+            raise ValueError("a model must ship at least one firmware version")
+
+
+def _fw(prefix: str, versions: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(f"{prefix}{v}" for v in versions)
+
+
+_MODELS: tuple[HardwareModel, ...] = (
+    # "Ciena-like" IOS-dialect vendor: cirrus
+    HardwareModel("cirrus", "cx-3100", (DeviceRole.SWITCH,), "ios",
+                  _fw("cxos-", ("12.2", "12.4", "15.0", "15.2"))),
+    HardwareModel("cirrus", "cx-4500", (DeviceRole.SWITCH, DeviceRole.ROUTER), "ios",
+                  _fw("cxos-", ("12.4", "15.0", "15.2", "15.4"))),
+    HardwareModel("cirrus", "cx-6800", (DeviceRole.ROUTER,), "ios",
+                  _fw("cxos-", ("15.0", "15.2", "15.4"))),
+    HardwareModel("cirrus", "cx-asa10", (DeviceRole.FIREWALL,), "ios",
+                  _fw("cxsec-", ("8.4", "9.1", "9.6"))),
+    # IOS-dialect vendor: meridian
+    HardwareModel("meridian", "m-720", (DeviceRole.SWITCH,), "ios",
+                  _fw("mos-", ("3.1", "3.6", "4.0"))),
+    HardwareModel("meridian", "m-940", (DeviceRole.ROUTER, DeviceRole.SWITCH), "ios",
+                  _fw("mos-", ("3.6", "4.0", "4.2"))),
+    HardwareModel("meridian", "m-fw2", (DeviceRole.FIREWALL,), "ios",
+                  _fw("msec-", ("2.0", "2.5"))),
+    # "Juniper-like" JunOS-dialect vendor: junction
+    HardwareModel("junction", "jx-240", (DeviceRole.SWITCH,), "junos",
+                  _fw("jxos-", ("11.4", "12.3", "13.2", "14.1"))),
+    HardwareModel("junction", "jx-480", (DeviceRole.ROUTER, DeviceRole.SWITCH), "junos",
+                  _fw("jxos-", ("12.3", "13.2", "14.1"))),
+    HardwareModel("junction", "jx-mx9", (DeviceRole.ROUTER,), "junos",
+                  _fw("jxos-", ("13.2", "14.1", "14.2"))),
+    HardwareModel("junction", "jx-srx5", (DeviceRole.FIREWALL,), "junos",
+                  _fw("jxsec-", ("12.1", "12.3"))),
+    # Load balancer / ADC vendors
+    HardwareModel("beacon", "b-lb400", (DeviceRole.LOAD_BALANCER,), "ios",
+                  _fw("bos-", ("10.1", "11.2", "11.6"))),
+    HardwareModel("beacon", "b-lb800", (DeviceRole.LOAD_BALANCER, DeviceRole.ADC), "ios",
+                  _fw("bos-", ("11.2", "11.6", "12.0"))),
+    HardwareModel("apex", "ax-adc2", (DeviceRole.ADC,), "junos",
+                  _fw("axos-", ("4.1", "4.5"))),
+    HardwareModel("apex", "ax-lb1", (DeviceRole.LOAD_BALANCER,), "junos",
+                  _fw("axos-", ("4.1", "4.5", "5.0"))),
+    # Small IOS-dialect vendor used rarely (drives the vendor-count tail)
+    HardwareModel("trellis", "t-sw12", (DeviceRole.SWITCH,), "ios",
+                  _fw("tos-", ("1.8", "2.0"))),
+)
+
+
+class HardwareCatalog:
+    """Queryable collection of :class:`HardwareModel` entries."""
+
+    def __init__(self, models: tuple[HardwareModel, ...] = _MODELS) -> None:
+        if not models:
+            raise ValueError("catalog must contain at least one model")
+        self._models = models
+        self._by_key = {(m.vendor, m.model): m for m in models}
+        if len(self._by_key) != len(models):
+            raise ValueError("duplicate (vendor, model) in catalog")
+
+    @property
+    def models(self) -> tuple[HardwareModel, ...]:
+        return self._models
+
+    @property
+    def vendors(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for m in self._models:
+            seen.setdefault(m.vendor, None)
+        return tuple(seen)
+
+    def lookup(self, vendor: str, model: str) -> HardwareModel:
+        try:
+            return self._by_key[(vendor, model)]
+        except KeyError:
+            raise KeyError(f"no catalog entry for {vendor}/{model}") from None
+
+    def models_for_role(self, role: DeviceRole) -> tuple[HardwareModel, ...]:
+        return tuple(m for m in self._models if role in m.roles)
+
+    def dialect_of(self, vendor: str, model: str) -> str:
+        return self.lookup(vendor, model).config_dialect
+
+
+#: The catalog used by the default synthesizer configuration.
+DEFAULT_CATALOG = HardwareCatalog()
+
+_EOS_MODELS: tuple[HardwareModel, ...] = (
+    # "Arista-like" EOS-dialect vendor: summit (switches/routers only —
+    # the eos dialect has no load-balancer syntax)
+    HardwareModel("summit", "s-7050", (DeviceRole.SWITCH,), "eos",
+                  _fw("sos-", ("4.20", "4.24", "4.28"))),
+    HardwareModel("summit", "s-7280", (DeviceRole.ROUTER, DeviceRole.SWITCH),
+                  "eos", _fw("sos-", ("4.24", "4.28", "4.30"))),
+)
+
+#: Default catalog plus the EOS-dialect vendor. Opt-in: pass it to
+#: :class:`~repro.synthesis.organization.OrganizationSynthesizer` to mix a
+#: third dialect into a synthetic corpus (the default stays two-dialect so
+#: published calibration results remain reproducible).
+EXTENDED_CATALOG = HardwareCatalog(_MODELS + _EOS_MODELS)

@@ -1,0 +1,100 @@
+"""In-memory inventory store with the queries metric inference needs."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import DataError
+from repro.types import DeviceRecord, DeviceRole, NetworkRecord, MIDDLEBOX_ROLES
+
+
+class InventoryStore:
+    """Holds the organization's network and device inventory.
+
+    Mirrors the paper's first data source (Section 2.1): networks, and for
+    each device its vendor, model, role, firmware, and owning network.
+    """
+
+    def __init__(self, networks: Iterable[NetworkRecord] = (),
+                 devices: Iterable[DeviceRecord] = ()) -> None:
+        self._networks: dict[str, NetworkRecord] = {}
+        self._devices: dict[str, DeviceRecord] = {}
+        self._devices_by_network: dict[str, list[DeviceRecord]] = defaultdict(list)
+        for network in networks:
+            self.add_network(network)
+        for device in devices:
+            self.add_device(device)
+
+    def add_network(self, network: NetworkRecord) -> None:
+        if network.network_id in self._networks:
+            raise DataError(f"duplicate network {network.network_id!r}")
+        self._networks[network.network_id] = network
+
+    def add_device(self, device: DeviceRecord) -> None:
+        if device.device_id in self._devices:
+            raise DataError(f"duplicate device {device.device_id!r}")
+        if device.network_id not in self._networks:
+            raise DataError(
+                f"device {device.device_id!r} references unknown network "
+                f"{device.network_id!r}"
+            )
+        self._devices[device.device_id] = device
+        self._devices_by_network[device.network_id].append(device)
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def network_ids(self) -> list[str]:
+        return sorted(self._networks)
+
+    @property
+    def num_networks(self) -> int:
+        return len(self._networks)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self._devices)
+
+    def network(self, network_id: str) -> NetworkRecord:
+        try:
+            return self._networks[network_id]
+        except KeyError:
+            raise KeyError(f"unknown network {network_id!r}") from None
+
+    def device(self, device_id: str) -> DeviceRecord:
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise KeyError(f"unknown device {device_id!r}") from None
+
+    def devices_in(self, network_id: str) -> list[DeviceRecord]:
+        self.network(network_id)  # raise on unknown id
+        return list(self._devices_by_network.get(network_id, ()))
+
+    def iter_devices(self) -> Iterable[DeviceRecord]:
+        return iter(self._devices.values())
+
+    def iter_networks(self) -> Iterable[NetworkRecord]:
+        return iter(self._networks.values())
+
+    # -- aggregate queries (feed design-practice metrics) -----------------
+
+    def vendors_in(self, network_id: str) -> set[str]:
+        return {d.vendor for d in self.devices_in(network_id)}
+
+    def models_in(self, network_id: str) -> set[tuple[str, str]]:
+        """Distinct (vendor, model) pairs; model names can repeat across vendors."""
+        return {(d.vendor, d.model) for d in self.devices_in(network_id)}
+
+    def roles_in(self, network_id: str) -> set[DeviceRole]:
+        return {d.role for d in self.devices_in(network_id)}
+
+    def firmware_in(self, network_id: str) -> set[str]:
+        return {d.firmware for d in self.devices_in(network_id)}
+
+    def has_middlebox(self, network_id: str) -> bool:
+        return any(d.role in MIDDLEBOX_ROLES for d in self.devices_in(network_id))
+
+    def workload_count(self, network_id: str) -> int:
+        return len(self.network(network_id).workloads)

@@ -1,0 +1,17 @@
+"""Practice-metric inference: corpus -> (network, month) metric table."""
+
+from repro.metrics.catalog import MetricDef, METRICS, metric_names, DESIGN, OPERATIONAL
+from repro.metrics.dataset import MetricDataset, build_dataset
+from repro.metrics.events import group_change_events, DEFAULT_DELTA_MINUTES
+
+__all__ = [
+    "MetricDef",
+    "METRICS",
+    "metric_names",
+    "DESIGN",
+    "OPERATIONAL",
+    "MetricDataset",
+    "build_dataset",
+    "group_change_events",
+    "DEFAULT_DELTA_MINUTES",
+]

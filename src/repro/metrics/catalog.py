@@ -1,0 +1,124 @@
+"""The catalog of management-practice metrics (paper Table 1).
+
+Every metric the pipeline infers is declared here with its category
+(design vs operational) and a short description. The paper's causal
+analysis includes "all 28 of the practice metrics we infer" as candidate
+confounders; this catalog is our equivalent set (31 metrics realizing
+Table 1 lines D1-D6 and O1-O4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DESIGN = "design"
+OPERATIONAL = "operational"
+
+
+@dataclass(frozen=True, slots=True)
+class MetricDef:
+    """Declaration of one practice metric."""
+
+    name: str
+    category: str  # DESIGN or OPERATIONAL
+    table1_line: str  # which Table 1 line this metric realizes
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.category not in (DESIGN, OPERATIONAL):
+            raise ValueError(f"bad category {self.category!r}")
+
+    @property
+    def short_category(self) -> str:
+        """Single-letter tag used in paper tables ((D)/(O))."""
+        return "D" if self.category == DESIGN else "O"
+
+
+METRICS: tuple[MetricDef, ...] = (
+    # ---- design practices -------------------------------------------------
+    MetricDef("n_workloads", DESIGN, "D1",
+              "number of services/users hosted by the network"),
+    MetricDef("n_devices", DESIGN, "D2", "number of devices"),
+    MetricDef("n_vendors", DESIGN, "D2", "number of distinct vendors"),
+    MetricDef("n_models", DESIGN, "D2", "number of distinct device models"),
+    MetricDef("n_roles", DESIGN, "D2", "number of distinct device roles"),
+    MetricDef("n_firmware", DESIGN, "D2",
+              "number of distinct firmware versions"),
+    MetricDef("hardware_entropy", DESIGN, "D3",
+              "normalized entropy of (model, role) pairs"),
+    MetricDef("firmware_entropy", DESIGN, "D3",
+              "normalized entropy of (firmware, role) pairs"),
+    MetricDef("n_l2_protocols", DESIGN, "D4",
+              "number of layer-2 constructs in use"),
+    MetricDef("n_l3_protocols", DESIGN, "D4",
+              "number of layer-3 constructs in use"),
+    MetricDef("n_vlans", DESIGN, "D4", "number of distinct VLANs configured"),
+    MetricDef("n_bgp_instances", DESIGN, "D5", "number of BGP routing instances"),
+    MetricDef("n_ospf_instances", DESIGN, "D5",
+              "number of OSPF routing instances"),
+    MetricDef("avg_bgp_instance_size", DESIGN, "D5",
+              "mean devices per BGP instance"),
+    MetricDef("avg_ospf_instance_size", DESIGN, "D5",
+              "mean devices per OSPF instance"),
+    MetricDef("intra_device_complexity", DESIGN, "D6",
+              "mean intra-device config references per device"),
+    MetricDef("inter_device_complexity", DESIGN, "D6",
+              "mean inter-device config references per device"),
+    # ---- operational practices --------------------------------------------
+    MetricDef("n_config_changes", OPERATIONAL, "O1",
+              "device-level config changes in the month"),
+    MetricDef("n_devices_changed", OPERATIONAL, "O1",
+              "distinct devices changed in the month"),
+    MetricDef("frac_devices_changed", OPERATIONAL, "O1",
+              "fraction of the network's devices changed in the month"),
+    MetricDef("frac_changes_automated", OPERATIONAL, "O2",
+              "fraction of device changes made by automation accounts"),
+    MetricDef("n_change_types", OPERATIONAL, "O3",
+              "distinct vendor-agnostic stanza types changed"),
+    MetricDef("frac_changes_interface", OPERATIONAL, "O3",
+              "fraction of changes touching an interface stanza"),
+    MetricDef("frac_changes_acl", OPERATIONAL, "O3",
+              "fraction of changes touching an ACL stanza"),
+    MetricDef("n_change_events", OPERATIONAL, "O4",
+              "change events (delta-window grouped) in the month"),
+    MetricDef("avg_devices_per_event", OPERATIONAL, "O4",
+              "mean devices changed per change event"),
+    MetricDef("frac_events_automated", OPERATIONAL, "O4",
+              "fraction of change events that are fully automated"),
+    MetricDef("frac_events_interface", OPERATIONAL, "O4",
+              "fraction of events with an interface change"),
+    MetricDef("frac_events_acl", OPERATIONAL, "O4",
+              "fraction of events with an ACL change"),
+    MetricDef("frac_events_router", OPERATIONAL, "O4",
+              "fraction of events with a router change"),
+    MetricDef("frac_events_mbox", OPERATIONAL, "O4",
+              "fraction of events touching a middlebox"),
+)
+
+_BY_NAME = {metric.name: metric for metric in METRICS}
+
+#: The health (outcome) metric; not a practice.
+HEALTH_METRIC = "n_tickets"
+
+
+def metric_names(category: str | None = None) -> list[str]:
+    """All metric names, optionally filtered by category."""
+    if category is None:
+        return [metric.name for metric in METRICS]
+    return [metric.name for metric in METRICS if metric.category == category]
+
+
+def get_metric(name: str) -> MetricDef:
+    """The declaration of one metric; raises ``KeyError`` for unknowns."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}") from None
+
+
+def display_name(name: str) -> str:
+    """Human-readable name with the paper's (D)/(O) annotation."""
+    metric = _BY_NAME.get(name)
+    if metric is None:
+        return name
+    return f"{metric.name} ({metric.short_category})"

@@ -1,0 +1,295 @@
+"""The metric table: corpus -> one row per (network, month) case.
+
+This is the pipeline the paper describes in Section 2: parse every config
+snapshot, diff consecutive snapshots into device-level changes, group
+changes into events with the delta-window heuristic, compute design
+metrics from the configs in effect at each month's end, operational
+metrics from the month's changes/events, and the health metric from the
+month's non-maintenance tickets.
+
+A :class:`MetricDataset` is the input to everything in Sections 5-6:
+mutual information, QED causal analysis, and predictive modelling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.confparse.diff import diff_configs
+from repro.confparse.registry import parse_config
+from repro.metrics.catalog import metric_names
+from repro.metrics.design import (
+    DeviceFeatures,
+    config_metrics,
+    extract_device_features,
+    inventory_metrics,
+)
+from repro.metrics.events import DEFAULT_DELTA_MINUTES, group_change_events
+from repro.metrics.health import modality_from_login, monthly_ticket_count
+from repro.metrics.operational import operational_metrics
+from repro.synthesis.corpus import Corpus
+from repro.types import (
+    CaseKey,
+    ChangeEvent,
+    ChangeModality,
+    ChangeRecord,
+    MonthKey,
+)
+from repro.util.timeutils import MINUTES_PER_MONTH
+
+
+@dataclass
+class MetricDataset:
+    """Case-by-metric table with the health outcome column."""
+
+    names: list[str]
+    case_networks: list[str]
+    case_month_indices: list[int]
+    values: np.ndarray  # shape (n_cases, n_metrics)
+    tickets: np.ndarray  # shape (n_cases,)
+    epoch: MonthKey
+
+    def __post_init__(self) -> None:
+        n_cases = len(self.case_networks)
+        if len(self.case_month_indices) != n_cases:
+            raise ValueError("case index lists disagree in length")
+        if self.values.shape != (n_cases, len(self.names)):
+            raise ValueError(
+                f"values shape {self.values.shape} != "
+                f"({n_cases}, {len(self.names)})"
+            )
+        if self.tickets.shape != (n_cases,):
+            raise ValueError("tickets shape mismatch")
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.case_networks)
+
+    def column(self, name: str) -> np.ndarray:
+        """One metric's values across all cases (a view, do not mutate)."""
+        try:
+            idx = self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown metric {name!r}") from None
+        return self.values[:, idx]
+
+    def case_keys(self) -> list[CaseKey]:
+        return [
+            CaseKey(network, MonthKey.from_index(self.epoch.index() + m))
+            for network, m in zip(self.case_networks, self.case_month_indices)
+        ]
+
+    def restrict_months(self, month_indices: set[int]) -> "MetricDataset":
+        """Subset of cases whose month index is in ``month_indices``."""
+        mask = np.array(
+            [m in month_indices for m in self.case_month_indices], dtype=bool
+        )
+        return MetricDataset(
+            names=list(self.names),
+            case_networks=[n for n, keep in zip(self.case_networks, mask) if keep],
+            case_month_indices=[
+                m for m, keep in zip(self.case_month_indices, mask) if keep
+            ],
+            values=self.values[mask],
+            tickets=self.tickets[mask],
+            epoch=self.epoch,
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write as an ``.npz`` next to a small JSON sidecar."""
+        path = Path(path)
+        np.savez_compressed(path, values=self.values, tickets=self.tickets)
+        sidecar = path.with_suffix(".json")
+        sidecar.write_text(json.dumps({
+            "names": self.names,
+            "case_networks": self.case_networks,
+            "case_month_indices": self.case_month_indices,
+            "epoch": [self.epoch.year, self.epoch.month],
+        }))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MetricDataset":
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        arrays = np.load(path)
+        meta = json.loads(path.with_suffix(".json").read_text())
+        return cls(
+            names=meta["names"],
+            case_networks=meta["case_networks"],
+            case_month_indices=meta["case_month_indices"],
+            values=arrays["values"],
+            tickets=arrays["tickets"],
+            epoch=MonthKey(*meta["epoch"]),
+        )
+
+
+@dataclass
+class NetworkTimeline:
+    """Intermediate per-network product of the inference pipeline."""
+
+    network_id: str
+    changes: list[ChangeRecord]
+    events: list[ChangeEvent]
+    #: month index -> device id -> features of the config in effect
+    features_by_month: list[dict[str, DeviceFeatures]]
+
+
+def build_network_timeline(corpus: Corpus, network_id: str,
+                           delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
+                           ) -> NetworkTimeline:
+    """Parse + diff one network's snapshots into changes, events, features."""
+    n_months = corpus.n_months
+    devices = corpus.inventory.devices_in(network_id)
+    changes: list[ChangeRecord] = []
+    # features_by_month[m][device] = summary of config in effect at end of m
+    features_by_month: list[dict[str, DeviceFeatures]] = [
+        {} for _ in range(n_months)
+    ]
+
+    for device in devices:
+        snaps = corpus.snapshots.get(device.device_id, [])
+        if not snaps:
+            continue
+        dialect = corpus.dialect_of(device.device_id)
+        prev_config = None
+        features_at: list[tuple[int, DeviceFeatures]] = []
+        for snap in snaps:
+            config = parse_config(snap.config_text, dialect)
+            if prev_config is not None:
+                diff = diff_configs(prev_config, config)
+                if diff:
+                    modality = (ChangeModality.AUTOMATED
+                                if modality_from_login(snap.login)
+                                else ChangeModality.MANUAL)
+                    changes.append(ChangeRecord(
+                        device_id=device.device_id,
+                        network_id=network_id,
+                        timestamp=snap.timestamp,
+                        modality=modality,
+                        stanza_types=diff.changed_types,
+                        login=snap.login,
+                    ))
+            features_at.append((snap.timestamp, extract_device_features(config)))
+            prev_config = config
+        # config in effect at end of each month = last snapshot before it
+        pointer = 0
+        current = features_at[0][1]
+        for month in range(n_months):
+            month_end = (month + 1) * MINUTES_PER_MONTH
+            while (pointer < len(features_at)
+                   and features_at[pointer][0] < month_end):
+                current = features_at[pointer][1]
+                pointer += 1
+            features_by_month[month][device.device_id] = current
+
+    changes.sort(key=lambda c: (c.timestamp, c.device_id))
+    events = group_change_events(changes, delta_minutes) if changes else []
+    return NetworkTimeline(
+        network_id=network_id,
+        changes=changes,
+        events=events,
+        features_by_month=features_by_month,
+    )
+
+
+@dataclass
+class PipelineResult:
+    """Full output of the inference pipeline."""
+
+    dataset: MetricDataset
+    #: network id -> all device-level changes over the whole study period
+    changes: dict[str, list[ChangeRecord]]
+
+
+def build_full(corpus: Corpus,
+               delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
+               ) -> PipelineResult:
+    """Like :func:`build_dataset` but also returns the raw change records
+    (used by the delta-sweep and characterization benches)."""
+    dataset, changes = _build(corpus, delta_minutes, keep_changes=True)
+    return PipelineResult(dataset=dataset, changes=changes)
+
+
+def build_dataset(corpus: Corpus,
+                  delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
+                  ) -> MetricDataset:
+    """Infer the full metric table from a corpus.
+
+    This is the expensive step (it parses every snapshot); see
+    :func:`repro.core.workspace` for the cached entry point.
+    """
+    dataset, _ = _build(corpus, delta_minutes, keep_changes=False)
+    return dataset
+
+
+def _build(corpus: Corpus, delta_minutes: int | None,
+           keep_changes: bool) -> tuple[MetricDataset, dict]:
+    names = metric_names()
+    rows: list[list[float]] = []
+    tickets: list[int] = []
+    case_networks: list[str] = []
+    case_months: list[int] = []
+    all_changes: dict[str, list[ChangeRecord]] = {}
+
+    for network_id in corpus.inventory.network_ids:
+        devices = corpus.inventory.devices_in(network_id)
+        if not devices:
+            continue
+        mbox_ids = frozenset(
+            d.device_id for d in devices if d.role.is_middlebox
+        )
+        inv = inventory_metrics(corpus.inventory, network_id)
+        timeline = build_network_timeline(corpus, network_id, delta_minutes)
+        if keep_changes:
+            all_changes[network_id] = timeline.changes
+
+        changes_by_month: list[list[ChangeRecord]] = [
+            [] for _ in range(corpus.n_months)
+        ]
+        for change in timeline.changes:
+            month = change.timestamp // MINUTES_PER_MONTH
+            if 0 <= month < corpus.n_months:
+                changes_by_month[month].append(change)
+        events_by_month: list[list[ChangeEvent]] = [
+            [] for _ in range(corpus.n_months)
+        ]
+        for event in timeline.events:
+            month = event.start_timestamp // MINUTES_PER_MONTH
+            if 0 <= month < corpus.n_months:
+                events_by_month[month].append(event)
+
+        for month_index in range(corpus.n_months):
+            config = config_metrics(timeline.features_by_month[month_index])
+            op = operational_metrics(
+                changes_by_month[month_index],
+                events_by_month[month_index],
+                n_network_devices=len(devices),
+                mbox_device_ids=mbox_ids,
+            )
+            row_map = {**inv, **config, **op}
+            rows.append([row_map[name] for name in names])
+            month = MonthKey.from_index(
+                corpus.epoch.index() + month_index
+            )
+            tickets.append(monthly_ticket_count(
+                corpus.tickets, network_id, month, corpus.epoch
+            ))
+            case_networks.append(network_id)
+            case_months.append(month_index)
+
+    dataset = MetricDataset(
+        names=names,
+        case_networks=case_networks,
+        case_month_indices=case_months,
+        values=np.asarray(rows, dtype=float),
+        tickets=np.asarray(tickets, dtype=np.int64),
+        epoch=corpus.epoch,
+    )
+    return dataset, all_changes

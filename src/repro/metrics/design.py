@@ -1,0 +1,143 @@
+"""Design-practice metrics (paper Table 1, D1-D6).
+
+Inventory-derived metrics (counts, heterogeneity entropies) come straight
+from :class:`~repro.inventory.store.InventoryStore`. Config-derived
+metrics (VLANs, protocols, routing instances, referential complexity) are
+computed from per-device :class:`DeviceFeatures` summaries so that the
+monthly sweep only re-aggregates summaries rather than re-parsing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.confparse.properties import (
+    L2_CONSTRUCTS,
+    L3_CONSTRUCTS,
+    device_construct_counts,
+)
+from repro.confparse.references import (
+    count_intra_device_references,
+    inter_refs_from_summaries,
+)
+from repro.confparse.routing import instances_from_summaries
+from repro.confparse.stanza import DeviceConfig
+from repro.inventory.store import InventoryStore
+from repro.util.stats import normalized_entropy
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceFeatures:
+    """Analysis-relevant summary of one parsed device configuration."""
+
+    intra_refs: int
+    construct_counts: tuple[tuple[str, int], ...]
+    vlan_ids: frozenset[str]
+    addresses: tuple[str, ...]
+    bgp_neighbors: frozenset[str]
+    ospf_areas: frozenset[str]
+    has_bgp: bool
+    has_ospf: bool
+
+
+def extract_device_features(config: DeviceConfig) -> DeviceFeatures:
+    """Compute a :class:`DeviceFeatures` summary from a parsed config."""
+    counts = device_construct_counts(config)
+    vlan_ids: set[str] = set()
+    addresses: list[str] = []
+    bgp_neighbors: set[str] = set()
+    ospf_areas: set[str] = set()
+    has_bgp = False
+    has_ospf = False
+    for stanza in config:
+        vlan_ids.update(stanza.attr("vlan_id"))
+        addresses.extend(stanza.attr("addresses"))
+        if stanza.stype in ("router bgp", "protocols bgp"):
+            has_bgp = True
+            bgp_neighbors.update(stanza.attr("bgp_neighbors"))
+        elif stanza.stype in ("router ospf", "protocols ospf"):
+            has_ospf = True
+            ospf_areas.update(stanza.attr("ospf_areas"))
+    return DeviceFeatures(
+        intra_refs=count_intra_device_references(config),
+        construct_counts=tuple(sorted(counts.items())),
+        vlan_ids=frozenset(vlan_ids),
+        addresses=tuple(addresses),
+        bgp_neighbors=frozenset(bgp_neighbors),
+        ospf_areas=frozenset(ospf_areas),
+        has_bgp=has_bgp,
+        has_ospf=has_ospf,
+    )
+
+
+def inventory_metrics(inventory: InventoryStore,
+                      network_id: str) -> dict[str, float]:
+    """Metrics derivable from inventory records alone (static per network)."""
+    devices = inventory.devices_in(network_id)
+    if not devices:
+        raise ValueError(f"network {network_id!r} has no devices")
+    model_role = [( (d.vendor, d.model), d.role.value) for d in devices]
+    firmware_role = [(d.firmware, d.role.value) for d in devices]
+    return {
+        "n_workloads": float(inventory.workload_count(network_id)),
+        "n_devices": float(len(devices)),
+        "n_vendors": float(len({d.vendor for d in devices})),
+        "n_models": float(len({(d.vendor, d.model) for d in devices})),
+        "n_roles": float(len({d.role for d in devices})),
+        "n_firmware": float(len({d.firmware for d in devices})),
+        "hardware_entropy": normalized_entropy(model_role),
+        "firmware_entropy": normalized_entropy(firmware_role),
+    }
+
+
+def config_metrics(features: Mapping[str, DeviceFeatures]) -> dict[str, float]:
+    """Config-derived design metrics for one network at one point in time.
+
+    Args:
+        features: device id -> features of the config in effect.
+    """
+    if not features:
+        return {
+            "n_l2_protocols": 0.0, "n_l3_protocols": 0.0, "n_vlans": 0.0,
+            "n_bgp_instances": 0.0, "n_ospf_instances": 0.0,
+            "avg_bgp_instance_size": 0.0, "avg_ospf_instance_size": 0.0,
+            "intra_device_complexity": 0.0, "inter_device_complexity": 0.0,
+        }
+
+    total_counts: Counter = Counter()
+    vlan_ids: set[str] = set()
+    for feat in features.values():
+        total_counts.update(dict(feat.construct_counts))
+        vlan_ids.update(feat.vlan_ids)
+    present = {name for name, count in total_counts.items() if count > 0}
+
+    profile = instances_from_summaries(
+        bgp_neighbors={d: set(f.bgp_neighbors) for d, f in features.items()
+                       if f.has_bgp},
+        ospf_areas={d: set(f.ospf_areas) for d, f in features.items()
+                    if f.has_ospf},
+        addresses={d: list(f.addresses) for d, f in features.items()},
+    )
+
+    inter_refs = inter_refs_from_summaries(
+        addresses={d: list(f.addresses) for d, f in features.items()},
+        bgp_neighbors={d: set(f.bgp_neighbors) for d, f in features.items()},
+        vlan_ids={d: set(f.vlan_ids) for d, f in features.items()},
+    )
+
+    n_devices = len(features)
+    return {
+        "n_l2_protocols": float(len(present & L2_CONSTRUCTS)),
+        "n_l3_protocols": float(len(present & L3_CONSTRUCTS)),
+        "n_vlans": float(len(vlan_ids)),
+        "n_bgp_instances": float(profile.count("bgp")),
+        "n_ospf_instances": float(profile.count("ospf")),
+        "avg_bgp_instance_size": profile.mean_size("bgp"),
+        "avg_ospf_instance_size": profile.mean_size("ospf"),
+        "intra_device_complexity": (
+            sum(f.intra_refs for f in features.values()) / n_devices
+        ),
+        "inter_device_complexity": inter_refs / n_devices,
+    }

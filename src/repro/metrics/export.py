@@ -1,0 +1,119 @@
+"""Metric-table interop: CSV export/import.
+
+Two purposes: (i) the paper's analyses were run with Weka-era tooling —
+exporting the inferred table lets users cross-check any result in their
+own stats stack; (ii) an organization that computes practice metrics with
+its own pipeline can import them here and still use MPA's dependence /
+causal / prediction layers. Exposed on the CLI as ``mpa export``.
+
+The CSV layout is one row per (network, month) case::
+
+    network_id,month,<metric...>,n_tickets
+    net0001,2013-08,12.0,...,3
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.metrics.dataset import MetricDataset
+from repro.types import MonthKey
+
+#: Reserved column names framing the metric columns.
+_ID_COLUMNS = ("network_id", "month")
+_HEALTH_COLUMN = "n_tickets"
+
+
+def to_csv(dataset: MetricDataset) -> str:
+    """Serialize a metric table to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([*_ID_COLUMNS, *dataset.names, _HEALTH_COLUMN])
+    for i, key in enumerate(dataset.case_keys()):
+        writer.writerow([
+            key.network_id, str(key.month),
+            *(repr(float(v)) for v in dataset.values[i]),
+            int(dataset.tickets[i]),
+        ])
+    return buffer.getvalue()
+
+
+def write_csv(dataset: MetricDataset, path: str | Path) -> None:
+    """Write a metric table to a CSV file."""
+    Path(path).write_text(to_csv(dataset))
+
+
+def from_csv(text: str) -> MetricDataset:
+    """Parse a metric table from CSV text (the :func:`to_csv` layout).
+
+    Raises :class:`~repro.errors.DataError` on malformed input: missing
+    id/health columns, ragged rows, bad month syntax, or non-numeric
+    metric values.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise DataError("empty CSV") from None
+    if tuple(header[:2]) != _ID_COLUMNS or header[-1] != _HEALTH_COLUMN:
+        raise DataError(
+            f"CSV must start with {_ID_COLUMNS} and end with "
+            f"{_HEALTH_COLUMN!r}; got {header[:2]} ... {header[-1]!r}"
+        )
+    names = header[2:-1]
+    if not names:
+        raise DataError("no metric columns found")
+
+    networks: list[str] = []
+    months: list[int] = []
+    rows: list[list[float]] = []
+    tickets: list[int] = []
+    epoch: MonthKey | None = None
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise DataError(
+                f"line {line_no}: expected {len(header)} columns, "
+                f"got {len(row)}"
+            )
+        try:
+            year, month_number = row[1].split("-")
+            month = MonthKey(int(year), int(month_number))
+        except (ValueError, TypeError) as exc:
+            raise DataError(
+                f"line {line_no}: bad month {row[1]!r} (want YYYY-MM)"
+            ) from exc
+        try:
+            values = [float(cell) for cell in row[2:-1]]
+            ticket_count = int(row[-1])
+        except ValueError as exc:
+            raise DataError(f"line {line_no}: non-numeric value") from exc
+        if epoch is None or month.index() < epoch.index():
+            epoch = month
+        networks.append(row[0])
+        months.append(month.index())
+        rows.append(values)
+        tickets.append(ticket_count)
+
+    if epoch is None:
+        raise DataError("CSV has a header but no data rows")
+    month_indices = [m - epoch.index() for m in months]
+    return MetricDataset(
+        names=list(names),
+        case_networks=networks,
+        case_month_indices=month_indices,
+        values=np.asarray(rows, dtype=float),
+        tickets=np.asarray(tickets, dtype=np.int64),
+        epoch=epoch,
+    )
+
+
+def read_csv(path: str | Path) -> MetricDataset:
+    """Read a metric table from a CSV file."""
+    return from_csv(Path(path).read_text())

@@ -1,0 +1,30 @@
+"""Network-health metric: non-maintenance ticket counts per month.
+
+Per Section 2.2, the number of trouble tickets (excluding planned
+maintenance) is the health metric; other ticket-derived measures are too
+inconsistent across ticketing practices to rely on.
+"""
+
+from __future__ import annotations
+
+from repro.tickets.filters import count_health_tickets
+from repro.tickets.store import TicketStore
+from repro.types import MonthKey
+from repro.util.timeutils import month_bounds
+
+
+def monthly_ticket_count(tickets: TicketStore, network_id: str,
+                         month: MonthKey, epoch: MonthKey) -> int:
+    """Health tickets opened for a network during one month."""
+    start, end = month_bounds(month, epoch)
+    return count_health_tickets(tickets.in_window(network_id, start, end))
+
+
+def modality_from_login(login: str) -> bool:
+    """True when a snapshot login is an automation (service) account.
+
+    Mirrors the paper's conservative rule: only logins classified as
+    special accounts count as automated; scripts running under regular
+    user accounts are (mis)classified as manual.
+    """
+    return login.startswith("svc-")

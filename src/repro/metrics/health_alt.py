@@ -1,0 +1,88 @@
+"""Alternative health metrics (paper Section 2.2 + Section 9 future work).
+
+The paper settles on *ticket count* as the health metric and argues the
+alternatives are unreliable: "impact levels are often subjective, and
+tickets are sometimes not marked as resolved until well after the problem
+has been fixed". This module computes those alternatives anyway —
+mean time to resolution (MTTR) and high-impact ticket count — so the
+claim can be tested quantitatively: the ``bench_ablation_health_metric``
+benchmark shows their statistical dependence with management practices is
+much weaker than the count metric's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.dataset import MetricDataset
+from repro.tickets.filters import health_tickets
+from repro.tickets.store import TicketStore
+from repro.types import MonthKey
+from repro.util.timeutils import month_bounds
+
+
+@dataclass(frozen=True, slots=True)
+class AlternativeHealth:
+    """Per-case alternative health columns, aligned with a MetricDataset."""
+
+    #: mean minutes from open to (recorded) resolution; 0 for no tickets
+    mttr_minutes: np.ndarray
+    #: tickets labelled high-impact
+    high_impact: np.ndarray
+    #: tickets raised by monitoring alarms (vs user reports)
+    alarm_count: np.ndarray
+
+
+def monthly_mttr(tickets: TicketStore, network_id: str, month: MonthKey,
+                 epoch: MonthKey) -> float:
+    """Mean time-to-resolution of the month's health tickets (minutes).
+
+    Returns 0.0 for months without tickets. Durations reflect whatever the
+    ticketing system recorded — including the paper's "not marked as
+    resolved until well after the fix" lag noise.
+    """
+    start, end = month_bounds(month, epoch)
+    relevant = health_tickets(tickets.in_window(network_id, start, end))
+    if not relevant:
+        return 0.0
+    return float(np.mean([t.duration_minutes for t in relevant]))
+
+
+def monthly_high_impact(tickets: TicketStore, network_id: str,
+                        month: MonthKey, epoch: MonthKey) -> int:
+    """Number of the month's health tickets labelled ``high`` impact."""
+    start, end = month_bounds(month, epoch)
+    relevant = health_tickets(tickets.in_window(network_id, start, end))
+    return sum(1 for t in relevant if t.impact == "high")
+
+
+def monthly_alarm_count(tickets: TicketStore, network_id: str,
+                        month: MonthKey, epoch: MonthKey) -> int:
+    """Number of the month's health tickets raised by monitoring alarms."""
+    from repro.tickets.models import TicketCategory
+
+    start, end = month_bounds(month, epoch)
+    relevant = health_tickets(tickets.in_window(network_id, start, end))
+    return sum(1 for t in relevant if t.category is TicketCategory.ALARM)
+
+
+def alternative_health_columns(dataset: MetricDataset,
+                               tickets: TicketStore) -> AlternativeHealth:
+    """Alternative health metrics for every case of a metric table."""
+    mttr: list[float] = []
+    high: list[int] = []
+    alarms: list[int] = []
+    for key in dataset.case_keys():
+        mttr.append(monthly_mttr(tickets, key.network_id, key.month,
+                                 dataset.epoch))
+        high.append(monthly_high_impact(tickets, key.network_id, key.month,
+                                        dataset.epoch))
+        alarms.append(monthly_alarm_count(tickets, key.network_id, key.month,
+                                          dataset.epoch))
+    return AlternativeHealth(
+        mttr_minutes=np.asarray(mttr, dtype=float),
+        high_impact=np.asarray(high, dtype=np.int64),
+        alarm_count=np.asarray(alarms, dtype=np.int64),
+    )

@@ -1,0 +1,87 @@
+"""Operational-practice metrics (paper Table 1, O1-O4).
+
+Computed over one network's device-level :class:`ChangeRecord` list and
+its grouped :class:`ChangeEvent` list for one month. Months with no
+changes yield zeros (the paper notes these metrics are undefined when the
+treatment value is 0 — the QED layer handles that case).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.types import ChangeEvent, ChangeModality, ChangeRecord
+
+#: Device roles treated as middleboxes when deciding whether a change
+#: event "touches a middlebox" (role lookup supplied by the caller).
+_MBOX_STANZA_TYPES = frozenset({"pool", "vip"})
+
+
+def operational_metrics(changes: Sequence[ChangeRecord],
+                        events: Sequence[ChangeEvent],
+                        n_network_devices: int,
+                        mbox_device_ids: frozenset[str]) -> dict[str, float]:
+    """All O1-O4 metrics for one network-month.
+
+    Args:
+        changes: the month's device-level changes.
+        events: the same changes grouped into change events.
+        n_network_devices: network size (for ``frac_devices_changed``).
+        mbox_device_ids: the network's middlebox device ids.
+    """
+    if n_network_devices < 1:
+        raise ValueError("n_network_devices must be positive")
+
+    n_changes = len(changes)
+    devices_changed = {change.device_id for change in changes}
+    automated = sum(
+        1 for change in changes
+        if change.modality is ChangeModality.AUTOMATED
+    )
+    change_types: set[str] = set()
+    iface_changes = 0
+    acl_changes = 0
+    for change in changes:
+        change_types.update(change.stanza_types)
+        if "interface" in change.stanza_types:
+            iface_changes += 1
+        if "acl" in change.stanza_types:
+            acl_changes += 1
+
+    n_events = len(events)
+    if n_events:
+        devices_per_event = sum(e.num_devices for e in events) / n_events
+        events_automated = sum(1 for e in events if e.is_automated) / n_events
+        events_iface = sum(
+            1 for e in events if "interface" in e.stanza_types
+        ) / n_events
+        events_acl = sum(1 for e in events if "acl" in e.stanza_types) / n_events
+        events_router = sum(
+            1 for e in events if "router" in e.stanza_types
+        ) / n_events
+        events_mbox = sum(
+            1 for e in events
+            if (e.stanza_types & _MBOX_STANZA_TYPES)
+            or (e.devices & mbox_device_ids)
+        ) / n_events
+    else:
+        devices_per_event = 0.0
+        events_automated = events_iface = events_acl = 0.0
+        events_router = events_mbox = 0.0
+
+    return {
+        "n_config_changes": float(n_changes),
+        "n_devices_changed": float(len(devices_changed)),
+        "frac_devices_changed": len(devices_changed) / n_network_devices,
+        "frac_changes_automated": automated / n_changes if n_changes else 0.0,
+        "n_change_types": float(len(change_types)),
+        "frac_changes_interface": iface_changes / n_changes if n_changes else 0.0,
+        "frac_changes_acl": acl_changes / n_changes if n_changes else 0.0,
+        "n_change_events": float(n_events),
+        "avg_devices_per_event": devices_per_event,
+        "frac_events_automated": events_automated,
+        "frac_events_interface": events_iface,
+        "frac_events_acl": events_acl,
+        "frac_events_router": events_router,
+        "frac_events_mbox": events_mbox,
+    }

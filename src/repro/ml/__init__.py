@@ -1,0 +1,49 @@
+"""Machine-learning substrate, implemented from scratch.
+
+The paper builds its models with C4.5 decision trees, AdaBoost, and
+oversampling, and compares against SVMs, majority-class prediction, and
+(in a footnote) balanced/weighted random forests; propensity scores for
+the QED come from logistic regression. None of those are available
+offline here, so this package implements each of them:
+
+* :mod:`repro.ml.tree` — C4.5-style decision tree (gain ratio, multiway
+  categorical splits, minimum-support pruning),
+* :mod:`repro.ml.boosting` — AdaBoost (SAMME) over weighted trees,
+* :mod:`repro.ml.forest` — random forests incl. balanced and class-
+  weighted variants,
+* :mod:`repro.ml.svm` — linear one-vs-rest SVM (Pegasos SGD),
+* :mod:`repro.ml.logistic` — L2-regularized logistic regression,
+* :mod:`repro.ml.majority` — the majority-class baseline,
+* :mod:`repro.ml.sampling` — minority-class oversampling,
+* :mod:`repro.ml.model_eval` — k-fold CV, accuracy/precision/recall.
+"""
+
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.majority import MajorityClassifier
+from repro.ml.sampling import oversample
+from repro.ml.model_eval import (
+    ClassReport,
+    EvalReport,
+    cross_validate,
+    evaluate,
+)
+
+__all__ = [
+    "Classifier",
+    "DecisionTreeClassifier",
+    "AdaBoostClassifier",
+    "RandomForestClassifier",
+    "LinearSVMClassifier",
+    "LogisticRegression",
+    "MajorityClassifier",
+    "oversample",
+    "ClassReport",
+    "EvalReport",
+    "cross_validate",
+    "evaluate",
+]

@@ -1,0 +1,63 @@
+"""Classifier protocol and shared validation helpers."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Minimal interface every model in :mod:`repro.ml` implements."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "Classifier":
+        ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        ...
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray,
+             sample_weight: np.ndarray | None = None,
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and normalize training inputs.
+
+    Returns float64 ``X``, int64 ``y``, and normalized positive weights.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=np.int64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if sample_weight is None:
+        weights = np.full(X.shape[0], 1.0 / X.shape[0])
+    else:
+        weights = np.asarray(sample_weight, dtype=float)
+        if weights.shape != y.shape:
+            raise ValueError("sample_weight shape must match y")
+        if (weights < 0).any():
+            raise ValueError("sample weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("sample weights sum to zero")
+        weights = weights / total
+    return X, y, weights
+
+
+def require_fitted(model: object, attribute: str) -> None:
+    """Raise :class:`NotFittedError` when ``attribute`` is missing/None."""
+    if getattr(model, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(model).__name__} must be fit before prediction"
+        )

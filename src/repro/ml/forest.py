@@ -1,0 +1,116 @@
+"""Random forests, including the balanced and weighted variants.
+
+Paper footnote 2: "We also experimented with random forests [8, 19];
+neither balanced [8] nor weighted random forests [19] improve the
+accuracy for the minority classes beyond the improvements we are already
+able to achieve with boosting and oversampling." The forest ablation
+bench reproduces that comparison.
+
+* ``mode="plain"``  — ordinary bootstrap per tree,
+* ``mode="balanced"`` — each tree's bootstrap draws the same number of
+  samples from every class (Chen/Breiman-style balanced RF),
+* ``mode="weighted"`` — trees are trained with inverse-class-frequency
+  sample weights (weighted RF, Khoshgoftaar et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_Xy, require_fitted
+from repro.ml.tree import DecisionTreeClassifier
+
+_MODES = ("plain", "balanced", "weighted")
+
+
+class RandomForestClassifier:
+    """Bagged decision trees with per-tree feature subsampling.
+
+    Feature subsampling is implemented by masking out features (replacing
+    them with a constant) rather than dropping columns, so all trees see
+    the same feature indexing.
+    """
+
+    def __init__(self, n_trees: int = 25, mode: str = "plain",
+                 max_features: float = 0.6, min_support_fraction: float = 0.005,
+                 max_depth: int | None = None, seed: int = 0) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be positive")
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("max_features must be in (0, 1]")
+        self.n_trees = n_trees
+        self.mode = mode
+        self.max_features = max_features
+        self.min_support_fraction = min_support_fraction
+        self.max_depth = max_depth
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] | None = None
+        self._feature_masks: list[np.ndarray] | None = None
+        self.classes_: np.ndarray | None = None
+
+    def _bootstrap_indices(self, y: np.ndarray,
+                           rng: np.random.Generator) -> np.ndarray:
+        n = len(y)
+        if self.mode != "balanced":
+            return rng.integers(0, n, size=n)
+        labels = np.unique(y)
+        per_class = max(1, n // len(labels))
+        picks: list[np.ndarray] = []
+        for label in labels:
+            members = np.flatnonzero(y == label)
+            picks.append(rng.choice(members, size=per_class, replace=True))
+        return np.concatenate(picks)
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "RandomForestClassifier":
+        X, y, w = check_Xy(X, y, sample_weight)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.seed)
+        n_features = X.shape[1]
+        k = max(1, int(round(self.max_features * n_features)))
+
+        class_weight = np.ones_like(w)
+        if self.mode == "weighted":
+            counts = {label: (y == label).sum() for label in self.classes_}
+            total = len(y)
+            per_label = {
+                label: total / (len(self.classes_) * count)
+                for label, count in counts.items()
+            }
+            class_weight = np.array([per_label[int(label)] for label in y])
+
+        trees: list[DecisionTreeClassifier] = []
+        masks: list[np.ndarray] = []
+        for _ in range(self.n_trees):
+            indices = self._bootstrap_indices(y, rng)
+            chosen = rng.choice(n_features, size=k, replace=False)
+            mask = np.zeros(n_features, dtype=bool)
+            mask[chosen] = True
+            Xb = X[indices].copy()
+            Xb[:, ~mask] = 0  # masked features become uninformative
+            weights = (w * class_weight)[indices]
+            tree = DecisionTreeClassifier(
+                min_support_fraction=self.min_support_fraction,
+                max_depth=self.max_depth,
+            ).fit(Xb, y[indices], sample_weight=weights)
+            trees.append(tree)
+            masks.append(mask)
+        self.trees_ = trees
+        self._feature_masks = masks
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        require_fitted(self, "trees_")
+        assert (self.trees_ is not None and self._feature_masks is not None
+                and self.classes_ is not None)
+        X = np.asarray(X)
+        class_index = {int(c): i for i, c in enumerate(self.classes_)}
+        votes = np.zeros((X.shape[0], len(self.classes_)))
+        for tree, mask in zip(self.trees_, self._feature_masks):
+            Xm = X.copy()
+            Xm[:, ~mask] = 0
+            for row, label in enumerate(tree.predict(Xm)):
+                votes[row, class_index[int(label)]] += 1.0
+        return self.classes_[np.argmax(votes, axis=1)]

@@ -1,0 +1,118 @@
+"""L2-regularized binary logistic regression.
+
+Used in two places: (i) as the propensity-score model of the QED
+("similar to using logistic regression to construct propensity score
+formulas during causal analysis", Section 6.1), and (ii) as a simple
+probabilistic classifier for tests. Fit by Newton-Raphson (IRLS) with a
+gradient-descent fallback when the Hessian is ill-conditioned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_Xy, require_fitted
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # numerically stable piecewise logistic
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    ez = np.exp(z[~positive])
+    out[~positive] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression with an intercept and L2 penalty.
+
+    Args:
+        l2: ridge strength (not applied to the intercept).
+        max_iter: Newton iteration cap.
+        tol: convergence threshold on the coefficient update norm.
+        standardize: z-score features internally (recommended — the
+            practice metrics span orders of magnitude).
+    """
+
+    def __init__(self, l2: float = 1e-3, max_iter: int = 50,
+                 tol: float = 1e-8, standardize: bool = True) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.standardize = standardize
+        self.coef_: np.ndarray | None = None  # includes intercept at [0]
+        self.classes_: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "LogisticRegression":
+        X, y, w = check_Xy(X, y, sample_weight)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) == 1:
+            # degenerate: constant predictor
+            self._mean = np.zeros(X.shape[1])
+            self._scale = np.ones(X.shape[1])
+            self.coef_ = np.zeros(X.shape[1] + 1)
+            sign = 1.0 if self.classes_[0] == 1 else -1.0
+            self.coef_[0] = sign * 20.0
+            return self
+        if len(self.classes_) != 2:
+            raise ValueError("LogisticRegression is binary; got "
+                             f"{len(self.classes_)} classes")
+        target = (y == self.classes_[1]).astype(float)
+
+        if self.standardize:
+            self._mean = X.mean(axis=0)
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._scale = scale
+            Xs = (X - self._mean) / self._scale
+        else:
+            self._mean = np.zeros(X.shape[1])
+            self._scale = np.ones(X.shape[1])
+            Xs = X
+
+        design = np.hstack([np.ones((Xs.shape[0], 1)), Xs])
+        beta = np.zeros(design.shape[1])
+        ridge = np.full(design.shape[1], self.l2)
+        ridge[0] = 0.0
+
+        for _ in range(self.max_iter):
+            mu = _sigmoid(design @ beta)
+            gradient = design.T @ (w * (mu - target)) + ridge * beta
+            working = np.clip(w * mu * (1.0 - mu), 1e-10, None)
+            hessian = (design * working[:, None]).T @ design + np.diag(
+                np.maximum(ridge, 1e-10)
+            )
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                step = gradient * 0.1
+            beta = beta - step
+            if float(np.linalg.norm(step)) < self.tol:
+                break
+        self.coef_ = beta
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(class == classes_[1]) for each row."""
+        require_fitted(self, "coef_")
+        assert (self.coef_ is not None and self._mean is not None
+                and self._scale is not None)
+        X = np.asarray(X, dtype=float)
+        Xs = (X - self._mean) / self._scale
+        design = np.hstack([np.ones((Xs.shape[0], 1)), Xs])
+        return _sigmoid(design @ self.coef_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        require_fitted(self, "coef_")
+        assert self.classes_ is not None
+        if len(self.classes_) == 1:
+            return np.full(np.asarray(X).shape[0], self.classes_[0])
+        probabilities = self.predict_proba(X)
+        return np.where(probabilities >= 0.5, self.classes_[1],
+                        self.classes_[0])

@@ -1,0 +1,27 @@
+"""Majority-class baseline (the paper's reference predictor)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_Xy, require_fitted
+
+
+class MajorityClassifier:
+    """Always predicts the (weighted) most frequent training class."""
+
+    def __init__(self) -> None:
+        self.label_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "MajorityClassifier":
+        _, y, w = check_Xy(X, y, sample_weight)
+        labels, inverse = np.unique(y, return_inverse=True)
+        totals = np.bincount(inverse, weights=w)
+        self.label_ = int(labels[np.argmax(totals)])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        require_fitted(self, "label_")
+        X = np.asarray(X)
+        return np.full(X.shape[0], self.label_, dtype=np.int64)

@@ -1,0 +1,128 @@
+"""Model evaluation: accuracy, per-class precision/recall, k-fold CV.
+
+Matches the paper's validation protocol (Section 6.1): 5-fold cross
+validation; accuracy = mean fraction of test examples classified
+correctly; per-class precision (of predicted-C, how many are C) and
+recall (of true-C, how many are predicted C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+@dataclass(frozen=True, slots=True)
+class ClassReport:
+    """Precision/recall for one class."""
+
+    label: int
+    precision: float
+    recall: float
+    support: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+@dataclass(frozen=True, slots=True)
+class EvalReport:
+    """Aggregate evaluation result."""
+
+    accuracy: float
+    per_class: tuple[ClassReport, ...]
+    confusion: np.ndarray  # rows = true, cols = predicted
+    labels: tuple[int, ...]
+
+    def report_for(self, label: int) -> ClassReport:
+        for report in self.per_class:
+            if report.label == label:
+                return report
+        raise KeyError(f"no class {label} in report")
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     labels: tuple[int, ...]) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted."""
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for truth, prediction in zip(y_true, y_pred):
+        matrix[index[int(truth)], index[int(prediction)]] += 1
+    return matrix
+
+
+def evaluate(y_true: np.ndarray, y_pred: np.ndarray,
+             labels: tuple[int, ...] | None = None) -> EvalReport:
+    """Compute accuracy + per-class precision/recall from predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("prediction/label shape mismatch")
+    if len(y_true) == 0:
+        raise ValueError("cannot evaluate zero predictions")
+    if labels is None:
+        labels = tuple(int(v) for v in np.unique(np.concatenate([y_true, y_pred])))
+    matrix = confusion_matrix(y_true, y_pred, labels)
+    accuracy = float(np.trace(matrix) / matrix.sum())
+    reports: list[ClassReport] = []
+    for i, label in enumerate(labels):
+        true_positive = matrix[i, i]
+        predicted = matrix[:, i].sum()
+        actual = matrix[i, :].sum()
+        reports.append(ClassReport(
+            label=label,
+            precision=float(true_positive / predicted) if predicted else 0.0,
+            recall=float(true_positive / actual) if actual else 0.0,
+            support=int(actual),
+        ))
+    return EvalReport(
+        accuracy=accuracy,
+        per_class=tuple(reports),
+        confusion=matrix,
+        labels=labels,
+    )
+
+
+def kfold_indices(n: int, k: int, seed: int = 0) -> list[np.ndarray]:
+    """Shuffled fold membership: returns k disjoint test-index arrays."""
+    if k < 2:
+        raise ValueError("need at least 2 folds")
+    if n < k:
+        raise ValueError(f"cannot split {n} samples into {k} folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    return [order[i::k] for i in range(k)]
+
+
+def cross_validate(model_factory: Callable[[], Classifier],
+                   X: np.ndarray, y: np.ndarray, k: int = 5, seed: int = 0,
+                   train_transform: Callable[
+                       [np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]
+                   ] | None = None) -> EvalReport:
+    """k-fold cross validation (paper: k=5).
+
+    ``train_transform`` is applied to each fold's *training* split only —
+    this is where oversampling plugs in, so replicated minority samples
+    never leak into the test split.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    labels = tuple(int(v) for v in np.unique(y))
+    predictions = np.empty_like(y)
+    for test_idx in kfold_indices(len(y), k, seed):
+        train_mask = np.ones(len(y), dtype=bool)
+        train_mask[test_idx] = False
+        X_train, y_train = X[train_mask], y[train_mask]
+        if train_transform is not None:
+            X_train, y_train = train_transform(X_train, y_train)
+        model = model_factory()
+        model.fit(X_train, y_train)
+        predictions[test_idx] = model.predict(X[test_idx])
+    return evaluate(y, predictions, labels)

@@ -1,0 +1,61 @@
+"""Minority-class oversampling (paper Section 6.1, "Addressing Skew").
+
+The paper replicates minority-class samples during training: for the
+2-class model the unhealthy class is replicated twice; for the 5-class
+model the *poor* class twice and the *moderate* and *good* classes three
+times. :func:`oversample` implements exactly that replication, and
+:data:`PAPER_2CLASS_FACTORS` / :data:`PAPER_5CLASS_FACTORS` encode the
+paper's factors (replication factor = 1 + extra copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 2-class model: replicate unhealthy (class 1) twice.
+PAPER_2CLASS_FACTORS = {1: 2}
+
+#: 5-class model (0=excellent .. 4=very poor): replicate poor twice,
+#: moderate and good thrice.
+PAPER_5CLASS_FACTORS = {1: 3, 2: 3, 3: 2}
+
+
+def oversample(X: np.ndarray, y: np.ndarray,
+               factors: dict[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Replicate samples of selected classes.
+
+    Args:
+        factors: class label -> total copies of each sample of that class
+            (1 = unchanged; 2 = each sample appears twice; ...). Classes
+            not listed keep a single copy.
+
+    Returns the augmented ``(X, y)``; original rows come first, followed
+    by replicas grouped by class, so slicing off ``len(y)`` rows recovers
+    the original data.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y disagree in length")
+    for label, factor in factors.items():
+        if factor < 1:
+            raise ValueError(
+                f"replication factor for class {label} must be >= 1"
+            )
+    extra_X: list[np.ndarray] = []
+    extra_y: list[np.ndarray] = []
+    for label, factor in sorted(factors.items()):
+        if factor == 1:
+            continue
+        mask = y == label
+        if not mask.any():
+            continue
+        for _ in range(factor - 1):
+            extra_X.append(X[mask])
+            extra_y.append(y[mask])
+    if not extra_X:
+        return X.copy(), y.copy()
+    return (
+        np.concatenate([X, *extra_X], axis=0),
+        np.concatenate([y, *extra_y], axis=0),
+    )

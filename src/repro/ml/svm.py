@@ -1,0 +1,104 @@
+"""Linear SVM via Pegasos SGD, one-vs-rest for multi-class.
+
+The paper tried SVMs first and found they "performed worse than a simple
+majority classifier" because unhealthy cases concentrate in a small part
+of the practice space. This implementation exists to reproduce that
+negative result (and as a genuinely usable linear classifier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_Xy, require_fitted
+
+
+class _BinaryPegasos:
+    """Hinge-loss linear classifier trained with the Pegasos schedule."""
+
+    def __init__(self, lam: float, n_epochs: int, seed: int) -> None:
+        self.lam = lam
+        self.n_epochs = n_epochs
+        self.seed = seed
+        self.w: np.ndarray | None = None
+        self.b: float = 0.0
+
+    def fit(self, X: np.ndarray, targets: np.ndarray,
+            sample_weight: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        # importance-sample by weight so AdaBoost-style weights still work
+        probabilities = sample_weight / sample_weight.sum()
+        t = 0
+        for _ in range(self.n_epochs):
+            order = rng.choice(n, size=n, p=probabilities)
+            for i in order:
+                t += 1
+                eta = 1.0 / (self.lam * t)
+                margin = targets[i] * (X[i] @ w + b)
+                w *= (1.0 - eta * self.lam)
+                if margin < 1.0:
+                    w += eta * targets[i] * X[i]
+                    b += eta * targets[i] * 0.1
+        self.w = w
+        self.b = b
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        assert self.w is not None
+        return X @ self.w + self.b
+
+
+class LinearSVMClassifier:
+    """One-vs-rest linear SVM.
+
+    Args:
+        lam: Pegasos regularization strength.
+        n_epochs: passes over the data per binary problem.
+        seed: RNG seed for the sampling schedule.
+        standardize: z-score features internally.
+    """
+
+    def __init__(self, lam: float = 1e-4, n_epochs: int = 5, seed: int = 0,
+                 standardize: bool = True) -> None:
+        if lam <= 0:
+            raise ValueError("lam must be positive")
+        self.lam = lam
+        self.n_epochs = n_epochs
+        self.seed = seed
+        self.standardize = standardize
+        self.classes_: np.ndarray | None = None
+        self._machines: list[_BinaryPegasos] | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "LinearSVMClassifier":
+        X, y, w = check_Xy(X, y, sample_weight)
+        self.classes_ = np.unique(y)
+        if self.standardize:
+            self._mean = X.mean(axis=0)
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._scale = scale
+            X = (X - self._mean) / self._scale
+        else:
+            self._mean = np.zeros(X.shape[1])
+            self._scale = np.ones(X.shape[1])
+        machines = []
+        for k, label in enumerate(self.classes_):
+            targets = np.where(y == label, 1.0, -1.0)
+            machine = _BinaryPegasos(self.lam, self.n_epochs, self.seed + k)
+            machine.fit(X, targets, w)
+            machines.append(machine)
+        self._machines = machines
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        require_fitted(self, "_machines")
+        assert (self._machines is not None and self.classes_ is not None
+                and self._mean is not None and self._scale is not None)
+        X = (np.asarray(X, dtype=float) - self._mean) / self._scale
+        scores = np.column_stack([m.score(X) for m in self._machines])
+        return self.classes_[np.argmax(scores, axis=1)]

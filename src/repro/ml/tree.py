@@ -1,0 +1,362 @@
+"""C4.5-style decision tree (Quinlan [27]), the paper's base learner.
+
+Characteristics matched to the paper's setup:
+
+* features are *binned* small integers (Section 6.1 bins every practice
+  into 5 bins before learning), so splits are C4.5 multiway categorical
+  splits chosen by **gain ratio**;
+* pruning follows the paper exactly: "each branch where the number of
+  data points reaching this branch is below a threshold alpha is replaced
+  with a leaf whose label is the majority class among the data points
+  reaching that leaf", with alpha defaulting to 1% of the training data;
+* sample weights are supported throughout so AdaBoost can reweight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import check_Xy, require_fitted
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree. Leaves have ``feature is None``.
+
+    Internal nodes are either *multiway* (one child per feature value,
+    in ``children``) or *threshold* (binary ``x <= threshold`` split, with
+    ``low``/``high`` children) — C4.5 uses the latter for numeric
+    attributes.
+    """
+
+    label: int  # majority class at this node (prediction if leaf)
+    feature: int | None = None
+    children: dict[int, "TreeNode"] = field(default_factory=dict)
+    threshold: float | None = None
+    low: "TreeNode | None" = None
+    high: "TreeNode | None" = None
+    #: weighted share of training data reaching this node
+    support: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def _child_nodes(self) -> list["TreeNode"]:
+        if self.threshold is not None:
+            return [node for node in (self.low, self.high) if node is not None]
+        return list(self.children.values())
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self._child_nodes())
+
+    def n_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + sum(child.n_nodes() for child in self._child_nodes())
+
+
+def _weighted_entropy(y: np.ndarray, w: np.ndarray, n_classes: int) -> float:
+    return _entropy_from_weights(np.bincount(y, weights=w,
+                                             minlength=n_classes))
+
+
+def _entropy_from_weights(totals: np.ndarray) -> float:
+    total = totals.sum()
+    if total <= 0:
+        return 0.0
+    p = totals[totals > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+class DecisionTreeClassifier:
+    """C4.5-style decision tree with gain-ratio splits.
+
+    Args:
+        min_support_fraction: the paper's pruning threshold alpha — any
+            branch that would receive less than this fraction of the
+            training data becomes a leaf. Default 0.01 (1%).
+        max_depth: optional hard depth cap (None = unlimited).
+        split_mode: ``"threshold"`` (default) uses C4.5's numeric-attribute
+            handling — binary ``x <= t`` splits, features reusable along a
+            path; ``"multiway"`` treats each feature as categorical with
+            one branch per value (consumed once per path).
+    """
+
+    def __init__(self, min_support_fraction: float = 0.01,
+                 max_depth: int | None = None,
+                 split_mode: str = "threshold") -> None:
+        if not 0.0 <= min_support_fraction < 1.0:
+            raise ValueError("min_support_fraction must be in [0, 1)")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        if split_mode not in ("threshold", "multiway"):
+            raise ValueError(f"unknown split_mode {split_mode!r}")
+        self.min_support_fraction = min_support_fraction
+        self.max_depth = max_depth
+        self.split_mode = split_mode
+        self.root_: TreeNode | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "DecisionTreeClassifier":
+        X, y, w = check_Xy(X, y, sample_weight)
+        Xi = X.astype(np.int64)
+        if not np.array_equal(Xi, X):
+            raise ValueError(
+                "DecisionTreeClassifier expects binned integer features; "
+                "bin continuous metrics first (see repro.util.binning)"
+            )
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_ = Xi.shape[1]
+        n_classes = len(self.classes_)
+        self.root_ = self._build(
+            Xi, y_enc, w, n_classes,
+            available=np.ones(Xi.shape[1], dtype=bool),
+            depth=0,
+        )
+        return self
+
+    def _majority(self, y: np.ndarray, w: np.ndarray, n_classes: int) -> int:
+        return int(np.argmax(np.bincount(y, weights=w, minlength=n_classes)))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, w: np.ndarray,
+               n_classes: int, available: np.ndarray, depth: int) -> TreeNode:
+        support = float(w.sum())
+        label = self._majority(y, w, n_classes)
+        node = TreeNode(label=label, support=support)
+
+        if (len(np.unique(y)) <= 1
+                or not available.any()
+                or (self.max_depth is not None and depth >= self.max_depth)):
+            return node
+
+        if self.split_mode == "threshold":
+            return self._split_threshold(node, X, y, w, n_classes, available,
+                                         depth)
+        return self._split_multiway(node, X, y, w, n_classes, available,
+                                    depth)
+
+    def _split_multiway(self, node: TreeNode, X: np.ndarray, y: np.ndarray,
+                        w: np.ndarray, n_classes: int, available: np.ndarray,
+                        depth: int) -> TreeNode:
+        feature = self._best_feature(X, y, w, n_classes, available)
+        if feature is None:
+            return node
+
+        values = np.unique(X[:, feature])
+        # pruning: if any branch falls below alpha, make this a leaf
+        masks = {int(v): X[:, feature] == v for v in values}
+        if any(w[mask].sum() < self.min_support_fraction for mask in masks.values()):
+            # only split into branches that satisfy the support threshold;
+            # if fewer than 2 qualify, this node stays a leaf
+            qualified = {
+                v: mask for v, mask in masks.items()
+                if w[mask].sum() >= self.min_support_fraction
+            }
+            if len(qualified) < 2:
+                return node
+            masks = qualified
+
+        child_available = available.copy()
+        child_available[feature] = False
+        node.feature = feature
+        for value, mask in masks.items():
+            node.children[value] = self._build(
+                X[mask], y[mask], w[mask], n_classes, child_available,
+                depth + 1,
+            )
+        return node
+
+    def _split_threshold(self, node: TreeNode, X: np.ndarray, y: np.ndarray,
+                         w: np.ndarray, n_classes: int,
+                         available: np.ndarray, depth: int) -> TreeNode:
+        best = self._best_threshold(X, y, w, n_classes, available)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask_low = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.low = self._build(X[mask_low], y[mask_low], w[mask_low],
+                               n_classes, available, depth + 1)
+        node.high = self._build(X[~mask_low], y[~mask_low], w[~mask_low],
+                                n_classes, available, depth + 1)
+        return node
+
+    def _best_threshold(self, X: np.ndarray, y: np.ndarray, w: np.ndarray,
+                        n_classes: int, available: np.ndarray,
+                        ) -> tuple[int, float] | None:
+        """Best (feature, threshold) by gain ratio, honouring alpha.
+
+        Uses per-value class-weight histograms + prefix sums so evaluating
+        all candidate cuts of a feature costs O(values x classes) after a
+        single counting pass.
+        """
+        base_entropy = _weighted_entropy(y, w, n_classes)
+        total = w.sum()
+        best_ratio = 0.0
+        best: tuple[int, float] | None = None
+        for feature in np.flatnonzero(available):
+            column = X[:, feature]
+            values, inverse = np.unique(column, return_inverse=True)
+            if len(values) < 2:
+                continue
+            hist = np.zeros((len(values), n_classes))
+            np.add.at(hist, (inverse, y), w)
+            prefix = np.cumsum(hist, axis=0)
+            grand = prefix[-1]
+            for i in range(len(values) - 1):
+                low = prefix[i]
+                high = grand - low
+                w_low = low.sum()
+                w_high = high.sum()
+                # alpha pruning applies to both sides of the cut
+                if (w_low < self.min_support_fraction
+                        or w_high < self.min_support_fraction):
+                    continue
+                f_low = w_low / total
+                f_high = w_high / total
+                cond = (f_low * _entropy_from_weights(low)
+                        + f_high * _entropy_from_weights(high))
+                gain = base_entropy - cond
+                split_info = -(f_low * np.log2(f_low)
+                               + f_high * np.log2(f_high))
+                if gain <= 1e-12 or split_info <= 1e-12:
+                    continue
+                ratio = gain / split_info
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best = (int(feature),
+                            float((values[i] + values[i + 1]) / 2.0))
+        return best
+
+    def _best_feature(self, X: np.ndarray, y: np.ndarray, w: np.ndarray,
+                      n_classes: int, available: np.ndarray) -> int | None:
+        base_entropy = _weighted_entropy(y, w, n_classes)
+        total = w.sum()
+        best_ratio = 0.0
+        best_feature: int | None = None
+        for feature in np.flatnonzero(available):
+            column = X[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            cond_entropy = 0.0
+            split_info = 0.0
+            for value in values:
+                mask = column == value
+                branch_weight = w[mask].sum()
+                if branch_weight <= 0:
+                    continue
+                fraction = branch_weight / total
+                cond_entropy += fraction * _weighted_entropy(
+                    y[mask], w[mask], n_classes
+                )
+                split_info -= fraction * np.log2(fraction)
+            gain = base_entropy - cond_entropy
+            if gain <= 1e-12 or split_info <= 1e-12:
+                continue
+            ratio = gain / split_info
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_feature = int(feature)
+        return best_feature
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        require_fitted(self, "root_")
+        X = np.asarray(X)
+        assert self.root_ is not None and self.classes_ is not None
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_}), got {X.shape}"
+            )
+        Xi = X.astype(np.int64, copy=False)
+        encoded = np.empty(Xi.shape[0], dtype=np.int64)
+
+        def route(node: TreeNode, indices: np.ndarray) -> None:
+            if indices.size == 0:
+                return
+            if node.is_leaf:
+                encoded[indices] = node.label
+                return
+            if node.threshold is not None:
+                assert node.low is not None and node.high is not None
+                mask = Xi[indices, node.feature] <= node.threshold
+                route(node.low, indices[mask])
+                route(node.high, indices[~mask])
+                return
+            column = Xi[indices, node.feature]
+            remaining = np.ones(indices.size, dtype=bool)
+            for value, child in node.children.items():
+                mask = column == value
+                route(child, indices[mask])
+                remaining &= ~mask
+            # unseen bin values fall back to this node's majority class
+            encoded[indices[remaining]] = node.label
+
+        route(self.root_, np.arange(Xi.shape[0]))
+        return self.classes_[encoded]
+
+    def _predict_one(self, row: np.ndarray) -> int:
+        node = self.root_
+        assert node is not None
+        while not node.is_leaf:
+            if node.threshold is not None:
+                child = node.low if row[node.feature] <= node.threshold \
+                    else node.high
+            else:
+                child = node.children.get(int(row[node.feature]))
+            if child is None:
+                # unseen bin value: fall back to this node's majority class
+                break
+            node = child
+        return node.label
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self, feature_names: list[str] | None = None,
+                 max_depth: int = 3) -> str:
+        """Human-readable rendering of the tree's top levels (Figure 10)."""
+        require_fitted(self, "root_")
+        assert self.root_ is not None and self.classes_ is not None
+        lines: list[str] = []
+
+        def name_of(feature: int) -> str:
+            if feature_names is not None:
+                return feature_names[feature]
+            return f"x{feature}"
+
+        def visit(node: TreeNode, prefix: str, depth: int) -> None:
+            if node.is_leaf or depth >= max_depth:
+                lines.append(
+                    f"{prefix}-> class {self.classes_[node.label]}"
+                    f" (support {node.support:.3f})"
+                )
+                return
+            if node.threshold is not None:
+                assert node.low is not None and node.high is not None
+                lines.append(
+                    f"{prefix}{name_of(node.feature)} <= {node.threshold:g}:"
+                )
+                visit(node.low, prefix + "  ", depth + 1)
+                lines.append(
+                    f"{prefix}{name_of(node.feature)} > {node.threshold:g}:"
+                )
+                visit(node.high, prefix + "  ", depth + 1)
+                return
+            for value in sorted(node.children):
+                lines.append(f"{prefix}{name_of(node.feature)} == bin {value}:")
+                visit(node.children[value], prefix + "  ", depth + 1)
+
+        visit(self.root_, "", 0)
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Paper-style text rendering of tables and figures."""
+
+from repro.reporting.figures import ascii_cdf, ascii_histogram, boxplot_row
+from repro.reporting.tables import (
+    format_mi_table,
+    format_cmi_table,
+    format_matching_table,
+    format_signtest_table,
+    format_causal_table,
+    format_online_table,
+    format_class_report,
+)
+
+__all__ = [
+    "ascii_cdf",
+    "ascii_histogram",
+    "boxplot_row",
+    "format_mi_table",
+    "format_cmi_table",
+    "format_matching_table",
+    "format_signtest_table",
+    "format_causal_table",
+    "format_online_table",
+    "format_class_report",
+]

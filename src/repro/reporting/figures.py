@@ -1,0 +1,96 @@
+"""Text renderings of the paper's figure types (CDFs, box plots, bars).
+
+Benchmarks print these so a terminal run shows the same *shapes* the
+paper plots: CDF curves for the Appendix A characterization, box-plot
+rows for the tickets-vs-practice relationships, histogram bars for the
+survey and health-class distributions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.util.stats import Summary, ecdf, summarize
+
+
+def ascii_cdf(values: Sequence[float], title: str = "", width: int = 48,
+              points: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+              ) -> str:
+    """Render a CDF as quantile rows with a bar for the cumulative mass."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return f"{title}: (no data)"
+    xs, fractions = ecdf(arr)
+    lines = [title] if title else []
+    for point in points:
+        idx = min(int(np.ceil(point * len(xs))) - 1, len(xs) - 1)
+        idx = max(idx, 0)
+        bar = "#" * int(round(point * width))
+        lines.append(f"  F={point:4.2f} | x<={xs[idx]:>10.2f} | {bar}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(labels: Sequence[str], counts: Sequence[int],
+                    title: str = "", width: int = 40) -> str:
+    """Horizontal bar chart for categorical counts (Figure 2 style)."""
+    if len(labels) != len(counts):
+        raise ValueError("labels/counts length mismatch")
+    peak = max(max(counts), 1)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, count in zip(labels, counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {label.ljust(label_width)} | {str(count).rjust(4)} | {bar}")
+    return "\n".join(lines)
+
+
+def boxplot_row(label: str, values: Sequence[float],
+                scale_max: float | None = None, width: int = 40) -> str:
+    """One text box-plot: ``|--[  :  ]--|`` over whiskers/quartiles/median.
+
+    Whiskers follow the paper's convention (2x IQR beyond the quartiles,
+    clipped to the data range).
+    """
+    summary: Summary = summarize(values)
+    hi = scale_max if scale_max is not None else max(summary.maximum, 1e-9)
+    if hi <= 0:
+        hi = 1.0
+
+    def pos(v: float) -> int:
+        return int(round(min(max(v / hi, 0.0), 1.0) * (width - 1)))
+
+    row = [" "] * width
+    lo_w, hi_w = pos(summary.whisker_low), pos(summary.whisker_high)
+    for i in range(lo_w, hi_w + 1):
+        row[i] = "-"
+    row[lo_w] = "|"
+    row[hi_w] = "|"
+    p25, p75 = pos(summary.p25), pos(summary.p75)
+    row[p25] = "["
+    row[p75] = "]"
+    row[pos(summary.median)] = ":"
+    row[pos(summary.mean)] = "*"
+    return (f"{label:<24s} {''.join(row)} "
+            f"(med={summary.median:.2f} mean={summary.mean:.2f})")
+
+
+def relationship_figure(x_label: str, x_bins: Sequence[str],
+                        groups: Sequence[Sequence[float]],
+                        y_label: str = "# of tickets",
+                        width: int = 40) -> str:
+    """Tickets-vs-practice box plots, one row per practice bin (Fig 4/6)."""
+    if len(x_bins) != len(groups):
+        raise ValueError("bin labels and groups must align")
+    populated = [g for g in groups if len(g)]
+    if not populated:
+        return f"{y_label} vs {x_label}: (no data)"
+    hi = max(max(g) for g in populated)
+    lines = [f"{y_label} vs {x_label}"]
+    for label, group in zip(x_bins, groups):
+        if len(group) == 0:
+            lines.append(f"{label:<24s} (no cases)")
+        else:
+            lines.append(boxplot_row(label, group, scale_max=hi, width=width))
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""One-shot organization report: the MPA deliverable as a document.
+
+Stitches the framework's outputs into a single markdown report an
+operator could circulate: dataset summary, top practices, causal
+verdicts, predictive-model quality, and an intent/characterization
+digest. Exposed on the CLI as ``mpa report``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.intent import INTENT_CLASSES, intent_fractions
+from repro.core.mpa import MPA
+from repro.core.prediction import FIVE_CLASS, TWO_CLASS
+from repro.core.workspace import Workspace
+from repro.metrics.catalog import display_name
+from repro.metrics.events import group_change_events
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(str(c) for c in row) + " |"
+                 for row in rows)
+    return "\n".join(lines)
+
+
+def generate_report(workspace: Workspace, top_k: int = 10,
+                    causal_k: int = 5) -> str:
+    """Build the full markdown report for a workspace's organization."""
+    dataset = workspace.dataset()
+    mpa = MPA(dataset)
+    sections: list[str] = []
+
+    sections.append("# Management Plane Analytics report\n")
+    summary = workspace.summary()
+    sections.append("## Dataset\n")
+    sections.append(_md_table(
+        ["property", "value"],
+        [[key, str(value)] for key, value in sorted(summary.items())],
+    ))
+
+    sections.append("\n## Practices most related to network health\n")
+    top = mpa.top_practices(top_k)
+    sections.append(_md_table(
+        ["rank", "practice", "avg monthly MI"],
+        [[str(i + 1), display_name(r.practice), f"{r.avg_monthly_mi:.3f}"]
+         for i, r in enumerate(top)],
+    ))
+
+    sections.append("\n## Causal verdicts (QED, bins 1 vs 2)\n")
+    causal_rows: list[list[str]] = []
+    for result in top[:causal_k]:
+        experiment = mpa.causal_analysis(result.practice)
+        try:
+            low = experiment.result_for("1:2")
+        except KeyError:
+            causal_rows.append([display_name(result.practice),
+                                "too few cases", "-", "-"])
+            continue
+        verdict = ("causal" if low.causal
+                   else "imbalanced matching" if low.imbalanced
+                   else "not significant")
+        causal_rows.append([
+            display_name(result.practice), verdict,
+            f"{low.sign.p_value:.2e}", low.sign.direction,
+        ])
+    sections.append(_md_table(
+        ["practice", "verdict", "p-value", "direction"], causal_rows,
+    ))
+
+    sections.append("\n## Predictive model quality (5-fold CV)\n")
+    model_rows: list[list[str]] = []
+    for scheme in (TWO_CLASS, FIVE_CLASS):
+        for variant in ("majority", "dt", "dt+ab+os"):
+            report = mpa.evaluate(scheme=scheme, variant=variant)
+            model_rows.append([scheme.name, variant,
+                               f"{report.accuracy:.3f}"])
+    sections.append(_md_table(["scheme", "model", "accuracy"], model_rows))
+
+    sections.append("\n## Change-intent mix\n")
+    changes = workspace.changes()
+    totals = {intent: 0.0 for intent in INTENT_CLASSES}
+    n_events = 0
+    for records in changes.values():
+        events = group_change_events(records)
+        n_events += len(events)
+        for intent, fraction in intent_fractions(events).items():
+            totals[intent] += fraction * len(events)
+    intent_rows = [
+        [intent, str(int(count)), f"{count / max(n_events, 1):.1%}"]
+        for intent, count in sorted(totals.items(), key=lambda kv: -kv[1])
+        if count > 0
+    ]
+    sections.append(_md_table(["intent", "events", "share"], intent_rows))
+
+    sections.append("\n## Health outlook\n")
+    tickets = dataset.tickets
+    sections.append(
+        f"- healthy (<= 1 ticket) months: {(tickets <= 1).mean():.1%}\n"
+        f"- mean monthly tickets: {tickets.mean():.2f}\n"
+        f"- worst network-month: {int(tickets.max())} tickets\n"
+    )
+    model = mpa.build_model(scheme=TWO_CLASS, variant="dt+ab+os")
+    months = sorted(set(dataset.case_month_indices))
+    latest = dataset.restrict_months({months[-1]})
+    predictions = model.predict_dataset(latest)
+    flagged = sorted(
+        network for network, label in
+        zip(latest.case_networks, predictions) if label == 1
+    )
+    sections.append(
+        f"- networks flagged unhealthy for the latest month: "
+        f"{len(flagged)} of {latest.n_cases}"
+    )
+    if flagged:
+        shown = ", ".join(flagged[:10])
+        suffix = ", ..." if len(flagged) > 10 else ""
+        sections.append(f"  ({shown}{suffix})")
+
+    return "\n".join(sections) + "\n"

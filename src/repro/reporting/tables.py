@@ -1,0 +1,141 @@
+"""Paper-style table formatting for analysis results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.dependence import DependenceResult, PairDependenceResult
+from repro.analysis.qed.experiment import CausalExperiment, ComparisonResult
+from repro.core.online import OnlineResult
+from repro.metrics.catalog import display_name
+from repro.ml.model_eval import EvalReport
+from repro.util.tables import render_table
+
+
+def format_mi_table(results: Sequence[DependenceResult],
+                    title: str = "Table 3: top practices by avg monthly MI",
+                    ) -> str:
+    """Render a Table 3-style MI ranking."""
+    rows = [
+        [display_name(r.practice), f"{r.avg_monthly_mi:.3f}"]
+        for r in results
+    ]
+    return render_table(["Management Practice", "Avg. Monthly MI"], rows,
+                        title=title)
+
+
+def format_cmi_table(results: Sequence[PairDependenceResult],
+                     title: str = "Table 4: top practice pairs by CMI",
+                     ) -> str:
+    """Render a Table 4-style CMI pair ranking."""
+    rows = [
+        [display_name(r.practice_a), display_name(r.practice_b),
+         f"{r.cmi:.3f}"]
+        for r in results
+    ]
+    return render_table(["Practice A", "Practice B", "CMI"], rows,
+                        title=title)
+
+
+def format_matching_table(experiment: CausalExperiment,
+                          title: str = "Table 5: propensity-score matching",
+                          ) -> str:
+    """Render a Table 5-style matching summary per comparison point."""
+    rows = []
+    for r in experiment.results:
+        rows.append([
+            r.point_label, r.n_untreated, r.n_treated, r.n_pairs,
+            r.n_untreated_matched,
+            f"{r.balance.propensity.abs_std_diff_of_means:.4f}",
+            f"{r.balance.propensity.ratio_of_variances:.4f}",
+        ])
+    return render_table(
+        ["Comp. Point", "Untreated", "Treated", "Pairs", "Untreated Matched",
+         "Abs.Std.Diff (prop.)", "Var.Ratio (prop.)"],
+        rows, title=title,
+    )
+
+
+def format_signtest_table(experiment: CausalExperiment,
+                          title: str = "Table 6: sign-test significance",
+                          ) -> str:
+    """Render a Table 6-style sign-test summary per comparison point."""
+    rows = []
+    for r in experiment.results:
+        rows.append([
+            r.point_label, r.sign.n_fewer_tickets, r.sign.n_no_effect,
+            r.sign.n_more_tickets, f"{r.sign.p_value:.2e}",
+            "yes" if r.causal else ("imbal." if r.imbalanced else "no"),
+        ])
+    return render_table(
+        ["Comp. Point", "Fewer Tickets", "No Effect", "More Tickets",
+         "p-value", "causal?"],
+        rows, title=title,
+    )
+
+
+def _cell_for(result: ComparisonResult | None, skipped: bool) -> str:
+    if skipped or result is None:
+        return "(too few)"
+    if result.imbalanced:
+        return "Imbal."
+    marker = "*" if result.sign.significant else ""
+    return f"{result.sign.p_value:.2e}{marker}"
+
+
+def format_causal_table(experiments: Sequence[CausalExperiment],
+                        points: Sequence[str] = ("1:2",),
+                        title: str = "Table 7: causal analysis (1:2)",
+                        ) -> str:
+    rows = []
+    for experiment in experiments:
+        row: list[object] = [display_name(experiment.practice)]
+        for label in points:
+            try:
+                result = experiment.result_for(label)
+                row.append(_cell_for(result, skipped=False))
+            except KeyError:
+                row.append(_cell_for(None, skipped=True))
+        rows.append(row)
+    headers = ["Treatment Practice"] + [f"p ({p})" for p in points]
+    return render_table(headers, rows, title=title + "  (* = significant)")
+
+
+def format_online_table(results: Sequence[OnlineResult],
+                        scheme_names: Sequence[str],
+                        title: str = "Table 9: online prediction accuracy",
+                        ) -> str:
+    """Rows = history length M, one accuracy column per scheme.
+
+    ``results`` must be ordered M-major: all schemes for the first M,
+    then the next M, ...
+    """
+    n_schemes = len(scheme_names)
+    if n_schemes == 0 or len(results) % n_schemes:
+        raise ValueError("results must tile the scheme list")
+    rows = []
+    for i in range(0, len(results), n_schemes):
+        chunk = results[i:i + n_schemes]
+        rows.append([chunk[0].history_months]
+                    + [f"{r.mean_accuracy:.3f}" for r in chunk])
+    return render_table(["M (months)"] + list(scheme_names), rows,
+                        title=title)
+
+
+def format_class_report(report: EvalReport, class_names: Sequence[str],
+                        title: str = "") -> str:
+    """Render per-class precision/recall (Figure 8 / Section 6.1 style)."""
+    rows = []
+    for class_report in report.per_class:
+        name = (class_names[class_report.label]
+                if class_report.label < len(class_names)
+                else str(class_report.label))
+        rows.append([
+            name, f"{class_report.precision:.3f}",
+            f"{class_report.recall:.3f}", class_report.support,
+        ])
+    header = title or "model quality"
+    return render_table(
+        ["Class", "Precision", "Recall", "Support"], rows,
+        title=f"{header} (accuracy={report.accuracy:.3f})",
+    )

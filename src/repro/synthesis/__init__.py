@@ -1,0 +1,31 @@
+"""Synthetic-organization generator (stand-in for the OSP's proprietary data).
+
+The paper studies 850+ real networks of a large online service provider;
+that data is proprietary, so this package generates a synthetic
+organization with the same *statistical anatomy*:
+
+* long-tailed network sizes and change rates (Appendix A),
+* correlated design practices (heterogeneity, protocol mix, complexity),
+* diverse operational practices (change types, automation, event sizes),
+* a planted causal ground truth linking a subset of practices to ticket
+  rates (so the QED analysis has a recoverable answer),
+* realistic artifacts: vendor config *text*, snapshot login metadata,
+  maintenance tickets that must be filtered out, occasional missing
+  snapshots.
+
+Everything is deterministic given a seed.
+"""
+
+from repro.synthesis.profiles import NetworkProfile, sample_profiles
+from repro.synthesis.organization import OrganizationSynthesizer, SynthesisSpec
+from repro.synthesis.corpus import Corpus
+from repro.synthesis.survey import synthesize_survey
+
+__all__ = [
+    "NetworkProfile",
+    "sample_profiles",
+    "OrganizationSynthesizer",
+    "SynthesisSpec",
+    "Corpus",
+    "synthesize_survey",
+]

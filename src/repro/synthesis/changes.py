@@ -1,0 +1,439 @@
+"""Change engine: mutates device states month by month, emitting snapshots.
+
+Each month, a network experiences a Poisson number of *change events*
+(operator intents). An event picks an intent from the network's change
+mix, touches one or more devices (geometric-ish sizes — most events touch
+1-2 devices, Fig 13(a)), and is executed either by an automation account
+(``svc-*`` login) or a human operator. Devices changed within an event are
+modified a few minutes apart so that the paper's delta = 5 min grouping
+heuristic can recover events from raw snapshot timestamps (Fig 3).
+
+Realistic noise: ~2% of snapshots are lost (the device still changed, so
+the *next* snapshot shows a merged diff), and a small number of no-op
+"touches" occur where an operator opened and saved an unchanged config
+(NMSes snapshot on syslog alerts; the paper counts a change only if a
+stanza actually differs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.confgen.base import render_config
+from repro.confgen.state import (
+    AclState,
+    DeviceState,
+    QosPolicyState,
+    UserState,
+    VlanState,
+)
+from repro.synthesis.profiles import NetworkProfile
+from repro.synthesis.topology import BuiltNetwork
+from repro.synthesis.truth import MonthTruth
+from repro.types import ChangeModality, ConfigSnapshot
+from repro.util.timeutils import MINUTES_PER_MONTH
+
+#: Intents whose execution is much more frequently automated than the
+#: network baseline (paper A.2: sflow and QoS changes are automated most
+#: often; pool changes are automated in most networks with LBs).
+_AUTOMATION_BONUS = {"sflow": 0.45, "qos": 0.4, "pool": 0.3, "acl": 0.1}
+
+#: Intents restricted to devices with particular capabilities.
+_MIDDLEBOX_INTENTS = frozenset({"pool", "vip"})
+_ROUTER_INTENTS = frozenset({"router", "static_route"})
+
+
+@dataclass(frozen=True, slots=True)
+class EventPlan:
+    """One planned change event (intent + devices + timing)."""
+
+    intent: str
+    device_ids: tuple[str, ...]
+    start: int
+    offsets: tuple[int, ...]
+    automated: bool
+    login: str
+
+
+class ChangeEngine:
+    """Evolves one network's device states over time."""
+
+    def __init__(self, built: BuiltNetwork, profile: NetworkProfile,
+                 rng: np.random.Generator) -> None:
+        self._built = built
+        self._profile = profile
+        self._rng = rng
+        self._states = built.states  # mutated in place, month by month
+        self._mix = profile.change_mix.normalized()
+        self._intents = sorted(self._mix)
+        self._weights = np.array([self._mix[i] for i in self._intents])
+        self._weights /= self._weights.sum()
+        self._counter = 0  # monotonically increasing mutation counter
+        self._operators = [f"ops{i:02d}" for i in range(40)]
+        by_role: dict[str, list[str]] = {}
+        for device in built.devices:
+            by_role.setdefault(device.role.value, []).append(device.device_id)
+        self._mbox_devices = sorted(
+            set(by_role.get("firewall", []) + by_role.get("load_balancer", [])
+                + by_role.get("adc", []))
+        )
+        self._router_devices = sorted(
+            device_id for device_id, state in built.states.items()
+            if state.bgp is not None or state.ospf is not None
+        )
+        self._all_devices = sorted(built.states)
+
+    # -- public API --------------------------------------------------------
+
+    def baseline_snapshots(self) -> list[ConfigSnapshot]:
+        """Initial (month-0, minute-0) snapshot of every device."""
+        return [
+            self._snapshot(device_id, timestamp=0, login="svc-provision",
+                           modality=ChangeModality.AUTOMATED)
+            for device_id in self._all_devices
+        ]
+
+    def run_month(self, month_index: int) -> tuple[list[ConfigSnapshot], MonthTruth]:
+        """Simulate one month; returns emitted snapshots + ground truth."""
+        rng = self._rng
+        # month-to-month wobble decouples a month's activity level from the
+        # network's static design metrics (gives the QED within-network
+        # treatment variation to exploit)
+        wobble = float(np.exp(rng.normal(0.0, 0.45)))
+        n_events = int(rng.poisson(self._profile.event_rate * wobble))
+        plans = self._plan_events(month_index, n_events)
+        # independent of the regular event stream, some months see a
+        # network-wide "sweep" (credential rotation, firmware-adjacent
+        # config push, ...). Sweeps touch a large share of devices, so the
+        # number of device-level changes — and devices-per-event — varies
+        # widely even between months with equal event counts (this mirrors
+        # the weak events/changes coupling visible in Figs 12(a)/12(e))
+        if rng.random() < 0.30:
+            plans.extend(self._plan_sweep(month_index))
+
+        snapshots: list[ConfigSnapshot] = []
+        changed_devices: set[str] = set()
+        intents_used: set[str] = set()
+        n_device_changes = 0
+        n_automated = 0
+        counts = {"interface": 0, "acl": 0, "router": 0, "mbox": 0}
+
+        for plan in plans:
+            intents_used.add(plan.intent)
+            if plan.automated:
+                n_automated += 1
+            if plan.intent == "interface":
+                counts["interface"] += 1
+            elif plan.intent == "acl":
+                counts["acl"] += 1
+            elif plan.intent == "router":
+                counts["router"] += 1
+            if plan.intent in _MIDDLEBOX_INTENTS or any(
+                device_id in self._mbox_devices for device_id in plan.device_ids
+            ):
+                counts["mbox"] += 1
+            for device_id, offset in zip(plan.device_ids, plan.offsets):
+                mutated = self._apply_intent(plan.intent, device_id)
+                if not mutated:
+                    continue
+                n_device_changes += 1
+                changed_devices.add(device_id)
+                # ~2% of snapshots are lost to logging gaps
+                if rng.random() < 0.02:
+                    continue
+                modality = (ChangeModality.AUTOMATED if plan.automated
+                            else ChangeModality.MANUAL)
+                snapshots.append(self._snapshot(
+                    device_id, timestamp=plan.start + offset,
+                    login=plan.login, modality=modality,
+                ))
+
+        effective_events = len(plans)
+        truth = MonthTruth(
+            network_id=self._profile.network_id,
+            month_index=month_index,
+            n_change_events=effective_events,
+            n_device_changes=n_device_changes,
+            n_devices_changed=len(changed_devices),
+            n_change_types=len(intents_used),
+            avg_devices_per_event=(
+                n_device_changes / effective_events if effective_events else 0.0
+            ),
+            frac_events_automated=(
+                n_automated / effective_events if effective_events else 0.0
+            ),
+            frac_events_interface=(
+                counts["interface"] / effective_events if effective_events else 0.0
+            ),
+            frac_events_acl=(
+                counts["acl"] / effective_events if effective_events else 0.0
+            ),
+            frac_events_router=(
+                counts["router"] / effective_events if effective_events else 0.0
+            ),
+            frac_events_mbox=(
+                counts["mbox"] / effective_events if effective_events else 0.0
+            ),
+        )
+        return snapshots, truth
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan_events(self, month_index: int, n_events: int) -> list[EventPlan]:
+        rng = self._rng
+        if n_events <= 0:
+            return []
+        month_start = month_index * MINUTES_PER_MONTH
+        # event start minutes, spaced at least ~45 min apart (with a 15%
+        # chance of a 15-45 min gap, so Fig 3's delta sweep keeps moving
+        # past delta = 15)
+        starts: list[int] = []
+        cursor = month_start + int(rng.integers(1, 120))
+        for _ in range(n_events):
+            starts.append(cursor)
+            if rng.random() < 0.15:
+                gap = int(rng.integers(15, 45))
+            else:
+                gap = 45 + int(rng.exponential(200.0))
+            cursor += gap
+        # keep events inside the month
+        horizon = month_start + MINUTES_PER_MONTH - 60
+        starts = [s for s in starts if s < horizon]
+
+        plans: list[EventPlan] = []
+        for start in starts:
+            intent = self._intents[
+                int(rng.choice(len(self._intents), p=self._weights))
+            ]
+            candidates = self._candidates_for(intent)
+            if not candidates:
+                intent = "interface"
+                candidates = self._all_devices
+            size = 1 + int(rng.poisson(self._profile.event_spread - 1.0))
+            size = max(1, min(size, len(candidates)))
+            picked = rng.choice(len(candidates), size=size, replace=False)
+            device_ids = tuple(candidates[int(i)] for i in picked)
+            offsets = [0]
+            for _ in range(size - 1):
+                mean_gap = 8.0 if rng.random() < 0.1 else 1.5
+                offsets.append(offsets[-1] + 1 + int(rng.exponential(mean_gap)))
+            automated_p = self._profile.automation_level + _AUTOMATION_BONUS.get(
+                intent, 0.0
+            )
+            automated = bool(rng.random() < min(automated_p, 0.98))
+            login = ("svc-netbot" if automated
+                     else self._operators[int(rng.integers(0, len(self._operators)))])
+            plans.append(EventPlan(
+                intent=intent, device_ids=device_ids, start=start,
+                offsets=tuple(offsets), automated=automated, login=login,
+            ))
+        return plans
+
+    def _plan_sweep(self, month_index: int) -> list[EventPlan]:
+        """One network-wide sweep event touching a large device share."""
+        rng = self._rng
+        month_start = month_index * MINUTES_PER_MONTH
+        intent = str(rng.choice(["user", "snmp", "ntp", "logging", "acl"]))
+        candidates = self._candidates_for(intent) or self._all_devices
+        share = rng.beta(1.5, 1.5)
+        size = max(2, min(int(len(candidates) * share) + 1, len(candidates)))
+        picked = rng.choice(len(candidates), size=size, replace=False)
+        offsets = [0]
+        for _ in range(size - 1):
+            offsets.append(offsets[-1] + 1 + int(rng.exponential(1.0)))
+        automated = bool(rng.random() < 0.8)  # sweeps are usually scripted
+        login = "svc-netbot" if automated else self._operators[0]
+        start = month_start + int(rng.integers(0, MINUTES_PER_MONTH - 3000))
+        return [EventPlan(
+            intent=intent,
+            device_ids=tuple(candidates[int(i)] for i in picked),
+            start=start,
+            offsets=tuple(offsets),
+            automated=automated,
+            login=login,
+        )]
+
+    def _candidates_for(self, intent: str) -> list[str]:
+        if intent in _MIDDLEBOX_INTENTS:
+            return self._mbox_devices
+        if intent in _ROUTER_INTENTS:
+            return self._router_devices
+        return self._all_devices
+
+    # -- mutations -----------------------------------------------------------
+
+    def _snapshot(self, device_id: str, timestamp: int, login: str,
+                  modality: ChangeModality) -> ConfigSnapshot:
+        state = self._states[device_id]
+        return ConfigSnapshot(
+            device_id=device_id,
+            network_id=self._profile.network_id,
+            timestamp=timestamp,
+            login=login,
+            modality=modality,
+            config_text=render_config(state),
+        )
+
+    def _apply_intent(self, intent: str, device_id: str) -> bool:
+        """Mutate a device per the intent; False if nothing changed."""
+        state = self._states[device_id]
+        self._counter += 1
+        handler = getattr(self, f"_mutate_{intent}", None)
+        if handler is None:
+            raise ValueError(f"no mutation handler for intent {intent!r}")
+        return bool(handler(state))
+
+    def _mutate_interface(self, state: DeviceState) -> bool:
+        rng = self._rng
+        names = state.interface_names()
+        if not names:
+            return False
+        iface = state.interfaces[names[int(rng.integers(0, len(names)))]]
+        action = rng.random()
+        if action < 0.2 and state.vlans:
+            # reassign access VLAN (the vendor-typing-asymmetric change)
+            vlan_ids = sorted(state.vlans)
+            iface.access_vlan = vlan_ids[int(rng.integers(0, len(vlan_ids)))]
+        elif action < 0.35:
+            iface.shutdown = not iface.shutdown
+        else:
+            iface.description = f"port r{self._counter}"
+        return True
+
+    def _mutate_pool(self, state: DeviceState) -> bool:
+        rng = self._rng
+        if not state.pools:
+            return False
+        pool = state.pools[sorted(state.pools)[int(rng.integers(0, len(state.pools)))]]
+        if pool.members and rng.random() < 0.45:
+            pool.members.pop(int(rng.integers(0, len(pool.members))))
+        else:
+            pool.members.append(f"10.9.{self._counter % 250}.{rng.integers(2, 250)}:80")
+        return True
+
+    def _mutate_vip(self, state: DeviceState) -> bool:
+        rng = self._rng
+        if not state.vips or not state.pools:
+            return False
+        vip = state.vips[sorted(state.vips)[int(rng.integers(0, len(state.vips)))]]
+        pools = sorted(state.pools)
+        vip.pool = pools[int(rng.integers(0, len(pools)))]
+        vip.address = f"10.8.{self._counter % 250}.{rng.integers(2, 250)}:80"
+        return True
+
+    def _mutate_acl(self, state: DeviceState) -> bool:
+        rng = self._rng
+        if not state.acls:
+            # provision a new ACL where none exists
+            state.acls["acl-ops"] = AclState("acl-ops", rules=[
+                ("permit", "tcp", f"10.9.9.{self._counter % 250}", 443),
+            ])
+            return True
+        acl = state.acls[sorted(state.acls)[int(rng.integers(0, len(state.acls)))]]
+        if acl.rules and rng.random() < 0.4:
+            acl.rules.pop(int(rng.integers(0, len(acl.rules))))
+        else:
+            protocol = "tcp" if rng.random() < 0.8 else "udp"
+            acl.rules.append(
+                ("permit", protocol, f"10.9.9.{self._counter % 250}",
+                 int(rng.choice([22, 80, 443, 8443])))
+            )
+        return True
+
+    def _mutate_user(self, state: DeviceState) -> bool:
+        rng = self._rng
+        if state.users and rng.random() < 0.45:
+            name = sorted(state.users)[int(rng.integers(0, len(state.users)))]
+            del state.users[name]
+        else:
+            name = f"ops{int(rng.integers(0, 40)):02d}"
+            if name in state.users:
+                state.users[name] = UserState(name=name,
+                                              secret_tag=f"s{self._counter}")
+            else:
+                state.users[name] = UserState(name=name)
+        return True
+
+    def _mutate_router(self, state: DeviceState) -> bool:
+        rng = self._rng
+        if state.bgp is not None and (state.ospf is None or rng.random() < 0.7):
+            external = [ip for ip in state.bgp.neighbors if ip.startswith("172.")]
+            if external and rng.random() < 0.4:
+                del state.bgp.neighbors[external[int(rng.integers(0, len(external)))]]
+            else:
+                state.bgp.neighbors[
+                    f"172.16.{rng.integers(0, 200)}.{rng.integers(1, 250)}"
+                ] = "65000"
+            return True
+        if state.ospf is not None:
+            area = sorted(state.ospf.areas)[0]
+            prefixes = state.ospf.areas[area]
+            new_prefix = f"10.{200 + self._counter % 50}.0.0/24"
+            if new_prefix not in prefixes:
+                prefixes.append(new_prefix)
+            else:
+                prefixes.remove(new_prefix)
+            return True
+        return False
+
+    def _mutate_vlan(self, state: DeviceState) -> bool:
+        rng = self._rng
+        if state.vlans and rng.random() < 0.35:
+            vlan_id = sorted(state.vlans)[int(rng.integers(0, len(state.vlans)))]
+            for iface in state.interfaces.values():
+                if iface.access_vlan == vlan_id:
+                    iface.access_vlan = None
+            del state.vlans[vlan_id]
+        else:
+            vlan_id = str(2000 + self._counter % 1800)
+            state.vlans[vlan_id] = VlanState(vlan_id=vlan_id)
+        return True
+
+    def _mutate_system(self, state: DeviceState) -> bool:
+        if self._rng.random() < 0.5:
+            state.banner = f"authorized access only (rev {self._counter})"
+        else:
+            state.aaa_enabled = not state.aaa_enabled
+        return True
+
+    def _mutate_static_route(self, state: DeviceState) -> bool:
+        rng = self._rng
+        removable = [p for p in state.static_routes if p != "0.0.0.0/0"]
+        if removable and rng.random() < 0.4:
+            del state.static_routes[removable[int(rng.integers(0, len(removable)))]]
+        else:
+            prefix = f"10.{150 + self._counter % 100}.0.0/24"
+            state.static_routes[prefix] = f"10.0.0.{rng.integers(1, 250)}"
+        return True
+
+    def _mutate_snmp(self, state: DeviceState) -> bool:
+        state.snmp_communities = [f"monitor{self._counter % 7}"]
+        return True
+
+    def _mutate_ntp(self, state: DeviceState) -> bool:
+        state.ntp_servers = [f"10.255.1.{1 + self._counter % 9}"]
+        return True
+
+    def _mutate_logging(self, state: DeviceState) -> bool:
+        if len(state.syslog_hosts) < 2:
+            state.syslog_hosts.append(f"10.255.2.{1 + self._counter % 9}")
+        else:
+            state.syslog_hosts.pop()
+        return True
+
+    def _mutate_sflow(self, state: DeviceState) -> bool:
+        state.sflow_collectors = [f"10.255.3.{1 + self._counter % 9}"]
+        return True
+
+    def _mutate_qos(self, state: DeviceState) -> bool:
+        rng = self._rng
+        if not state.qos_policies:
+            state.qos_policies["qos-default"] = QosPolicyState(
+                "qos-default", {"voice": 46},
+            )
+            return True
+        policy = state.qos_policies[sorted(state.qos_policies)[0]]
+        policy.classes[f"c{self._counter % 5}"] = int(rng.choice([10, 18, 26, 34, 46]))
+        return True

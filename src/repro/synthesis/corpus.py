@@ -1,0 +1,222 @@
+"""The synthetic corpus: everything the analysis pipeline consumes.
+
+A :class:`Corpus` bundles the three paper data sources (inventory, config
+snapshots, tickets) plus the generator's ground truth (used only by
+validation tests and the planted health model — the analysis pipeline
+never reads it). Supports saving/loading to a directory of JSON/JSONL
+files so expensive corpora are built once and reused across benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CorpusError
+from repro.inventory.store import InventoryStore
+from repro.synthesis.truth import MonthTruth, NetworkTruth
+from repro.tickets.models import TicketCategory, TicketRecord
+from repro.tickets.store import TicketStore
+from repro.types import (
+    ChangeModality,
+    ConfigSnapshot,
+    DeviceRecord,
+    DeviceRole,
+    MonthKey,
+    NetworkRecord,
+)
+from repro.version import CORPUS_FORMAT_VERSION
+
+
+@dataclass
+class Corpus:
+    """A complete synthetic organization dataset."""
+
+    epoch: MonthKey
+    n_months: int
+    seed: int
+    inventory: InventoryStore
+    #: device id -> snapshots sorted by timestamp
+    snapshots: dict[str, list[ConfigSnapshot]]
+    tickets: TicketStore
+    #: vendor/model -> config dialect, so the analysis can parse snapshots
+    dialects: dict[str, str]
+    network_truth: dict[str, NetworkTruth] = field(default_factory=dict)
+    month_truth: dict[tuple[str, int], MonthTruth] = field(default_factory=dict)
+
+    # -- summary (Table 2) ---------------------------------------------------
+
+    def summary(self) -> dict[str, object]:
+        """Dataset-size summary mirroring the paper's Table 2."""
+        n_snapshots = sum(len(s) for s in self.snapshots.values())
+        config_bytes = sum(
+            len(snap.config_text)
+            for snaps in self.snapshots.values() for snap in snaps
+        )
+        n_services = sum(
+            len(net.workloads) for net in self.inventory.iter_networks()
+        )
+        last = MonthKey.from_index(self.epoch.index() + self.n_months - 1)
+        return {
+            "months": self.n_months,
+            "period": f"{self.epoch} - {last}",
+            "networks": self.inventory.num_networks,
+            "services": n_services,
+            "devices": self.inventory.num_devices,
+            "config_snapshots": n_snapshots,
+            "config_bytes": config_bytes,
+            "tickets": len(self.tickets),
+        }
+
+    def dialect_of(self, device_id: str) -> str:
+        device = self.inventory.device(device_id)
+        return self.dialects[f"{device.vendor}/{device.model}"]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Write the corpus to ``directory`` (created if needed)."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "format_version": CORPUS_FORMAT_VERSION,
+            "epoch": [self.epoch.year, self.epoch.month],
+            "n_months": self.n_months,
+            "seed": self.seed,
+            "dialects": self.dialects,
+        }
+        (path / "meta.json").write_text(json.dumps(meta, indent=2))
+
+        networks = [
+            {"network_id": net.network_id, "workloads": list(net.workloads)}
+            for net in self.inventory.iter_networks()
+        ]
+        devices = [
+            {
+                "device_id": dev.device_id, "network_id": dev.network_id,
+                "vendor": dev.vendor, "model": dev.model,
+                "role": dev.role.value, "firmware": dev.firmware,
+            }
+            for dev in self.inventory.iter_devices()
+        ]
+        (path / "inventory.json").write_text(
+            json.dumps({"networks": networks, "devices": devices})
+        )
+
+        with gzip.open(path / "snapshots.jsonl.gz", "wt") as fh:
+            for device_id in sorted(self.snapshots):
+                for snap in self.snapshots[device_id]:
+                    fh.write(json.dumps({
+                        "device_id": snap.device_id,
+                        "network_id": snap.network_id,
+                        "timestamp": snap.timestamp,
+                        "login": snap.login,
+                        "modality": snap.modality.value,
+                        "config_text": snap.config_text,
+                    }) + "\n")
+
+        with gzip.open(path / "tickets.jsonl.gz", "wt") as fh:
+            for ticket in self.tickets.iter_all():
+                fh.write(json.dumps({
+                    "ticket_id": ticket.ticket_id,
+                    "network_id": ticket.network_id,
+                    "opened_at": ticket.opened_at,
+                    "resolved_at": ticket.resolved_at,
+                    "category": ticket.category.value,
+                    "impact": ticket.impact,
+                    "devices": list(ticket.devices),
+                    "summary": ticket.summary,
+                }) + "\n")
+
+        truth = {
+            "network": {
+                network_id: dataclasses.asdict(net_truth)
+                for network_id, net_truth in self.network_truth.items()
+            },
+            "month": [
+                dataclasses.asdict(month_truth)
+                for month_truth in self.month_truth.values()
+            ],
+        }
+        with gzip.open(path / "truth.json.gz", "wt") as fh:
+            json.dump(truth, fh)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Corpus":
+        """Load a corpus saved by :meth:`save`."""
+        path = Path(directory)
+        meta_path = path / "meta.json"
+        if not meta_path.exists():
+            raise CorpusError(f"no corpus at {path} (missing meta.json)")
+        meta = json.loads(meta_path.read_text())
+        if meta.get("format_version") != CORPUS_FORMAT_VERSION:
+            raise CorpusError(
+                f"corpus format {meta.get('format_version')} != "
+                f"{CORPUS_FORMAT_VERSION}; rebuild the corpus"
+            )
+
+        inv_data = json.loads((path / "inventory.json").read_text())
+        inventory = InventoryStore()
+        for net in inv_data["networks"]:
+            inventory.add_network(NetworkRecord(
+                network_id=net["network_id"],
+                workloads=tuple(net["workloads"]),
+            ))
+        for dev in inv_data["devices"]:
+            inventory.add_device(DeviceRecord(
+                device_id=dev["device_id"], network_id=dev["network_id"],
+                vendor=dev["vendor"], model=dev["model"],
+                role=DeviceRole(dev["role"]), firmware=dev["firmware"],
+            ))
+
+        snapshots: dict[str, list[ConfigSnapshot]] = {}
+        with gzip.open(path / "snapshots.jsonl.gz", "rt") as fh:
+            for line in fh:
+                row = json.loads(line)
+                snap = ConfigSnapshot(
+                    device_id=row["device_id"], network_id=row["network_id"],
+                    timestamp=row["timestamp"], login=row["login"],
+                    modality=ChangeModality(row["modality"]),
+                    config_text=row["config_text"],
+                )
+                snapshots.setdefault(snap.device_id, []).append(snap)
+        for snaps in snapshots.values():
+            snaps.sort(key=lambda s: s.timestamp)
+
+        tickets = TicketStore()
+        with gzip.open(path / "tickets.jsonl.gz", "rt") as fh:
+            for line in fh:
+                row = json.loads(line)
+                tickets.add(TicketRecord(
+                    ticket_id=row["ticket_id"], network_id=row["network_id"],
+                    opened_at=row["opened_at"], resolved_at=row["resolved_at"],
+                    category=TicketCategory(row["category"]),
+                    impact=row["impact"], devices=tuple(row["devices"]),
+                    summary=row["summary"],
+                ))
+
+        with gzip.open(path / "truth.json.gz", "rt") as fh:
+            truth = json.load(fh)
+        network_truth = {
+            network_id: NetworkTruth(**data)
+            for network_id, data in truth["network"].items()
+        }
+        month_truth = {}
+        for data in truth["month"]:
+            record = MonthTruth(**data)
+            month_truth[(record.network_id, record.month_index)] = record
+
+        return cls(
+            epoch=MonthKey(*meta["epoch"]),
+            n_months=meta["n_months"],
+            seed=meta["seed"],
+            inventory=inventory,
+            snapshots=snapshots,
+            tickets=tickets,
+            dialects=meta["dialects"],
+            network_truth=network_truth,
+            month_truth=month_truth,
+        )

@@ -1,0 +1,173 @@
+"""Organization synthesizer: orchestrates profile -> topology -> timeline.
+
+:class:`OrganizationSynthesizer` produces a full :class:`Corpus` for a
+configurable number of networks and months. Four named scales are
+provided (tiny/small/medium/paper); ``paper`` matches the dataset
+dimensions of Table 2 (850 networks over 17 months).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.inventory.catalog import DEFAULT_CATALOG, HardwareCatalog
+from repro.inventory.store import InventoryStore
+from repro.synthesis.changes import ChangeEngine
+from repro.synthesis.corpus import Corpus
+from repro.synthesis.health import HealthModelParams, TicketFactory, ticket_rate
+from repro.synthesis.profiles import sample_profile
+from repro.synthesis.topology import build_network
+from repro.synthesis.truth import NetworkTruth
+from repro.tickets.store import TicketStore
+from repro.types import MonthKey
+from repro.util.rng import SeedSequenceTree
+from repro.util.timeutils import DEFAULT_EPOCH
+
+
+@dataclass(frozen=True, slots=True)
+class SynthesisSpec:
+    """Dimensions and seed of a synthetic organization."""
+
+    n_networks: int
+    n_months: int
+    seed: int = 7
+    epoch: MonthKey = DEFAULT_EPOCH
+
+    def __post_init__(self) -> None:
+        if self.n_networks < 1:
+            raise ValueError("need at least one network")
+        if self.n_months < 1:
+            raise ValueError("need at least one month")
+
+
+#: Named scales. ``small`` keeps test/bench runs fast; ``paper`` matches
+#: Table 2 (850+ networks, 17 months, O(10K) devices, O(100K) snapshots).
+SCALES: dict[str, SynthesisSpec] = {
+    "tiny": SynthesisSpec(n_networks=24, n_months=6, seed=7),
+    "small": SynthesisSpec(n_networks=140, n_months=10, seed=7),
+    "medium": SynthesisSpec(n_networks=400, n_months=17, seed=7),
+    "paper": SynthesisSpec(n_networks=850, n_months=17, seed=7),
+}
+
+
+class OrganizationSynthesizer:
+    """Builds a synthetic organization corpus deterministically.
+
+    ``profile_transform``, when given, is applied to every sampled
+    :class:`~repro.synthesis.profiles.NetworkProfile` before the network
+    is materialized — the hook used by randomized experiments
+    (:mod:`repro.analysis.validation`) to intervene on selected networks.
+    """
+
+    def __init__(self, spec: SynthesisSpec,
+                 catalog: HardwareCatalog = DEFAULT_CATALOG,
+                 health_params: HealthModelParams | None = None,
+                 profile_transform=None) -> None:
+        self._spec = spec
+        self._catalog = catalog
+        self._health_params = health_params or HealthModelParams()
+        self._profile_transform = profile_transform
+        self._seeds = SeedSequenceTree(spec.seed)
+
+    @property
+    def spec(self) -> SynthesisSpec:
+        return self._spec
+
+    def build(self) -> Corpus:
+        """Generate the full corpus (may take a while at large scales)."""
+        spec = self._spec
+        inventory = InventoryStore()
+        tickets = TicketStore()
+        snapshots: dict[str, list] = {}
+        network_truth: dict[str, NetworkTruth] = {}
+        month_truth: dict[tuple[str, int], object] = {}
+        dialects = {
+            f"{model.vendor}/{model.model}": model.config_dialect
+            for model in self._catalog.models
+        }
+
+        for index in range(spec.n_networks):
+            network_id = f"net{index:04d}"
+            profile_rng = self._seeds.rng(f"profile/{network_id}")
+            profile = sample_profile(network_id, profile_rng)
+            if self._profile_transform is not None:
+                profile = self._profile_transform(profile)
+            build_rng = self._seeds.rng(f"topology/{network_id}")
+            built = build_network(profile, build_rng, self._catalog)
+
+            inventory.add_network(built.record)
+            for device in built.devices:
+                inventory.add_device(device)
+
+            net_truth = NetworkTruth(
+                network_id=network_id,
+                n_devices=len(built.devices),
+                n_models=len({(d.vendor, d.model) for d in built.devices}),
+                n_roles=len({d.role for d in built.devices}),
+                n_vendors=len({d.vendor for d in built.devices}),
+                n_firmware=len({d.firmware for d in built.devices}),
+                n_vlans=profile.n_vlans,
+                n_bgp_instances=built.n_bgp_instances,
+                n_ospf_instances=built.n_ospf_instances,
+                has_middlebox=profile.has_middlebox,
+                event_rate=profile.event_rate,
+                automation_level=profile.automation_level,
+            )
+            network_truth[network_id] = net_truth
+
+            engine = ChangeEngine(
+                built, profile, self._seeds.rng(f"changes/{network_id}")
+            )
+            for snap in engine.baseline_snapshots():
+                snapshots.setdefault(snap.device_id, []).append(snap)
+
+            factory = TicketFactory(
+                rng=self._seeds.rng(f"tickets/{network_id}"),
+                params=self._health_params,
+            )
+            network_effect = factory.network_effect()
+            device_ids = [d.device_id for d in built.devices]
+
+            for month_index in range(spec.n_months):
+                month_snaps, truth = engine.run_month(month_index)
+                for snap in month_snaps:
+                    snapshots.setdefault(snap.device_id, []).append(snap)
+                rate = ticket_rate(
+                    net_truth, truth, network_effect, factory.month_noise(),
+                    self._health_params,
+                )
+                count = factory.draw_ticket_count(rate)
+                truth = truth.with_tickets(count)
+                month_truth[(network_id, month_index)] = truth
+                for ticket in factory.materialize(
+                    network_id, month_index, count, device_ids
+                ):
+                    tickets.add(ticket)
+
+        for snaps in snapshots.values():
+            snaps.sort(key=lambda s: s.timestamp)
+
+        return Corpus(
+            epoch=spec.epoch,
+            n_months=spec.n_months,
+            seed=spec.seed,
+            inventory=inventory,
+            snapshots=snapshots,
+            tickets=tickets,
+            dialects=dialects,
+            network_truth=network_truth,
+            month_truth=month_truth,  # type: ignore[arg-type]
+        )
+
+
+def synthesize(scale: str = "small", seed: int | None = None) -> Corpus:
+    """Convenience one-shot synthesis at a named scale."""
+    try:
+        spec = SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+    if seed is not None:
+        spec = SynthesisSpec(spec.n_networks, spec.n_months, seed, spec.epoch)
+    return OrganizationSynthesizer(spec).build()

@@ -1,0 +1,216 @@
+"""Latent per-network profiles: the generative parameters of a network.
+
+A :class:`NetworkProfile` captures everything about a network that design
+and operational practices derive from. Distributions are chosen to match
+the shapes reported in the paper's Appendix A:
+
+* device counts and change rates are long-tailed (Figs 12(a), 12(e));
+* change rate correlates with size (Pearson ~0.64, Fig 12(a));
+* 81% of networks host exactly one workload; a handful host none;
+* 71% contain at least one middlebox; 81% are multi-vendor;
+* hardware/firmware heterogeneity is low for the median network but high
+  (entropy > 0.67) for ~10% (Fig 11(a));
+* protocol counts spread roughly uniformly over 1..8 (Fig 11(b));
+* 86% of networks run BGP, 31% OSPF;
+* automation fraction is diverse: >=half automated in ~40% of networks,
+  <=15% automated in ~10% (Fig 12(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedSequenceTree
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeMix:
+    """Relative weights of change intents for one network.
+
+    Keys are intent names understood by :mod:`repro.synthesis.changes`.
+    Weight asymmetries reproduce Figure 12(c): interface changes dominate,
+    followed by pool (only on networks with load balancers), ACL, user,
+    and router changes.
+    """
+
+    weights: dict[str, float]
+
+    def normalized(self) -> dict[str, float]:
+        total = sum(self.weights.values())
+        if total <= 0:
+            raise ValueError("change mix has no positive weights")
+        return {name: w / total for name, w in self.weights.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkProfile:
+    """Latent generative parameters for one network."""
+
+    network_id: str
+    n_devices: int
+    n_workloads: int
+    #: propensity in [0,1] for mixing models/vendors/firmware versions
+    heterogeneity: float
+    has_middlebox: bool
+    use_bgp: bool
+    use_ospf: bool
+    n_vlans: int
+    #: which optional L2 features the network uses
+    l2_features: frozenset[str]
+    #: expected change events per month (long-tailed across networks)
+    event_rate: float
+    #: fraction of change events executed by automation accounts
+    automation_level: float
+    #: mean devices touched per change event (>= 1)
+    event_spread: float
+    #: per-network change-intent mixture
+    change_mix: ChangeMix
+    #: how many ACL rules / pool members / qos classes to provision (scales
+    #: intra-device complexity)
+    richness: float
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValueError("a network needs at least one device")
+        if not 0.0 <= self.heterogeneity <= 1.0:
+            raise ValueError("heterogeneity must be in [0,1]")
+        if not 0.0 <= self.automation_level <= 1.0:
+            raise ValueError("automation_level must be in [0,1]")
+        if self.event_rate < 0:
+            raise ValueError("event_rate must be non-negative")
+        if self.event_spread < 1:
+            raise ValueError("event_spread must be >= 1")
+
+
+#: Optional L2 feature pool; VLANs and STP are near-universal, the rest
+#: drive the 1..8 spread of protocol counts in Fig 11(b).
+OPTIONAL_L2_FEATURES = ("lag", "udld", "dhcp_relay", "vrrp")
+
+
+def _sample_change_mix(rng: np.random.Generator, has_middlebox: bool,
+                       use_bgp: bool, use_ospf: bool,
+                       event_rate: float) -> ChangeMix:
+    """Sample a network's change-intent mixture.
+
+    The interface-change share is deliberately *non-monotonic* in the
+    change rate: networks with moderate activity do mostly interface work,
+    while very quiet networks touch routers/system settings and very busy
+    networks churn pools/ACLs. This plants the paper's Figure 4(c) shape
+    (tickets vs fraction-of-interface-changes is non-monotonic) without
+    making interface changes causal.
+    """
+    # peak interface share at event_rate ~ 8/month, falling on both sides
+    log_rate = np.log1p(event_rate)
+    iface_base = 3.2 * float(np.exp(-0.5 * ((log_rate - np.log1p(8.0)) / 0.75) ** 2))
+    weights: dict[str, float] = {
+        "interface": 0.8 + iface_base + rng.gamma(2.0, 0.25),
+        "acl": 0.9 + rng.gamma(2.0, 0.3),
+        "user": 0.6 + rng.gamma(2.0, 0.25),
+        "system": 0.25 + rng.gamma(1.5, 0.15),
+        "vlan": 0.5 + rng.gamma(2.0, 0.2),
+        "static_route": 0.3 + rng.gamma(1.5, 0.15),
+        "snmp": 0.15 + rng.gamma(1.2, 0.1),
+        "ntp": 0.1 + rng.gamma(1.2, 0.08),
+        "logging": 0.15 + rng.gamma(1.2, 0.1),
+        "qos": 0.2 + rng.gamma(1.5, 0.12),
+        "sflow": 0.15 + rng.gamma(1.2, 0.1),
+    }
+    if has_middlebox:
+        # pool changes are the second-most-common type where LBs exist;
+        # deliberately NOT coupled to the change rate, so the middlebox
+        # fraction stays uninformative about health (paper: rank 23/28)
+        weights["pool"] = 1.4 + rng.gamma(2.5, 0.7)
+        weights["vip"] = 0.25 + rng.gamma(1.5, 0.15)
+    if use_bgp or use_ospf:
+        weights["router"] = 0.45 + rng.gamma(2.0, 0.3)
+        # ~5% of networks are router-change-heavy (Fig 12(c): >0.5 of all
+        # changes are router changes in about 5% of networks)
+        if rng.random() < 0.05:
+            weights["router"] = 6.0 + rng.gamma(2.0, 1.0)
+    return ChangeMix(weights=weights)
+
+
+def sample_profile(network_id: str, rng: np.random.Generator) -> NetworkProfile:
+    """Sample one network's latent profile."""
+    # -- size: lognormal, median ~7, long tail capped at 120 ----------------
+    n_devices = int(np.clip(np.round(rng.lognormal(mean=2.0, sigma=0.8)), 2, 120))
+
+    # -- purpose -------------------------------------------------------------
+    draw = rng.random()
+    if draw < 0.05:
+        n_workloads = 0  # pure interconnect
+    elif draw < 0.86:
+        n_workloads = 1  # the 81% majority
+    else:
+        n_workloads = int(rng.integers(2, 5))
+
+    # -- heterogeneity: mostly low, ~10% highly heterogeneous ---------------
+    if rng.random() < 0.12:
+        heterogeneity = float(rng.uniform(0.65, 0.95))
+    else:
+        heterogeneity = float(np.clip(rng.beta(1.6, 4.0), 0.0, 1.0))
+
+    has_middlebox = bool(rng.random() < 0.71)
+    use_bgp = bool(rng.random() < 0.86)
+    use_ospf = bool(rng.random() < 0.31)
+
+    # -- VLANs: long tail; <5 in ~5% of networks, >100 in ~9% ---------------
+    n_vlans = int(np.clip(np.round(rng.lognormal(mean=2.9, sigma=1.1)), 1, 180))
+
+    # -- optional L2 features: binomial mix drives 1..8 protocol spread -----
+    features = {
+        name for name in OPTIONAL_L2_FEATURES if rng.random() < 0.55
+    }
+
+    # -- change intensity: correlated with size (Pearson ~0.6) --------------
+    event_rate = float(
+        np.exp(0.55 * np.log(n_devices) + rng.normal(0.9, 0.75))
+    )
+    event_rate = float(np.clip(event_rate, 0.2, 150.0))
+
+    # -- automation: bimodal-ish beta mixture --------------------------------
+    if rng.random() < 0.45:
+        automation_level = float(rng.beta(5.0, 3.0))   # automation-heavy
+    else:
+        automation_level = float(rng.beta(2.0, 5.0))   # mostly manual
+    automation_level = float(np.clip(automation_level, 0.02, 0.97))
+
+    # -- event spread: most events touch 1-2 devices (Fig 13(a)) ------------
+    event_spread = float(1.0 + rng.gamma(shape=1.3, scale=0.55))
+    event_spread = float(np.clip(event_spread, 1.0, 9.0))
+
+    change_mix = _sample_change_mix(rng, has_middlebox, use_bgp, use_ospf,
+                                    event_rate)
+
+    richness = float(np.clip(rng.lognormal(0.0, 0.5), 0.3, 4.0))
+
+    return NetworkProfile(
+        network_id=network_id,
+        n_devices=n_devices,
+        n_workloads=n_workloads,
+        heterogeneity=heterogeneity,
+        has_middlebox=has_middlebox,
+        use_bgp=use_bgp,
+        use_ospf=use_ospf,
+        n_vlans=n_vlans,
+        l2_features=frozenset(features),
+        event_rate=event_rate,
+        automation_level=automation_level,
+        event_spread=event_spread,
+        change_mix=change_mix,
+        richness=richness,
+    )
+
+
+def sample_profiles(n_networks: int, seeds: SeedSequenceTree) -> list[NetworkProfile]:
+    """Sample profiles for a whole organization."""
+    if n_networks < 1:
+        raise ValueError("need at least one network")
+    profiles = []
+    for index in range(n_networks):
+        network_id = f"net{index:04d}"
+        rng = seeds.rng(f"profile/{network_id}")
+        profiles.append(sample_profile(network_id, rng))
+    return profiles

@@ -1,0 +1,88 @@
+"""Synthetic operator survey (paper Section 3.1, Figure 2).
+
+The paper surveyed 51 operators (45 via NANOG, 4 campus, 2 OSP) about the
+impact of ten practices on network health and found consensus only on
+"number of change events". The opinion distributions below encode the
+qualitative shape of Figure 2; individual responses are drawn from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import OPINION_LEVELS, SurveyResponse
+from repro.util.rng import SeedSequenceTree
+
+#: The ten surveyed practices (x-axis of Figure 2), in figure order.
+SURVEYED_PRACTICES = (
+    "no_of_devices",
+    "no_of_models",
+    "no_of_firmware_versions",
+    "no_of_protocols",
+    "inter_device_complexity",
+    "no_of_change_events",
+    "avg_devices_changed_per_event",
+    "frac_events_mbox_change",
+    "frac_events_automated",
+    "frac_events_router_change",
+    "frac_events_acl_change",
+)
+
+#: Opinion probabilities per practice, ordered as
+#: (no, low, medium, high, not_sure). Shapes follow Figure 2:
+#: consensus (high) only for change events; near-even low/high splits for
+#: size, models, and complexity; ACL changes skew low-impact; middlebox
+#: changes skew high-impact; a few "not sure" everywhere.
+_OPINION_DISTRIBUTIONS: dict[str, tuple[float, ...]] = {
+    "no_of_devices": (0.08, 0.30, 0.22, 0.32, 0.08),
+    "no_of_models": (0.06, 0.32, 0.24, 0.30, 0.08),
+    "no_of_firmware_versions": (0.06, 0.26, 0.30, 0.30, 0.08),
+    "no_of_protocols": (0.08, 0.28, 0.28, 0.28, 0.08),
+    "inter_device_complexity": (0.06, 0.30, 0.22, 0.32, 0.10),
+    "no_of_change_events": (0.02, 0.08, 0.22, 0.62, 0.06),
+    "avg_devices_changed_per_event": (0.08, 0.30, 0.28, 0.24, 0.10),
+    "frac_events_mbox_change": (0.04, 0.16, 0.26, 0.46, 0.08),
+    "frac_events_automated": (0.08, 0.24, 0.28, 0.30, 0.10),
+    "frac_events_router_change": (0.05, 0.22, 0.28, 0.37, 0.08),
+    "frac_events_acl_change": (0.08, 0.44, 0.26, 0.14, 0.08),
+}
+
+#: Affiliation mix of the paper's 51 respondents.
+_AFFILIATIONS = ("nanog",) * 45 + ("campus",) * 4 + ("osp",) * 2
+
+
+def synthesize_survey(seed: int = 7,
+                      n_operators: int = 51) -> list[SurveyResponse]:
+    """Draw a full survey: one response per (operator, practice)."""
+    if n_operators < 1:
+        raise ValueError("need at least one operator")
+    rng = SeedSequenceTree(seed).rng("survey")
+    responses: list[SurveyResponse] = []
+    for op_index in range(n_operators):
+        operator_id = f"op{op_index:02d}"
+        affiliation = _AFFILIATIONS[op_index % len(_AFFILIATIONS)]
+        for practice in SURVEYED_PRACTICES:
+            probs = np.array(_OPINION_DISTRIBUTIONS[practice])
+            probs = probs / probs.sum()
+            opinion = OPINION_LEVELS[int(rng.choice(len(OPINION_LEVELS), p=probs))]
+            responses.append(SurveyResponse(
+                operator_id=operator_id,
+                practice=practice,
+                opinion=opinion,
+                affiliation=affiliation,
+            ))
+    return responses
+
+
+def tally(responses: list[SurveyResponse]) -> dict[str, dict[str, int]]:
+    """Counts per (practice, opinion) — the bars of Figure 2."""
+    table: dict[str, dict[str, int]] = {
+        practice: {opinion: 0 for opinion in OPINION_LEVELS}
+        for practice in SURVEYED_PRACTICES
+    }
+    for response in responses:
+        counts = table.setdefault(
+            response.practice, {opinion: 0 for opinion in OPINION_LEVELS}
+        )
+        counts[response.opinion] += 1
+    return table

@@ -1,0 +1,371 @@
+"""Network materialization: latent profile -> inventory + device configs.
+
+Builds, for one network: the :class:`NetworkRecord`, a
+:class:`DeviceRecord` per device, and a structured
+:class:`~repro.confgen.state.DeviceState` per device (the month-0 baseline
+that the change engine subsequently mutates).
+
+Construction follows the composition facts of Appendix A.1: a mix of
+roles with middleboxes in most networks, model/firmware mixing governed by
+the profile's heterogeneity, VLANs shared across switches, BGP routers
+partitioned into instances (chains of neighbor sessions), OSPF groups
+distinguished by area + subnet, ACLs referenced by interfaces, and
+LB pools/VIPs on networks that have load balancers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.confgen.state import (
+    AclState,
+    BgpState,
+    DeviceState,
+    InterfaceState,
+    OspfState,
+    PoolState,
+    QosPolicyState,
+    UserState,
+    VipState,
+    VlanState,
+)
+from repro.inventory.catalog import DEFAULT_CATALOG, HardwareCatalog, HardwareModel
+from repro.synthesis.profiles import NetworkProfile
+from repro.types import DeviceRecord, DeviceRole, NetworkRecord
+
+
+@dataclass
+class BuiltNetwork:
+    """Everything the synthesizer creates for one network at month 0."""
+
+    record: NetworkRecord
+    devices: list[DeviceRecord]
+    states: dict[str, DeviceState]
+    #: derived facts that the change engine / health model reuse
+    n_bgp_instances: int
+    n_ospf_instances: int
+
+
+_IFACE_NAMES = {
+    "ios": lambda i: f"TenGig0/{i}",
+    "junos": lambda i: f"xe-0/0/{i}",
+    "eos": lambda i: f"Ethernet{i + 1}",
+}
+
+
+def _role_allocation(n_devices: int, profile: NetworkProfile,
+                     rng: np.random.Generator) -> list[DeviceRole]:
+    """Pick a role for every device.
+
+    Networks are switch-heavy, with routers scaling slowly with size and
+    middleboxes (firewall + LB/ADC) present per the profile.
+    """
+    roles: list[DeviceRole] = []
+    # router share is noisy (8-25%) so role composition is not a
+    # deterministic function of size — important for QED matchability
+    router_share = float(rng.uniform(0.06, 0.25))
+    n_routers = max(1, int(rng.binomial(n_devices, router_share)))
+    roles.extend([DeviceRole.ROUTER] * n_routers)
+    if profile.has_middlebox:
+        n_firewalls = 1 + int(rng.random() < 0.25)
+        roles.extend([DeviceRole.FIREWALL] * n_firewalls)
+        if profile.n_workloads > 0 and rng.random() < 0.85:
+            roles.append(DeviceRole.LOAD_BALANCER)
+            if rng.random() < 0.3:
+                roles.append(DeviceRole.ADC)
+    while len(roles) < n_devices:
+        roles.append(DeviceRole.SWITCH)
+    return roles[:n_devices]
+
+
+def _pick_models(roles: list[DeviceRole], heterogeneity: float,
+                 catalog: HardwareCatalog,
+                 rng: np.random.Generator) -> list[HardwareModel]:
+    """Choose a hardware model per device.
+
+    Low heterogeneity -> one model per role; high heterogeneity -> several
+    models per role drawn with replacement, which drives the normalized
+    entropy metric toward the profile's target.
+    """
+    chosen: list[HardwareModel] = []
+    per_role: dict[DeviceRole, list[HardwareModel]] = {}
+    for role in set(roles):
+        candidates = list(catalog.models_for_role(role))
+        rng.shuffle(candidates)
+        k = 1 + int(rng.poisson(heterogeneity * 2.2))
+        per_role[role] = candidates[:max(1, min(k, len(candidates)))]
+    for role in roles:
+        options = per_role[role]
+        chosen.append(options[int(rng.integers(0, len(options)))])
+    return chosen
+
+
+def _pick_firmware(model: HardwareModel, heterogeneity: float,
+                   primary: dict[tuple[str, str], str],
+                   rng: np.random.Generator) -> str:
+    """Choose firmware; heterogeneous networks mix versions per model."""
+    key = (model.vendor, model.model)
+    if key not in primary:
+        primary[key] = model.firmware_versions[
+            int(rng.integers(0, len(model.firmware_versions)))
+        ]
+    if rng.random() < heterogeneity * 0.8:
+        return model.firmware_versions[
+            int(rng.integers(0, len(model.firmware_versions)))
+        ]
+    return primary[key]
+
+
+def _subnet_octet(network_id: str) -> int:
+    """Second IPv4 octet for this network's address space."""
+    return int(network_id.removeprefix("net")) % 200 + 1
+
+
+def build_network(profile: NetworkProfile, rng: np.random.Generator,
+                  catalog: HardwareCatalog = DEFAULT_CATALOG) -> BuiltNetwork:
+    """Materialize a network from its latent profile."""
+    network_id = profile.network_id
+    octet = _subnet_octet(network_id)
+    workloads = tuple(
+        f"svc-{network_id}-{i}" for i in range(profile.n_workloads)
+    )
+    record = NetworkRecord(network_id=network_id, workloads=workloads)
+
+    roles = _role_allocation(profile.n_devices, profile, rng)
+    models = _pick_models(roles, profile.heterogeneity, catalog, rng)
+    primary_firmware: dict[tuple[str, str], str] = {}
+
+    devices: list[DeviceRecord] = []
+    states: dict[str, DeviceState] = {}
+    mgmt_ips: dict[str, str] = {}
+
+    shared_users = [f"ops{int(rng.integers(0, 40)):02d}" for _ in range(
+        int(rng.integers(2, 6)))]
+
+    for idx, (role, model) in enumerate(zip(roles, models)):
+        device_id = f"{network_id}-d{idx:03d}"
+        firmware = _pick_firmware(model, profile.heterogeneity,
+                                  primary_firmware, rng)
+        devices.append(DeviceRecord(
+            device_id=device_id,
+            network_id=network_id,
+            vendor=model.vendor,
+            model=model.model,
+            role=role,
+            firmware=firmware,
+        ))
+        dialect = model.config_dialect
+        state = DeviceState(hostname=device_id, dialect=dialect,
+                            firmware=firmware)
+        iface_name = _IFACE_NAMES[dialect]
+        mgmt_ip = f"10.{octet}.0.{idx + 1}"
+        mgmt_ips[device_id] = mgmt_ip
+        state.interfaces[iface_name(0)] = InterfaceState(
+            name=iface_name(0), description="mgmt", address=f"{mgmt_ip}/24",
+        )
+        n_extra = int(rng.integers(2, 6))
+        for j in range(1, 1 + n_extra):
+            state.interfaces[iface_name(j)] = InterfaceState(
+                name=iface_name(j), description=f"port {j}",
+            )
+        for user in shared_users:
+            state.users[user] = UserState(name=user)
+        state.ntp_servers = [f"10.{octet}.0.251"]
+        state.syslog_hosts = [f"10.{octet}.0.252"]
+        state.snmp_communities = ["monitor"]
+        state.stp_enabled = role is DeviceRole.SWITCH
+        state.udld_enabled = ("udld" in profile.l2_features
+                              and role is DeviceRole.SWITCH)
+        state.aaa_enabled = bool(rng.random() < 0.6)
+        state.banner = "authorized access only"
+        if "dhcp_relay" in profile.l2_features and role is DeviceRole.SWITCH:
+            state.dhcp_relay_servers = [f"10.{octet}.0.253"]
+        if rng.random() < 0.4:
+            state.sflow_collectors = [f"10.{octet}.0.254"]
+        if rng.random() < 0.35 * profile.richness:
+            state.qos_policies["qos-default"] = QosPolicyState(
+                "qos-default", {"voice": 46, "bulk": 10},
+            )
+        states[device_id] = state
+
+    switch_ids = [d.device_id for d in devices if d.role is DeviceRole.SWITCH]
+    router_ids = [d.device_id for d in devices if d.role is DeviceRole.ROUTER]
+    fw_ids = [d.device_id for d in devices if d.role is DeviceRole.FIREWALL]
+    lb_ids = [d.device_id for d in devices
+              if d.role in (DeviceRole.LOAD_BALANCER, DeviceRole.ADC)]
+
+    _provision_vlans(profile, states, switch_ids or router_ids, rng)
+    n_bgp = _provision_bgp(profile, states, router_ids, mgmt_ips, octet, rng)
+    n_ospf = _provision_ospf(profile, states, router_ids, octet, rng)
+    _provision_acls(profile, states, fw_ids, router_ids + switch_ids, rng)
+    _provision_load_balancing(profile, states, lb_ids, octet, rng)
+    _provision_misc(profile, states, router_ids, switch_ids, octet, rng)
+
+    return BuiltNetwork(
+        record=record,
+        devices=devices,
+        states=states,
+        n_bgp_instances=n_bgp,
+        n_ospf_instances=n_ospf,
+    )
+
+
+def _provision_vlans(profile: NetworkProfile, states: dict[str, DeviceState],
+                     host_ids: list[str], rng: np.random.Generator) -> None:
+    """Spread the profile's VLANs over switches; some VLANs span devices."""
+    if not host_ids:
+        return
+    for v in range(profile.n_vlans):
+        vlan_id = str(101 + v)
+        span = min(len(host_ids), 1 + int(rng.geometric(0.55)))
+        members = rng.choice(len(host_ids), size=span, replace=False)
+        for m in members:
+            state = states[host_ids[int(m)]]
+            state.vlans[vlan_id] = VlanState(vlan_id=vlan_id)
+        # assign one access interface on the first member to this VLAN
+        first = states[host_ids[int(members[0])]]
+        free = [i for i in first.interfaces.values()
+                if i.address is None and i.access_vlan is None]
+        if free:
+            free[int(rng.integers(0, len(free)))].access_vlan = vlan_id
+
+
+def _provision_bgp(profile: NetworkProfile, states: dict[str, DeviceState],
+                   router_ids: list[str], mgmt_ips: dict[str, str],
+                   octet: int, rng: np.random.Generator) -> int:
+    """Partition BGP routers into chains; each chain is one instance."""
+    if not profile.use_bgp or not router_ids:
+        return 0
+    asn = str(64512 + octet)
+    n_groups = max(1, min(len(router_ids), int(rng.geometric(0.45))))
+    groups: list[list[str]] = [[] for _ in range(n_groups)]
+    for i, device_id in enumerate(router_ids):
+        groups[i % n_groups].append(device_id)
+    for group in groups:
+        for device_id in group:
+            states[device_id].bgp = BgpState(
+                asn=asn, networks=[f"10.{octet}.0.0/16"],
+            )
+        for left, right in zip(group, group[1:]):
+            states[left].bgp.neighbors[mgmt_ips[right]] = asn
+            states[right].bgp.neighbors[mgmt_ips[left]] = asn
+        # an external (upstream) session on the chain head
+        head = states[group[0]]
+        head.bgp.neighbors[f"172.16.{octet}.1"] = "65000"
+    return n_groups
+
+
+def _provision_ospf(profile: NetworkProfile, states: dict[str, DeviceState],
+                    router_ids: list[str], octet: int,
+                    rng: np.random.Generator) -> int:
+    """Give OSPF routers per-group areas and shared subnets (1-2 groups)."""
+    if not profile.use_ospf or not router_ids:
+        return 0
+    n_groups = 1 if len(router_ids) < 4 or rng.random() < 0.6 else 2
+    groups: list[list[str]] = [[] for _ in range(n_groups)]
+    for i, device_id in enumerate(router_ids):
+        groups[i % n_groups].append(device_id)
+    for g, group in enumerate(groups):
+        subnet_prefix = f"10.{octet}.{10 + g}"
+        for k, device_id in enumerate(group):
+            state = states[device_id]
+            iface_name = _IFACE_NAMES[state.dialect]
+            ospf_iface = iface_name(9)
+            state.interfaces[ospf_iface] = InterfaceState(
+                name=ospf_iface, description=f"ospf area {g}",
+                address=f"{subnet_prefix}.{k + 1}/24",
+            )
+            state.ospf = OspfState(
+                process_id="10",
+                areas={str(g): [f"{subnet_prefix}.0/24"]},
+            )
+    return n_groups
+
+
+def _provision_acls(profile: NetworkProfile, states: dict[str, DeviceState],
+                    fw_ids: list[str], other_ids: list[str],
+                    rng: np.random.Generator) -> None:
+    """Firewalls get rich ACLs; some other devices get edge ACLs."""
+    def make_acl(name: str, n_rules: int, target_octet: int) -> AclState:
+        rules = []
+        for r in range(n_rules):
+            protocol = "tcp" if rng.random() < 0.8 else "udp"
+            port = int(rng.choice([22, 53, 80, 123, 443, 8080]))
+            rules.append(("permit", protocol,
+                          f"10.{target_octet}.9.{r + 1}", port))
+        return AclState(name=name, rules=rules)
+
+    octet = _subnet_octet(profile.network_id)
+    for device_id in fw_ids:
+        state = states[device_id]
+        n_rules = 3 + int(profile.richness * rng.integers(3, 9))
+        acl = make_acl("acl-edge", n_rules, octet)
+        state.acls[acl.name] = acl
+        for iface in state.interfaces.values():
+            if iface.address is not None:
+                iface.acl_in = acl.name
+                break
+    # richness drives how pervasively ACLs are attached across the rest of
+    # the network — the dominant (non-causal) source of intra-device
+    # complexity variance, giving that metric the 1-2 order-of-magnitude
+    # spread of Fig 11(d) without tying it to the health model
+    attach_probability = min(0.85, 0.10 + 0.25 * profile.richness)
+    for device_id in other_ids:
+        if rng.random() < attach_probability:
+            state = states[device_id]
+            n_rules = 2 + int(profile.richness * rng.integers(2, 10))
+            acl = make_acl("acl-mgmt", n_rules, octet)
+            state.acls[acl.name] = acl
+            attach_share = min(1.0, 0.3 + 0.3 * profile.richness)
+            for iface in state.interfaces.values():
+                if iface.address is not None or rng.random() < attach_share:
+                    iface.acl_in = acl.name
+
+
+def _provision_load_balancing(profile: NetworkProfile,
+                              states: dict[str, DeviceState],
+                              lb_ids: list[str], octet: int,
+                              rng: np.random.Generator) -> None:
+    if not lb_ids:
+        return
+    for device_id in lb_ids:
+        state = states[device_id]
+        n_pools = 1 + int(rng.integers(0, 1 + 2 * max(profile.n_workloads, 1)))
+        for p in range(n_pools):
+            name = f"pool-{p}"
+            n_members = 2 + int(profile.richness * rng.integers(1, 6))
+            members = [
+                f"10.{octet}.20{p % 10}.{m + 10}:80" for m in range(n_members)
+            ]
+            state.pools[name] = PoolState(name=name, members=members)
+            state.vips[f"vip-{p}"] = VipState(
+                name=f"vip-{p}", address=f"10.{octet}.250.{p + 1}:80",
+                pool=name,
+            )
+
+
+def _provision_misc(profile: NetworkProfile, states: dict[str, DeviceState],
+                    router_ids: list[str], switch_ids: list[str],
+                    octet: int, rng: np.random.Generator) -> None:
+    # static routes on routers
+    for device_id in router_ids:
+        state = states[device_id]
+        state.static_routes["0.0.0.0/0"] = f"10.{octet}.0.254"
+        if rng.random() < 0.5:
+            state.static_routes[f"10.{octet}.64.0/18"] = f"10.{octet}.0.253"
+    # link aggregation on some switches
+    if "lag" in profile.l2_features:
+        for device_id in switch_ids:
+            if rng.random() < 0.4:
+                state = states[device_id]
+                state.lag_groups["1"] = "uplink lag"
+                free = [i for i in state.interfaces.values()
+                        if i.address is None and i.access_vlan is None]
+                for iface in free[:2]:
+                    iface.lag_group = "1"
+    # VRRP on router pairs
+    if "vrrp" in profile.l2_features and len(router_ids) >= 2:
+        for device_id in router_ids[:2]:
+            states[device_id].vrrp_groups["1"] = f"10.{octet}.0.250"

@@ -1,0 +1,53 @@
+"""Ground-truth records: the generator's own view of each network-month.
+
+The analysis pipeline must *infer* practices from configs and tickets; the
+synthesizer additionally records what it actually did. Truth records feed
+the planted health model and let tests verify that inference recovers the
+truth (within noise from missing snapshots etc.).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkTruth:
+    """Static (design-time) truth for one network."""
+
+    network_id: str
+    n_devices: int
+    n_models: int
+    n_roles: int
+    n_vendors: int
+    n_firmware: int
+    n_vlans: int
+    n_bgp_instances: int
+    n_ospf_instances: int
+    has_middlebox: bool
+    event_rate: float
+    automation_level: float
+
+
+@dataclass(frozen=True, slots=True)
+class MonthTruth:
+    """Operational truth for one network-month."""
+
+    network_id: str
+    month_index: int  # 0-based offset from the corpus epoch
+    n_change_events: int
+    n_device_changes: int
+    n_devices_changed: int
+    n_change_types: int
+    avg_devices_per_event: float
+    frac_events_automated: float
+    frac_events_interface: float
+    frac_events_acl: float
+    frac_events_router: float
+    frac_events_mbox: float
+    #: assigned later by the health model
+    tickets: int = 0
+
+    def with_tickets(self, tickets: int) -> "MonthTruth":
+        return dataclasses.replace(self, tickets=tickets)

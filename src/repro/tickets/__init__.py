@@ -1,0 +1,13 @@
+"""Trouble-ticket substrate (paper Section 2.1, data source 3)."""
+
+from repro.tickets.models import TicketRecord, TicketCategory, IMPACT_LEVELS
+from repro.tickets.store import TicketStore
+from repro.tickets.filters import health_tickets
+
+__all__ = [
+    "TicketRecord",
+    "TicketCategory",
+    "IMPACT_LEVELS",
+    "TicketStore",
+    "health_tickets",
+]

@@ -1,0 +1,22 @@
+"""Ticket filtering used by the health metric (paper Section 2.2).
+
+Tickets created for planned maintenance are excluded "because maintenance
+tickets are unlikely to be triggered by performance or availability
+problems"; everything else (alarm-raised and user-reported) counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.tickets.models import TicketRecord
+
+
+def health_tickets(tickets: Iterable[TicketRecord]) -> list[TicketRecord]:
+    """Filter to tickets that count toward the health metric."""
+    return [ticket for ticket in tickets if ticket.counts_toward_health]
+
+
+def count_health_tickets(tickets: Iterable[TicketRecord]) -> int:
+    """Number of tickets that count toward health."""
+    return sum(1 for ticket in tickets if ticket.counts_toward_health)

@@ -1,0 +1,61 @@
+"""Trouble-ticket records.
+
+Tickets mix structured fields (times, devices, category, impact) with
+unstructured text (symptoms, operator communication). The paper uses only
+the *count* of non-maintenance tickets as the health metric, because other
+ticket-derived measures (impact levels, time-to-resolution) suffer from
+inconsistent ticketing practices — we model those inconsistencies too so
+the filtering path is realistic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TicketCategory(enum.Enum):
+    """How a ticket was opened (Section 2.2, "Network Health")."""
+
+    #: Raised automatically by a monitoring alarm.
+    ALARM = "alarm"
+    #: Reported by a user of the network.
+    USER_REPORT = "user_report"
+    #: Planned maintenance — excluded from health analysis.
+    MAINTENANCE = "maintenance"
+
+
+#: Subjective impact labels; deliberately noisy in the synthesizer.
+IMPACT_LEVELS = ("low", "medium", "high")
+
+
+@dataclass(frozen=True, slots=True)
+class TicketRecord:
+    """One trouble ticket."""
+
+    ticket_id: str
+    network_id: str
+    opened_at: int  # minutes since corpus epoch
+    resolved_at: int  # may lag the true fix time (paper: "sometimes not
+    # marked as resolved until well after the problem has been fixed")
+    category: TicketCategory
+    impact: str
+    devices: tuple[str, ...] = ()
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if self.opened_at < 0:
+            raise ValueError("opened_at must be non-negative")
+        if self.resolved_at < self.opened_at:
+            raise ValueError("ticket resolved before it was opened")
+        if self.impact not in IMPACT_LEVELS:
+            raise ValueError(f"unknown impact {self.impact!r}")
+
+    @property
+    def duration_minutes(self) -> int:
+        return self.resolved_at - self.opened_at
+
+    @property
+    def counts_toward_health(self) -> bool:
+        """Maintenance tickets are excluded from health (Section 2.2)."""
+        return self.category is not TicketCategory.MAINTENANCE

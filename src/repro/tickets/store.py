@@ -1,0 +1,61 @@
+"""Queryable collection of trouble tickets."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import DataError
+from repro.tickets.models import TicketRecord
+
+
+class TicketStore:
+    """Holds tickets indexed by network and sorted by open time."""
+
+    def __init__(self, tickets: Iterable[TicketRecord] = ()) -> None:
+        self._by_network: dict[str, list[TicketRecord]] = defaultdict(list)
+        self._ids: set[str] = set()
+        self._count = 0
+        self._sorted = True
+        for ticket in tickets:
+            self.add(ticket)
+
+    def add(self, ticket: TicketRecord) -> None:
+        if ticket.ticket_id in self._ids:
+            raise DataError(f"duplicate ticket {ticket.ticket_id!r}")
+        self._ids.add(ticket.ticket_id)
+        self._by_network[ticket.network_id].append(ticket)
+        self._count += 1
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            for tickets in self._by_network.values():
+                tickets.sort(key=lambda t: t.opened_at)
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def network_ids(self) -> list[str]:
+        return sorted(self._by_network)
+
+    def for_network(self, network_id: str) -> list[TicketRecord]:
+        self._ensure_sorted()
+        return list(self._by_network.get(network_id, ()))
+
+    def in_window(self, network_id: str, start: int, end: int) -> list[TicketRecord]:
+        """Tickets of a network opened in ``[start, end)``, by open time."""
+        self._ensure_sorted()
+        tickets = self._by_network.get(network_id, ())
+        keys = [t.opened_at for t in tickets]
+        lo = bisect_left(keys, start)
+        hi = bisect_right(keys, end - 1)
+        return list(tickets[lo:hi])
+
+    def iter_all(self) -> Iterable[TicketRecord]:
+        self._ensure_sorted()
+        for network_id in sorted(self._by_network):
+            yield from self._by_network[network_id]

@@ -1,0 +1,260 @@
+"""Core record types shared across the MPA reproduction.
+
+These are the vendor- and analysis-agnostic data records that flow between
+subsystems: inventory entries, configuration snapshots, trouble tickets,
+and (network, month) case identifiers.
+
+The paper's three data sources (Section 2.1) map onto:
+
+* inventory records  -> :class:`DeviceRecord` / :class:`NetworkRecord`
+* config snapshots   -> :class:`ConfigSnapshot`
+* trouble tickets    -> :class:`TicketRecord` (see :mod:`repro.tickets.models`)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DeviceRole(enum.Enum):
+    """Role a device plays in a network (paper Table 1, line D2).
+
+    Middleboxes (Section A.1) are firewalls, ADCs, and load balancers.
+    """
+
+    ROUTER = "router"
+    SWITCH = "switch"
+    FIREWALL = "firewall"
+    LOAD_BALANCER = "load_balancer"
+    ADC = "adc"
+
+    @property
+    def is_middlebox(self) -> bool:
+        return self in _MIDDLEBOX_ROLES
+
+
+_MIDDLEBOX_ROLES = frozenset(
+    {DeviceRole.FIREWALL, DeviceRole.LOAD_BALANCER, DeviceRole.ADC}
+)
+
+#: Roles considered middleboxes, exported for metric computations.
+MIDDLEBOX_ROLES = _MIDDLEBOX_ROLES
+
+
+class ChangeModality(enum.Enum):
+    """Whether a configuration change was made by a human or a script.
+
+    Inferred from snapshot login metadata (Section 2.2): logins classified as
+    special (service) accounts are automated; everything else is assumed
+    manual, which under-estimates automation exactly as the paper notes.
+    """
+
+    MANUAL = "manual"
+    AUTOMATED = "automated"
+
+
+@dataclass(frozen=True, slots=True)
+class MonthKey:
+    """A calendar month, the aggregation unit for all practice metrics."""
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month must be in 1..12, got {self.month}")
+
+    def next(self) -> "MonthKey":
+        if self.month == 12:
+            return MonthKey(self.year + 1, 1)
+        return MonthKey(self.year, self.month + 1)
+
+    def prev(self) -> "MonthKey":
+        if self.month == 1:
+            return MonthKey(self.year - 1, 12)
+        return MonthKey(self.year, self.month - 1)
+
+    def index(self) -> int:
+        """Monotone integer index (months since year 0), for ordering."""
+        return self.year * 12 + (self.month - 1)
+
+    @classmethod
+    def from_index(cls, idx: int) -> "MonthKey":
+        return cls(idx // 12, idx % 12 + 1)
+
+    @classmethod
+    def from_timestamp(cls, ts_minutes: int, epoch: "MonthKey",
+                       minutes_per_month: int) -> "MonthKey":
+        """Map a corpus timestamp (minutes since epoch) to its month."""
+        return cls.from_index(epoch.index() + ts_minutes // minutes_per_month)
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+    def __lt__(self, other: "MonthKey") -> bool:
+        return self.index() < other.index()
+
+    def __le__(self, other: "MonthKey") -> bool:
+        return self.index() <= other.index()
+
+
+def month_range(start: MonthKey, count: int) -> list[MonthKey]:
+    """Return ``count`` consecutive months beginning at ``start``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [MonthKey.from_index(start.index() + i) for i in range(count)]
+
+
+@dataclass(frozen=True, slots=True)
+class CaseKey:
+    """Identifies one analysis case: a network observed during one month.
+
+    The paper's unit of analysis throughout Sections 5-6 ("each case
+    represents a network in a specific month").
+    """
+
+    network_id: str
+    month: MonthKey
+
+    def __str__(self) -> str:
+        return f"{self.network_id}@{self.month}"
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceRecord:
+    """One inventory row: a managed device (paper Section 2.1, source 1)."""
+
+    device_id: str
+    network_id: str
+    vendor: str
+    model: str
+    role: DeviceRole
+    firmware: str
+
+    def __post_init__(self) -> None:
+        if not self.device_id:
+            raise ValueError("device_id must be non-empty")
+        if not self.network_id:
+            raise ValueError("network_id must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkRecord:
+    """One inventory row describing a network and its purpose."""
+
+    network_id: str
+    #: Workloads (services or user groups) hosted; empty for pure
+    #: interconnect networks (Section A.1: "a handful host no workloads").
+    workloads: tuple[str, ...] = ()
+
+    @property
+    def is_interconnect(self) -> bool:
+        return not self.workloads
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigSnapshot:
+    """A device configuration snapshot with its change metadata.
+
+    ``timestamp`` is in minutes since the corpus epoch; NMSes like RANCID
+    record wall-clock times, but relative minutes keep the synthetic corpus
+    deterministic and timezone-free.
+    """
+
+    device_id: str
+    network_id: str
+    timestamp: int
+    login: str
+    modality: ChangeModality
+    config_text: str
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeRecord:
+    """A single device-level configuration change (diff of two snapshots).
+
+    ``stanza_types`` holds the vendor-agnostic types of every stanza that was
+    added, removed, or updated between the two snapshots (Section 2.2, O3).
+    """
+
+    device_id: str
+    network_id: str
+    timestamp: int
+    modality: ChangeModality
+    stanza_types: tuple[str, ...]
+    login: str = ""
+
+    @property
+    def num_stanzas_changed(self) -> int:
+        return len(self.stanza_types)
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeEvent:
+    """A group of device changes assumed to share one operator intent.
+
+    Built by :func:`repro.metrics.events.group_change_events` using the
+    delta-window heuristic from Section 2.2 (default delta = 5 minutes).
+    """
+
+    network_id: str
+    start_timestamp: int
+    end_timestamp: int
+    changes: tuple[ChangeRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.changes:
+            raise ValueError("a change event must contain at least one change")
+        if self.end_timestamp < self.start_timestamp:
+            raise ValueError("event ends before it starts")
+
+    @property
+    def devices(self) -> frozenset[str]:
+        return frozenset(change.device_id for change in self.changes)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def stanza_types(self) -> frozenset[str]:
+        types: set[str] = set()
+        for change in self.changes:
+            types.update(change.stanza_types)
+        return frozenset(types)
+
+    @property
+    def is_automated(self) -> bool:
+        """An event is automated if every member change is automated."""
+        return all(
+            change.modality is ChangeModality.AUTOMATED for change in self.changes
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyResponse:
+    """One operator's opinion on one practice (Figure 2)."""
+
+    operator_id: str
+    practice: str
+    opinion: str  # one of OPINION_LEVELS
+    affiliation: str = "nanog"
+
+    def __post_init__(self) -> None:
+        if self.opinion not in OPINION_LEVELS:
+            raise ValueError(f"unknown opinion {self.opinion!r}")
+
+
+#: The five answer options in the operator survey (Figure 2).
+OPINION_LEVELS = (
+    "no_impact",
+    "low_impact",
+    "medium_impact",
+    "high_impact",
+    "not_sure",
+)

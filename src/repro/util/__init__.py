@@ -1,0 +1,21 @@
+"""Shared numeric, text, and time utilities."""
+
+from repro.util.stats import (
+    normalized_entropy,
+    entropy,
+    pearson_correlation,
+    summarize,
+    Summary,
+)
+from repro.util.binning import BinSpec, equal_width_bins, apply_bins
+
+__all__ = [
+    "normalized_entropy",
+    "entropy",
+    "pearson_correlation",
+    "summarize",
+    "Summary",
+    "BinSpec",
+    "equal_width_bins",
+    "apply_bins",
+]

@@ -1,0 +1,57 @@
+"""IPv4 helpers shared by config generators and parsers.
+
+Built on :mod:`ipaddress`; these wrappers exist so dialect code never has
+to juggle dotted-quad netmasks vs prefix lengths itself.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+
+def mask_to_prefixlen(mask: str) -> int:
+    """``255.255.255.0`` -> ``24``; raises ``ValueError`` on bad masks."""
+    return ipaddress.IPv4Network(f"0.0.0.0/{mask}").prefixlen
+
+
+def prefixlen_to_mask(prefixlen: int) -> str:
+    """``24`` -> ``255.255.255.0``."""
+    return str(ipaddress.IPv4Network(f"0.0.0.0/{prefixlen}").netmask)
+
+
+def wildcard_for(prefixlen: int) -> str:
+    """IOS wildcard mask (inverted netmask), e.g. ``24`` -> ``0.0.0.255``."""
+    return str(ipaddress.IPv4Network(f"0.0.0.0/{prefixlen}").hostmask)
+
+
+def canonical_cidr(address: str, prefixlen: int) -> str:
+    """Render ``address/prefixlen`` after validating the address."""
+    ipaddress.IPv4Address(address)
+    if not 0 <= prefixlen <= 32:
+        raise ValueError(f"invalid prefix length {prefixlen}")
+    return f"{address}/{prefixlen}"
+
+
+def network_of(address: str, prefixlen: int) -> str:
+    """The containing network in CIDR form (host bits zeroed)."""
+    net = ipaddress.IPv4Network(f"{address}/{prefixlen}", strict=False)
+    return str(net)
+
+
+def same_subnet(addr_a: str, addr_b: str) -> bool:
+    """True when two ``a.b.c.d/len`` strings fall in the same subnet."""
+    ip_a, len_a = addr_a.split("/")
+    ip_b, len_b = addr_b.split("/")
+    if len_a != len_b:
+        return False
+    return network_of(ip_a, int(len_a)) == network_of(ip_b, int(len_b))
+
+
+def host_in_subnet(subnet_cidr: str, host_index: int) -> str:
+    """The ``host_index``-th usable host address of a subnet (1-based)."""
+    net = ipaddress.IPv4Network(subnet_cidr)
+    if host_index < 1 or host_index >= net.num_addresses - 1:
+        raise ValueError(
+            f"host index {host_index} outside {subnet_cidr} host range"
+        )
+    return str(net.network_address + host_index)

@@ -1,0 +1,128 @@
+"""Small statistics helpers used throughout the library.
+
+Includes the normalized-entropy heterogeneity metric from the paper
+(Table 1, line D3) and descriptive summaries used by the characterization
+figures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def entropy(probabilities: Iterable[float]) -> float:
+    """Shannon entropy (bits) of a discrete distribution.
+
+    Zero-probability entries contribute nothing. Raises ``ValueError`` if
+    probabilities are negative or do not sum to ~1.
+    """
+    probs = [p for p in probabilities]
+    if any(p < 0 for p in probs):
+        raise ValueError("probabilities must be non-negative")
+    total = sum(probs)
+    if total == 0:
+        return 0.0
+    if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    return -sum(p * math.log2(p) for p in probs if p > 0)
+
+
+def normalized_entropy(labels: Sequence[object]) -> float:
+    """Heterogeneity metric of Table 1 line D3.
+
+    Given one label per device (e.g. ``(model, role)`` pairs), computes
+    ``-sum_i p_i log2 p_i / log2 N`` where ``N = len(labels)``. A value near
+    1 indicates significant heterogeneity; 0 means all devices identical
+    (or a single device, for which heterogeneity is undefined and 0 by
+    convention).
+    """
+    n = len(labels)
+    if n <= 1:
+        return 0.0
+    counts = Counter(labels)
+    h = entropy(count / n for count in counts.values())
+    return h / math.log2(n)
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    sx = x.std()
+    sy = y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Descriptive summary used by the box-plot style figures (Figs 4, 6)."""
+
+    count: int
+    mean: float
+    p25: float
+    median: float
+    p75: float
+    minimum: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    @property
+    def whisker_low(self) -> float:
+        """Lowest datapoint within 2x IQR below the 25th percentile.
+
+        Matches the whisker convention in the paper's box plots
+        ("whiskers indicate the most extreme datapoints within twice the
+        interquartile range").
+        """
+        return max(self.minimum, self.p25 - 2 * self.iqr)
+
+    @property
+    def whisker_high(self) -> float:
+        return min(self.maximum, self.p75 + 2 * self.iqr)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``; raises on empty input."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    arr = np.asarray(values, dtype=float)
+    p25, p50, p75 = np.percentile(arr, [25, 50, 75])
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p25=float(p25),
+        median=float(p50),
+        p75=float(p75),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def ecdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns sorted values and cumulative fractions."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    fractions = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, fractions
+
+
+def quantile_at(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` (0 <= fraction <= 1)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    return float(np.percentile(np.asarray(values, dtype=float), fraction * 100))

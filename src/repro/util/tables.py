@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark and report output.
+
+All benches print paper-style tables; this module keeps the formatting in
+one place so output is uniform and easily diffed across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_cell(value: object, float_fmt: str = "{:.3f}") -> str:
+    """Stringify one table cell, formatting floats with ``float_fmt``."""
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "", float_fmt: str = "{:.3f}") -> str:
+    """Render an aligned ASCII table.
+
+    Column widths adapt to content; floats are formatted with ``float_fmt``.
+    """
+    str_rows = [[format_cell(cell, float_fmt) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], title: str = "") -> str:
+    """Render ``key: value`` lines, aligned on the colon."""
+    if not pairs:
+        return title
+    key_width = max(len(key) for key, _ in pairs)
+    lines = [title] if title else []
+    lines.extend(f"{key.ljust(key_width)} : {format_cell(value)}" for key, value in pairs)
+    return "\n".join(lines)

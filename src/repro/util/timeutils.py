@@ -1,0 +1,41 @@
+"""Corpus time model.
+
+Timestamps in the corpus are integer minutes since the corpus epoch
+(month 0, minute 0). Months are fixed-length (30 days) so that month
+arithmetic is exact and synthetic corpora are reproducible; nothing in the
+analysis depends on true calendar-month lengths.
+"""
+
+from __future__ import annotations
+
+from repro.types import MonthKey
+
+#: Fixed month length used by the synthetic corpus (30 days of minutes).
+MINUTES_PER_MONTH = 30 * 24 * 60
+
+#: Default corpus epoch: the paper's dataset starts in August 2013.
+DEFAULT_EPOCH = MonthKey(2013, 8)
+
+#: The paper's dataset spans 17 months (Aug 2013 - Dec 2014).
+PAPER_MONTHS = 17
+
+
+def month_of_timestamp(ts_minutes: int, epoch: MonthKey = DEFAULT_EPOCH) -> MonthKey:
+    """The calendar month containing a corpus timestamp."""
+    if ts_minutes < 0:
+        raise ValueError("timestamps are non-negative minutes since epoch")
+    return MonthKey.from_index(epoch.index() + ts_minutes // MINUTES_PER_MONTH)
+
+
+def month_start(month: MonthKey, epoch: MonthKey = DEFAULT_EPOCH) -> int:
+    """First minute of ``month`` in corpus time."""
+    offset = month.index() - epoch.index()
+    if offset < 0:
+        raise ValueError(f"{month} precedes the epoch {epoch}")
+    return offset * MINUTES_PER_MONTH
+
+
+def month_bounds(month: MonthKey, epoch: MonthKey = DEFAULT_EPOCH) -> tuple[int, int]:
+    """Half-open ``[start, end)`` minute range of ``month``."""
+    start = month_start(month, epoch)
+    return start, start + MINUTES_PER_MONTH

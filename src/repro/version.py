@@ -1,0 +1,7 @@
+"""Package version, kept in sync with ``pyproject.toml``."""
+
+__version__ = "1.0.0"
+
+#: Version stamp written into serialized corpora; bump when the on-disk
+#: corpus layout changes incompatibly.
+CORPUS_FORMAT_VERSION = 4

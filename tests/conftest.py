@@ -1,0 +1,32 @@
+"""Shared fixtures: one tiny synthetic corpus + inferred artifacts.
+
+Built once per session; all integration-ish tests share them so the test
+suite stays fast while still exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.dataset import build_full
+from repro.synthesis.organization import OrganizationSynthesizer, SCALES
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    return OrganizationSynthesizer(SCALES["tiny"]).build()
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline(tiny_corpus):
+    return build_full(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_pipeline):
+    return tiny_pipeline.dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_changes(tiny_pipeline):
+    return tiny_pipeline.changes

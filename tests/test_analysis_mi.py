@@ -1,0 +1,145 @@
+"""Tests for mutual information / CMI and dependence ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dependence import (
+    bin_dataset,
+    rank_practice_pairs_by_cmi,
+    rank_practices_by_mi,
+)
+from repro.analysis.mutual_information import (
+    binned_mutual_information,
+    conditional_mutual_information,
+    mutual_information,
+)
+
+
+class TestMutualInformation:
+    def test_identical_variables(self):
+        x = np.array([0, 0, 1, 1, 2, 2])
+        assert mutual_information(x, x) == pytest.approx(np.log2(3))
+
+    def test_independent_variables(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, 5000)
+        y = rng.integers(0, 2, 5000)
+        assert mutual_information(x, y) < 0.01
+
+    def test_deterministic_function(self):
+        x = np.array([0, 1, 2, 3] * 50)
+        y = x % 2
+        assert mutual_information(x, y) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 4, 300)
+        y = (x + rng.integers(0, 2, 300)) % 4
+        assert mutual_information(x, y) == pytest.approx(
+            mutual_information(y, x)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.array([]), np.array([]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.array([1]), np.array([1, 2]))
+
+    def test_bias_correction_reduces_estimate(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 10, 60)
+        y = rng.integers(0, 10, 60)
+        raw = mutual_information(x, y)
+        corrected = mutual_information(x, y, bias_correction=True)
+        assert corrected <= raw
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=200))
+    def test_nonnegative_and_bounded(self, xs):
+        x = np.array(xs)
+        y = x[::-1].copy()
+        mi = mutual_information(x, y)
+        upper = np.log2(max(len(np.unique(x)), 1)) + 1e-9
+        assert 0.0 <= mi <= upper
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=4, max_size=100))
+    def test_self_mi_is_entropy(self, xs):
+        x = np.array(xs)
+        _, counts = np.unique(x, return_counts=True)
+        p = counts / counts.sum()
+        entropy = -(p * np.log2(p)).sum()
+        assert mutual_information(x, x) == pytest.approx(entropy, abs=1e-9)
+
+
+class TestCMI:
+    def test_conditioning_removes_explained_dependence(self):
+        # x1 and x2 depend only through y: CMI given y should be ~0
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 8000)
+        x1 = (y + rng.integers(0, 2, 8000)) % 3
+        x2 = (y + rng.integers(0, 2, 8000)) % 3
+        cmi = conditional_mutual_information(x1, x2, y)
+        raw = mutual_information(x1, x2)
+        assert cmi < raw or raw < 0.02
+
+    def test_direct_dependence_survives(self):
+        rng = np.random.default_rng(0)
+        x1 = rng.integers(0, 4, 4000)
+        x2 = (x1 + rng.integers(0, 2, 4000)) % 4
+        y = rng.integers(0, 2, 4000)
+        assert conditional_mutual_information(x1, x2, y) > 0.3
+
+    def test_symmetry_in_x(self):
+        rng = np.random.default_rng(0)
+        x1 = rng.integers(0, 3, 500)
+        x2 = (x1 * 2 + rng.integers(0, 2, 500)) % 3
+        y = rng.integers(0, 2, 500)
+        assert conditional_mutual_information(x1, x2, y) == pytest.approx(
+            conditional_mutual_information(x2, x1, y)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conditional_mutual_information(np.array([]), np.array([]),
+                                           np.array([]))
+
+
+class TestBinnedMI:
+    def test_monotone_relationship_detected(self):
+        rng = np.random.default_rng(0)
+        x = rng.lognormal(2, 1, 2000)
+        y = x * 3 + rng.normal(0, 1, 2000)
+        assert binned_mutual_information(x, y) > 0.5
+
+    def test_nonmonotonic_relationship_detected(self):
+        # ANOVA-style linear methods would miss a V-shape; MI must not
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-3, 3, 3000)
+        y = np.abs(x) + rng.normal(0, 0.1, 3000)
+        assert binned_mutual_information(x, y) > 0.5
+
+
+class TestRanking:
+    def test_rank_practices(self, tiny_dataset):
+        results = rank_practices_by_mi(tiny_dataset)
+        assert len(results) == len(tiny_dataset.names)
+        values = [r.avg_monthly_mi for r in results]
+        assert values == sorted(values, reverse=True)
+        assert all(v >= 0 for v in values)
+
+    def test_rank_pairs_subset(self, tiny_dataset):
+        practices = ["n_devices", "n_models", "n_roles"]
+        results = rank_practice_pairs_by_cmi(tiny_dataset,
+                                             practices=practices)
+        assert len(results) == 3  # C(3,2)
+        assert results[0].cmi >= results[-1].cmi
+
+    def test_bin_dataset_shapes(self, tiny_dataset):
+        binned, tickets = bin_dataset(tiny_dataset)
+        assert binned.shape == tiny_dataset.values.shape
+        assert binned.max() <= 9
+        assert tickets.shape == tiny_dataset.tickets.shape

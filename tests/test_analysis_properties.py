@@ -1,0 +1,131 @@
+"""Property-based invariants for the analysis layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.qed.significance import sign_test
+from repro.analysis.qed.treatment import TreatmentBinning
+from repro.analysis.mutual_information import (
+    conditional_mutual_information,
+    mutual_information,
+)
+from repro.util.binning import equal_width_bins
+
+_counts = st.lists(st.integers(0, 20), min_size=1, max_size=200)
+
+
+class TestSignTestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(_counts, st.integers(0, 10_000))
+    def test_swap_mirrors_direction(self, outcomes, seed):
+        rng = np.random.default_rng(seed)
+        treated = np.array(outcomes)
+        untreated = rng.permutation(treated)
+        forward = sign_test(treated, untreated)
+        backward = sign_test(untreated, treated)
+        assert forward.n_more_tickets == backward.n_fewer_tickets
+        assert forward.n_fewer_tickets == backward.n_more_tickets
+        assert forward.p_value == pytest.approx(backward.p_value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_counts)
+    def test_counts_partition_pairs(self, outcomes):
+        treated = np.array(outcomes)
+        untreated = treated[::-1].copy()
+        result = sign_test(treated, untreated)
+        assert result.n_pairs == len(outcomes)
+        assert (result.n_more_tickets + result.n_fewer_tickets
+                + result.n_no_effect) == len(outcomes)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_counts)
+    def test_p_value_in_unit_interval(self, outcomes):
+        treated = np.array(outcomes)
+        untreated = np.roll(treated, 1)
+        result = sign_test(treated, untreated)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_identical_arrays_are_null(self):
+        values = np.arange(50)
+        result = sign_test(values, values)
+        assert result.p_value == 1.0
+        assert result.direction == "none"
+
+
+class TestTreatmentBinningProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0, 1e6), min_size=10, max_size=400),
+           st.integers(2, 8))
+    def test_bins_partition_cases(self, values, n_bins):
+        binning = TreatmentBinning.fit("x", np.array(values), n_bins=n_bins)
+        assigned = np.concatenate([
+            binning.cases_in_bin(b) for b in range(n_bins)
+        ])
+        assert sorted(assigned.tolist()) == list(range(len(values)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0, 1e4), min_size=10, max_size=200))
+    def test_comparison_points_are_disjoint(self, values):
+        binning = TreatmentBinning.fit("x", np.array(values), n_bins=5)
+        for point in binning.comparison_points():
+            untreated, treated = binning.split(point)
+            assert set(untreated).isdisjoint(treated)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0, 1e4), min_size=10, max_size=200))
+    def test_treated_bin_has_larger_values(self, values):
+        arr = np.array(values)
+        binning = TreatmentBinning.fit("x", arr, n_bins=5)
+        for point in binning.comparison_points():
+            untreated, treated = binning.split(point)
+            if len(untreated) and len(treated):
+                assert arr[treated].min() >= arr[untreated].min()
+
+
+class TestMIProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=5, max_size=200),
+           st.integers(1, 5))
+    def test_relabeling_invariance(self, xs, offset):
+        """MI is invariant under bijective relabeling of either variable."""
+        x = np.array(xs)
+        y = (x * 2 + 1) % 5
+        relabeled = (x + offset) % 5  # bijection on Z5
+        assert mutual_information(x, y) == pytest.approx(
+            mutual_information(relabeled, y), abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=6, max_size=150))
+    def test_data_processing_inequality_for_constant_map(self, xs):
+        """Collapsing x to a constant destroys all information."""
+        x = np.array(xs)
+        y = x % 2
+        collapsed = np.zeros_like(x)
+        assert mutual_information(collapsed, y) == pytest.approx(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=10, max_size=150),
+           st.integers(0, 3))
+    def test_cmi_nonnegative(self, xs, shift):
+        x1 = np.array(xs)
+        x2 = (x1 + shift) % 4
+        y = x1 % 2
+        assert conditional_mutual_information(x1, x2, y) >= 0.0
+
+
+class TestBinningMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0, 1e5), min_size=5, max_size=300))
+    def test_more_bins_never_coarser(self, values):
+        """Refining the binning cannot merge previously separated values."""
+        coarse = equal_width_bins(values, n_bins=5)
+        fine = equal_width_bins(values, n_bins=10)
+        coarse_bins = coarse.assign_many(values)
+        fine_bins = fine.assign_many(values)
+        # if two values share a fine bin, they share a coarse bin
+        for i in range(len(values)):
+            for j in range(i + 1, min(i + 10, len(values))):
+                if fine_bins[i] == fine_bins[j]:
+                    assert coarse_bins[i] == coarse_bins[j]

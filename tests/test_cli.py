@@ -1,0 +1,88 @@
+"""Tests for the ``mpa`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def workspace_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("MPA_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("MPA_SCALE", "tiny")
+    return tmp_path
+
+
+class TestCli:
+    def test_synthesize_and_summary(self, workspace_env, capsys):
+        assert main(["synthesize"]) == 0
+        out = capsys.readouterr().out
+        assert "workspace ready" in out
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "networks" in out
+
+    def test_top(self, workspace_env, capsys):
+        assert main(["top", "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Avg. Monthly MI" in out
+
+    def test_causal(self, workspace_env, capsys):
+        assert main(["causal", "--treatment", "n_change_events"]) == 0
+        out = capsys.readouterr().out
+        assert "Sign test" in out
+
+    def test_evaluate(self, workspace_env, capsys):
+        assert main(["evaluate", "--classes", "2", "--variant",
+                     "majority"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy=" in out
+
+    def test_online(self, workspace_env, capsys):
+        assert main(["online", "--history", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "M (months)" in out
+
+    def test_bad_classes(self, workspace_env):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--classes", "3"])
+
+    def test_requires_command(self, workspace_env):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_to_stdout(self, workspace_env, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Management Plane Analytics report" in out
+        assert "## Causal verdicts" in out
+
+    def test_report_to_file(self, workspace_env, tmp_path, capsys):
+        target = tmp_path / "org-report.md"
+        assert main(["report", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "## Predictive model quality" in text
+        assert "## Change-intent mix" in text
+
+
+class TestDriftAndGaps:
+    def test_drift_command(self, workspace_env, capsys):
+        assert main(["drift", "--threshold", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "drift findings across" in out
+
+    def test_gaps_command(self, workspace_env, capsys):
+        assert main(["gaps", "--skip-qed"]) == 0
+        out = capsys.readouterr().out
+        assert "Operator opinion vs measured impact" in out
+        assert "MI rank" in out
+
+
+class TestExport:
+    def test_export_csv(self, workspace_env, tmp_path, capsys):
+        target = tmp_path / "metrics.csv"
+        assert main(["export", "--output", str(target)]) == 0
+        from repro.metrics.export import read_csv
+        dataset = read_csv(target)
+        assert dataset.n_cases > 0

@@ -1,0 +1,140 @@
+"""Property-based round-trip tests: random DeviceStates survive
+render -> parse -> re-render byte-identically, in every dialect."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.confgen.base import render_config
+from repro.confgen.state import (
+    AclState,
+    BgpState,
+    DeviceState,
+    InterfaceState,
+    OspfState,
+    PoolState,
+    UserState,
+    VipState,
+    VlanState,
+)
+from repro.confparse.diff import diff_configs
+from repro.confparse.registry import parse_config
+
+_name = st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=8)
+_octet = st.integers(min_value=1, max_value=250)
+
+
+@st.composite
+def ip_address(draw):
+    return ".".join(str(draw(_octet)) for _ in range(4))
+
+
+@st.composite
+def device_states(draw, dialect=None, allow_lb=True):
+    if dialect is None:
+        dialect = draw(st.sampled_from(["ios", "junos", "eos"]))
+    if dialect == "eos":
+        allow_lb = False
+    state = DeviceState(
+        hostname=f"dev-{draw(_name)}",
+        dialect=dialect,
+        firmware=f"os-{draw(st.integers(1, 20))}.{draw(st.integers(0, 9))}",
+    )
+    vlan_ids = draw(st.lists(st.integers(2, 4000), max_size=4, unique=True))
+    for vlan_id in vlan_ids:
+        state.vlans[str(vlan_id)] = VlanState(str(vlan_id))
+    n_ifaces = draw(st.integers(1, 5))
+    for i in range(n_ifaces):
+        name = {"ios": f"TenGig0/{i}", "junos": f"xe-0/0/{i}",
+                "eos": f"Ethernet{i + 1}"}[dialect]
+        iface = InterfaceState(
+            name=name,
+            description=draw(st.sampled_from(["", "uplink", "edge port"])),
+            shutdown=draw(st.booleans()),
+        )
+        if draw(st.booleans()):
+            iface.address = f"{draw(ip_address())}/{draw(st.integers(8, 30))}"
+        if vlan_ids and draw(st.booleans()):
+            iface.access_vlan = str(draw(st.sampled_from(vlan_ids)))
+        state.interfaces[name] = iface
+    if draw(st.booleans()):
+        rules = [
+            ("permit" if draw(st.booleans()) else "deny",
+             "tcp" if draw(st.booleans()) else "udp",
+             draw(ip_address()), draw(st.integers(1, 65000)))
+            for _ in range(draw(st.integers(0, 3)))
+        ]
+        acl = AclState(f"acl-{draw(_name)}", rules=rules)
+        state.acls[acl.name] = acl
+    if draw(st.booleans()):
+        neighbors = {
+            draw(ip_address()): str(draw(st.integers(1, 65000)))
+            for _ in range(draw(st.integers(0, 3)))
+        }
+        state.bgp = BgpState(asn=str(draw(st.integers(1, 65000))),
+                             neighbors=neighbors,
+                             networks=[f"{draw(ip_address())}/16"])
+    if draw(st.booleans()):
+        state.ospf = OspfState(
+            process_id=str(draw(st.integers(1, 100))),
+            areas={str(draw(st.integers(0, 5))): [f"{draw(ip_address())}/24"]},
+        )
+    if allow_lb and draw(st.booleans()):
+        pool = PoolState(f"pool-{draw(_name)}",
+                         members=[f"{draw(ip_address())}:80"])
+        state.pools[pool.name] = pool
+        state.vips[f"vip-{draw(_name)}"] = VipState(
+            f"vip-x", f"{draw(ip_address())}:80", pool.name,
+        )
+    for _ in range(draw(st.integers(0, 2))):
+        user = UserState(f"u{draw(_name)}")
+        state.users[user.name] = user
+    if draw(st.booleans()):
+        state.static_routes[f"{draw(ip_address())}/24"] = draw(ip_address())
+    state.ntp_servers = [draw(ip_address())] if draw(st.booleans()) else []
+    state.snmp_communities = ["public"] if draw(st.booleans()) else []
+    state.stp_enabled = draw(st.booleans())
+    state.aaa_enabled = draw(st.booleans())
+    if draw(st.booleans()):
+        state.banner = "maintenance window notice"
+    return state
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(device_states())
+def test_render_parse_roundtrip(state):
+    """Rendering is parseable and stable (render -> parse -> no diff)."""
+    text = render_config(state)
+    config = parse_config(text, state.dialect)
+    assert config.hostname == state.hostname
+    again = parse_config(render_config(state), state.dialect)
+    assert not diff_configs(config, again)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(device_states(), st.integers(2, 4000))
+def test_vlan_addition_always_typed_vlan(state, new_vlan):
+    """Adding a VLAN definition is typed ``vlan`` in every dialect."""
+    if str(new_vlan) in state.vlans:
+        return
+    before = parse_config(render_config(state), state.dialect)
+    state.vlans[str(new_vlan)] = VlanState(str(new_vlan))
+    after = parse_config(render_config(state), state.dialect)
+    assert "vlan" in diff_configs(before, after).changed_types
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(device_states())
+def test_description_change_always_typed_interface(state):
+    """Touching an interface description is typed ``interface``."""
+    before = parse_config(render_config(state), state.dialect)
+    name = next(iter(state.interfaces))
+    state.interfaces[name].description = "rewired by hypothesis"
+    after = parse_config(render_config(state), state.dialect)
+    diff = diff_configs(before, after)
+    assert diff.changed_types == ("interface",)

@@ -1,0 +1,157 @@
+"""Round-trip tests: DeviceState -> vendor text -> parsed stanzas.
+
+The renderers must be exact inverses of the parsers at the stanza level;
+every feature of the state model is exercised in both dialects.
+"""
+
+import pytest
+
+from repro.confgen.base import render_config, register_renderer
+from repro.confgen.state import (
+    AclState,
+    BgpState,
+    DeviceState,
+    InterfaceState,
+    OspfState,
+    PoolState,
+    QosPolicyState,
+    UserState,
+    VipState,
+    VlanState,
+)
+from repro.confparse.diff import diff_configs
+from repro.confparse.registry import parse_config
+from repro.errors import UnknownVendorError
+
+
+def full_state(dialect: str) -> DeviceState:
+    state = DeviceState(hostname="dev1", dialect=dialect, firmware="os-1.0")
+    state.vlans["101"] = VlanState("101")
+    state.vlans["102"] = VlanState("102")
+    state.interfaces["eth0"] = InterfaceState(
+        "eth0", description="uplink", address="10.0.0.1/24", acl_in="acl-edge",
+    )
+    state.interfaces["eth1"] = InterfaceState(
+        "eth1", access_vlan="101", lag_group="1",
+    )
+    state.interfaces["eth2"] = InterfaceState("eth2", shutdown=True)
+    state.acls["acl-edge"] = AclState(
+        "acl-edge", rules=[("permit", "tcp", "10.9.0.5", 443)],
+    )
+    state.bgp = BgpState(asn="65001", neighbors={"10.0.0.2": "65002"},
+                         networks=["10.0.0.0/16"])
+    state.ospf = OspfState(process_id="10", areas={"0": ["10.0.0.0/24"]})
+    state.pools["web"] = PoolState("web", members=["10.1.0.5:80"])
+    state.vips["web-vip"] = VipState("web-vip", "10.1.0.100:80", "web")
+    state.users["ops"] = UserState("ops")
+    state.static_routes["0.0.0.0/0"] = "10.0.0.254"
+    state.qos_policies["gold"] = QosPolicyState("gold", {"voice": 46})
+    state.ntp_servers = ["10.255.0.1", "10.255.0.9"]
+    state.syslog_hosts = ["10.255.0.2"]
+    state.snmp_communities = ["monitor"]
+    state.sflow_collectors = ["10.255.0.3"]
+    state.dhcp_relay_servers = ["10.255.0.4", "10.255.0.5"]
+    state.lag_groups = {"1": "core lag"}
+    state.vrrp_groups = {"1": "10.0.0.254", "2": "10.0.0.253"}
+    state.stp_enabled = True
+    state.udld_enabled = True
+    state.aaa_enabled = True
+    state.banner = "authorized access only"
+    return state
+
+
+@pytest.fixture(params=["ios", "junos"])
+def dialect(request):
+    return request.param
+
+
+class TestRoundTrip:
+    def test_parseable(self, dialect):
+        config = parse_config(render_config(full_state(dialect)), dialect)
+        assert config.hostname == "dev1"
+        assert len(config) > 10
+
+    def test_idempotent(self, dialect):
+        state = full_state(dialect)
+        first = parse_config(render_config(state), dialect)
+        second = parse_config(render_config(state), dialect)
+        assert not diff_configs(first, second)
+
+    def test_clone_renders_identically(self, dialect):
+        state = full_state(dialect)
+        assert render_config(state) == render_config(state.clone())
+
+    def test_clone_is_deep(self, dialect):
+        state = full_state(dialect)
+        clone = state.clone()
+        clone.interfaces["eth0"].description = "changed"
+        assert state.interfaces["eth0"].description == "uplink"
+
+    def test_every_feature_surfaces(self, dialect):
+        config = parse_config(render_config(full_state(dialect)), dialect)
+        stypes = {stanza.stype for stanza in config}
+        if dialect == "ios":
+            for expected in ("interface", "vlan", "ip access-list",
+                             "router bgp", "router ospf", "slb pool",
+                             "slb vip", "username", "qos policy", "ip route",
+                             "ntp", "snmp-server", "sflow", "spanning-tree",
+                             "udld", "vrrp", "port-channel", "aaa", "banner"):
+                assert expected in stypes, expected
+        else:
+            for expected in ("interfaces", "vlans", "firewall filter",
+                             "protocols bgp", "protocols ospf", "lb pool",
+                             "lb virtual-server", "system login user",
+                             "class-of-service", "routing-options static",
+                             "system ntp", "snmp", "protocols sflow",
+                             "protocols rstp", "protocols udld",
+                             "protocols vrrp", "protocols lacp",
+                             "forwarding-options dhcp-relay"):
+                assert expected in stypes, expected
+
+
+class TestVendorAsymmetry:
+    """The paper's Section 2.2 caveat: the same logical change is typed
+    differently per vendor."""
+
+    def test_vlan_reassignment_types(self):
+        for dialect, expected in (("ios", ("interface",)), ("junos", ("vlan",))):
+            state = full_state(dialect)
+            before = parse_config(render_config(state), dialect)
+            state.interfaces["eth1"].access_vlan = "102"
+            after = parse_config(render_config(state), dialect)
+            assert diff_configs(before, after).changed_types == expected
+
+    def test_banner_types(self):
+        # banner lives in its own stanza on IOS but under system on JunOS
+        for dialect, expected in (("ios", ("banner",)), ("junos", ("system",))):
+            state = full_state(dialect)
+            before = parse_config(render_config(state), dialect)
+            state.banner = "updated notice"
+            after = parse_config(render_config(state), dialect)
+            assert diff_configs(before, after).changed_types == expected
+
+
+class TestStateValidation:
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceState(hostname="x", dialect="windows", firmware="1")
+
+    def test_render_unknown_dialect(self):
+        state = full_state("ios")
+        state.dialect = "fortios"  # mutate past __post_init__ validation
+        with pytest.raises(UnknownVendorError):
+            render_config(state)
+
+    def test_register_renderer_rejects_duplicate(self):
+        with pytest.raises(ValueError):
+            register_renderer("ios", lambda s: "")
+
+    def test_ensure_vlan(self):
+        state = DeviceState(hostname="x", dialect="ios", firmware="1")
+        vlan = state.ensure_vlan("300")
+        assert vlan.name == "vlan-300"
+        assert state.ensure_vlan("300") is vlan
+
+    def test_addressed_interfaces(self):
+        state = full_state("ios")
+        assert [i.name for i in state.addressed_interfaces] == ["eth0"]

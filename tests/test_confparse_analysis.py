@@ -1,0 +1,239 @@
+"""Tests for diffing, normalization, references, routing, properties."""
+
+import pytest
+
+from repro.confgen.base import render_config
+from repro.confgen.state import BgpState, DeviceState, InterfaceState, OspfState, VlanState
+from repro.confparse.diff import StanzaChangeKind, diff_configs
+from repro.confparse.normalize import (
+    ROUTER_SUBTYPES,
+    VENDOR_AGNOSTIC_TYPES,
+    normalize_type,
+)
+from repro.confparse.properties import (
+    count_protocols,
+    device_construct_counts,
+    distinct_vlan_ids,
+    firmware_versions,
+    network_construct_counts,
+)
+from repro.confparse.references import (
+    count_inter_device_references,
+    count_intra_device_references,
+    inter_refs_from_summaries,
+    mean_intra_device_references,
+)
+from repro.confparse.registry import (
+    available_dialects,
+    parse_config,
+    register_dialect,
+)
+from repro.confparse.routing import extract_routing_instances
+from repro.errors import UnknownVendorError
+
+
+def parse_state(state: DeviceState):
+    return parse_config(render_config(state), state.dialect)
+
+
+def simple_state(hostname="dev1", dialect="ios") -> DeviceState:
+    state = DeviceState(hostname=hostname, dialect=dialect, firmware="os-1")
+    state.interfaces["eth0"] = InterfaceState("eth0", address="10.0.0.1/24")
+    return state
+
+
+class TestRegistry:
+    def test_dialects(self):
+        assert available_dialects() == ("eos", "ios", "junos")
+
+    def test_unknown_dialect(self):
+        with pytest.raises(UnknownVendorError):
+            parse_config("", "fortios")
+
+    def test_register_duplicate(self):
+        with pytest.raises(ValueError):
+            register_dialect("ios", lambda text: None)
+
+
+class TestNormalize:
+    def test_ios_mappings(self):
+        assert normalize_type("ios", "ip access-list") == "acl"
+        assert normalize_type("ios", "router bgp") == "router"
+        assert normalize_type("ios", "slb pool") == "pool"
+        assert normalize_type("ios", "interface") == "interface"
+
+    def test_junos_mappings(self):
+        assert normalize_type("junos", "firewall filter") == "acl"
+        assert normalize_type("junos", "protocols ospf") == "router"
+        assert normalize_type("junos", "lb pool") == "pool"
+        assert normalize_type("junos", "vlans") == "vlan"
+
+    def test_agnostic_types_are_produced(self):
+        assert set(VENDOR_AGNOSTIC_TYPES) >= {"acl", "router", "pool", "vlan"}
+
+    def test_unknown_native_type_prefixed(self):
+        assert normalize_type("ios", "mystery") == "ios:mystery"
+
+    def test_unknown_dialect(self):
+        with pytest.raises(UnknownVendorError):
+            normalize_type("fortios", "interface")
+
+    def test_router_subtypes(self):
+        assert ROUTER_SUBTYPES[("ios", "router bgp")] == "bgp"
+        assert ROUTER_SUBTYPES[("junos", "protocols ospf")] == "ospf"
+
+
+class TestDiff:
+    def test_no_change(self):
+        state = simple_state()
+        assert not diff_configs(parse_state(state), parse_state(state))
+
+    def test_added(self):
+        state = simple_state()
+        before = parse_state(state)
+        state.vlans["200"] = VlanState("200")
+        diff = diff_configs(before, parse_state(state))
+        assert diff.changed_types == ("vlan",)
+        assert len(diff.of_kind(StanzaChangeKind.ADDED)) == 1
+
+    def test_removed(self):
+        state = simple_state()
+        state.vlans["200"] = VlanState("200")
+        before = parse_state(state)
+        del state.vlans["200"]
+        diff = diff_configs(before, parse_state(state))
+        assert len(diff.of_kind(StanzaChangeKind.REMOVED)) == 1
+
+    def test_updated(self):
+        state = simple_state()
+        before = parse_state(state)
+        state.interfaces["eth0"].description = "new"
+        diff = diff_configs(before, parse_state(state))
+        assert len(diff.of_kind(StanzaChangeKind.UPDATED)) == 1
+        assert diff.changed_types == ("interface",)
+
+    def test_cross_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            diff_configs(parse_state(simple_state(dialect="ios")),
+                         parse_state(simple_state(dialect="junos")))
+
+    def test_types_deduplicated_and_sorted(self):
+        state = simple_state()
+        before = parse_state(state)
+        state.vlans["200"] = VlanState("200")
+        state.vlans["201"] = VlanState("201")
+        state.interfaces["eth0"].description = "x"
+        diff = diff_configs(before, parse_state(state))
+        assert diff.changed_types == ("interface", "vlan")
+
+
+def two_router_network(dialects=("ios", "ios")):
+    states = {}
+    for i, dialect in enumerate(dialects):
+        state = simple_state(hostname=f"r{i}", dialect=dialect)
+        state.interfaces["eth0"].address = f"10.0.0.{i + 1}/24"
+        state.bgp = BgpState(asn="65001")
+        state.ospf = OspfState(process_id="1", areas={"0": ["10.0.0.0/24"]})
+        states[f"r{i}"] = state
+    states["r0"].bgp.neighbors["10.0.0.2"] = "65001"
+    states["r1"].bgp.neighbors["10.0.0.1"] = "65001"
+    return {name: parse_state(state) for name, state in states.items()}
+
+
+class TestRouting:
+    def test_bgp_chain_is_one_instance(self):
+        profile = extract_routing_instances(two_router_network())
+        assert profile.count("bgp") == 1
+        assert profile.mean_size("bgp") == 2.0
+
+    def test_cross_dialect_instance(self):
+        profile = extract_routing_instances(
+            two_router_network(("ios", "junos"))
+        )
+        assert profile.count("bgp") == 1
+
+    def test_ospf_shared_subnet_and_area(self):
+        profile = extract_routing_instances(two_router_network())
+        assert profile.count("ospf") == 1
+
+    def test_ospf_split_areas(self):
+        configs = {}
+        for i, area in enumerate(("0", "1")):
+            state = simple_state(hostname=f"r{i}")
+            state.interfaces["eth0"].address = f"10.0.0.{i + 1}/24"
+            state.ospf = OspfState(process_id="1", areas={area: []})
+            configs[f"r{i}"] = parse_state(state)
+        profile = extract_routing_instances(configs)
+        assert profile.count("ospf") == 2
+
+    def test_external_neighbors_are_singletons(self):
+        state = simple_state()
+        state.bgp = BgpState(asn="65001", neighbors={"172.16.0.1": "65000"})
+        profile = extract_routing_instances({"r0": parse_state(state)})
+        assert profile.count("bgp") == 1
+        assert profile.mean_size("bgp") == 1.0
+
+    def test_empty_network(self):
+        profile = extract_routing_instances({})
+        assert profile.count("bgp") == 0
+        assert profile.mean_size("ospf") == 0.0
+
+
+class TestReferences:
+    def test_intra_refs_counted(self):
+        state = simple_state()
+        state.vlans["101"] = VlanState("101")
+        state.interfaces["eth1"] = InterfaceState("eth1", access_vlan="101")
+        config = parse_state(state)
+        assert count_intra_device_references(config) == 1
+
+    def test_dangling_refs_not_counted(self):
+        state = simple_state()
+        state.interfaces["eth1"] = InterfaceState("eth1", access_vlan="999")
+        config = parse_state(state)
+        assert count_intra_device_references(config) == 0
+
+    def test_inter_refs_bgp_and_vlans(self):
+        configs = two_router_network()
+        # two BGP sessions referencing each other = 2 refs
+        assert count_inter_device_references(configs) == 2
+
+    def test_shared_vlan_counts_pairwise(self):
+        count = inter_refs_from_summaries(
+            addresses={"a": [], "b": [], "c": []},
+            bgp_neighbors={"a": set(), "b": set(), "c": set()},
+            vlan_ids={"a": {"101"}, "b": {"101"}, "c": {"101"}},
+        )
+        assert count == 3  # C(3,2)
+
+    def test_mean_refs_empty(self):
+        assert mean_intra_device_references({}) == 0.0
+
+
+class TestProperties:
+    def test_protocol_counts(self):
+        configs = two_router_network()
+        n_l2, n_l3 = count_protocols(configs)
+        assert n_l3 >= 2  # bgp + ospf (+ static via default state? no)
+        assert n_l2 >= 0
+
+    def test_construct_counts_subtypes_router(self):
+        state = simple_state()
+        state.bgp = BgpState(asn="1", neighbors={"10.0.0.9": "2"})
+        counts = device_construct_counts(parse_state(state))
+        assert counts["bgp"] == 1
+
+    def test_distinct_vlans_across_devices(self):
+        a = simple_state("a")
+        a.vlans["101"] = VlanState("101")
+        b = simple_state("b")
+        b.vlans["101"] = VlanState("101")
+        b.vlans["102"] = VlanState("102")
+        configs = {"a": parse_state(a), "b": parse_state(b)}
+        assert distinct_vlan_ids(configs) == {"101", "102"}
+        assert network_construct_counts(configs)["vlan"] == 2
+
+    def test_firmware_versions_both_dialects(self):
+        ios = parse_state(simple_state(dialect="ios"))
+        junos = parse_state(simple_state("dev2", dialect="junos"))
+        assert firmware_versions([ios, junos]) == {"os-1"}

@@ -1,0 +1,179 @@
+"""Tests for the EOS dialect: parser, renderer, asymmetries, end-to-end."""
+
+import pytest
+
+from repro.confgen.base import render_config
+from repro.confgen.eos import render as eos_render
+from repro.confparse.diff import diff_configs
+from repro.confparse.eos import parse
+from repro.confparse.normalize import normalize_type
+from repro.confparse.registry import available_dialects, parse_config
+from repro.confparse.stanza import StanzaKey
+from repro.errors import ConfigParseError
+
+from tests.test_confgen_roundtrip import full_state
+
+BASIC = """\
+hostname esw1
+version sos-4.28
+!
+vlan 101
+ name vlan-101
+!
+interface Ethernet1
+ description mgmt
+ ip address 10.0.0.1/24
+ ip helper-address 10.0.0.253
+ ip access-group acl-edge in
+!
+interface Ethernet2
+ switchport access vlan 101
+ channel-group 1 mode active
+!
+ip access-list acl-edge
+ 10 permit tcp any host 10.9.0.5 eq 443
+ 20 deny ip any any
+!
+router bgp 65001
+ neighbor 10.0.0.2 remote-as 65002
+ network 10.0.0.0/16
+!
+router ospf 10
+ network 10.0.0.0/24 area 0
+!
+ip route 0.0.0.0/0 10.0.0.254
+"""
+
+
+def eos_state():
+    state = full_state("ios")
+    state.dialect = "eos"
+    state.pools.clear()
+    state.vips.clear()
+    return state
+
+
+class TestEosParser:
+    def test_hostname(self):
+        assert parse(BASIC).hostname == "esw1"
+
+    def test_registered(self):
+        assert "eos" in available_dialects()
+        assert parse_config(BASIC, "eos").hostname == "esw1"
+
+    def test_stanza_identities(self):
+        config = parse(BASIC)
+        for key in (
+            StanzaKey("interface", "Ethernet1"),
+            StanzaKey("vlan", "101"),
+            StanzaKey("ip access-list", "acl-edge"),
+            StanzaKey("router bgp", "65001"),
+            StanzaKey("router ospf", "10"),
+            StanzaKey("ip route", "0.0.0.0/0"),
+        ):
+            assert key in config, key
+
+    def test_cidr_addresses(self):
+        stanza = parse(BASIC).get(StanzaKey("interface", "Ethernet1"))
+        assert stanza.attr("addresses") == ("10.0.0.1/24",)
+        assert stanza.attr("dhcp_relay_refs") == ("10.0.0.253",)
+        assert stanza.attr("acl_refs") == ("acl-edge",)
+
+    def test_vlan_and_lag_refs(self):
+        stanza = parse(BASIC).get(StanzaKey("interface", "Ethernet2"))
+        assert stanza.attr("vlan_refs") == ("101",)
+        assert stanza.attr("lag_refs") == ("1",)
+
+    def test_bgp_ospf_attributes(self):
+        config = parse(BASIC)
+        bgp = config.get(StanzaKey("router bgp", "65001"))
+        assert bgp.attr("bgp_neighbors") == ("10.0.0.2",)
+        ospf = config.get(StanzaKey("router ospf", "10"))
+        assert ospf.attr("ospf_areas") == ("0",)
+
+    def test_non_cidr_address_rejected(self):
+        with pytest.raises(ConfigParseError):
+            parse("interface Ethernet1\n ip address 10.0.0.1 255.255.255.0\n")
+
+    def test_unknown_top_level_rejected(self):
+        with pytest.raises(ConfigParseError):
+            parse("load-balancer pool web\n")
+
+    def test_indented_orphan_rejected(self):
+        with pytest.raises(ConfigParseError):
+            parse(" description floating\n")
+
+
+class TestEosRenderer:
+    def test_round_trip(self):
+        state = eos_state()
+        config = parse_config(render_config(state), "eos")
+        assert config.hostname == "dev1"
+        again = parse_config(render_config(state), "eos")
+        assert not diff_configs(config, again)
+
+    def test_rejects_load_balancer_state(self):
+        state = full_state("ios")
+        state.dialect = "eos"
+        with pytest.raises(ValueError):
+            eos_render(state)
+
+    def test_acl_rules_numbered(self):
+        text = render_config(eos_state())
+        assert " 10 permit tcp any host 10.9.0.5 eq 443" in text
+
+    def test_relay_renders_in_interface(self):
+        text = render_config(eos_state())
+        assert "ip helper-address 10.255.0.4" in text
+        assert "ip dhcp-relay" not in text
+
+
+class TestEosAsymmetries:
+    def test_relay_change_typed_interface(self):
+        """Third instance of the paper's vendor-typing caveat: a DHCP
+        relay change is typed dhcp_relay on IOS but interface on EOS."""
+        for dialect, expected in (("ios", ("dhcp_relay",)),
+                                  ("eos", ("interface",))):
+            state = eos_state() if dialect == "eos" else full_state("ios")
+            before = parse_config(render_config(state), dialect)
+            state.dhcp_relay_servers = ["10.255.9.9"]
+            after = parse_config(render_config(state), dialect)
+            assert diff_configs(before, after).changed_types == expected, dialect
+
+    def test_vlan_reassignment_typed_interface(self):
+        # EOS follows IOS here (membership in the interface stanza)
+        state = eos_state()
+        before = parse_config(render_config(state), "eos")
+        state.interfaces["eth1"].access_vlan = "102"
+        after = parse_config(render_config(state), "eos")
+        assert diff_configs(before, after).changed_types == ("interface",)
+
+    def test_normalization(self):
+        assert normalize_type("eos", "ip access-list") == "acl"
+        assert normalize_type("eos", "policy-map") == "qos"
+        assert normalize_type("eos", "router bgp") == "router"
+        assert normalize_type("eos", "ip route") == "static_route"
+
+
+class TestEosEndToEnd:
+    def test_three_dialect_corpus(self):
+        """A corpus synthesized from the extended catalog (ios + junos +
+        eos) flows through the whole inference pipeline."""
+        from repro.inventory.catalog import EXTENDED_CATALOG
+        from repro.metrics.dataset import build_dataset
+        from repro.synthesis.organization import (
+            OrganizationSynthesizer,
+            SynthesisSpec,
+        )
+
+        spec = SynthesisSpec(n_networks=10, n_months=3, seed=3)
+        corpus = OrganizationSynthesizer(spec,
+                                         catalog=EXTENDED_CATALOG).build()
+        dialects_used = {
+            corpus.dialect_of(d.device_id)
+            for d in corpus.inventory.iter_devices()
+        }
+        assert "eos" in dialects_used
+        dataset = build_dataset(corpus)
+        assert dataset.n_cases == 30
+        assert dataset.column("n_devices").min() >= 2

@@ -1,0 +1,104 @@
+"""Tests for the IOS-dialect parser."""
+
+import pytest
+
+from repro.confparse.ios import parse
+from repro.confparse.stanza import StanzaKey
+from repro.errors import ConfigParseError
+
+BASIC = """\
+hostname sw1
+version cxos-15.2
+!
+vlan 101
+ name vlan-101
+!
+interface TenGig0/1
+ description uplink
+ switchport access vlan 101
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group acl-edge in
+ channel-group 1 mode active
+!
+ip access-list extended acl-edge
+ permit tcp any host 10.9.0.5 eq 443
+ deny ip any any
+!
+router bgp 65001
+ neighbor 10.0.0.2 remote-as 65002
+ network 10.0.0.0 mask 255.255.0.0
+!
+router ospf 10
+ network 10.0.0.0 0.0.0.255 area 0
+!
+ip route 0.0.0.0 0.0.0.0 10.0.0.254
+ntp server 10.255.0.1
+ntp server 10.255.0.2
+"""
+
+
+class TestParse:
+    def test_hostname(self):
+        assert parse(BASIC).hostname == "sw1"
+
+    def test_stanza_identities(self):
+        config = parse(BASIC)
+        assert StanzaKey("interface", "TenGig0/1") in config
+        assert StanzaKey("vlan", "101") in config
+        assert StanzaKey("ip access-list", "acl-edge") in config
+        assert StanzaKey("router bgp", "65001") in config
+        assert StanzaKey("router ospf", "10") in config
+        assert StanzaKey("ip route", "0.0.0.0 0.0.0.0") in config
+
+    def test_repeated_single_line_stanzas(self):
+        config = parse(BASIC)
+        assert len(config.of_type("ntp")) == 2
+
+    def test_interface_attributes(self):
+        stanza = parse(BASIC).get(StanzaKey("interface", "TenGig0/1"))
+        assert stanza.attr("addresses") == ("10.0.0.1/24",)
+        assert stanza.attr("vlan_refs") == ("101",)
+        assert stanza.attr("acl_refs") == ("acl-edge",)
+        assert stanza.attr("lag_refs") == ("1",)
+
+    def test_bgp_attributes(self):
+        stanza = parse(BASIC).get(StanzaKey("router bgp", "65001"))
+        assert stanza.attr("bgp_asn") == ("65001",)
+        assert stanza.attr("bgp_neighbors") == ("10.0.0.2",)
+        assert stanza.attr("bgp_peer_asns") == ("65002",)
+
+    def test_ospf_attributes(self):
+        stanza = parse(BASIC).get(StanzaKey("router ospf", "10"))
+        assert stanza.attr("ospf_areas") == ("0",)
+
+    def test_vlan_id_attribute(self):
+        stanza = parse(BASIC).get(StanzaKey("vlan", "101"))
+        assert stanza.attr("vlan_id") == ("101",)
+
+    def test_empty_config(self):
+        config = parse("")
+        assert len(config) == 0
+
+    def test_whitespace_normalized(self):
+        config = parse("interface   Ten0/1\n   description    big     gap\n")
+        stanza = config.get(StanzaKey("interface", "Ten0/1"))
+        assert stanza.lines[1] == "description big gap"
+
+
+class TestParseErrors:
+    def test_unknown_top_level(self):
+        with pytest.raises(ConfigParseError) as info:
+            parse("frobnicate everything\n")
+        assert info.value.line_no == 1
+
+    def test_indented_without_stanza(self):
+        with pytest.raises(ConfigParseError):
+            parse(" description floating\n")
+
+    def test_bad_netmask(self):
+        with pytest.raises(ConfigParseError):
+            parse("interface e0\n ip address 10.0.0.1 255.255.0.255\n")
+
+    def test_separator_resets_stanza(self):
+        with pytest.raises(ConfigParseError):
+            parse("interface e0\n!\n description after separator\n")

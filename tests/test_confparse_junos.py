@@ -1,0 +1,140 @@
+"""Tests for the JunOS-dialect lexer and parser."""
+
+import pytest
+
+from repro.confparse.junos import parse
+from repro.confparse.lexer import ConfigNode, parse_tree, tokenize
+from repro.confparse.stanza import StanzaKey
+from repro.errors import ConfigParseError
+
+BASIC = """\
+system {
+    host-name jsw1;
+    version jxos-14.1;
+    login {
+        user ops { class super-user; authentication encrypted-password "s0"; }
+    }
+    ntp { server 10.255.0.1; }
+    syslog { host 10.255.0.2 { any any; } }
+}
+snmp { community monitor { authorization read-only; } }
+interfaces {
+    xe-0/0/0 {
+        description "mgmt";
+        unit 0 { family inet { address 10.0.0.1/24; filter { input acl-edge; } } }
+    }
+    xe-0/0/1 { gigether-options { 802.3ad ae1; } }
+}
+vlans {
+    vlan-101 { vlan-id 101; interface xe-0/0/1; }
+}
+firewall {
+    filter acl-edge { term t0 { from { protocol tcp; } then accept; } }
+}
+protocols {
+    bgp { local-as 65001; group peers { neighbor 10.0.0.2 { peer-as 65002; } } }
+    ospf { area 0 { interface xe-0/0/0; } }
+    rstp { bridge-priority 16k; }
+}
+routing-options { static { route 0.0.0.0/0 next-hop 10.0.0.254; } }
+"""
+
+
+class TestLexer:
+    def test_tokenize_braces(self):
+        assert tokenize("a { b c; }") == ["a", "{", "b", "c", ";", "}"]
+
+    def test_tokenize_quoted_strings(self):
+        tokens = tokenize('description "two words";')
+        assert '"two words"' in tokens
+
+    def test_tokenize_comments(self):
+        assert tokenize("a; # trailing comment\nb;") == ["a", ";", "b", ";"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ConfigParseError):
+            tokenize('description "oops')
+
+    def test_parse_tree_structure(self):
+        root = parse_tree("a { b { c d; } }")
+        assert root.child("a", "b").statements == ["c d"]
+
+    def test_unbalanced_close(self):
+        with pytest.raises(ConfigParseError):
+            parse_tree("a { } }")
+
+    def test_unbalanced_open(self):
+        with pytest.raises(ConfigParseError):
+            parse_tree("a { b {")
+
+    def test_brace_without_name(self):
+        with pytest.raises(ConfigParseError):
+            parse_tree("{ x; }")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ConfigParseError):
+            parse_tree("a { x; } dangling")
+
+    def test_dangling_before_close(self):
+        with pytest.raises(ConfigParseError):
+            parse_tree("a { x }")
+
+    def test_walk_statements_paths(self):
+        root = parse_tree("a { x; b { y; } }")
+        paths = dict(root.walk_statements())
+        assert paths["a"] == "x"
+        assert paths["a/b"] == "y"
+
+    def test_node_child_missing(self):
+        assert ConfigNode("x").child("nope") is None
+
+
+class TestJunosParse:
+    def test_hostname(self):
+        assert parse(BASIC).hostname == "jsw1"
+
+    def test_stanza_identities(self):
+        config = parse(BASIC)
+        for key in (
+            StanzaKey("system", "system"),
+            StanzaKey("system login user", "ops"),
+            StanzaKey("system ntp", "global"),
+            StanzaKey("system syslog", "global"),
+            StanzaKey("snmp", "global"),
+            StanzaKey("interfaces", "xe-0/0/0"),
+            StanzaKey("vlans", "vlan-101"),
+            StanzaKey("firewall filter", "acl-edge"),
+            StanzaKey("protocols bgp", "bgp"),
+            StanzaKey("protocols ospf", "ospf"),
+            StanzaKey("protocols rstp", "global"),
+            StanzaKey("routing-options static", "0.0.0.0/0"),
+        ):
+            assert key in config, key
+
+    def test_interface_attributes(self):
+        stanza = parse(BASIC).get(StanzaKey("interfaces", "xe-0/0/0"))
+        assert stanza.attr("addresses") == ("10.0.0.1/24",)
+        assert stanza.attr("acl_refs") == ("acl-edge",)
+
+    def test_lag_attribute(self):
+        stanza = parse(BASIC).get(StanzaKey("interfaces", "xe-0/0/1"))
+        assert stanza.attr("lag_refs") == ("ae1",)
+
+    def test_vlan_attributes(self):
+        stanza = parse(BASIC).get(StanzaKey("vlans", "vlan-101"))
+        assert stanza.attr("vlan_id") == ("101",)
+        assert stanza.attr("interface_refs") == ("xe-0/0/1",)
+
+    def test_bgp_attributes(self):
+        stanza = parse(BASIC).get(StanzaKey("protocols bgp", "bgp"))
+        assert stanza.attr("bgp_asn") == ("65001",)
+        assert stanza.attr("bgp_neighbors") == ("10.0.0.2",)
+        assert stanza.attr("bgp_peer_asns") == ("65002",)
+
+    def test_ospf_attributes(self):
+        stanza = parse(BASIC).get(StanzaKey("protocols ospf", "ospf"))
+        assert stanza.attr("ospf_areas") == ("0",)
+        assert stanza.attr("interface_refs") == ("xe-0/0/0",)
+
+    def test_empty_config(self):
+        assert len(parse("")) == 0

@@ -1,0 +1,77 @@
+"""Tests for metric-table CSV interop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.metrics.export import from_csv, read_csv, to_csv, write_csv
+
+
+class TestRoundTrip:
+    def test_csv_round_trip(self, tiny_dataset):
+        restored = from_csv(to_csv(tiny_dataset))
+        assert restored.names == tiny_dataset.names
+        assert restored.case_networks == tiny_dataset.case_networks
+        assert restored.case_month_indices == tiny_dataset.case_month_indices
+        assert np.allclose(restored.values, tiny_dataset.values)
+        assert np.array_equal(restored.tickets, tiny_dataset.tickets)
+        assert restored.epoch == tiny_dataset.epoch
+
+    def test_file_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_csv(tiny_dataset, path)
+        restored = read_csv(path)
+        assert restored.n_cases == tiny_dataset.n_cases
+
+    def test_imported_table_feeds_analyses(self, tiny_dataset):
+        from repro.core.mpa import MPA
+        restored = from_csv(to_csv(tiny_dataset))
+        top = MPA(restored).top_practices(3)
+        assert len(top) == 3
+
+
+class TestMalformedInput:
+    def test_empty(self):
+        with pytest.raises(DataError):
+            from_csv("")
+
+    def test_header_only(self):
+        header = "network_id,month,n_devices,n_tickets\n"
+        with pytest.raises(DataError):
+            from_csv(header)
+
+    def test_wrong_frame_columns(self):
+        with pytest.raises(DataError):
+            from_csv("a,b,n_devices,n_tickets\nx,2013-08,1,0\n")
+        with pytest.raises(DataError):
+            from_csv("network_id,month,n_devices,wrong\nx,2013-08,1,0\n")
+
+    def test_no_metric_columns(self):
+        with pytest.raises(DataError):
+            from_csv("network_id,month,n_tickets\nx,2013-08,0\n")
+
+    def test_ragged_row(self):
+        text = ("network_id,month,n_devices,n_tickets\n"
+                "net1,2013-08,5\n")
+        with pytest.raises(DataError):
+            from_csv(text)
+
+    def test_bad_month(self):
+        text = ("network_id,month,n_devices,n_tickets\n"
+                "net1,august,5,0\n")
+        with pytest.raises(DataError):
+            from_csv(text)
+
+    def test_non_numeric_value(self):
+        text = ("network_id,month,n_devices,n_tickets\n"
+                "net1,2013-08,many,0\n")
+        with pytest.raises(DataError):
+            from_csv(text)
+
+    def test_epoch_is_earliest_month(self):
+        text = ("network_id,month,n_devices,n_tickets\n"
+                "net1,2014-02,5.0,1\n"
+                "net1,2013-11,4.0,0\n")
+        dataset = from_csv(text)
+        assert str(dataset.epoch) == "2013-11"
+        assert sorted(dataset.case_month_indices) == [0, 3]

@@ -1,0 +1,84 @@
+"""End-to-end integration tests: the planted truth must be recoverable.
+
+These assert the *shape* results the paper reports, at tiny scale where
+statistics allow (stronger shape assertions live in the benchmarks, which
+run at larger scales).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dependence import rank_practices_by_mi
+from repro.core.mpa import MPA
+from repro.core.prediction import TWO_CLASS, evaluate_model, health_classes
+from repro.metrics.catalog import metric_names
+
+
+class TestDependenceShape:
+    def test_causal_volume_metrics_rank_high(self, tiny_dataset):
+        """Change-volume metrics (planted causal) must rank above the
+        planted-noise metrics even at tiny scale."""
+        ranked = [r.practice for r in rank_practices_by_mi(tiny_dataset)]
+        causal_volume = {"n_change_events", "n_config_changes",
+                         "n_devices_changed", "n_change_types"}
+        top_half = set(ranked[:len(ranked) // 2])
+        assert len(causal_volume & top_half) >= 3
+
+    def test_mbox_fraction_not_top_ranked(self, tiny_dataset):
+        """The paper's surprise: middlebox-change fraction ranks low
+        (23/28) despite operator opinion. MI estimates at tiny scale are
+        noisy, so here we only assert it never tops the ranking; the
+        Table 3 benchmark checks the stronger claim at larger scale."""
+        ranked = [r.practice for r in rank_practices_by_mi(tiny_dataset)]
+        assert ranked.index("frac_events_mbox") >= 3
+
+
+class TestPredictionShape:
+    def test_two_class_beats_majority(self, tiny_dataset):
+        dt = evaluate_model(tiny_dataset, TWO_CLASS, "dt")
+        majority = evaluate_model(tiny_dataset, TWO_CLASS, "majority")
+        assert dt.accuracy > majority.accuracy + 0.02
+
+    def test_class_skew_matches_paper(self, tiny_dataset):
+        y = health_classes(tiny_dataset.tickets, TWO_CLASS)
+        healthy_fraction = (y == 0).mean()
+        # paper: ~64.8% healthy
+        assert 0.5 < healthy_fraction < 0.8
+
+
+class TestMetricTableIsComplete:
+    def test_all_declared_metrics_computed(self, tiny_dataset):
+        assert tiny_dataset.names == metric_names()
+        assert not np.isnan(tiny_dataset.values).any()
+        assert not np.isinf(tiny_dataset.values).any()
+
+    def test_fraction_metrics_in_unit_interval(self, tiny_dataset):
+        for name in tiny_dataset.names:
+            if name.startswith("frac_"):
+                column = tiny_dataset.column(name)
+                assert column.min() >= 0.0, name
+                assert column.max() <= 1.0, name
+
+    def test_entropy_metrics_in_unit_interval(self, tiny_dataset):
+        for name in ("hardware_entropy", "firmware_entropy"):
+            column = tiny_dataset.column(name)
+            assert column.min() >= 0.0
+            assert column.max() <= 1.0
+
+
+class TestFullFacade:
+    def test_what_if_workflow(self, tiny_dataset):
+        """The paper's Section 6.2 use case: train a model, tweak a
+        network's practices, observe the predicted class change."""
+        mpa = MPA(tiny_dataset)
+        model = mpa.build_model(scheme=TWO_CLASS, variant="dt")
+        # take the busiest case and dial its change activity to zero
+        busiest = int(np.argmax(tiny_dataset.column("n_change_events")))
+        row = tiny_dataset.values[busiest:busiest + 1].copy()
+        baseline = model.predict(row)[0]
+        quiet = row.copy()
+        for metric in ("n_change_events", "n_config_changes",
+                       "n_devices_changed", "n_change_types"):
+            quiet[0, tiny_dataset.names.index(metric)] = 0.0
+        adjusted = model.predict(quiet)[0]
+        assert adjusted <= baseline  # fewer changes never predicts worse

@@ -1,0 +1,112 @@
+"""Tests for the inventory substrate."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.inventory.catalog import DEFAULT_CATALOG, HardwareCatalog, HardwareModel
+from repro.inventory.store import InventoryStore
+from repro.types import DeviceRecord, DeviceRole, NetworkRecord
+
+
+def _store() -> InventoryStore:
+    store = InventoryStore()
+    store.add_network(NetworkRecord("net1", workloads=("svc-a",)))
+    store.add_device(DeviceRecord("d1", "net1", "cirrus", "cx-3100",
+                                  DeviceRole.SWITCH, "cxos-15.0"))
+    store.add_device(DeviceRecord("d2", "net1", "cirrus", "cx-6800",
+                                  DeviceRole.ROUTER, "cxos-15.2"))
+    store.add_device(DeviceRecord("d3", "net1", "junction", "jx-srx5",
+                                  DeviceRole.FIREWALL, "jxsec-12.1"))
+    return store
+
+
+class TestCatalog:
+    def test_default_is_nonempty(self):
+        assert len(DEFAULT_CATALOG.models) > 10
+        assert len(DEFAULT_CATALOG.vendors) >= 5
+
+    def test_lookup(self):
+        model = DEFAULT_CATALOG.lookup("cirrus", "cx-3100")
+        assert DeviceRole.SWITCH in model.roles
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            DEFAULT_CATALOG.lookup("nope", "nothing")
+
+    def test_models_for_role_cover_all_roles(self):
+        for role in DeviceRole:
+            assert DEFAULT_CATALOG.models_for_role(role), role
+
+    def test_dialects_valid(self):
+        for model in DEFAULT_CATALOG.models:
+            assert model.config_dialect in ("ios", "junos")
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            HardwareModel("v", "m", (), "ios", ("1.0",))
+        with pytest.raises(ValueError):
+            HardwareModel("v", "m", (DeviceRole.SWITCH,), "ios", ())
+        with pytest.raises(ValueError):
+            HardwareModel("v", "m", (DeviceRole.SWITCH,), "weird", ("1.0",))
+
+    def test_duplicate_models_rejected(self):
+        model = HardwareModel("v", "m", (DeviceRole.SWITCH,), "ios", ("1.0",))
+        with pytest.raises(ValueError):
+            HardwareCatalog((model, model))
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCatalog(())
+
+
+class TestStore:
+    def test_counts(self):
+        store = _store()
+        assert store.num_networks == 1
+        assert store.num_devices == 3
+
+    def test_duplicate_network_rejected(self):
+        store = _store()
+        with pytest.raises(DataError):
+            store.add_network(NetworkRecord("net1"))
+
+    def test_duplicate_device_rejected(self):
+        store = _store()
+        with pytest.raises(DataError):
+            store.add_device(DeviceRecord("d1", "net1", "v", "m",
+                                          DeviceRole.SWITCH, "f"))
+
+    def test_device_requires_known_network(self):
+        store = _store()
+        with pytest.raises(DataError):
+            store.add_device(DeviceRecord("d9", "ghost", "v", "m",
+                                          DeviceRole.SWITCH, "f"))
+
+    def test_unknown_lookups(self):
+        store = _store()
+        with pytest.raises(KeyError):
+            store.network("ghost")
+        with pytest.raises(KeyError):
+            store.device("ghost")
+        with pytest.raises(KeyError):
+            store.devices_in("ghost")
+
+    def test_aggregates(self):
+        store = _store()
+        assert store.vendors_in("net1") == {"cirrus", "junction"}
+        assert len(store.models_in("net1")) == 3
+        assert store.roles_in("net1") == {
+            DeviceRole.SWITCH, DeviceRole.ROUTER, DeviceRole.FIREWALL,
+        }
+        assert store.firmware_in("net1") == {
+            "cxos-15.0", "cxos-15.2", "jxsec-12.1",
+        }
+        assert store.has_middlebox("net1")
+        assert store.workload_count("net1") == 1
+
+    def test_no_middlebox(self):
+        store = InventoryStore()
+        store.add_network(NetworkRecord("n"))
+        store.add_device(DeviceRecord("d", "n", "v", "m",
+                                      DeviceRole.SWITCH, "f"))
+        assert not store.has_middlebox("n")

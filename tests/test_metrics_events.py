@@ -1,0 +1,103 @@
+"""Tests for change-event grouping (incl. property-based invariants)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.events import (
+    DEFAULT_DELTA_MINUTES,
+    FIGURE3_DELTAS,
+    events_per_window,
+    group_change_events,
+)
+from repro.types import ChangeModality, ChangeRecord
+
+
+def change(device: str, ts: int, network="net1") -> ChangeRecord:
+    return ChangeRecord(
+        device_id=device, network_id=network, timestamp=ts,
+        modality=ChangeModality.MANUAL, stanza_types=("interface",),
+    )
+
+
+class TestGrouping:
+    def test_empty(self):
+        assert group_change_events([]) == []
+
+    def test_single_change(self):
+        events = group_change_events([change("d1", 100)])
+        assert len(events) == 1
+        assert events[0].num_devices == 1
+
+    def test_within_delta_grouped(self):
+        events = group_change_events([change("d1", 100), change("d2", 104)])
+        assert len(events) == 1
+        assert events[0].devices == {"d1", "d2"}
+
+    def test_beyond_delta_split(self):
+        events = group_change_events([change("d1", 100), change("d2", 106)])
+        assert len(events) == 2
+
+    def test_transitive_chaining(self):
+        # 100 -> 104 -> 108: each hop within delta, total span beyond it
+        events = group_change_events(
+            [change("d1", 100), change("d2", 104), change("d3", 108)]
+        )
+        assert len(events) == 1
+        assert events[0].start_timestamp == 100
+        assert events[0].end_timestamp == 108
+
+    def test_no_grouping_mode(self):
+        changes = [change("d1", 100), change("d2", 101), change("d3", 102)]
+        events = group_change_events(changes, delta_minutes=None)
+        assert len(events) == 3
+
+    def test_unsorted_input_handled(self):
+        events = group_change_events([change("d2", 104), change("d1", 100)])
+        assert len(events) == 1
+
+    def test_multi_network_rejected(self):
+        with pytest.raises(ValueError):
+            group_change_events(
+                [change("d1", 0, "net1"), change("d2", 0, "net2")]
+            )
+
+    def test_default_delta_is_five(self):
+        assert DEFAULT_DELTA_MINUTES == 5
+
+
+class TestWindowSweep:
+    def test_monotone_in_delta(self):
+        # Figure 3: larger windows can only merge more changes
+        changes = [change(f"d{i}", i * 3) for i in range(40)]
+        counts = events_per_window(changes)
+        assert counts[None] == 40
+        ordered = [counts[d] for d in FIGURE3_DELTAS]
+        assert all(ordered[i] >= ordered[i + 1] for i in range(len(ordered) - 1))
+
+
+@st.composite
+def change_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    times = draw(st.lists(st.integers(0, 10_000), min_size=n, max_size=n))
+    return [change(f"d{i % 5}", t) for i, t in enumerate(times)]
+
+
+@given(change_lists())
+def test_events_partition_changes(changes):
+    events = group_change_events(changes)
+    total = sum(len(e.changes) for e in events)
+    assert total == len(changes)
+
+
+@given(change_lists(), st.sampled_from([1, 2, 5, 10, 30]))
+def test_event_windows_disjoint_and_ordered(changes, delta):
+    events = group_change_events(changes, delta)
+    for a, b in zip(events, events[1:]):
+        assert b.start_timestamp - a.end_timestamp > delta
+
+
+@given(change_lists())
+def test_grouping_deterministic(changes):
+    a = group_change_events(changes)
+    b = group_change_events(list(reversed(changes)))
+    assert [e.start_timestamp for e in a] == [e.start_timestamp for e in b]

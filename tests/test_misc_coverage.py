@@ -1,0 +1,138 @@
+"""Edge-case coverage: errors, writer, check_Xy, workspace invalidation,
+timeline details."""
+
+import numpy as np
+import pytest
+
+from repro.confgen.junos import _Writer
+from repro.errors import (
+    ConfigParseError,
+    ImbalancedMatchError,
+    MPAError,
+    UnknownVendorError,
+)
+from repro.metrics.dataset import build_network_timeline
+from repro.ml.base import check_Xy
+
+
+class TestErrors:
+    def test_parse_error_location(self):
+        err = ConfigParseError("bad line", vendor="ios", line_no=7,
+                               line="junk")
+        assert "ios" in str(err)
+        assert "line 7" in str(err)
+        assert err.line == "junk"
+
+    def test_parse_error_without_location(self):
+        err = ConfigParseError("bad")
+        assert str(err) == "bad"
+
+    def test_unknown_vendor_is_parse_error(self):
+        err = UnknownVendorError("fortios")
+        assert isinstance(err, ConfigParseError)
+        assert isinstance(err, MPAError)
+        assert "fortios" in str(err)
+
+    def test_imbalanced_match_error_fields(self):
+        err = ImbalancedMatchError("bad balance", worst_metric="n_devices",
+                                   worst_value=1.5)
+        assert err.worst_metric == "n_devices"
+        assert err.worst_value == 1.5
+
+
+class TestJunosWriter:
+    def test_balanced_output(self):
+        writer = _Writer()
+        writer.open("system")
+        writer.stmt("host-name x")
+        writer.close()
+        assert writer.text() == "system {\n    host-name x;\n}\n"
+
+    def test_unbalanced_close_rejected(self):
+        writer = _Writer()
+        with pytest.raises(ValueError):
+            writer.close()
+
+    def test_unclosed_text_rejected(self):
+        writer = _Writer()
+        writer.open("system")
+        with pytest.raises(ValueError):
+            writer.text()
+
+
+class TestCheckXy:
+    def test_valid(self):
+        X, y, w = check_Xy(np.zeros((3, 2)), np.array([0, 1, 0]))
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_dimension_errors(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros(3), np.array([0, 1, 0]))
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((3, 2)), np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_weight_errors(self):
+        X = np.zeros((2, 1))
+        y = np.array([0, 1])
+        with pytest.raises(ValueError):
+            check_Xy(X, y, sample_weight=np.array([1.0]))
+        with pytest.raises(ValueError):
+            check_Xy(X, y, sample_weight=np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            check_Xy(X, y, sample_weight=np.array([0.0, 0.0]))
+
+    def test_weights_normalized(self):
+        _, _, w = check_Xy(np.zeros((2, 1)), np.array([0, 1]),
+                           sample_weight=np.array([2.0, 6.0]))
+        assert list(w) == [0.25, 0.75]
+
+
+class TestWorkspaceInvalidation:
+    def test_version_bump_triggers_rebuild(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("MPA_CACHE_DIR", str(tmp_path))
+        from repro.core.workspace import Workspace
+        workspace = Workspace.default("tiny")
+        workspace.ensure()
+        assert workspace._cache_is_current()
+        # simulate artifacts from an older generator
+        workspace.version_path.write_text("-1")
+        assert not workspace._cache_is_current()
+        workspace.ensure()
+        assert workspace._cache_is_current()
+
+
+class TestTimelineDetails:
+    def test_missing_device_snapshots_tolerated(self, tiny_corpus):
+        network_id = tiny_corpus.inventory.network_ids[0]
+        device_id = tiny_corpus.inventory.devices_in(network_id)[0].device_id
+        saved = tiny_corpus.snapshots.pop(device_id)
+        try:
+            timeline = build_network_timeline(tiny_corpus, network_id)
+            assert all(
+                device_id not in month for month in timeline.features_by_month
+            )
+        finally:
+            tiny_corpus.snapshots[device_id] = saved
+
+    def test_features_cover_every_month(self, tiny_corpus):
+        network_id = tiny_corpus.inventory.network_ids[0]
+        timeline = build_network_timeline(tiny_corpus, network_id)
+        n_devices = len(tiny_corpus.inventory.devices_in(network_id))
+        assert len(timeline.features_by_month) == tiny_corpus.n_months
+        for month_features in timeline.features_by_month:
+            assert len(month_features) == n_devices
+
+    def test_changes_sorted_by_time(self, tiny_corpus):
+        network_id = tiny_corpus.inventory.network_ids[1]
+        timeline = build_network_timeline(tiny_corpus, network_id)
+        times = [c.timestamp for c in timeline.changes]
+        assert times == sorted(times)
+
+    def test_events_match_changes(self, tiny_corpus):
+        network_id = tiny_corpus.inventory.network_ids[1]
+        timeline = build_network_timeline(tiny_corpus, network_id)
+        assert sum(len(e.changes) for e in timeline.events) == len(
+            timeline.changes
+        )

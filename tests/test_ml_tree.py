@@ -1,0 +1,144 @@
+"""Tests for the C4.5-style decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(n, 4))
+    y = (X[:, 0] ^ X[:, 1]).astype(np.int64)
+    return X, y
+
+
+def corner_data(n=600, seed=0):
+    """An AND-corner: class 1 iff both features high (the paper's pocket)."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 5, size=(n, 6))
+    y = ((X[:, 0] >= 3) & (X[:, 1] >= 3)).astype(np.int64)
+    return X, y
+
+
+class TestFit:
+    def test_pure_labels(self):
+        X = np.zeros((10, 2), dtype=int)
+        y = np.ones(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == 1).all()
+
+    def test_learns_xor(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(min_support_fraction=0.01).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+    def test_learns_corner_threshold_mode(self):
+        X, y = corner_data()
+        tree = DecisionTreeClassifier(split_mode="threshold").fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+    def test_learns_corner_multiway_mode(self):
+        X, y = corner_data()
+        tree = DecisionTreeClassifier(split_mode="multiway").fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.9
+
+    def test_max_depth_limits(self):
+        X, y = corner_data()
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert tree.root_ is not None
+        assert tree.root_.depth() <= 1
+
+    def test_pruning_threshold_creates_leaves(self):
+        X, y = corner_data()
+        pruned = DecisionTreeClassifier(min_support_fraction=0.3).fit(X, y)
+        grown = DecisionTreeClassifier(min_support_fraction=0.005).fit(X, y)
+        assert pruned.root_.n_nodes() < grown.root_.n_nodes()
+
+    def test_sample_weights_shift_majority(self):
+        X = np.array([[0], [0], [0], [1]])
+        y = np.array([0, 0, 0, 1])
+        # overweight the single class-1 sample
+        w = np.array([1.0, 1.0, 1.0, 10.0])
+        tree = DecisionTreeClassifier(min_support_fraction=0.0).fit(
+            X, y, sample_weight=w
+        )
+        assert tree.predict(np.array([[1]]))[0] == 1
+
+    def test_rejects_non_integer_features(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.array([[0.5], [1.2]]),
+                                         np.array([0, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_support_fraction=1.5)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(split_mode="diagonal")
+
+    def test_label_values_preserved(self):
+        X = np.array([[0], [1]])
+        y = np.array([7, 9])
+        tree = DecisionTreeClassifier(min_support_fraction=0.0).fit(X, y)
+        assert set(tree.predict(X)) <= {7, 9}
+
+
+class TestPredict:
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_wrong_width(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 9)))
+
+    def test_unseen_bin_falls_back_to_majority(self):
+        X = np.array([[0], [0], [1], [1]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier(min_support_fraction=0.0,
+                                      split_mode="multiway").fit(X, y)
+        # value 5 never seen: should not raise
+        assert tree.predict(np.array([[5]])).shape == (1,)
+
+
+class TestDescribe:
+    def test_describe_contains_feature_names(self):
+        X, y = corner_data()
+        tree = DecisionTreeClassifier().fit(X, y)
+        text = tree.describe(feature_names=[f"metric_{i}" for i in range(6)])
+        assert "metric_0" in text or "metric_1" in text
+
+    def test_describe_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=60), st.integers(0, 10_000))
+def test_predictions_always_known_labels(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 4, size=(n, 3))
+    y = rng.integers(0, 3, size=n)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert set(tree.predict(X)) <= set(np.unique(y))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_training_accuracy_beats_majority(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 5, size=(200, 4))
+    y = (X[:, 0] >= 2).astype(np.int64)
+    tree = DecisionTreeClassifier().fit(X, y)
+    majority = max(np.mean(y == 0), np.mean(y == 1))
+    assert (tree.predict(X) == y).mean() >= majority

@@ -1,0 +1,120 @@
+"""Tests for the opinion-gap analysis and practice-drift detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.opinion_gap import (
+    SURVEY_TO_METRIC,
+    OpinionGap,
+    mean_opinion,
+    misjudged_practices,
+    opinion_gaps,
+)
+from repro.core.drift import (
+    DEFAULT_DRIFT_METRICS,
+    detect_drift,
+    summarize_drift,
+)
+from repro.synthesis.survey import synthesize_survey
+from repro.types import SurveyResponse
+
+
+class TestMeanOpinion:
+    def test_scores(self):
+        responses = [
+            SurveyResponse("a", "no_of_devices", "low_impact"),
+            SurveyResponse("b", "no_of_devices", "high_impact"),
+            SurveyResponse("c", "no_of_devices", "not_sure"),
+        ]
+        assert mean_opinion(responses, "no_of_devices") == pytest.approx(2.0)
+
+    def test_no_responses(self):
+        with pytest.raises(ValueError):
+            mean_opinion([], "no_of_devices")
+
+
+class TestOpinionGaps:
+    @pytest.fixture(scope="class")
+    def gaps(self, tiny_dataset):
+        responses = synthesize_survey(seed=7)
+        return opinion_gaps(tiny_dataset, responses, run_qed=False)
+
+    def test_all_mapped_practices_covered(self, gaps):
+        assert {g.practice for g in gaps} == set(SURVEY_TO_METRIC)
+
+    def test_fields_sane(self, gaps):
+        for gap in gaps:
+            assert 0.0 <= gap.mean_opinion <= 3.0
+            assert 1 <= gap.mi_rank <= gap.n_metrics
+            assert gap.causal_verdict == "skipped"
+
+    def test_misjudged_logic(self):
+        gap = OpinionGap("p", "m", mean_opinion=2.5, mi_rank=30,
+                         n_metrics=31, causal_verdict="not significant")
+        assert gap.operators_think_high and not gap.measured_high
+        assert gap.misjudged
+        agree = OpinionGap("p", "m", mean_opinion=2.5, mi_rank=1,
+                           n_metrics=31, causal_verdict="causal")
+        assert not agree.misjudged
+
+    def test_misjudged_filter(self, gaps):
+        flagged = misjudged_practices(gaps)
+        assert all(gap.misjudged for gap in flagged)
+
+    def test_qed_verdicts_when_enabled(self, tiny_dataset):
+        responses = synthesize_survey(seed=7)
+        gaps = opinion_gaps(tiny_dataset, responses, run_qed=True)
+        verdicts = {g.causal_verdict for g in gaps}
+        assert verdicts <= {"causal", "not significant", "imbalanced",
+                            "too few cases"}
+
+
+class TestDrift:
+    def test_detects_planted_spike(self, tiny_dataset):
+        import copy
+        spiked = copy.copy(tiny_dataset)
+        spiked.values = tiny_dataset.values.copy()
+        # plant an enormous change-event spike in one network's last month
+        networks = np.asarray(spiked.case_networks)
+        months = np.asarray(spiked.case_month_indices)
+        target = networks[0]
+        row = np.flatnonzero((networks == target)
+                             & (months == months.max()))[0]
+        j = spiked.names.index("n_change_events")
+        spiked.values[row, j] = 10_000.0
+        findings = detect_drift(spiked)
+        assert any(
+            f.network_id == target and f.metric == "n_change_events"
+            and f.direction == "up"
+            for f in findings
+        )
+        # ranked by severity: the planted spike should top the list
+        assert findings[0].metric == "n_change_events"
+
+    def test_no_false_positives_on_constant_history(self, tiny_dataset):
+        import copy
+        flat = copy.copy(tiny_dataset)
+        flat.values = np.ones_like(tiny_dataset.values)
+        assert detect_drift(flat) == []
+
+    def test_parameter_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            detect_drift(tiny_dataset, threshold=0)
+        with pytest.raises(ValueError):
+            detect_drift(tiny_dataset, min_history=1)
+
+    def test_summary(self, tiny_dataset):
+        findings = detect_drift(tiny_dataset, threshold=3.0)
+        summary = summarize_drift(findings)
+        assert summary.n_findings == len(findings)
+        if findings:
+            counts = dict(summary.by_metric)
+            assert sum(counts.values()) == len(findings)
+            assert summary.n_networks_affected <= len(
+                set(tiny_dataset.case_networks)
+            )
+
+    def test_default_metrics_are_operational(self):
+        from repro.metrics.catalog import get_metric
+        assert all(get_metric(m).category == "operational"
+                   for m in DEFAULT_DRIFT_METRICS)

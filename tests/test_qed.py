@@ -1,0 +1,306 @@
+"""Tests for the QED machinery: treatment, propensity, matching, balance,
+significance, and the end-to-end experiment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.qed.balance import (
+    BalanceReport,
+    CovariateBalance,
+    check_balance,
+)
+from repro.analysis.qed.experiment import (
+    build_confounders,
+    loo_network_means,
+    metric_family,
+    run_causal_analysis,
+)
+from repro.analysis.qed.matching import (
+    exact_match,
+    mahalanobis_match,
+    nearest_neighbor_match,
+)
+from repro.analysis.qed.propensity import propensity_scores
+from repro.analysis.qed.significance import sign_test
+from repro.analysis.qed.treatment import ComparisonPoint, TreatmentBinning
+from repro.errors import MatchingError
+
+
+class TestTreatment:
+    def test_binning_and_points(self):
+        values = np.arange(100, dtype=float)
+        binning = TreatmentBinning.fit("x", values, n_bins=5)
+        points = binning.comparison_points()
+        assert [p.label for p in points] == ["1:2", "2:3", "3:4", "4:5"]
+        untreated, treated = binning.split(points[0])
+        assert len(untreated) > 0 and len(treated) > 0
+        assert set(untreated).isdisjoint(set(treated))
+
+    def test_bins_cover_all_cases(self):
+        values = np.random.default_rng(0).lognormal(2, 1, 500)
+        binning = TreatmentBinning.fit("x", values, n_bins=5)
+        total = sum(len(binning.cases_in_bin(b)) for b in range(5))
+        assert total == 500
+
+
+class TestPropensity:
+    def test_scores_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        untreated = rng.normal(0, 1, size=(200, 4))
+        treated = rng.normal(0.5, 1, size=(100, 4))
+        s_u, s_t = propensity_scores(untreated, treated)
+        assert ((0 < s_u) & (s_u < 1)).all()
+        assert ((0 < s_t) & (s_t < 1)).all()
+
+    def test_separable_groups_get_separated_scores(self):
+        rng = np.random.default_rng(0)
+        untreated = rng.normal(-2, 0.5, size=(150, 3))
+        treated = rng.normal(2, 0.5, size=(150, 3))
+        s_u, s_t = propensity_scores(untreated, treated)
+        assert s_t.mean() > s_u.mean() + 0.3
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            propensity_scores(np.empty((0, 2)), np.ones((3, 2)))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            propensity_scores(np.ones((3, 2)), np.ones((3, 3)))
+
+
+class TestMatching:
+    def test_nearest_neighbor_pairs_close_scores(self):
+        s_u = np.linspace(0, 1, 50)
+        s_t = np.array([0.21, 0.52, 0.83])
+        pairs = nearest_neighbor_match(s_u, s_t, np.arange(50),
+                                       np.array([100, 101, 102]),
+                                       caliper_sd=None)
+        assert pairs.n_pairs == 3
+        matched_scores = s_u[pairs.untreated_indices]
+        assert np.abs(matched_scores - s_t).max() < 0.02
+
+    def test_with_replacement(self):
+        s_u = np.array([0.5])
+        s_t = np.array([0.49, 0.5, 0.51])
+        pairs = nearest_neighbor_match(s_u, s_t, np.array([7]),
+                                       np.array([1, 2, 3]), caliper_sd=None)
+        assert pairs.n_pairs == 3
+        assert pairs.n_untreated_matched == 1
+
+    def test_caliper_discards_far_treated(self):
+        s_u = np.zeros(10)
+        s_t = np.array([0.0, 5.0])
+        pairs = nearest_neighbor_match(s_u, s_t, np.arange(10),
+                                       np.array([90, 91]), caliper_sd=0.25)
+        assert pairs.n_pairs == 1
+        assert pairs.treated_indices[0] == 90
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(MatchingError):
+            nearest_neighbor_match(np.array([]), np.array([0.5]),
+                                   np.array([]), np.array([0]))
+
+    def test_exact_match_sparse(self):
+        rng = np.random.default_rng(0)
+        untreated = rng.normal(size=(100, 6))
+        treated = rng.normal(size=(50, 6))
+        pairs = exact_match(untreated, treated, np.arange(100),
+                            np.arange(100, 150))
+        assert pairs.n_pairs == 0  # continuous values never match exactly
+
+    def test_exact_match_finds_duplicates(self):
+        untreated = np.array([[1.0, 2.0], [3.0, 4.0]])
+        treated = np.array([[1.0, 2.0]])
+        pairs = exact_match(untreated, treated, np.array([0, 1]),
+                            np.array([9]))
+        assert pairs.n_pairs == 1
+        assert pairs.untreated_indices[0] == 0
+
+    def test_mahalanobis_caliper(self):
+        rng = np.random.default_rng(0)
+        untreated = rng.normal(0, 1, size=(100, 3))
+        treated_near = rng.normal(0, 1, size=(20, 3))
+        treated_far = rng.normal(50, 1, size=(20, 3))
+        near = mahalanobis_match(untreated, treated_near, np.arange(100),
+                                 np.arange(100, 120), caliper=1.0)
+        far = mahalanobis_match(untreated, treated_far, np.arange(100),
+                                np.arange(100, 120), caliper=1.0)
+        assert near.n_pairs > far.n_pairs
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 1000))
+    def test_pair_indices_always_from_inputs(self, n_u, n_t, seed):
+        rng = np.random.default_rng(seed)
+        s_u = rng.random(n_u)
+        s_t = rng.random(n_t)
+        u_idx = np.arange(1000, 1000 + n_u)
+        t_idx = np.arange(2000, 2000 + n_t)
+        try:
+            pairs = nearest_neighbor_match(s_u, s_t, u_idx, t_idx)
+        except MatchingError:
+            return  # no common support is a legitimate outcome
+        assert set(pairs.treated_indices) <= set(t_idx)
+        assert set(pairs.untreated_indices) <= set(u_idx)
+
+
+class TestBalance:
+    def test_identical_groups_balanced(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 3))
+        scores = rng.random(100)
+        report = check_balance(["a", "b", "c"], data, data, scores, scores)
+        assert report.balanced
+        assert report.strictly_balanced
+        assert report.n_imbalanced == 0
+
+    def test_shifted_group_flagged(self):
+        rng = np.random.default_rng(0)
+        treated = rng.normal(0, 1, size=(100, 1))
+        untreated = rng.normal(3, 1, size=(100, 1))
+        scores = rng.random(100)
+        report = check_balance(["a"], treated, untreated, scores, scores)
+        assert not report.balanced
+        assert report.worst.name == "a"
+
+    def test_variance_ratio_flagged(self):
+        rng = np.random.default_rng(0)
+        treated = rng.normal(0, 3, size=(200, 1))
+        untreated = rng.normal(0, 1, size=(200, 1))
+        scores = rng.random(200)
+        report = check_balance(["a"], treated, untreated, scores, scores)
+        assert not report.covariates[0].balanced
+
+    def test_budgeted_tolerance(self):
+        rng = np.random.default_rng(0)
+        n_cov = 10
+        treated = rng.normal(0, 1, size=(100, n_cov))
+        untreated = treated.copy()
+        untreated[:, 0] += 5  # exactly one covariate off
+        scores = rng.random(100)
+        report = check_balance([f"c{i}" for i in range(n_cov)],
+                               treated, untreated, scores, scores)
+        assert report.n_imbalanced == 1
+        assert report.balanced          # within the 20% budget
+        assert not report.strictly_balanced
+
+    def test_propensity_gate(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 2))
+        report = check_balance(["a", "b"], data, data,
+                               rng.random(100), rng.random(100) + 5)
+        assert not report.balanced
+
+    def test_constant_covariates(self):
+        ones = np.ones((50, 1))
+        scores = np.full(50, 0.5)
+        report = check_balance(["c"], ones, ones, scores, scores)
+        assert report.balanced
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            check_balance(["a"], np.ones((3, 1)), np.ones((4, 1)),
+                          np.ones(3), np.ones(3))
+
+
+class TestSignTest:
+    def test_strong_positive_effect(self):
+        treated = np.array([5] * 80 + [1] * 20)
+        untreated = np.array([1] * 80 + [5] * 20)
+        result = sign_test(treated, untreated)
+        assert result.n_more_tickets == 80
+        assert result.n_fewer_tickets == 20
+        assert result.significant
+        assert result.direction == "worse"
+
+    def test_null_effect(self):
+        rng = np.random.default_rng(0)
+        treated = rng.poisson(2, 200)
+        untreated = rng.poisson(2, 200)
+        result = sign_test(treated, untreated)
+        assert not result.significant
+
+    def test_all_ties(self):
+        result = sign_test(np.ones(10), np.ones(10))
+        assert result.p_value == 1.0
+        assert result.n_no_effect == 10
+        assert result.direction == "none"
+
+    def test_better_direction(self):
+        result = sign_test(np.zeros(30), np.ones(30))
+        assert result.direction == "better"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sign_test(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sign_test(np.ones(3), np.ones(4))
+
+
+class TestConfounders:
+    def test_families(self):
+        assert metric_family("n_change_events") == "volume"
+        assert metric_family("frac_events_acl") == "composition"
+        assert metric_family("frac_events_automated") == "modality"
+        assert metric_family("n_devices") == "design"
+
+    def test_loo_means_exclude_own_month(self, tiny_dataset):
+        loo = loo_network_means(tiny_dataset, "n_change_events")
+        raw = tiny_dataset.column("n_change_events")
+        networks = np.asarray(tiny_dataset.case_networks)
+        first = networks == networks[0]
+        # LOO mean * (k-1) + own = k * full mean
+        k = first.sum()
+        full_mean = raw[first].mean()
+        reconstructed = (loo[first] * (k - 1) + raw[first]) / k
+        assert np.allclose(reconstructed, full_mean)
+
+    def test_build_excludes_treatment(self, tiny_dataset):
+        names, matrix = build_confounders(tiny_dataset, "n_change_events")
+        assert "n_change_events" not in names
+        assert "n_change_events(practice)" not in names
+        assert matrix.shape == (tiny_dataset.n_cases, len(names))
+
+    def test_same_family_becomes_practice_level(self, tiny_dataset):
+        names, _ = build_confounders(tiny_dataset, "n_change_events")
+        assert "n_config_changes(practice)" in names
+        assert "frac_events_acl" in names  # other family stays same-month
+
+    def test_design_treatment_keeps_all_same_month(self, tiny_dataset):
+        names, _ = build_confounders(tiny_dataset, "n_devices")
+        assert all("(practice)" not in name for name in names)
+
+    def test_same_month_mode(self, tiny_dataset):
+        names, _ = build_confounders(tiny_dataset, "n_change_events",
+                                     mode="same-month")
+        assert "n_config_changes" in names
+        assert all("(practice)" not in name for name in names)
+
+    def test_bad_mode(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            build_confounders(tiny_dataset, "n_devices", mode="quantum")
+
+
+class TestExperiment:
+    def test_end_to_end_tiny(self, tiny_dataset):
+        experiment = run_causal_analysis(tiny_dataset, "n_change_events")
+        # tiny data: most points may be skipped, but the sweep must cover
+        # all four comparison labels between results and skips
+        labels = {r.point_label for r in experiment.results} | set(
+            experiment.skipped
+        )
+        assert labels == {"1:2", "2:3", "3:4", "4:5"}
+        for result in experiment.results:
+            assert result.n_pairs >= 8
+            assert result.sign.n_pairs == result.n_pairs
+
+    def test_unknown_treatment(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            run_causal_analysis(tiny_dataset, "bogus_metric")
+
+    def test_result_for_missing_label(self, tiny_dataset):
+        experiment = run_causal_analysis(tiny_dataset, "n_change_events")
+        with pytest.raises(KeyError):
+            experiment.result_for("9:10")

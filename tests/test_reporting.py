@@ -1,0 +1,149 @@
+"""Tests for table/figure rendering and the characterization module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dependence import rank_practices_by_mi
+from repro.core.characterize import (
+    automation_by_type,
+    characterize_design,
+    characterize_operational,
+    network_level,
+)
+from repro.core.mpa import MPA
+from repro.core.online import OnlineResult
+from repro.core.prediction import TWO_CLASS, evaluate_model
+from repro.reporting.figures import (
+    ascii_cdf,
+    ascii_histogram,
+    boxplot_row,
+    relationship_figure,
+)
+from repro.reporting.tables import (
+    format_causal_table,
+    format_class_report,
+    format_cmi_table,
+    format_matching_table,
+    format_mi_table,
+    format_online_table,
+    format_signtest_table,
+)
+
+
+class TestFigures:
+    def test_cdf_output(self):
+        out = ascii_cdf([1, 2, 3, 4, 5], title="test")
+        assert out.startswith("test")
+        assert "F=0.50" in out
+
+    def test_cdf_empty(self):
+        assert "(no data)" in ascii_cdf([], title="x")
+
+    def test_histogram(self):
+        out = ascii_histogram(["a", "bb"], [3, 6], title="h")
+        assert "bb" in out and "6" in out
+
+    def test_histogram_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(["a"], [1, 2])
+
+    def test_boxplot_row(self):
+        out = boxplot_row("label", [1, 2, 3, 4, 100])
+        assert "label" in out and "med=" in out
+
+    def test_relationship_figure(self):
+        out = relationship_figure("x", ["low", "high"],
+                                  [[1, 2, 3], [4, 5, 6]])
+        assert "low" in out and "high" in out
+
+    def test_relationship_empty_group(self):
+        out = relationship_figure("x", ["low", "high"], [[], [1, 2]])
+        assert "(no cases)" in out
+
+    def test_relationship_alignment_error(self):
+        with pytest.raises(ValueError):
+            relationship_figure("x", ["a"], [[1], [2]])
+
+
+class TestTables:
+    def test_mi_table(self, tiny_dataset):
+        out = format_mi_table(rank_practices_by_mi(tiny_dataset)[:5])
+        assert "Avg. Monthly MI" in out
+        assert "(D)" in out or "(O)" in out
+
+    def test_cmi_table(self, tiny_dataset):
+        mpa = MPA(tiny_dataset)
+        out = format_cmi_table(mpa.dependent_pairs(
+            3, practices=["n_devices", "n_models", "n_roles"]
+        ))
+        assert "CMI" in out
+
+    def test_matching_and_signtest_tables(self, tiny_dataset):
+        mpa = MPA(tiny_dataset)
+        experiment = mpa.causal_analysis("n_change_events")
+        matching = format_matching_table(experiment)
+        sign = format_signtest_table(experiment)
+        assert "Pairs" in matching
+        assert "p-value" in sign
+
+    def test_causal_table_with_skips(self, tiny_dataset):
+        mpa = MPA(tiny_dataset)
+        experiments = [mpa.causal_analysis("n_change_events")]
+        out = format_causal_table(experiments,
+                                  points=("1:2", "2:3", "3:4", "4:5"))
+        assert "n_change_events" in out
+
+    def test_online_table(self):
+        results = [
+            OnlineResult(1, (0.8, 0.9), (1, 2)),
+            OnlineResult(1, (0.7,), (1,)),
+        ]
+        out = format_online_table(results, ["2 classes", "5 classes"])
+        assert "M (months)" in out
+        assert "0.850" in out
+
+    def test_online_table_tiling_error(self):
+        with pytest.raises(ValueError):
+            format_online_table([OnlineResult(1, (0.5,), (1,))],
+                                ["a", "b"])
+
+    def test_class_report(self, tiny_dataset):
+        report = evaluate_model(tiny_dataset, TWO_CLASS, "majority")
+        out = format_class_report(report, TWO_CLASS.labels, title="maj")
+        assert "healthy" in out
+        assert "accuracy=" in out
+
+
+class TestCharacterize:
+    def test_network_level_aggregates(self, tiny_dataset):
+        mean = network_level(tiny_dataset, "n_change_events", "mean")
+        last = network_level(tiny_dataset, "n_devices", "last")
+        maxed = network_level(tiny_dataset, "n_change_events", "max")
+        n_networks = len(set(tiny_dataset.case_networks))
+        assert len(mean) == len(last) == len(maxed) == n_networks
+        assert (maxed >= mean).all()
+        with pytest.raises(ValueError):
+            network_level(tiny_dataset, "n_devices", "mode")
+
+    def test_design_characterization(self, tiny_dataset):
+        chars = characterize_design(tiny_dataset)
+        assert (chars.hardware_entropy >= 0).all()
+        assert (chars.hardware_entropy <= 1).all()
+        assert (chars.n_protocols >= 1).all()
+
+    def test_operational_characterization(self, tiny_dataset, tiny_changes,
+                                          tiny_corpus):
+        chars = characterize_operational(tiny_dataset, tiny_changes,
+                                         tiny_corpus.n_months)
+        assert -1 <= chars.size_change_correlation <= 1
+        assert chars.size_change_correlation > 0.2  # Fig 12(a) shape
+        assert set(chars.type_fractions) == {
+            "interface", "pool", "acl", "user", "router",
+        }
+        assert (chars.frac_devices_changed_year
+                >= 0).all()
+
+    def test_automation_by_type(self, tiny_changes):
+        rates = automation_by_type(tiny_changes)
+        assert rates
+        assert all(0 <= rate <= 1 for rate in rates.values())

@@ -1,0 +1,338 @@
+"""Tests for the synthetic-organization generator."""
+
+import numpy as np
+import pytest
+
+from repro.confgen.base import render_config
+from repro.confparse.registry import parse_config
+from repro.synthesis.changes import ChangeEngine
+from repro.synthesis.health import (
+    HealthModelParams,
+    TicketFactory,
+    design_burden,
+    operational_burden,
+    ticket_rate,
+)
+from repro.synthesis.organization import (
+    SCALES,
+    OrganizationSynthesizer,
+    SynthesisSpec,
+    synthesize,
+)
+from repro.synthesis.profiles import sample_profile, sample_profiles
+from repro.synthesis.survey import (
+    SURVEYED_PRACTICES,
+    synthesize_survey,
+    tally,
+)
+from repro.synthesis.topology import build_network
+from repro.synthesis.truth import MonthTruth, NetworkTruth
+from repro.types import ChangeModality, DeviceRole
+from repro.util.rng import SeedSequenceTree
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return sample_profiles(60, SeedSequenceTree(11))
+
+
+class TestProfiles:
+    def test_deterministic(self):
+        a = sample_profile("net0000", SeedSequenceTree(3).rng("p"))
+        b = sample_profile("net0000", SeedSequenceTree(3).rng("p"))
+        assert a == b
+
+    def test_shapes(self, profiles):
+        devices = np.array([p.n_devices for p in profiles])
+        assert devices.min() >= 2
+        assert devices.max() <= 120
+        assert np.median(devices) < 20
+        # majority single-workload (Appendix A: 81%)
+        single = sum(1 for p in profiles if p.n_workloads == 1)
+        assert single / len(profiles) > 0.6
+        # most networks have middleboxes (71%)
+        mbox = sum(1 for p in profiles if p.has_middlebox) / len(profiles)
+        assert 0.5 < mbox < 0.95
+        # BGP more common than OSPF (86% vs 31%)
+        bgp = sum(1 for p in profiles if p.use_bgp)
+        ospf = sum(1 for p in profiles if p.use_ospf)
+        assert bgp > ospf
+
+    def test_validation(self, profiles):
+        for p in profiles:
+            assert 0 <= p.heterogeneity <= 1
+            assert p.event_rate >= 0
+            assert p.event_spread >= 1
+            assert 0 <= p.automation_level <= 1
+            assert p.change_mix.normalized()
+
+    def test_change_mix_normalized_sums_to_one(self, profiles):
+        for p in profiles:
+            assert sum(p.change_mix.normalized().values()) == pytest.approx(1.0)
+
+    def test_pool_weight_only_with_middlebox(self, profiles):
+        for p in profiles:
+            if not p.has_middlebox:
+                assert "pool" not in p.change_mix.weights
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            sample_profiles(0, SeedSequenceTree(1))
+
+
+class TestTopology:
+    def test_build_network_consistency(self, profiles):
+        seeds = SeedSequenceTree(5)
+        for profile in profiles[:10]:
+            built = build_network(profile, seeds.rng(profile.network_id))
+            assert len(built.devices) == profile.n_devices
+            assert set(built.states) == {d.device_id for d in built.devices}
+            roles = {d.role for d in built.devices}
+            assert DeviceRole.ROUTER in roles or DeviceRole.SWITCH in roles
+            # every state renders + parses in its own dialect
+            for device in built.devices[:3]:
+                state = built.states[device.device_id]
+                config = parse_config(render_config(state), state.dialect)
+                assert config.hostname == device.device_id
+
+    def test_bgp_instances_bounded_by_routers(self, profiles):
+        seeds = SeedSequenceTree(5)
+        for profile in profiles[:10]:
+            built = build_network(profile, seeds.rng(profile.network_id))
+            n_routers = sum(
+                1 for d in built.devices if d.role is DeviceRole.ROUTER
+            )
+            assert built.n_bgp_instances <= max(n_routers, 1)
+
+    def test_vlans_materialized(self, profiles):
+        seeds = SeedSequenceTree(5)
+        profile = profiles[0]
+        built = build_network(profile, seeds.rng("x"))
+        vlan_ids = set()
+        for state in built.states.values():
+            vlan_ids.update(state.vlans)
+        assert len(vlan_ids) == profile.n_vlans
+
+
+class TestChangeEngine:
+    def test_baseline_snapshots_cover_all_devices(self, profiles):
+        seeds = SeedSequenceTree(5)
+        profile = profiles[0]
+        built = build_network(profile, seeds.rng("t"))
+        engine = ChangeEngine(built, profile, seeds.rng("c"))
+        baselines = engine.baseline_snapshots()
+        assert {s.device_id for s in baselines} == set(built.states)
+        assert all(s.timestamp == 0 for s in baselines)
+
+    def test_run_month_truth_consistency(self, profiles):
+        seeds = SeedSequenceTree(5)
+        profile = profiles[1]
+        built = build_network(profile, seeds.rng("t"))
+        engine = ChangeEngine(built, profile, seeds.rng("c"))
+        snapshots, truth = engine.run_month(0)
+        assert truth.month_index == 0
+        assert truth.n_device_changes >= len(snapshots)  # drops allowed
+        assert truth.n_devices_changed <= truth.n_device_changes
+        for frac in (truth.frac_events_automated, truth.frac_events_acl,
+                     truth.frac_events_interface, truth.frac_events_mbox):
+            assert 0.0 <= frac <= 1.0
+
+    def test_automated_logins_are_service_accounts(self, profiles):
+        seeds = SeedSequenceTree(5)
+        profile = profiles[2]
+        built = build_network(profile, seeds.rng("t"))
+        engine = ChangeEngine(built, profile, seeds.rng("c"))
+        for month in range(3):
+            snapshots, _ = engine.run_month(month)
+            for snap in snapshots:
+                if snap.modality is ChangeModality.AUTOMATED:
+                    assert snap.login.startswith("svc-")
+                else:
+                    assert not snap.login.startswith("svc-")
+
+    def test_timestamps_within_month(self, profiles):
+        seeds = SeedSequenceTree(5)
+        profile = profiles[3]
+        built = build_network(profile, seeds.rng("t"))
+        engine = ChangeEngine(built, profile, seeds.rng("c"))
+        snapshots, _ = engine.run_month(2)
+        for snap in snapshots:
+            assert 2 * 43200 <= snap.timestamp  # may spill slightly past end
+
+
+class TestHealthModel:
+    def net_truth(self, **kw) -> NetworkTruth:
+        base = dict(network_id="n", n_devices=10, n_models=3, n_roles=3,
+                    n_vendors=2, n_firmware=3, n_vlans=20, n_bgp_instances=1,
+                    n_ospf_instances=0, has_middlebox=True, event_rate=5.0,
+                    automation_level=0.5)
+        base.update(kw)
+        return NetworkTruth(**base)
+
+    def month_truth(self, **kw) -> MonthTruth:
+        base = dict(network_id="n", month_index=0, n_change_events=5,
+                    n_device_changes=8, n_devices_changed=5, n_change_types=4,
+                    avg_devices_per_event=1.5, frac_events_automated=0.5,
+                    frac_events_interface=0.3, frac_events_acl=0.1,
+                    frac_events_router=0.1, frac_events_mbox=0.2)
+        base.update(kw)
+        return MonthTruth(**base)
+
+    def test_rate_positive_and_capped(self):
+        params = HealthModelParams()
+        rate = ticket_rate(self.net_truth(), self.month_truth(), 0.0, 0.0,
+                           params)
+        assert 0 < rate <= params.max_rate
+
+    def test_monotone_in_devices(self):
+        low = ticket_rate(self.net_truth(n_devices=3), self.month_truth(),
+                          0.0, 0.0)
+        high = ticket_rate(self.net_truth(n_devices=100), self.month_truth(),
+                           0.0, 0.0)
+        assert high > low
+
+    def test_monotone_in_events(self):
+        low = ticket_rate(self.net_truth(), self.month_truth(n_change_events=1),
+                          0.0, 0.0)
+        high = ticket_rate(self.net_truth(),
+                           self.month_truth(n_change_events=80), 0.0, 0.0)
+        assert high > low
+
+    def test_mbox_effect_negligible(self):
+        # full-range middlebox effect is small in absolute terms, and far
+        # smaller than the same-range ACL effect (the paper's contrast)
+        base = ticket_rate(self.net_truth(),
+                           self.month_truth(frac_events_mbox=0.0), 0.0, 0.0)
+        high = ticket_rate(self.net_truth(),
+                           self.month_truth(frac_events_mbox=1.0), 0.0, 0.0)
+        acl_base = ticket_rate(self.net_truth(),
+                               self.month_truth(frac_events_acl=0.0), 0.0, 0.0)
+        acl_high = ticket_rate(self.net_truth(),
+                               self.month_truth(frac_events_acl=1.0), 0.0, 0.0)
+        assert high / base < 1.15
+        assert (acl_high / acl_base) > 2 * (high / base)
+
+    def test_surge_fires_only_when_both_burdens_high(self):
+        params = HealthModelParams()
+        quiet_net = self.net_truth(n_devices=3, n_vlans=3, n_models=1,
+                                   n_roles=1)
+        busy_net = self.net_truth(n_devices=100, n_vlans=150, n_models=10,
+                                  n_roles=5)
+        quiet_month = self.month_truth(n_change_events=1, n_change_types=1,
+                                       frac_events_acl=0.0,
+                                       avg_devices_per_event=1.0)
+        busy_month = self.month_truth(n_change_events=80, n_change_types=12,
+                                      frac_events_acl=0.4,
+                                      avg_devices_per_event=4.0)
+        # design burden crosses threshold only for busy_net
+        assert design_burden(busy_net, params) > params.surge_center_design
+        assert design_burden(quiet_net, params) < params.surge_center_design
+        assert (operational_burden(busy_month, params)
+                > params.surge_center_operational)
+        rate_both = ticket_rate(busy_net, busy_month, 0.0, 0.0, params)
+        rate_design_only = ticket_rate(busy_net, quiet_month, 0.0, 0.0, params)
+        rate_oper_only = ticket_rate(quiet_net, busy_month, 0.0, 0.0, params)
+        # the AND-corner: both-high is disproportionately worse
+        assert rate_both > 3 * rate_design_only
+        assert rate_both > 3 * rate_oper_only
+
+    def test_ticket_factory_maintenance_noise(self):
+        factory = TicketFactory(rng=np.random.default_rng(0))
+        tickets = factory.materialize("net1", 0, 5, ["d1", "d2"])
+        health = [t for t in tickets if t.counts_toward_health]
+        assert len(health) == 5
+        for t in tickets:
+            assert t.opened_at >= 0
+            assert t.resolved_at >= t.opened_at
+
+
+class TestSurvey:
+    def test_response_count(self):
+        responses = synthesize_survey(seed=1)
+        assert len(responses) == 51 * len(SURVEYED_PRACTICES)
+
+    def test_tally_totals(self):
+        responses = synthesize_survey(seed=1)
+        table = tally(responses)
+        for practice in SURVEYED_PRACTICES:
+            assert sum(table[practice].values()) == 51
+
+    def test_consensus_only_on_change_events(self):
+        table = tally(synthesize_survey(seed=1))
+        high = table["no_of_change_events"]["high_impact"]
+        assert high > 25  # clear majority (Figure 2's only consensus)
+        acl_low = table["frac_events_acl_change"]["low_impact"]
+        acl_high = table["frac_events_acl_change"]["high_impact"]
+        assert acl_low > acl_high  # operators think ACL changes are benign
+
+    def test_rejects_bad_operator_count(self):
+        with pytest.raises(ValueError):
+            synthesize_survey(n_operators=0)
+
+
+class TestOrganization:
+    def test_scales_defined(self):
+        assert set(SCALES) == {"tiny", "small", "medium", "paper"}
+        assert SCALES["paper"].n_networks >= 850
+        assert SCALES["paper"].n_months == 17
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisSpec(n_networks=0, n_months=5)
+        with pytest.raises(ValueError):
+            SynthesisSpec(n_networks=5, n_months=0)
+
+    def test_synthesize_unknown_scale(self):
+        with pytest.raises(ValueError):
+            synthesize("galactic")
+
+    def test_corpus_shape(self, tiny_corpus):
+        summary = tiny_corpus.summary()
+        assert summary["networks"] == SCALES["tiny"].n_networks
+        assert summary["months"] == SCALES["tiny"].n_months
+        assert summary["devices"] > summary["networks"]
+        assert summary["config_snapshots"] > summary["devices"]
+        assert summary["tickets"] > 0
+
+    def test_deterministic(self):
+        spec = SynthesisSpec(n_networks=3, n_months=2, seed=9)
+        a = OrganizationSynthesizer(spec).build()
+        b = OrganizationSynthesizer(spec).build()
+        assert a.summary() == b.summary()
+        device = next(iter(a.snapshots))
+        assert (a.snapshots[device][0].config_text
+                == b.snapshots[device][0].config_text)
+
+    def test_truth_recorded_per_case(self, tiny_corpus):
+        expected = (SCALES["tiny"].n_networks * SCALES["tiny"].n_months)
+        assert len(tiny_corpus.month_truth) == expected
+        assert len(tiny_corpus.network_truth) == SCALES["tiny"].n_networks
+
+
+class TestCorpusPersistence:
+    def test_save_load_round_trip(self, tiny_corpus, tmp_path):
+        tiny_corpus.save(tmp_path / "c")
+        loaded = type(tiny_corpus).load(tmp_path / "c")
+        assert loaded.summary() == tiny_corpus.summary()
+        device = next(iter(tiny_corpus.snapshots))
+        assert (loaded.snapshots[device][0].config_text
+                == tiny_corpus.snapshots[device][0].config_text)
+        assert loaded.month_truth == tiny_corpus.month_truth
+        assert loaded.network_truth == tiny_corpus.network_truth
+
+    def test_load_missing(self, tmp_path):
+        from repro.errors import CorpusError
+        from repro.synthesis.corpus import Corpus
+        with pytest.raises(CorpusError):
+            Corpus.load(tmp_path / "nope")
+
+    def test_version_check(self, tiny_corpus, tmp_path):
+        import json
+        from repro.errors import CorpusError
+        from repro.synthesis.corpus import Corpus
+        tiny_corpus.save(tmp_path / "c")
+        meta = json.loads((tmp_path / "c" / "meta.json").read_text())
+        meta["format_version"] = -1
+        (tmp_path / "c" / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(CorpusError):
+            Corpus.load(tmp_path / "c")

@@ -1,0 +1,84 @@
+"""Tests for the trouble-ticket substrate."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.tickets.filters import count_health_tickets, health_tickets
+from repro.tickets.models import TicketCategory, TicketRecord
+from repro.tickets.store import TicketStore
+
+
+def ticket(tid="t1", network="net1", opened=100, resolved=200,
+           category=TicketCategory.ALARM, impact="low") -> TicketRecord:
+    return TicketRecord(
+        ticket_id=tid, network_id=network, opened_at=opened,
+        resolved_at=resolved, category=category, impact=impact,
+    )
+
+
+class TestTicketRecord:
+    def test_duration(self):
+        assert ticket().duration_minutes == 100
+
+    def test_resolved_before_open_rejected(self):
+        with pytest.raises(ValueError):
+            ticket(opened=200, resolved=100)
+
+    def test_negative_open_rejected(self):
+        with pytest.raises(ValueError):
+            ticket(opened=-1, resolved=0)
+
+    def test_unknown_impact_rejected(self):
+        with pytest.raises(ValueError):
+            ticket(impact="apocalyptic")
+
+    def test_maintenance_excluded_from_health(self):
+        assert not ticket(category=TicketCategory.MAINTENANCE).counts_toward_health
+        assert ticket(category=TicketCategory.ALARM).counts_toward_health
+        assert ticket(category=TicketCategory.USER_REPORT).counts_toward_health
+
+
+class TestFilters:
+    def test_health_tickets(self):
+        tickets = [
+            ticket("a"), ticket("b", category=TicketCategory.MAINTENANCE),
+            ticket("c", category=TicketCategory.USER_REPORT),
+        ]
+        assert [t.ticket_id for t in health_tickets(tickets)] == ["a", "c"]
+        assert count_health_tickets(tickets) == 2
+
+
+class TestStore:
+    def test_duplicate_rejected(self):
+        store = TicketStore([ticket("a")])
+        with pytest.raises(DataError):
+            store.add(ticket("a"))
+
+    def test_len(self):
+        store = TicketStore([ticket("a"), ticket("b", network="net2")])
+        assert len(store) == 2
+        assert store.network_ids == ["net1", "net2"]
+
+    def test_window_query_half_open(self):
+        store = TicketStore([
+            ticket("a", opened=100),
+            ticket("b", opened=199, resolved=300),
+            ticket("c", opened=200, resolved=300),
+        ])
+        hits = store.in_window("net1", 100, 200)
+        assert [t.ticket_id for t in hits] == ["a", "b"]
+
+    def test_window_query_sorted(self):
+        store = TicketStore([
+            ticket("b", opened=150, resolved=151),
+            ticket("a", opened=50, resolved=51),
+        ])
+        hits = store.in_window("net1", 0, 1000)
+        assert [t.ticket_id for t in hits] == ["a", "b"]
+
+    def test_window_unknown_network(self):
+        assert TicketStore().in_window("ghost", 0, 10) == []
+
+    def test_iter_all_sorted_by_network(self):
+        store = TicketStore([ticket("a", network="z"), ticket("b", network="a")])
+        assert [t.network_id for t in store.iter_all()] == ["a", "z"]

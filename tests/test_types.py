@@ -1,0 +1,130 @@
+"""Tests for the core record types."""
+
+import pytest
+
+from repro.types import (
+    CaseKey,
+    ChangeEvent,
+    ChangeModality,
+    ChangeRecord,
+    ConfigSnapshot,
+    DeviceRecord,
+    DeviceRole,
+    MonthKey,
+    NetworkRecord,
+    SurveyResponse,
+    month_range,
+)
+
+
+class TestMonthKey:
+    def test_ordering(self):
+        assert MonthKey(2013, 8) < MonthKey(2013, 9)
+        assert MonthKey(2013, 12) < MonthKey(2014, 1)
+        assert MonthKey(2014, 1) <= MonthKey(2014, 1)
+
+    def test_next_wraps_year(self):
+        assert MonthKey(2013, 12).next() == MonthKey(2014, 1)
+
+    def test_prev_wraps_year(self):
+        assert MonthKey(2014, 1).prev() == MonthKey(2013, 12)
+
+    def test_next_prev_inverse(self):
+        month = MonthKey(2014, 6)
+        assert month.next().prev() == month
+
+    def test_index_round_trip(self):
+        month = MonthKey(2013, 8)
+        assert MonthKey.from_index(month.index()) == month
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            MonthKey(2014, 13)
+        with pytest.raises(ValueError):
+            MonthKey(2014, 0)
+
+    def test_str_format(self):
+        assert str(MonthKey(2013, 8)) == "2013-08"
+
+    def test_month_range(self):
+        months = month_range(MonthKey(2013, 11), 4)
+        assert [str(m) for m in months] == [
+            "2013-11", "2013-12", "2014-01", "2014-02",
+        ]
+
+    def test_month_range_rejects_negative(self):
+        with pytest.raises(ValueError):
+            month_range(MonthKey(2013, 11), -1)
+
+
+class TestDeviceRole:
+    def test_middlebox_roles(self):
+        assert DeviceRole.FIREWALL.is_middlebox
+        assert DeviceRole.LOAD_BALANCER.is_middlebox
+        assert DeviceRole.ADC.is_middlebox
+        assert not DeviceRole.SWITCH.is_middlebox
+        assert not DeviceRole.ROUTER.is_middlebox
+
+
+class TestRecords:
+    def test_device_record_requires_ids(self):
+        with pytest.raises(ValueError):
+            DeviceRecord("", "net1", "v", "m", DeviceRole.SWITCH, "fw")
+        with pytest.raises(ValueError):
+            DeviceRecord("d1", "", "v", "m", DeviceRole.SWITCH, "fw")
+
+    def test_network_record_interconnect(self):
+        assert NetworkRecord("net1").is_interconnect
+        assert not NetworkRecord("net1", workloads=("svc",)).is_interconnect
+
+    def test_snapshot_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            ConfigSnapshot("d", "n", -1, "ops", ChangeModality.MANUAL, "")
+
+    def test_case_key_str(self):
+        key = CaseKey("net0001", MonthKey(2014, 2))
+        assert str(key) == "net0001@2014-02"
+
+
+def _change(device: str, ts: int, types=("interface",)) -> ChangeRecord:
+    return ChangeRecord(
+        device_id=device, network_id="net1", timestamp=ts,
+        modality=ChangeModality.MANUAL, stanza_types=tuple(types),
+    )
+
+
+class TestChangeEvent:
+    def test_requires_changes(self):
+        with pytest.raises(ValueError):
+            ChangeEvent("net1", 0, 0, ())
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            ChangeEvent("net1", 10, 5, (_change("d1", 10),))
+
+    def test_devices_and_types(self):
+        event = ChangeEvent("net1", 0, 5, (
+            _change("d1", 0, ("interface",)),
+            _change("d2", 5, ("acl", "interface")),
+        ))
+        assert event.num_devices == 2
+        assert event.stanza_types == {"interface", "acl"}
+
+    def test_automation_requires_all_automated(self):
+        manual = _change("d1", 0)
+        automated = ChangeRecord(
+            device_id="d2", network_id="net1", timestamp=1,
+            modality=ChangeModality.AUTOMATED, stanza_types=("acl",),
+        )
+        assert not ChangeEvent("net1", 0, 1, (manual, automated)).is_automated
+        assert ChangeEvent("net1", 1, 1, (automated,)).is_automated
+
+
+class TestSurveyResponse:
+    def test_rejects_unknown_opinion(self):
+        with pytest.raises(ValueError):
+            SurveyResponse("op1", "n_devices", "who_knows")
+
+    def test_valid(self):
+        response = SurveyResponse("op1", "n_devices", "high_impact")
+        assert response.opinion == "high_impact"

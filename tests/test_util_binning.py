@@ -1,0 +1,95 @@
+"""Tests for the percentile-clamped equal-width binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.binning import BinSpec, apply_bins, equal_width_bins
+
+
+class TestBinSpec:
+    def test_assign_basic(self):
+        spec = BinSpec(lower=0.0, upper=10.0, n_bins=10)
+        assert spec.assign(0.0) == 0
+        assert spec.assign(9.99) == 9
+        assert spec.assign(5.0) == 5
+
+    def test_clamping(self):
+        spec = BinSpec(lower=0.0, upper=10.0, n_bins=10)
+        assert spec.assign(-100.0) == 0
+        assert spec.assign(100.0) == 9
+
+    def test_degenerate_range(self):
+        spec = BinSpec(lower=3.0, upper=3.0, n_bins=5)
+        assert spec.assign(3.0) == 0
+        assert spec.assign(99.0) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BinSpec(lower=0.0, upper=1.0, n_bins=0)
+        with pytest.raises(ValueError):
+            BinSpec(lower=1.0, upper=0.0, n_bins=2)
+
+    def test_edges_count(self):
+        spec = BinSpec(lower=0.0, upper=1.0, n_bins=4)
+        assert len(spec.edges()) == 5
+
+    def test_assign_many_matches_scalar(self):
+        spec = BinSpec(lower=0.0, upper=10.0, n_bins=7)
+        values = [-5.0, 0.0, 3.3, 7.7, 10.0, 20.0]
+        assert list(spec.assign_many(values)) == [spec.assign(v) for v in values]
+
+
+class TestEqualWidthBins:
+    def test_percentile_bounds(self):
+        values = list(range(101))
+        spec = equal_width_bins(values, n_bins=10)
+        assert spec.lower == pytest.approx(5.0)
+        assert spec.upper == pytest.approx(95.0)
+
+    def test_minmax_mode(self):
+        values = list(range(101))
+        spec = equal_width_bins(values, n_bins=10, low_pct=0, high_pct=100)
+        assert spec.lower == 0.0
+        assert spec.upper == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            equal_width_bins([])
+
+    def test_bad_percentiles_rejected(self):
+        with pytest.raises(ValueError):
+            equal_width_bins([1, 2], low_pct=90, high_pct=10)
+
+    def test_long_tail_spread(self):
+        # the motivating case: long-tailed metrics should not collapse into
+        # one or two occupied bins under 5/95 clamping
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(3, 1.2, size=2000)
+        binned = apply_bins(values, n_bins=10)
+        assert len(np.unique(binned)) >= 6
+
+    def test_minmax_collapses_long_tail(self):
+        # contrast for the ablation: naive min/max binning squeezes most of
+        # a long-tailed sample into the bottom bins
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(3, 1.2, size=2000)
+        naive = apply_bins(values, n_bins=10, low_pct=0, high_pct=100)
+        clamped = apply_bins(values, n_bins=10)
+        assert (naive == 0).mean() > (clamped == 0).mean()
+
+
+@given(st.lists(st.floats(-1e5, 1e5), min_size=2, max_size=200),
+       st.integers(min_value=1, max_value=12))
+def test_assignments_always_in_range(values, n_bins):
+    binned = apply_bins(values, n_bins=n_bins)
+    assert binned.min() >= 0
+    assert binned.max() <= n_bins - 1
+
+
+@given(st.lists(st.floats(0, 1e4), min_size=5, max_size=100))
+def test_assign_monotone_in_value(values):
+    spec = equal_width_bins(values, n_bins=10)
+    ordered = sorted(values)
+    bins = [spec.assign(v) for v in ordered]
+    assert all(bins[i] <= bins[i + 1] for i in range(len(bins) - 1))

@@ -1,0 +1,146 @@
+"""Tests for repro.util.stats (incl. property-based)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    Summary,
+    ecdf,
+    entropy,
+    normalized_entropy,
+    pearson_correlation,
+    quantile_at,
+    summarize,
+)
+
+
+class TestEntropy:
+    def test_uniform_two(self):
+        assert entropy([0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        assert entropy([1.0]) == pytest.approx(0.0)
+
+    def test_zero_probability_ignored(self):
+        assert entropy([1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy([-0.1, 1.1])
+
+    def test_rejects_non_normalized(self):
+        with pytest.raises(ValueError):
+            entropy([0.4, 0.4])
+
+    @given(st.integers(min_value=2, max_value=16))
+    def test_uniform_entropy_is_log2_k(self, k):
+        assert entropy([1.0 / k] * k) == pytest.approx(math.log2(k))
+
+
+class TestNormalizedEntropy:
+    def test_single_device_is_zero(self):
+        assert normalized_entropy(["a"]) == 0.0
+
+    def test_homogeneous_is_zero(self):
+        assert normalized_entropy(["a"] * 10) == 0.0
+
+    def test_all_distinct_is_one(self):
+        labels = [f"model-{i}" for i in range(8)]
+        assert normalized_entropy(labels) == pytest.approx(1.0)
+
+    def test_paper_range(self):
+        # 8 switches of one model, 1 router, 1 firewall: low heterogeneity
+        labels = [("m1", "switch")] * 8 + [("m2", "router"), ("m3", "fw")]
+        value = normalized_entropy(labels)
+        assert 0.0 < value < 0.35
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=2, max_size=40))
+    def test_bounded_zero_one(self, labels):
+        value = normalized_entropy(labels)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(st.lists(st.sampled_from("ab"), min_size=2, max_size=30))
+    def test_permutation_invariant(self, labels):
+        assert normalized_entropy(labels) == pytest.approx(
+            normalized_entropy(list(reversed(labels)))
+        )
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_side_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [1])
+
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=30))
+    def test_bounded(self, xs):
+        ys = [x * 2 + 1 for x in xs]
+        value = pearson_correlation(xs, ys)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestSummary:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.median == 3
+        assert summary.mean == 3
+        assert summary.count == 5
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+
+    def test_whiskers_clip_to_data(self):
+        summary = summarize([1, 2, 3])
+        assert summary.whisker_low >= summary.minimum
+        assert summary.whisker_high <= summary.maximum
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_iqr(self):
+        summary = Summary(count=4, mean=0, p25=1.0, median=2.0, p75=3.0,
+                          minimum=0.0, maximum=4.0)
+        assert summary.iqr == 2.0
+        assert summary.whisker_low == 0.0  # 1 - 2*2 = -3, clipped to min
+        assert summary.whisker_high == 4.0
+
+
+class TestEcdf:
+    def test_sorted_output(self):
+        xs, fs = ecdf([3, 1, 2])
+        assert list(xs) == [1, 2, 3]
+        assert fs[-1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        xs, fs = ecdf([])
+        assert len(xs) == 0 and len(fs) == 0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_monotone(self, values):
+        xs, fs = ecdf(values)
+        assert all(xs[i] <= xs[i + 1] for i in range(len(xs) - 1))
+        assert all(fs[i] <= fs[i + 1] for i in range(len(fs) - 1))
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile_at([1, 2, 3], 0.5) == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantile_at([1, 2], 1.5)

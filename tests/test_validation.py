@@ -1,0 +1,93 @@
+"""Tests for the randomized-experiment validation module."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.validation import (
+    add_vlans,
+    boost_acl_changes,
+    boost_mbox_changes,
+    run_randomized_experiment,
+    scale_devices,
+    scale_event_rate,
+)
+from repro.synthesis.profiles import sample_profile
+from repro.util.rng import SeedSequenceTree
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return sample_profile("net0000", SeedSequenceTree(1).rng("p"))
+
+
+class TestInterventions:
+    def test_scale_event_rate(self, profile):
+        treated = scale_event_rate(2.0)(profile)
+        assert treated.event_rate == pytest.approx(
+            min(profile.event_rate * 2, 150.0)
+        )
+        # everything else untouched
+        assert treated.n_devices == profile.n_devices
+        assert treated.n_vlans == profile.n_vlans
+
+    def test_scale_event_rate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_event_rate(0)
+
+    def test_add_vlans_caps(self, profile):
+        treated = add_vlans(500)(profile)
+        assert treated.n_vlans == 180
+
+    def test_scale_devices_bounds(self, profile):
+        small = scale_devices(0.01)(profile)
+        assert small.n_devices == 2
+        big = scale_devices(100)(profile)
+        assert big.n_devices == 120
+
+    def test_boost_acl_changes(self, profile):
+        treated = boost_acl_changes(3.0)(profile)
+        assert (treated.change_mix.weights["acl"]
+                > profile.change_mix.weights["acl"])
+
+    def test_boost_mbox_changes_without_pool_noop(self, profile):
+        no_mbox = dataclasses.replace(
+            profile, has_middlebox=False,
+            change_mix=dataclasses.replace(
+                profile.change_mix,
+                weights={k: v for k, v in profile.change_mix.weights.items()
+                         if k not in ("pool", "vip")},
+            ),
+        )
+        treated = boost_mbox_changes()(no_mbox)
+        assert treated.change_mix.weights == no_mbox.change_mix.weights
+
+
+class TestRandomizedExperiment:
+    def test_causal_intervention_detected(self):
+        result = run_randomized_experiment(
+            scale_event_rate(3.0), name="3x events",
+            n_networks=40, n_months=4, seed=11,
+        )
+        # paired design: every network appears in both arms
+        assert result.n_treated_networks == result.n_control_networks == 40
+        assert result.mean_tickets_treated > result.mean_tickets_control
+        assert result.p_value < 0.05
+
+    def test_noop_intervention_null(self):
+        result = run_randomized_experiment(
+            lambda profile: profile, name="noop",
+            n_networks=40, n_months=4, seed=11,
+        )
+        assert abs(result.effect) < 0.75
+        assert result.p_value > 0.05
+
+    def test_rejects_tiny_experiment(self):
+        with pytest.raises(ValueError):
+            run_randomized_experiment(lambda p: p, n_networks=2)
+
+    def test_relative_effect(self):
+        result = run_randomized_experiment(
+            scale_event_rate(3.0), n_networks=24, n_months=3, seed=2,
+        )
+        assert result.relative_effect > 1.0
