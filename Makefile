@@ -1,0 +1,19 @@
+# Convenience entry points; all targets honor MPA_SCALE / MPA_SEED /
+# MPA_JOBS / MPA_TELEMETRY (see README.md).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench smoke
+
+# tier-1 test suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+# full paper-reproduction benchmark suite (prints tables/figures with -s)
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q -s
+
+# parallel-runtime smoke: tiny workspace under MPA_JOBS=2 + telemetry
+smoke:
+	MPA_JOBS=2 $(PYTHON) -m pytest benchmarks/bench_runtime_smoke.py -q -s

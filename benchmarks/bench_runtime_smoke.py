@@ -1,0 +1,37 @@
+"""Parallel-runtime smoke: tiny workspace built under ``MPA_JOBS=2``.
+
+Runs in every benchmark invocation (and via ``make smoke``) so
+regressions in the process-pool path — pickling failures, nested-pool
+deadlocks, nondeterministic fan-out — surface immediately instead of
+only at full scale. Builds a fresh ``tiny`` workspace in a temp cache
+with two workers, checks it against the serial result, and prints the
+stage telemetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.workspace import Workspace
+from repro.runtime.telemetry import TELEMETRY
+
+
+def test_runtime_smoke_parallel_tiny_build(tmp_path, monkeypatch):
+    monkeypatch.setenv("MPA_JOBS", "2")
+    parallel_ws = Workspace(scale="tiny", seed=7,
+                            cache_dir=tmp_path / "parallel")
+    parallel_ws.ensure()
+    parallel = parallel_ws.dataset()
+
+    monkeypatch.setenv("MPA_JOBS", "1")
+    serial_ws = Workspace(scale="tiny", seed=7, cache_dir=tmp_path / "serial")
+    serial_ws.ensure()
+    serial = serial_ws.dataset()
+
+    assert parallel.n_cases == serial.n_cases > 0
+    assert parallel.names == serial.names
+    assert np.array_equal(parallel.values, serial.values)
+    assert np.array_equal(parallel.tickets, serial.tickets)
+
+    print()
+    print(TELEMETRY.summary())

@@ -10,10 +10,26 @@ keeps a cold run fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.mpa import MPA
 from repro.core.workspace import Workspace
+from repro.runtime.telemetry import TELEMETRY
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print runtime stage timings after every benchmark run; persist
+    them as JSON when ``MPA_TELEMETRY`` names a file."""
+    terminalreporter.write_line("")
+    terminalreporter.write_line(TELEMETRY.summary())
+    telemetry_path = os.environ.get("MPA_TELEMETRY")
+    if telemetry_path:
+        TELEMETRY.dump_json(telemetry_path)
+        terminalreporter.write_line(
+            f"runtime telemetry written to {telemetry_path}"
+        )
 
 
 @pytest.fixture(scope="session")

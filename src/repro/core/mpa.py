@@ -32,6 +32,7 @@ from repro.core.prediction import (
 )
 from repro.metrics.dataset import MetricDataset
 from repro.ml.model_eval import EvalReport
+from repro.runtime.pool import parallel_map
 
 
 class MPA:
@@ -68,11 +69,16 @@ class MPA:
         return run_causal_analysis(self._dataset, treatment, **kwargs)
 
     def causal_analyses(self, k: int = 10, **kwargs) -> list[CausalExperiment]:
-        """Causal analyses for the top-k MI practices (Tables 7/8)."""
-        return [
-            self.causal_analysis(result.practice, **kwargs)
-            for result in self.top_practices(k)
-        ]
+        """Causal analyses for the top-k MI practices (Tables 7/8).
+
+        Treatments are analysed independently, so they fan out across the
+        ``MPA_JOBS`` process pool; results keep the top-practice order.
+        """
+        return parallel_map(
+            lambda result: self.causal_analysis(result.practice, **kwargs),
+            self.top_practices(k),
+            stage="causal-analyses",
+        )
 
     # -- goal 2: predict health ------------------------------------------------
 

@@ -12,6 +12,30 @@ Control knobs (environment variables):
   ``paper`` matches Table 2's 850 networks x 17 months).
 * ``MPA_CACHE_DIR``: cache directory (default ``<repo>/.mpa_cache``).
 * ``MPA_SEED``: corpus seed (default 7).
+* ``MPA_JOBS``: worker processes for the build's parallel stages
+  (default = cpu count; ``1`` forces the serial path). Output is
+  bit-identical at any setting — see :mod:`repro.runtime.pool`.
+
+Cache-format and concurrency guarantees:
+
+* Every artifact (``dataset.npz`` + sidecar, ``changes.jsonl.gz``,
+  ``summary.json``, the corpus directory, ``format_version.txt``) is
+  written to a temporary name and atomically renamed into place;
+  ``format_version.txt`` is written last and acts as the commit marker.
+* :meth:`Workspace.ensure` holds an advisory file lock
+  (``.build.lock``) for the whole build, so two processes (e.g. pytest
+  and a benchmark run) never interleave a build; the loser of the race
+  re-checks the cache and returns without rebuilding.
+* A single freshness predicate, :meth:`Workspace._cache_is_current`,
+  governs *both* the derived artifacts and corpus reuse: the corpus is
+  only reused when its recorded ``format_version`` matches
+  :data:`repro.version.CORPUS_FORMAT_VERSION` and its seed/months match
+  this workspace's spec — a format bump rebuilds the corpus too,
+  never re-derives the dataset from a stale corpus.
+* Loaders recover from corrupted caches (e.g. an artifact truncated by
+  a crash that predates atomic writes): the failure is reported as a
+  :class:`RuntimeWarning`, the derived artifacts are invalidated, and
+  the workspace is rebuilt once before the load is retried.
 """
 
 from __future__ import annotations
@@ -19,17 +43,33 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import warnings
+import zipfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import CorpusError
 from repro.metrics.dataset import MetricDataset, build_full
+from repro.runtime.telemetry import TELEMETRY
 from repro.synthesis.corpus import Corpus
 from repro.synthesis.organization import SCALES, OrganizationSynthesizer, SynthesisSpec
 from repro.types import ChangeModality, ChangeRecord
+from repro.util.ioutils import gzip_text_writer
 from repro.version import CORPUS_FORMAT_VERSION
 
 DEFAULT_SCALE = "small"
+
+#: Exceptions that signal an unreadable (truncated/corrupt/stale) artifact.
+_ARTIFACT_ERRORS = (
+    OSError,  # includes gzip.BadGzipFile
+    EOFError,  # truncated gzip stream
+    zipfile.BadZipFile,  # truncated npz
+    ValueError,  # includes json.JSONDecodeError, bad npz headers
+    KeyError,  # missing npz members / sidecar fields
+    TypeError,  # sidecar/meta fields of the wrong shape
+    CorpusError,
+)
 
 
 def _default_cache_dir() -> Path:
@@ -45,6 +85,30 @@ def active_scale() -> str:
     if scale not in SCALES:
         raise ValueError(f"MPA_SCALE={scale!r} not in {sorted(SCALES)}")
     return scale
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory rename."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+@contextmanager
+def _file_lock(lock_path: Path):
+    """Advisory exclusive lock (no-op where ``fcntl`` is unavailable)."""
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX platform: single-process semantics
+        yield
+        return
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 @dataclass
@@ -91,63 +155,143 @@ class Workspace:
     def summary_path(self) -> Path:
         return self.root / "summary.json"
 
-    # -- loading (building on miss) ------------------------------------------
-
     @property
     def version_path(self) -> Path:
         return self.root / "format_version.txt"
 
+    @property
+    def lock_path(self) -> Path:
+        return self.root / ".build.lock"
+
+    # -- freshness ----------------------------------------------------------
+
+    def _corpus_meta(self) -> dict | None:
+        try:
+            return json.loads((self.corpus_dir / "meta.json").read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _corpus_is_current(self) -> bool:
+        """True when the on-disk corpus was built by the current format
+        version for this workspace's seed and month count."""
+        meta = self._corpus_meta()
+        if meta is None:
+            return False
+        return (meta.get("format_version") == CORPUS_FORMAT_VERSION
+                and meta.get("seed") == self.spec.seed
+                and meta.get("n_months") == self.spec.n_months)
+
     def _cache_is_current(self) -> bool:
+        """The single freshness predicate: derived artifacts committed at
+        the current format version AND a reusable corpus (same version)."""
         if not (self.dataset_path.exists() and self.changes_path.exists()
                 and self.summary_path.exists()
                 and self.version_path.exists()):
             return False
-        return self.version_path.read_text().strip() == str(
-            CORPUS_FORMAT_VERSION
-        )
+        try:
+            version = self.version_path.read_text().strip()
+        except OSError:
+            return False
+        if version != str(CORPUS_FORMAT_VERSION):
+            return False
+        return self._corpus_is_current()
+
+    # -- building ------------------------------------------------------------
 
     def ensure(self) -> None:
         """Build and cache everything this workspace serves, if missing or
-        built by an older generator version."""
+        built by an older generator version.
+
+        Concurrency-safe: the build runs under an exclusive advisory
+        file lock, and a process that loses the race re-checks the
+        cache after acquiring the lock instead of rebuilding.
+        """
         if self._cache_is_current():
             return
         self.root.mkdir(parents=True, exist_ok=True)
-        corpus = self._load_or_build_corpus()
-        result = build_full(corpus)
-        result.dataset.save(self.dataset_path)
-        self._save_changes(result.changes)
-        self.summary_path.write_text(json.dumps(corpus.summary()))
-        self.version_path.write_text(str(CORPUS_FORMAT_VERSION))
+        with _file_lock(self.lock_path):
+            if self._cache_is_current():
+                return  # another process finished the build meanwhile
+            with TELEMETRY.stage("workspace-build"):
+                corpus = self._load_or_build_corpus()
+                result = build_full(corpus)
+                result.dataset.save(self.dataset_path)
+                self._save_changes(result.changes)
+                _atomic_write_text(self.summary_path,
+                                   json.dumps(corpus.summary()))
+                # commit marker: written last, only after every artifact
+                # above has been atomically renamed into place
+                _atomic_write_text(self.version_path,
+                                   str(CORPUS_FORMAT_VERSION))
+
+    def invalidate(self) -> None:
+        """Drop the derived artifacts (keeps a current corpus for reuse)."""
+        for path in (self.dataset_path, self.dataset_path.with_suffix(".json"),
+                     self.changes_path, self.summary_path, self.version_path):
+            path.unlink(missing_ok=True)
 
     def _load_or_build_corpus(self) -> Corpus:
-        if (self.corpus_dir / "meta.json").exists():
+        if self._corpus_is_current():
             try:
                 return Corpus.load(self.corpus_dir)
-            except CorpusError:
-                pass  # stale format: rebuild below
+            except _ARTIFACT_ERRORS as exc:
+                warnings.warn(
+                    f"cached corpus at {self.corpus_dir} is unreadable "
+                    f"({exc!r}); rebuilding", RuntimeWarning, stacklevel=2,
+                )
         corpus = OrganizationSynthesizer(self.spec).build()
         corpus.save(self.corpus_dir)
         return corpus
 
+    def _recover(self, artifact: str, exc: Exception) -> None:
+        """Corrupted-cache path: warn, drop derived artifacts, rebuild."""
+        warnings.warn(
+            f"cached {artifact} for workspace {self.scale}-seed{self.seed} "
+            f"is unreadable ({exc!r}); rebuilding the cache",
+            RuntimeWarning, stacklevel=3,
+        )
+        self.invalidate()
+        self.ensure()
+
+    # -- loading (building on miss) ------------------------------------------
+
     def corpus(self) -> Corpus:
         """The full corpus (slow to load at large scales)."""
-        if not (self.corpus_dir / "meta.json").exists():
-            self.ensure()
-        return Corpus.load(self.corpus_dir)
+        self.ensure()
+        try:
+            return Corpus.load(self.corpus_dir)
+        except _ARTIFACT_ERRORS as exc:
+            self._recover("corpus", exc)
+            return Corpus.load(self.corpus_dir)
 
     def dataset(self) -> MetricDataset:
         """The inferred metric table (cached)."""
         self.ensure()
-        return MetricDataset.load(self.dataset_path)
+        try:
+            return MetricDataset.load(self.dataset_path)
+        except _ARTIFACT_ERRORS as exc:
+            self._recover("dataset", exc)
+            return MetricDataset.load(self.dataset_path)
 
     def summary(self) -> dict:
         """The corpus size summary (Table 2) without loading the corpus."""
         self.ensure()
-        return json.loads(self.summary_path.read_text())
+        try:
+            return json.loads(self.summary_path.read_text())
+        except _ARTIFACT_ERRORS as exc:
+            self._recover("summary", exc)
+            return json.loads(self.summary_path.read_text())
 
     def changes(self) -> dict[str, list[ChangeRecord]]:
         """All inferred device-level changes, grouped by network."""
         self.ensure()
+        try:
+            return self._read_changes()
+        except _ARTIFACT_ERRORS as exc:
+            self._recover("change records", exc)
+            return self._read_changes()
+
+    def _read_changes(self) -> dict[str, list[ChangeRecord]]:
         changes: dict[str, list[ChangeRecord]] = {}
         with gzip.open(self.changes_path, "rt") as fh:
             for line in fh:
@@ -164,7 +308,11 @@ class Workspace:
         return changes
 
     def _save_changes(self, changes: dict[str, list[ChangeRecord]]) -> None:
-        with gzip.open(self.changes_path, "wt") as fh:
+        tmp = self.changes_path.with_name(
+            f"{self.changes_path.name}.tmp-{os.getpid()}"
+        )
+        # no-timestamp gzip keeps the stream byte-identical across runs
+        with gzip_text_writer(tmp) as fh:
             for network_id in sorted(changes):
                 for change in changes[network_id]:
                     fh.write(json.dumps({
@@ -175,3 +323,4 @@ class Workspace:
                         "y": list(change.stanza_types),
                         "l": change.login,
                     }) + "\n")
+        os.replace(tmp, self.changes_path)

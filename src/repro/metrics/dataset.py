@@ -14,6 +14,7 @@ mutual information, QED causal analysis, and predictive modelling.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -31,6 +32,7 @@ from repro.metrics.design import (
 from repro.metrics.events import DEFAULT_DELTA_MINUTES, group_change_events
 from repro.metrics.health import modality_from_login, monthly_ticket_count
 from repro.metrics.operational import operational_metrics
+from repro.runtime.pool import parallel_map
 from repro.synthesis.corpus import Corpus
 from repro.types import (
     CaseKey,
@@ -102,16 +104,28 @@ class MetricDataset:
     # -- persistence -------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write as an ``.npz`` next to a small JSON sidecar."""
+        """Write as an ``.npz`` next to a small JSON sidecar.
+
+        Both files are written to a temporary name and renamed into
+        place, so a crash mid-write never leaves a truncated artifact
+        under the final name.
+        """
         path = Path(path)
-        np.savez_compressed(path, values=self.values, tickets=self.tickets)
+        # the temp name must keep the .npz suffix or numpy appends one
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}.npz")
+        np.savez_compressed(tmp, values=self.values, tickets=self.tickets)
+        os.replace(tmp, path)
         sidecar = path.with_suffix(".json")
-        sidecar.write_text(json.dumps({
+        sidecar_tmp = sidecar.with_name(
+            f"{sidecar.name}.tmp-{os.getpid()}"
+        )
+        sidecar_tmp.write_text(json.dumps({
             "names": self.names,
             "case_networks": self.case_networks,
             "case_month_indices": self.case_month_indices,
             "epoch": [self.epoch.year, self.epoch.month],
         }))
+        os.replace(sidecar_tmp, sidecar)
 
     @classmethod
     def load(cls, path: str | Path) -> "MetricDataset":
@@ -229,60 +243,98 @@ def build_dataset(corpus: Corpus,
     return dataset
 
 
+@dataclass
+class _NetworkCases:
+    """One network's metric rows (the unit of parallel fan-out)."""
+
+    network_id: str
+    rows: list[list[float]]
+    tickets: list[int]
+    months: list[int]
+    changes: list[ChangeRecord] | None
+
+
+def _network_cases(corpus: Corpus, network_id: str,
+                   delta_minutes: int | None,
+                   keep_changes: bool) -> _NetworkCases:
+    """Infer one network's (month x metric) rows (pool task body)."""
+    names = metric_names()
+    devices = corpus.inventory.devices_in(network_id)
+    mbox_ids = frozenset(
+        d.device_id for d in devices if d.role.is_middlebox
+    )
+    inv = inventory_metrics(corpus.inventory, network_id)
+    timeline = build_network_timeline(corpus, network_id, delta_minutes)
+
+    changes_by_month: list[list[ChangeRecord]] = [
+        [] for _ in range(corpus.n_months)
+    ]
+    for change in timeline.changes:
+        month = change.timestamp // MINUTES_PER_MONTH
+        if 0 <= month < corpus.n_months:
+            changes_by_month[month].append(change)
+    events_by_month: list[list[ChangeEvent]] = [
+        [] for _ in range(corpus.n_months)
+    ]
+    for event in timeline.events:
+        month = event.start_timestamp // MINUTES_PER_MONTH
+        if 0 <= month < corpus.n_months:
+            events_by_month[month].append(event)
+
+    rows: list[list[float]] = []
+    tickets: list[int] = []
+    months: list[int] = []
+    for month_index in range(corpus.n_months):
+        config = config_metrics(timeline.features_by_month[month_index])
+        op = operational_metrics(
+            changes_by_month[month_index],
+            events_by_month[month_index],
+            n_network_devices=len(devices),
+            mbox_device_ids=mbox_ids,
+        )
+        row_map = {**inv, **config, **op}
+        rows.append([row_map[name] for name in names])
+        month = MonthKey.from_index(corpus.epoch.index() + month_index)
+        tickets.append(monthly_ticket_count(
+            corpus.tickets, network_id, month, corpus.epoch
+        ))
+        months.append(month_index)
+    return _NetworkCases(
+        network_id=network_id,
+        rows=rows,
+        tickets=tickets,
+        months=months,
+        changes=timeline.changes if keep_changes else None,
+    )
+
+
 def _build(corpus: Corpus, delta_minutes: int | None,
            keep_changes: bool) -> tuple[MetricDataset, dict]:
     names = metric_names()
+    network_ids = [
+        network_id for network_id in corpus.inventory.network_ids
+        if corpus.inventory.devices_in(network_id)
+    ]
+    per_network = parallel_map(
+        lambda network_id: _network_cases(
+            corpus, network_id, delta_minutes, keep_changes
+        ),
+        network_ids,
+        stage="metric-inference",
+    )
+
     rows: list[list[float]] = []
     tickets: list[int] = []
     case_networks: list[str] = []
     case_months: list[int] = []
     all_changes: dict[str, list[ChangeRecord]] = {}
-
-    for network_id in corpus.inventory.network_ids:
-        devices = corpus.inventory.devices_in(network_id)
-        if not devices:
-            continue
-        mbox_ids = frozenset(
-            d.device_id for d in devices if d.role.is_middlebox
-        )
-        inv = inventory_metrics(corpus.inventory, network_id)
-        timeline = build_network_timeline(corpus, network_id, delta_minutes)
+    for cases in per_network:
+        rows.extend(cases.rows)
+        tickets.extend(cases.tickets)
+        case_networks.extend([cases.network_id] * len(cases.rows))
+        case_months.extend(cases.months)
         if keep_changes:
-            all_changes[network_id] = timeline.changes
-
-        changes_by_month: list[list[ChangeRecord]] = [
-            [] for _ in range(corpus.n_months)
-        ]
-        for change in timeline.changes:
-            month = change.timestamp // MINUTES_PER_MONTH
-            if 0 <= month < corpus.n_months:
-                changes_by_month[month].append(change)
-        events_by_month: list[list[ChangeEvent]] = [
-            [] for _ in range(corpus.n_months)
-        ]
-        for event in timeline.events:
-            month = event.start_timestamp // MINUTES_PER_MONTH
-            if 0 <= month < corpus.n_months:
-                events_by_month[month].append(event)
-
-        for month_index in range(corpus.n_months):
-            config = config_metrics(timeline.features_by_month[month_index])
-            op = operational_metrics(
-                changes_by_month[month_index],
-                events_by_month[month_index],
-                n_network_devices=len(devices),
-                mbox_device_ids=mbox_ids,
-            )
-            row_map = {**inv, **config, **op}
-            rows.append([row_map[name] for name in names])
-            month = MonthKey.from_index(
-                corpus.epoch.index() + month_index
-            )
-            tickets.append(monthly_ticket_count(
-                corpus.tickets, network_id, month, corpus.epoch
-            ))
-            case_networks.append(network_id)
-            case_months.append(month_index)
+            all_changes[cases.network_id] = cases.changes or []
 
     dataset = MetricDataset(
         names=names,

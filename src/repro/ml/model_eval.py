@@ -14,6 +14,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.ml.base import Classifier
+from repro.runtime.pool import parallel_map
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,12 +112,17 @@ def cross_validate(model_factory: Callable[[], Classifier],
     ``train_transform`` is applied to each fold's *training* split only —
     this is where oversampling plugs in, so replicated minority samples
     never leak into the test split.
+
+    Folds are independent (each fits a fresh model on its own split), so
+    they fan out across the ``MPA_JOBS`` process pool; predictions are
+    reassembled in fold order, identical to a serial run.
     """
     X = np.asarray(X)
     y = np.asarray(y)
     labels = tuple(int(v) for v in np.unique(y))
-    predictions = np.empty_like(y)
-    for test_idx in kfold_indices(len(y), k, seed):
+    folds = kfold_indices(len(y), k, seed)
+
+    def _run_fold(test_idx: np.ndarray) -> np.ndarray:
         train_mask = np.ones(len(y), dtype=bool)
         train_mask[test_idx] = False
         X_train, y_train = X[train_mask], y[train_mask]
@@ -124,5 +130,11 @@ def cross_validate(model_factory: Callable[[], Classifier],
             X_train, y_train = train_transform(X_train, y_train)
         model = model_factory()
         model.fit(X_train, y_train)
-        predictions[test_idx] = model.predict(X[test_idx])
+        return model.predict(X[test_idx])
+
+    predictions = np.empty_like(y)
+    for test_idx, fold_predictions in zip(
+        folds, parallel_map(_run_fold, folds, stage="cv-folds")
+    ):
+        predictions[test_idx] = fold_predictions
     return evaluate(y, predictions, labels)

@@ -1,0 +1,19 @@
+"""Parallel pipeline runtime: process-pool fan-out + stage telemetry.
+
+See :mod:`repro.runtime.pool` for the ``MPA_JOBS``-controlled
+``parallel_map`` and :mod:`repro.runtime.telemetry` for the per-stage
+timing layer.
+"""
+
+from repro.runtime.pool import ENV_JOBS, parallel_map, resolve_jobs, task_seed
+from repro.runtime.telemetry import TELEMETRY, StageStats, Telemetry
+
+__all__ = [
+    "ENV_JOBS",
+    "parallel_map",
+    "resolve_jobs",
+    "task_seed",
+    "TELEMETRY",
+    "StageStats",
+    "Telemetry",
+]

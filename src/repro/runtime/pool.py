@@ -1,0 +1,137 @@
+"""Process-pool ``parallel_map`` with serial-identical semantics.
+
+The pipeline's hot loops (per-network synthesis, per-network metric
+inference, CV folds, per-treatment causal analyses) are embarrassingly
+parallel: every task derives its randomness from a labelled child seed
+of the corpus seed (:class:`repro.util.rng.SeedSequenceTree`), never
+from shared sequential state, so fanning tasks out across processes is
+bit-identical to running them in order.
+
+``parallel_map`` is fork-based: the callable and the item list never
+cross a pickle boundary (workers inherit them through ``fork``), so
+closures and bound methods work; only each task's integer index is sent
+to a worker and each result is pickled back. Results always come back
+in input order.
+
+Worker count resolution (:func:`resolve_jobs`):
+
+* an explicit ``jobs=`` argument wins,
+* else the ``MPA_JOBS`` environment variable,
+* else ``os.cpu_count()``.
+
+``MPA_JOBS=1`` is a guaranteed serial fallback — no subprocesses, no
+pickling, plain ``[fn(x) for x in items]``. The same fallback engages
+automatically inside pool workers (no nested pools), when ``fork`` is
+unavailable on the platform, or when the pool cannot be created (e.g.
+sandboxes without semaphore support).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.runtime.telemetry import TELEMETRY
+from repro.util.rng import SeedSequenceTree
+
+#: Environment variable selecting the worker count.
+ENV_JOBS = "MPA_JOBS"
+
+#: True inside pool workers; nested ``parallel_map`` calls run serially.
+_IN_WORKER = False
+
+#: (fn, items) of the in-flight map, inherited by forked workers.
+_FORK_TASK: tuple[Callable[[Any], Any], Sequence[Any]] | None = None
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: argument > ``MPA_JOBS`` > cpu count."""
+    if jobs is None:
+        env = os.environ.get(ENV_JOBS, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_JOBS}={env!r} is not an integer"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def task_seed(root_seed: int, label: str) -> int:
+    """A deterministic child seed for one task, spawned from ``root_seed``.
+
+    Label-derived (not position-derived), so adding or reordering tasks
+    never perturbs the seeds of existing tasks — the property that makes
+    parallel output bit-identical to serial.
+    """
+    return SeedSequenceTree(root_seed).child(label).seed
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _run_indexed(index: int) -> Any:
+    assert _FORK_TASK is not None, "worker started outside parallel_map"
+    fn, items = _FORK_TASK
+    return fn(items[index])
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
+                 jobs: int | None = None,
+                 stage: str | None = None) -> list[Any]:
+    """``[fn(x) for x in items]``, fanned out over a process pool.
+
+    Results are returned in input order; a task exception propagates to
+    the caller. When ``stage`` is given, the call records one sample in
+    :data:`repro.runtime.telemetry.TELEMETRY` under that name.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), len(items)) if items else 1
+    use_pool = (
+        jobs > 1
+        and not _IN_WORKER
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if stage is None:
+        return _pool_map(fn, items, jobs) if use_pool else [
+            fn(item) for item in items
+        ]
+    with TELEMETRY.stage(stage, tasks=len(items),
+                         jobs=jobs if use_pool else 1):
+        if use_pool:
+            return _pool_map(fn, items, jobs)
+        return [fn(item) for item in items]
+
+
+def _pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
+              jobs: int) -> list[Any]:
+    global _FORK_TASK
+    context = multiprocessing.get_context("fork")
+    _FORK_TASK = (fn, items)
+    try:
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=jobs, mp_context=context,
+                initializer=_mark_worker,
+            )
+        except OSError:
+            # pool creation can fail in restricted sandboxes (no
+            # semaphores / no subprocesses); fall back to serial
+            return [fn(item) for item in items]
+        with executor:
+            chunksize = max(1, len(items) // (jobs * 4))
+            return list(executor.map(_run_indexed, range(len(items)),
+                                     chunksize=chunksize))
+    finally:
+        _FORK_TASK = None

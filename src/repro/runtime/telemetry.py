@@ -1,0 +1,102 @@
+"""Stage-timing telemetry for the pipeline runtime.
+
+Every instrumented stage — each :func:`repro.runtime.pool.parallel_map`
+call site and the workspace build — records samples into the
+process-wide :data:`TELEMETRY` aggregator: wall-clock seconds, the
+number of tasks fanned out, and the worker count actually used (1 when
+the stage ran serially). Benchmarks print :meth:`Telemetry.summary`
+after the run and, when the ``MPA_TELEMETRY`` environment variable
+names a file, dump the machine-readable form via
+:meth:`Telemetry.dump_json` so runs at different ``MPA_JOBS`` settings
+can be diffed offline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class StageStats:
+    """Accumulated timing for one named pipeline stage."""
+
+    name: str
+    calls: int = 0
+    tasks: int = 0
+    seconds: float = 0.0
+    #: largest worker count any sample of this stage ran with
+    max_jobs: int = 1
+
+    def add(self, seconds: float, tasks: int, jobs: int) -> None:
+        self.calls += 1
+        self.tasks += tasks
+        self.seconds += seconds
+        self.max_jobs = max(self.max_jobs, jobs)
+
+
+@dataclass
+class Telemetry:
+    """Thread-safe per-process aggregator of stage timings."""
+
+    _stages: dict[str, StageStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def record(self, name: str, seconds: float, tasks: int = 0,
+               jobs: int = 1) -> None:
+        """Add one sample for ``name`` (stages accumulate across calls)."""
+        with self._lock:
+            stats = self._stages.get(name)
+            if stats is None:
+                stats = self._stages[name] = StageStats(name=name)
+            stats.add(seconds, tasks, jobs)
+
+    @contextmanager
+    def stage(self, name: str, tasks: int = 0, jobs: int = 1):
+        """Time a block as one sample of stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, tasks, jobs)
+
+    def stages(self) -> list[StageStats]:
+        """Recorded stages in first-seen order."""
+        with self._lock:
+            return list(self._stages.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+
+    def as_dict(self) -> dict:
+        stages = self.stages()
+        return {
+            "total_seconds": sum(s.seconds for s in stages),
+            "stages": [asdict(s) for s in stages],
+        }
+
+    def dump_json(self, path: str | Path) -> None:
+        """Write :meth:`as_dict` to ``path`` as indented JSON."""
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        """A small human-readable table of all recorded stages."""
+        stages = self.stages()
+        if not stages:
+            return "runtime telemetry: no stages recorded"
+        lines = ["runtime telemetry (per-stage wall time):",
+                 f"  {'stage':<22} {'calls':>6} {'tasks':>7} "
+                 f"{'jobs':>5} {'seconds':>9}"]
+        for s in stages:
+            lines.append(f"  {s.name:<22} {s.calls:>6} {s.tasks:>7} "
+                         f"{s.max_jobs:>5} {s.seconds:>9.3f}")
+        return "\n".join(lines)
+
+
+#: Process-wide telemetry singleton used by the runtime and benchmarks.
+TELEMETRY = Telemetry()

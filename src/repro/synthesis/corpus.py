@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 import gzip
 import json
+import os
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,6 +30,7 @@ from repro.types import (
     MonthKey,
     NetworkRecord,
 )
+from repro.util.ioutils import gzip_text_writer
 from repro.version import CORPUS_FORMAT_VERSION
 
 
@@ -78,8 +81,23 @@ class Corpus:
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Write the corpus to ``directory`` (created if needed)."""
+        """Write the corpus to ``directory`` (created if needed).
+
+        The write is atomic at the directory level: files go to a
+        sibling temp directory which then replaces ``directory``, so a
+        crash mid-save never leaves a half-written corpus behind.
+        """
         path = Path(directory)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        self._write_to(tmp)
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+
+    def _write_to(self, path: Path) -> None:
         path.mkdir(parents=True, exist_ok=True)
         meta = {
             "format_version": CORPUS_FORMAT_VERSION,
@@ -106,7 +124,7 @@ class Corpus:
             json.dumps({"networks": networks, "devices": devices})
         )
 
-        with gzip.open(path / "snapshots.jsonl.gz", "wt") as fh:
+        with gzip_text_writer(path / "snapshots.jsonl.gz") as fh:
             for device_id in sorted(self.snapshots):
                 for snap in self.snapshots[device_id]:
                     fh.write(json.dumps({
@@ -118,7 +136,7 @@ class Corpus:
                         "config_text": snap.config_text,
                     }) + "\n")
 
-        with gzip.open(path / "tickets.jsonl.gz", "wt") as fh:
+        with gzip_text_writer(path / "tickets.jsonl.gz") as fh:
             for ticket in self.tickets.iter_all():
                 fh.write(json.dumps({
                     "ticket_id": ticket.ticket_id,
@@ -141,7 +159,7 @@ class Corpus:
                 for month_truth in self.month_truth.values()
             ],
         }
-        with gzip.open(path / "truth.json.gz", "wt") as fh:
+        with gzip_text_writer(path / "truth.json.gz") as fh:
             json.dump(truth, fh)
 
     @classmethod

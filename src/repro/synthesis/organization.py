@@ -8,18 +8,20 @@ dimensions of Table 2 (850 networks over 17 months).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.inventory.catalog import DEFAULT_CATALOG, HardwareCatalog
 from repro.inventory.store import InventoryStore
+from repro.runtime.pool import parallel_map
 from repro.synthesis.changes import ChangeEngine
 from repro.synthesis.corpus import Corpus
 from repro.synthesis.health import HealthModelParams, TicketFactory, ticket_rate
 from repro.synthesis.profiles import sample_profile
 from repro.synthesis.topology import build_network
-from repro.synthesis.truth import NetworkTruth
+from repro.synthesis.truth import MonthTruth, NetworkTruth
+from repro.tickets.models import TicketRecord
 from repro.tickets.store import TicketStore
-from repro.types import MonthKey
+from repro.types import ConfigSnapshot, DeviceRecord, MonthKey, NetworkRecord
 from repro.util.rng import SeedSequenceTree
 from repro.util.timeutils import DEFAULT_EPOCH
 
@@ -50,6 +52,19 @@ SCALES: dict[str, SynthesisSpec] = {
 }
 
 
+@dataclass
+class _NetworkBuild:
+    """One network's share of the corpus (the unit of parallel fan-out)."""
+
+    network_id: str
+    record: NetworkRecord
+    devices: list[DeviceRecord] = field(default_factory=list)
+    snapshots: dict[str, list[ConfigSnapshot]] = field(default_factory=dict)
+    net_truth: NetworkTruth | None = None
+    month_truths: list[MonthTruth] = field(default_factory=list)
+    tickets: list[TicketRecord] = field(default_factory=list)
+
+
 class OrganizationSynthesizer:
     """Builds a synthetic organization corpus deterministically.
 
@@ -57,6 +72,11 @@ class OrganizationSynthesizer:
     :class:`~repro.synthesis.profiles.NetworkProfile` before the network
     is materialized — the hook used by randomized experiments
     (:mod:`repro.analysis.validation`) to intervene on selected networks.
+
+    Networks are synthesized independently — every random stream derives
+    from a label under the corpus seed — so the per-network builds fan
+    out across a process pool (``MPA_JOBS`` workers) with output
+    bit-identical to the serial order.
     """
 
     def __init__(self, spec: SynthesisSpec,
@@ -86,63 +106,19 @@ class OrganizationSynthesizer:
             for model in self._catalog.models
         }
 
-        for index in range(spec.n_networks):
-            network_id = f"net{index:04d}"
-            profile_rng = self._seeds.rng(f"profile/{network_id}")
-            profile = sample_profile(network_id, profile_rng)
-            if self._profile_transform is not None:
-                profile = self._profile_transform(profile)
-            build_rng = self._seeds.rng(f"topology/{network_id}")
-            built = build_network(profile, build_rng, self._catalog)
-
+        builds = parallel_map(self._build_network, range(spec.n_networks),
+                              stage="synthesis")
+        for built in builds:
             inventory.add_network(built.record)
             for device in built.devices:
                 inventory.add_device(device)
-
-            net_truth = NetworkTruth(
-                network_id=network_id,
-                n_devices=len(built.devices),
-                n_models=len({(d.vendor, d.model) for d in built.devices}),
-                n_roles=len({d.role for d in built.devices}),
-                n_vendors=len({d.vendor for d in built.devices}),
-                n_firmware=len({d.firmware for d in built.devices}),
-                n_vlans=profile.n_vlans,
-                n_bgp_instances=built.n_bgp_instances,
-                n_ospf_instances=built.n_ospf_instances,
-                has_middlebox=profile.has_middlebox,
-                event_rate=profile.event_rate,
-                automation_level=profile.automation_level,
-            )
-            network_truth[network_id] = net_truth
-
-            engine = ChangeEngine(
-                built, profile, self._seeds.rng(f"changes/{network_id}")
-            )
-            for snap in engine.baseline_snapshots():
-                snapshots.setdefault(snap.device_id, []).append(snap)
-
-            factory = TicketFactory(
-                rng=self._seeds.rng(f"tickets/{network_id}"),
-                params=self._health_params,
-            )
-            network_effect = factory.network_effect()
-            device_ids = [d.device_id for d in built.devices]
-
-            for month_index in range(spec.n_months):
-                month_snaps, truth = engine.run_month(month_index)
-                for snap in month_snaps:
-                    snapshots.setdefault(snap.device_id, []).append(snap)
-                rate = ticket_rate(
-                    net_truth, truth, network_effect, factory.month_noise(),
-                    self._health_params,
-                )
-                count = factory.draw_ticket_count(rate)
-                truth = truth.with_tickets(count)
-                month_truth[(network_id, month_index)] = truth
-                for ticket in factory.materialize(
-                    network_id, month_index, count, device_ids
-                ):
-                    tickets.add(ticket)
+            network_truth[built.network_id] = built.net_truth
+            for device_id, snaps in built.snapshots.items():
+                snapshots.setdefault(device_id, []).extend(snaps)
+            for month_index, truth in enumerate(built.month_truths):
+                month_truth[(built.network_id, month_index)] = truth
+            for ticket in built.tickets:
+                tickets.add(ticket)
 
         for snaps in snapshots.values():
             snaps.sort(key=lambda s: s.timestamp)
@@ -158,6 +134,62 @@ class OrganizationSynthesizer:
             network_truth=network_truth,
             month_truth=month_truth,  # type: ignore[arg-type]
         )
+
+    def _build_network(self, index: int) -> _NetworkBuild:
+        """Synthesize network ``index`` in isolation (pool task body)."""
+        spec = self._spec
+        network_id = f"net{index:04d}"
+        profile_rng = self._seeds.rng(f"profile/{network_id}")
+        profile = sample_profile(network_id, profile_rng)
+        if self._profile_transform is not None:
+            profile = self._profile_transform(profile)
+        build_rng = self._seeds.rng(f"topology/{network_id}")
+        built = build_network(profile, build_rng, self._catalog)
+
+        result = _NetworkBuild(network_id=network_id, record=built.record,
+                               devices=list(built.devices))
+        result.net_truth = NetworkTruth(
+            network_id=network_id,
+            n_devices=len(built.devices),
+            n_models=len({(d.vendor, d.model) for d in built.devices}),
+            n_roles=len({d.role for d in built.devices}),
+            n_vendors=len({d.vendor for d in built.devices}),
+            n_firmware=len({d.firmware for d in built.devices}),
+            n_vlans=profile.n_vlans,
+            n_bgp_instances=built.n_bgp_instances,
+            n_ospf_instances=built.n_ospf_instances,
+            has_middlebox=profile.has_middlebox,
+            event_rate=profile.event_rate,
+            automation_level=profile.automation_level,
+        )
+
+        engine = ChangeEngine(
+            built, profile, self._seeds.rng(f"changes/{network_id}")
+        )
+        for snap in engine.baseline_snapshots():
+            result.snapshots.setdefault(snap.device_id, []).append(snap)
+
+        factory = TicketFactory(
+            rng=self._seeds.rng(f"tickets/{network_id}"),
+            params=self._health_params,
+        )
+        network_effect = factory.network_effect()
+        device_ids = [d.device_id for d in built.devices]
+
+        for month_index in range(spec.n_months):
+            month_snaps, truth = engine.run_month(month_index)
+            for snap in month_snaps:
+                result.snapshots.setdefault(snap.device_id, []).append(snap)
+            rate = ticket_rate(
+                result.net_truth, truth, network_effect,
+                factory.month_noise(), self._health_params,
+            )
+            count = factory.draw_ticket_count(rate)
+            result.month_truths.append(truth.with_tickets(count))
+            result.tickets.extend(factory.materialize(
+                network_id, month_index, count, device_ids
+            ))
+        return result
 
 
 def synthesize(scale: str = "small", seed: int | None = None) -> Corpus:

@@ -91,7 +91,10 @@ def _pick_models(roles: list[DeviceRole], heterogeneity: float,
     """
     chosen: list[HardwareModel] = []
     per_role: dict[DeviceRole, list[HardwareModel]] = {}
-    for role in set(roles):
+    # deterministic iteration order: enum members hash by identity, so a
+    # bare set(...) loop would consume RNG draws in a process-dependent
+    # order and make corpora irreproducible across runs
+    for role in sorted(set(roles), key=lambda role: role.value):
         candidates = list(catalog.models_for_role(role))
         rng.shuffle(candidates)
         k = 1 + int(rng.poisson(heterogeneity * 2.2))

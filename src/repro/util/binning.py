@@ -6,10 +6,18 @@ percentile and whose last bin ends at the 95th percentile; values outside
 that range are clamped into the first/last bin. This keeps long-tailed
 metrics (e.g. number of VLANs) from collapsing into one or two bins and
 smooths minor variations (one more device, one more ticket).
+
+NaN handling: NaN is rejected with :class:`ValueError` everywhere —
+:meth:`BinSpec.assign`, :meth:`BinSpec.assign_many`, and
+:func:`equal_width_bins` all raise on NaN input, so scalar and
+vectorized assignment can never silently disagree on a bin index.
+Infinities are well-defined: they clamp into the first/last bin like
+any other out-of-range value.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from collections.abc import Sequence
 
@@ -47,7 +55,13 @@ class BinSpec:
         return np.linspace(self.lower, self.upper, self.n_bins + 1)
 
     def assign(self, value: float) -> int:
-        """Bin index for one value, clamping outside the fitted range."""
+        """Bin index for one value, clamping outside the fitted range.
+
+        Raises :class:`ValueError` on NaN (consistent with
+        :meth:`assign_many`); infinities clamp to the first/last bin.
+        """
+        if math.isnan(value):
+            raise ValueError("cannot assign NaN to a bin")
         if self.upper == self.lower:
             return 0
         if value <= self.lower:
@@ -58,13 +72,22 @@ class BinSpec:
         return min(idx, self.n_bins - 1)
 
     def assign_many(self, values: Sequence[float]) -> np.ndarray:
-        """Vectorized :meth:`assign`."""
+        """Vectorized :meth:`assign`.
+
+        Raises :class:`ValueError` when any value is NaN (matching the
+        scalar method instead of silently mapping NaN to bin 0).
+        """
         arr = np.asarray(values, dtype=float)
+        if np.isnan(arr).any():
+            raise ValueError("cannot assign NaN to a bin")
         if self.upper == self.lower:
             return np.zeros(arr.shape, dtype=np.int64)
-        with np.errstate(invalid="ignore", over="ignore"):
+        with np.errstate(invalid="ignore", over="ignore",
+                         divide="ignore"):
             idx = np.floor((arr - self.lower) / self.width)
-        # extreme float spreads can overflow the division; clamp first
+        # extreme float spreads can overflow the division (inf - inf ->
+        # NaN only when a bound is infinite; input NaN was rejected
+        # above); clamp before the integer cast
         idx = np.nan_to_num(idx, nan=0.0, posinf=self.n_bins - 1,
                             neginf=0.0)
         return np.clip(idx, 0, self.n_bins - 1).astype(np.int64)
@@ -82,6 +105,8 @@ def equal_width_bins(values: Sequence[float], n_bins: int = 10,
     if not 0.0 <= low_pct < high_pct <= 100.0:
         raise ValueError("need 0 <= low_pct < high_pct <= 100")
     arr = np.asarray(values, dtype=float)
+    if np.isnan(arr).any():
+        raise ValueError("cannot fit bins on NaN values")
     lower, upper = np.percentile(arr, [low_pct, high_pct])
     return BinSpec(lower=float(lower), upper=float(upper), n_bins=n_bins)
 

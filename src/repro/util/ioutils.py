@@ -1,0 +1,25 @@
+"""Small I/O helpers shared by the persistence layers."""
+
+from __future__ import annotations
+
+import gzip
+import io
+from contextlib import contextmanager
+from pathlib import Path
+
+
+@contextmanager
+def gzip_text_writer(path: str | Path):
+    """Open ``path`` for deterministic gzip text writing.
+
+    Unlike ``gzip.open(path, "wt")``, the stream's header carries no
+    timestamp (``mtime=0``) and no embedded filename, so writing the
+    same content twice — even via differently-named temp files —
+    yields byte-identical output, which the workspace cache's
+    bit-reproducibility guarantee relies on.
+    """
+    with open(path, "wb") as raw, \
+            gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                          mtime=0) as gz, \
+            io.TextIOWrapper(gz, encoding="utf-8") as fh:
+        yield fh

@@ -3,5 +3,6 @@
 __version__ = "1.0.0"
 
 #: Version stamp written into serialized corpora; bump when the on-disk
-#: corpus layout changes incompatibly.
-CORPUS_FORMAT_VERSION = 4
+#: corpus layout changes incompatibly *or* the generator's output for a
+#: given seed changes (stale caches must rebuild, not be reused).
+CORPUS_FORMAT_VERSION = 5

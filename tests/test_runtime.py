@@ -1,0 +1,154 @@
+"""Tests for the parallel runtime: pool semantics, telemetry, determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics.dataset import build_full
+from repro.runtime import pool as pool_mod
+from repro.runtime.pool import parallel_map, resolve_jobs, task_seed
+from repro.runtime.telemetry import Telemetry
+from repro.synthesis.organization import SCALES, OrganizationSynthesizer
+
+
+def _square(x):
+    return x * x
+
+
+def _in_worker(_):
+    return pool_mod._IN_WORKER
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("MPA_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("MPA_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("MPA_JOBS", raising=False)
+        import os
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("MPA_JOBS", "lots")
+        with pytest.raises(ValueError, match="MPA_JOBS"):
+            resolve_jobs()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestParallelMap:
+    def test_serial_matches_parallel(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, jobs=1) == \
+            parallel_map(_square, items, jobs=4)
+
+    def test_preserves_input_order(self):
+        result = parallel_map(_square, range(50), jobs=3)
+        assert result == [x * x for x in range(50)]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_closures_survive_fork(self):
+        offset = 100
+        result = parallel_map(lambda x: x + offset, range(8), jobs=2)
+        assert result == [x + 100 for x in range(8)]
+
+    def test_tasks_actually_run_in_workers(self):
+        flags = parallel_map(_in_worker, range(4), jobs=2)
+        assert all(flags)
+        # ... and the parent never flips its own flag
+        assert not pool_mod._IN_WORKER
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError(f"task {x}")
+
+        with pytest.raises(RuntimeError, match="task"):
+            parallel_map(boom, range(4), jobs=2)
+
+    def test_env_knob_drives_fanout(self, monkeypatch):
+        monkeypatch.setenv("MPA_JOBS", "2")
+        assert parallel_map(_square, range(6)) == [x * x for x in range(6)]
+
+
+class TestTaskSeed:
+    def test_deterministic(self):
+        assert task_seed(7, "net0001") == task_seed(7, "net0001")
+
+    def test_label_sensitive(self):
+        assert task_seed(7, "net0001") != task_seed(7, "net0002")
+
+    def test_root_sensitive(self):
+        assert task_seed(7, "net0001") != task_seed(8, "net0001")
+
+
+class TestTelemetry:
+    def test_stage_accumulates(self):
+        telemetry = Telemetry()
+        with telemetry.stage("infer", tasks=10, jobs=4):
+            pass
+        with telemetry.stage("infer", tasks=5, jobs=2):
+            pass
+        (stats,) = telemetry.stages()
+        assert stats.name == "infer"
+        assert stats.calls == 2
+        assert stats.tasks == 15
+        assert stats.max_jobs == 4
+        assert stats.seconds >= 0.0
+
+    def test_parallel_map_records_stage(self):
+        from repro.runtime.telemetry import TELEMETRY
+        parallel_map(_square, range(5), jobs=1, stage="test-squares")
+        stats = {s.name: s for s in TELEMETRY.stages()}["test-squares"]
+        assert stats.tasks >= 5
+        assert stats.calls >= 1
+
+    def test_dump_json(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.record("build", 1.25, tasks=3, jobs=2)
+        out = tmp_path / "telemetry.json"
+        telemetry.dump_json(out)
+        payload = json.loads(out.read_text())
+        assert payload["total_seconds"] == pytest.approx(1.25)
+        assert payload["stages"][0]["name"] == "build"
+        assert payload["stages"][0]["max_jobs"] == 2
+
+    def test_summary_mentions_stages(self):
+        telemetry = Telemetry()
+        telemetry.record("synthesis", 0.5, tasks=24, jobs=4)
+        assert "synthesis" in telemetry.summary()
+        telemetry.reset()
+        assert "no stages" in telemetry.summary()
+
+
+class TestPipelineDeterminism:
+    """MPA_JOBS=4 and MPA_JOBS=1 must produce identical datasets."""
+
+    @staticmethod
+    def _build_tiny(monkeypatch, jobs):
+        monkeypatch.setenv("MPA_JOBS", str(jobs))
+        corpus = OrganizationSynthesizer(SCALES["tiny"]).build()
+        return corpus, build_full(corpus)
+
+    def test_jobs_setting_does_not_change_output(self, monkeypatch):
+        corpus_serial, serial = self._build_tiny(monkeypatch, 1)
+        corpus_parallel, parallel = self._build_tiny(monkeypatch, 4)
+
+        assert corpus_serial.summary() == corpus_parallel.summary()
+
+        a, b = serial.dataset, parallel.dataset
+        assert a.names == b.names
+        assert a.case_networks == b.case_networks
+        assert a.case_month_indices == b.case_month_indices
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.tickets, b.tickets)
+        assert serial.changes == parallel.changes

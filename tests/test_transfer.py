@@ -10,11 +10,14 @@ from repro.synthesis.organization import OrganizationSynthesizer, SynthesisSpec
 
 @pytest.fixture(scope="module")
 def two_orgs():
+    # 50x6 keeps the transfer signal well clear of the majority
+    # baseline; smaller samples sit near the threshold and turn the
+    # "transfers usefully" assertion into a coin flip per seed
     source = build_dataset(OrganizationSynthesizer(
-        SynthesisSpec(n_networks=30, n_months=5, seed=101)
+        SynthesisSpec(n_networks=50, n_months=6, seed=101)
     ).build())
     target = build_dataset(OrganizationSynthesizer(
-        SynthesisSpec(n_networks=30, n_months=5, seed=202)
+        SynthesisSpec(n_networks=50, n_months=6, seed=202)
     ).build())
     return source, target
 

@@ -39,6 +39,32 @@ class TestBinSpec:
         values = [-5.0, 0.0, 3.3, 7.7, 10.0, 20.0]
         assert list(spec.assign_many(values)) == [spec.assign(v) for v in values]
 
+    def test_nan_rejected_by_scalar_assign(self):
+        spec = BinSpec(lower=0.0, upper=10.0, n_bins=5)
+        with pytest.raises(ValueError, match="NaN"):
+            spec.assign(float("nan"))
+
+    def test_nan_rejected_by_assign_many(self):
+        # regression: assign_many used to map NaN silently to bin 0 while
+        # the scalar path raised — the two must agree
+        spec = BinSpec(lower=0.0, upper=10.0, n_bins=5)
+        with pytest.raises(ValueError, match="NaN"):
+            spec.assign_many([1.0, float("nan"), 3.0])
+
+    def test_nan_rejected_in_degenerate_range(self):
+        spec = BinSpec(lower=3.0, upper=3.0, n_bins=5)
+        with pytest.raises(ValueError, match="NaN"):
+            spec.assign(float("nan"))
+        with pytest.raises(ValueError, match="NaN"):
+            spec.assign_many([float("nan")])
+
+    def test_infinities_clamp_consistently(self):
+        spec = BinSpec(lower=0.0, upper=10.0, n_bins=5)
+        values = [float("-inf"), float("inf")]
+        assert list(spec.assign_many(values)) == [spec.assign(v) for v in values]
+        assert spec.assign(float("-inf")) == 0
+        assert spec.assign(float("inf")) == spec.n_bins - 1
+
 
 class TestEqualWidthBins:
     def test_percentile_bounds(self):
@@ -60,6 +86,10 @@ class TestEqualWidthBins:
     def test_bad_percentiles_rejected(self):
         with pytest.raises(ValueError):
             equal_width_bins([1, 2], low_pct=90, high_pct=10)
+
+    def test_nan_values_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            equal_width_bins([1.0, float("nan"), 3.0])
 
     def test_long_tail_spread(self):
         # the motivating case: long-tailed metrics should not collapse into

@@ -1,0 +1,149 @@
+"""Regression tests for Workspace cache correctness.
+
+Covers the three cache bugs fixed alongside the parallel runtime:
+stale-corpus-version reuse, non-atomic artifact writes (via the
+corrupted-cache recovery path), and the lock/commit-marker protocol.
+"""
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.version import CORPUS_FORMAT_VERSION
+
+
+@pytest.fixture(scope="module")
+def built_workspace(tmp_path_factory):
+    """A tiny workspace built once; tests mutate copies of its files."""
+    cache = tmp_path_factory.mktemp("mpa-cache")
+    ws = Workspace(scale="tiny", seed=7, cache_dir=cache)
+    ws.ensure()
+    return ws
+
+
+def _corpus_meta(ws):
+    return json.loads((ws.corpus_dir / "meta.json").read_text())
+
+
+def _set_corpus_version(ws, version):
+    meta = _corpus_meta(ws)
+    meta["format_version"] = version
+    (ws.corpus_dir / "meta.json").write_text(json.dumps(meta))
+
+
+class TestCacheFreshness:
+    def test_second_ensure_is_a_noop(self, built_workspace):
+        dataset_mtime = built_workspace.dataset_path.stat().st_mtime_ns
+        built_workspace.ensure()
+        assert built_workspace.dataset_path.stat().st_mtime_ns == dataset_mtime
+
+    def test_version_file_is_commit_marker(self, built_workspace):
+        assert built_workspace.version_path.read_text().strip() == str(
+            CORPUS_FORMAT_VERSION
+        )
+        assert built_workspace._cache_is_current()
+
+    def test_no_temp_files_left_behind(self, built_workspace):
+        leftovers = [
+            p for p in built_workspace.root.rglob("*") if ".tmp-" in p.name
+        ]
+        assert leftovers == []
+
+    def test_stale_version_file_invalidates(self, built_workspace):
+        built_workspace.version_path.write_text("0")
+        assert not built_workspace._cache_is_current()
+        built_workspace.ensure()
+        assert built_workspace._cache_is_current()
+
+
+class TestStaleCorpusVersion:
+    def test_stale_corpus_is_rebuilt_not_reused(self, built_workspace):
+        ws = built_workspace
+        _set_corpus_version(ws, CORPUS_FORMAT_VERSION - 1)
+        # the derived artifacts also predate the (simulated) format bump
+        ws.version_path.unlink()
+
+        assert not ws._cache_is_current()
+        ws.ensure()
+        # the corpus was regenerated at the current format version,
+        # not reused just because meta.json existed
+        assert _corpus_meta(ws)["format_version"] == CORPUS_FORMAT_VERSION
+        assert ws._cache_is_current()
+
+    def test_corpus_accessor_survives_stale_corpus(self, built_workspace):
+        ws = built_workspace
+        _set_corpus_version(ws, CORPUS_FORMAT_VERSION + 1)
+        corpus = ws.corpus()  # must rebuild, not raise CorpusError
+        assert corpus.seed == ws.seed
+        assert _corpus_meta(ws)["format_version"] == CORPUS_FORMAT_VERSION
+
+    def test_wrong_seed_corpus_not_reused(self, built_workspace):
+        ws = built_workspace
+        meta = _corpus_meta(ws)
+        meta["seed"] = ws.seed + 1
+        (ws.corpus_dir / "meta.json").write_text(json.dumps(meta))
+        assert not ws._corpus_is_current()
+        ws.ensure()
+        assert _corpus_meta(ws)["seed"] == ws.seed
+
+
+class TestCorruptedArtifactRecovery:
+    def test_truncated_changes_recovered(self, built_workspace):
+        ws = built_workspace
+        baseline = ws.changes()
+        raw = ws.changes_path.read_bytes()
+        ws.changes_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.warns(RuntimeWarning, match="rebuilding"):
+            recovered = ws.changes()
+        assert recovered == baseline
+
+    def test_truncated_dataset_recovered(self, built_workspace):
+        ws = built_workspace
+        baseline = ws.dataset()
+        raw = ws.dataset_path.read_bytes()
+        ws.dataset_path.write_bytes(raw[: len(raw) // 3])
+        with pytest.warns(RuntimeWarning, match="rebuilding"):
+            recovered = ws.dataset()
+        assert np.array_equal(recovered.values, baseline.values)
+        assert np.array_equal(recovered.tickets, baseline.tickets)
+
+    def test_corrupt_summary_recovered(self, built_workspace):
+        ws = built_workspace
+        baseline = ws.summary()
+        ws.summary_path.write_text('{"networks": 24, truncated')
+        with pytest.warns(RuntimeWarning, match="rebuilding"):
+            assert ws.summary() == baseline
+
+    def test_garbage_changes_recovered(self, built_workspace):
+        ws = built_workspace
+        baseline = ws.changes()
+        with gzip.open(ws.changes_path, "wt") as fh:
+            fh.write("not json at all\n")
+        with pytest.warns(RuntimeWarning, match="rebuilding"):
+            assert ws.changes() == baseline
+
+
+class TestParallelWorkspaceParity:
+    def test_jobs_do_not_change_cached_dataset(self, tmp_path, monkeypatch):
+        import zipfile
+
+        workspaces = []
+        for jobs in ("1", "2"):
+            monkeypatch.setenv("MPA_JOBS", jobs)
+            ws = Workspace(scale="tiny", seed=7,
+                           cache_dir=tmp_path / f"jobs{jobs}")
+            ws.ensure()
+            workspaces.append(ws)
+        a, b = (ws.dataset() for ws in workspaces)
+        assert a.names == b.names
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.tickets, b.tickets)
+        # the serialized npz members must also match byte-for-byte
+        with zipfile.ZipFile(workspaces[0].dataset_path) as za, \
+                zipfile.ZipFile(workspaces[1].dataset_path) as zb:
+            assert sorted(za.namelist()) == sorted(zb.namelist())
+            for name in za.namelist():
+                assert za.read(name) == zb.read(name)
