@@ -4,11 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench smoke
+.PHONY: test bench smoke fuzz
 
 # tier-1 test suite
 test:
 	$(PYTHON) -m pytest -x -q
+
+# parser fuzz pass with a pinned seed (CI runs this; override
+# MPA_FUZZ_SEED to explore other corners)
+fuzz:
+	MPA_FUZZ_SEED=20240806 $(PYTHON) -m pytest tests/test_confparse_fuzz.py -q
 
 # full paper-reproduction benchmark suite (prints tables/figures with -s)
 bench:

@@ -4,6 +4,7 @@ Commands:
 
 * ``mpa synthesize --scale small`` — build + cache the corpus/dataset,
 * ``mpa summary`` — dataset sizes (Table 2),
+* ``mpa quality`` — the run's data-quality report (quarantines/drops),
 * ``mpa top`` — top practices by MI (Table 3),
 * ``mpa pairs`` — top practice pairs by CMI (Table 4),
 * ``mpa causal --treatment n_change_events`` — Tables 5/6 for one practice,
@@ -54,9 +55,19 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("synthesize", help="build and cache the corpus")
     _add_scale(p)
+    p.add_argument("--max-bad-fraction", type=float, default=None,
+                   help="hard-fail when more than this fraction of any "
+                        "input dimension is quarantined (default: "
+                        "MPA_MAX_BAD_FRACTION env var or 0.25)")
 
     p = sub.add_parser("summary", help="dataset sizes (Table 2)")
     _add_scale(p)
+
+    p = sub.add_parser("quality",
+                       help="data-quality report of the cached run")
+    _add_scale(p)
+    p.add_argument("--limit", type=int, default=20,
+                   help="max quarantined items to list (default 20)")
 
     p = sub.add_parser("top", help="top practices by MI (Table 3)")
     _add_scale(p)
@@ -105,12 +116,27 @@ def main(argv: list[str] | None = None) -> int:
     workspace = Workspace.default(args.scale)
 
     if args.command == "synthesize":
+        import os
+        if args.max_bad_fraction is not None:
+            # the threshold flows to the build through the environment,
+            # so the cached path and the build path agree on it
+            os.environ["MPA_MAX_BAD_FRACTION"] = str(args.max_bad_fraction)
         workspace.ensure()
         print(f"workspace ready under {workspace.root}")
+        print(workspace.quality().summary())
         return 0
     if args.command == "summary":
         print(render_kv(sorted(workspace.summary().items()),
                         title="Dataset summary (Table 2)"))
+        return 0
+    if args.command == "quality":
+        report = workspace.quality()
+        print(report.summary())
+        issues = report.all_issues()
+        for issue in issues[:args.limit]:
+            print(f"  - {issue}")
+        if len(issues) > args.limit:
+            print(f"  ... and {len(issues) - args.limit} more")
         return 0
 
     mpa = MPA(workspace.dataset())

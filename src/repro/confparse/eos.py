@@ -112,7 +112,13 @@ def _extract_attributes(stype: str, name: str,
                 push("bgp_peer_asns", tokens[3])
         elif stype == "router ospf":
             if tokens[0] == "network" and "area" in tokens:
-                push("ospf_areas", tokens[tokens.index("area") + 1])
+                area_at = tokens.index("area") + 1
+                if area_at >= len(tokens):
+                    raise ConfigParseError(
+                        f"network statement missing area id: {raw!r}",
+                        vendor=DIALECT,
+                    )
+                push("ospf_areas", tokens[area_at])
 
     return {key: tuple(values) for key, values in attrs.items()}
 

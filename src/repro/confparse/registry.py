@@ -6,7 +6,7 @@ from collections.abc import Callable
 
 from repro.confparse import eos, ios, junos
 from repro.confparse.stanza import DeviceConfig
-from repro.errors import UnknownVendorError
+from repro.errors import ConfigParseError, UnknownVendorError
 
 _PARSERS: dict[str, Callable[[str], DeviceConfig]] = {
     "ios": ios.parse,
@@ -25,12 +25,26 @@ def parse_config(text: str, dialect: str) -> DeviceConfig:
 
     Raises :class:`~repro.errors.UnknownVendorError` for unknown dialects
     and :class:`~repro.errors.ConfigParseError` for malformed text.
+
+    This boundary is total: *any* failure inside a dialect parser
+    surfaces as :class:`~repro.errors.ConfigParseError` — an internal
+    ``IndexError``/``KeyError`` on adversarial input is wrapped (with
+    the original as ``__cause__``), never leaked, so callers can
+    quarantine bad input by catching one exception type.
     """
     try:
         parser = _PARSERS[dialect]
     except KeyError:
         raise UnknownVendorError(dialect) from None
-    return parser(text)
+    try:
+        return parser(text)
+    except ConfigParseError:
+        raise
+    except Exception as exc:
+        raise ConfigParseError(
+            f"internal parser failure on malformed input: {exc!r}",
+            vendor=dialect,
+        ) from exc
 
 
 def register_dialect(name: str, parser: Callable[[str], DeviceConfig]) -> None:

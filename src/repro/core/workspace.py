@@ -19,7 +19,9 @@ Control knobs (environment variables):
 Cache-format and concurrency guarantees:
 
 * Every artifact (``dataset.npz`` + sidecar, ``changes.jsonl.gz``,
-  ``summary.json``, the corpus directory, ``format_version.txt``) is
+  ``summary.json``, ``quality.json`` — the run's
+  :class:`~repro.metrics.quality.DataQualityReport` — the corpus
+  directory, ``format_version.txt``) is
   written to a temporary name and atomically renamed into place;
   ``format_version.txt`` is written last and acts as the commit marker.
 * :meth:`Workspace.ensure` holds an advisory file lock
@@ -51,11 +53,12 @@ from pathlib import Path
 
 from repro.errors import CorpusError
 from repro.metrics.dataset import MetricDataset, build_full
+from repro.metrics.quality import DataQualityReport
 from repro.runtime.telemetry import TELEMETRY
 from repro.synthesis.corpus import Corpus
 from repro.synthesis.organization import SCALES, OrganizationSynthesizer, SynthesisSpec
 from repro.types import ChangeModality, ChangeRecord
-from repro.util.ioutils import gzip_text_writer
+from repro.util.ioutils import atomic_write_text, gzip_text_writer
 from repro.version import CORPUS_FORMAT_VERSION
 
 DEFAULT_SCALE = "small"
@@ -85,13 +88,6 @@ def active_scale() -> str:
     if scale not in SCALES:
         raise ValueError(f"MPA_SCALE={scale!r} not in {sorted(SCALES)}")
     return scale
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via a same-directory rename."""
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    tmp.write_text(text)
-    os.replace(tmp, path)
 
 
 @contextmanager
@@ -156,6 +152,10 @@ class Workspace:
         return self.root / "summary.json"
 
     @property
+    def quality_path(self) -> Path:
+        return self.root / "quality.json"
+
+    @property
     def version_path(self) -> Path:
         return self.root / "format_version.txt"
 
@@ -186,6 +186,7 @@ class Workspace:
         the current format version AND a reusable corpus (same version)."""
         if not (self.dataset_path.exists() and self.changes_path.exists()
                 and self.summary_path.exists()
+                and self.quality_path.exists()
                 and self.version_path.exists()):
             return False
         try:
@@ -217,17 +218,20 @@ class Workspace:
                 result = build_full(corpus)
                 result.dataset.save(self.dataset_path)
                 self._save_changes(result.changes)
-                _atomic_write_text(self.summary_path,
-                                   json.dumps(corpus.summary()))
+                atomic_write_text(self.summary_path,
+                                  json.dumps(corpus.summary()))
+                atomic_write_text(self.quality_path,
+                                  json.dumps(result.quality.to_dict()))
                 # commit marker: written last, only after every artifact
                 # above has been atomically renamed into place
-                _atomic_write_text(self.version_path,
-                                   str(CORPUS_FORMAT_VERSION))
+                atomic_write_text(self.version_path,
+                                  str(CORPUS_FORMAT_VERSION))
 
     def invalidate(self) -> None:
         """Drop the derived artifacts (keeps a current corpus for reuse)."""
         for path in (self.dataset_path, self.dataset_path.with_suffix(".json"),
-                     self.changes_path, self.summary_path, self.version_path):
+                     self.changes_path, self.summary_path, self.quality_path,
+                     self.version_path):
             path.unlink(missing_ok=True)
 
     def _load_or_build_corpus(self) -> Corpus:
@@ -281,6 +285,19 @@ class Workspace:
         except _ARTIFACT_ERRORS as exc:
             self._recover("summary", exc)
             return json.loads(self.summary_path.read_text())
+
+    def quality(self) -> DataQualityReport:
+        """The data-quality report of the cached pipeline run."""
+        self.ensure()
+        try:
+            return DataQualityReport.from_dict(
+                json.loads(self.quality_path.read_text())
+            )
+        except _ARTIFACT_ERRORS as exc:
+            self._recover("quality report", exc)
+            return DataQualityReport.from_dict(
+                json.loads(self.quality_path.read_text())
+            )
 
     def changes(self) -> dict[str, list[ChangeRecord]]:
         """All inferred device-level changes, grouped by network."""

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for robustness testing.
+
+The paper's pipeline ran over 17 months of real OSP data, where
+truncated snapshots, clock skew, duplicated tickets, and unparsable
+configs are the norm. This subsystem reproduces those conditions on
+demand: a :class:`FaultPlan` names per-fault-class rates, and
+:func:`inject_faults` applies them to a
+:class:`~repro.synthesis.corpus.Corpus` deterministically (seeded), so
+the same plan + seed always yields the same perturbed corpus.
+
+The inference pipeline's contract under injection is *degradation, not
+crash*: every fault class in :data:`FAULT_CLASSES` must leave
+:func:`repro.metrics.dataset.build_dataset` running to completion, with
+every quarantined/dropped/degraded item attributed in the run's
+:class:`~repro.metrics.quality.DataQualityReport`.
+"""
+
+from repro.faults.inject import FaultInjector, InjectionResult, inject_faults
+from repro.faults.plan import FAULT_CLASSES, FaultPlan
+
+__all__ = [
+    "FAULT_CLASSES",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectionResult",
+    "inject_faults",
+]

@@ -1,0 +1,222 @@
+"""Seeded corpus perturbation according to a :class:`FaultPlan`.
+
+Every fault class draws from its own labelled child stream of the
+injector seed (:class:`~repro.util.rng.SeedSequenceTree`), and devices,
+snapshots, and tickets are visited in a deterministic order — so a
+given (corpus, plan, seed) triple always produces the same perturbed
+corpus, and activating one class never shifts the draws of another.
+
+The injected corruption deliberately includes records that could never
+be *constructed* through the validated dataclasses (e.g. a ticket
+resolved before it was opened): those are materialized by bypassing
+``__post_init__``, exactly the shape of data a dirty ingest path hands
+the pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.faults.plan import FAULT_CLASSES, FaultPlan
+from repro.synthesis.corpus import Corpus
+from repro.inventory.store import InventoryStore
+from repro.tickets.models import TicketRecord
+from repro.tickets.store import TicketStore
+from repro.types import ConfigSnapshot
+from repro.util.rng import SeedSequenceTree
+from repro.util.timeutils import MINUTES_PER_MONTH
+
+#: A line that no dialect accepts: unindented and unrecognized for the
+#: line-structured parsers (IOS/EOS), dangling tokens before ``}`` for
+#: the brace-structured one (JunOS). Includes undecodable control bytes.
+_GARBAGE_LINE = "\x00\x1b\x7f\xa0}}}garbage-bytes%%%"
+
+
+@dataclass(frozen=True, slots=True)
+class InjectionResult:
+    """The perturbed corpus plus how many faults of each class landed."""
+
+    corpus: Corpus
+    counts: dict[str, int]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to corpora, deterministically."""
+
+    def __init__(self, plan: FaultPlan, seed: int = 0) -> None:
+        self._plan = plan
+        self._seed = seed
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def apply(self, corpus: Corpus) -> InjectionResult:
+        """A perturbed copy of ``corpus`` (the input is not mutated)."""
+        plan = self._plan
+        tree = SeedSequenceTree(self._seed).child("faults")
+        rngs = {name: tree.rng(name) for name in FAULT_CLASSES}
+        counts = {name: 0 for name in FAULT_CLASSES}
+
+        snapshots = self._inject_snapshot_faults(corpus, plan, rngs, counts)
+        tickets = self._inject_ticket_faults(corpus, plan, rngs, counts)
+        inventory = self._inject_dialect_faults(corpus, plan, rngs, counts)
+
+        perturbed = dataclasses.replace(
+            corpus, snapshots=snapshots, tickets=tickets, inventory=inventory
+        )
+        return InjectionResult(corpus=perturbed, counts=counts)
+
+    # -- snapshot faults ----------------------------------------------------
+
+    def _inject_snapshot_faults(self, corpus: Corpus, plan: FaultPlan,
+                                rngs, counts) -> dict[str, list[ConfigSnapshot]]:
+        out: dict[str, list[ConfigSnapshot]] = {}
+        for device_id in sorted(corpus.snapshots):
+            snaps: list[ConfigSnapshot] = []
+            for snap in corpus.snapshots[device_id]:
+                if (plan.drop_snapshot
+                        and rngs["drop_snapshot"].random() < plan.drop_snapshot):
+                    counts["drop_snapshot"] += 1
+                    continue
+                if (plan.clock_skew
+                        and rngs["clock_skew"].random() < plan.clock_skew):
+                    skew = (corpus.n_months + 1) * MINUTES_PER_MONTH
+                    snap = dataclasses.replace(
+                        snap, timestamp=snap.timestamp + skew
+                    )
+                    counts["clock_skew"] += 1
+                if (plan.truncate_config
+                        and rngs["truncate_config"].random()
+                        < plan.truncate_config):
+                    snap = dataclasses.replace(
+                        snap,
+                        config_text=self._truncate(
+                            snap.config_text, rngs["truncate_config"]
+                        ),
+                    )
+                    counts["truncate_config"] += 1
+                if (plan.garbage_lines
+                        and rngs["garbage_lines"].random()
+                        < plan.garbage_lines):
+                    snap = dataclasses.replace(
+                        snap,
+                        config_text=self._insert_garbage(
+                            snap.config_text, rngs["garbage_lines"]
+                        ),
+                    )
+                    counts["garbage_lines"] += 1
+                if (plan.broken_stanza
+                        and rngs["broken_stanza"].random()
+                        < plan.broken_stanza):
+                    snap = dataclasses.replace(
+                        snap,
+                        config_text=self._break_stanza(
+                            snap.config_text, rngs["broken_stanza"]
+                        ),
+                    )
+                    counts["broken_stanza"] += 1
+                snaps.append(snap)
+                if (plan.duplicate_snapshot
+                        and rngs["duplicate_snapshot"].random()
+                        < plan.duplicate_snapshot):
+                    snaps.append(snap)
+                    counts["duplicate_snapshot"] += 1
+            if plan.out_of_order:
+                rng = rngs["out_of_order"]
+                for i in range(len(snaps) - 1):
+                    if (snaps[i].timestamp != snaps[i + 1].timestamp
+                            and rng.random() < plan.out_of_order):
+                        snaps[i], snaps[i + 1] = snaps[i + 1], snaps[i]
+                        counts["out_of_order"] += 1
+            out[device_id] = snaps
+        return out
+
+    @staticmethod
+    def _truncate(text: str, rng) -> str:
+        if len(text) < 8:
+            return ""
+        # cut at an interior byte, biased away from line boundaries so
+        # the tail is usually a partial statement
+        cut = int(rng.integers(len(text) // 5, max(len(text) * 4 // 5, 2)))
+        return text[:cut]
+
+    @staticmethod
+    def _insert_garbage(text: str, rng) -> str:
+        lines = text.splitlines()
+        at = int(rng.integers(0, len(lines) + 1)) if lines else 0
+        lines.insert(at, _GARBAGE_LINE)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _break_stanza(text: str, rng) -> str:
+        braces = [i for i, ch in enumerate(text) if ch in "{}"]
+        if braces:
+            # brace-structured: removing any single brace unbalances the
+            # tree, so the parse must fail
+            victim = braces[int(rng.integers(0, len(braces)))]
+            return text[:victim] + text[victim + 1:]
+        # line-structured: an indented line before any stanza opener is
+        # structurally invalid ("indented line outside any stanza")
+        return "  orphan-option injected-by-fault\n" + text
+
+    # -- ticket faults ------------------------------------------------------
+
+    def _inject_ticket_faults(self, corpus: Corpus, plan: FaultPlan,
+                              rngs, counts) -> TicketStore:
+        if not (plan.duplicate_ticket or plan.malformed_ticket):
+            return corpus.tickets
+        store = TicketStore()
+        for ticket in corpus.tickets.iter_all():
+            if (plan.malformed_ticket
+                    and rngs["malformed_ticket"].random()
+                    < plan.malformed_ticket):
+                ticket = self._corrupt_ticket(ticket, rngs["malformed_ticket"])
+                counts["malformed_ticket"] += 1
+            store.add_unchecked(ticket)
+            if (plan.duplicate_ticket
+                    and rngs["duplicate_ticket"].random()
+                    < plan.duplicate_ticket):
+                store.add_unchecked(ticket)
+                counts["duplicate_ticket"] += 1
+        return store
+
+    @staticmethod
+    def _corrupt_ticket(ticket: TicketRecord, rng) -> TicketRecord:
+        # materialize an invalid record by bypassing __post_init__ —
+        # the shape of data an unvalidated ingest path would produce
+        bad = object.__new__(TicketRecord)
+        for f in dataclasses.fields(TicketRecord):
+            object.__setattr__(bad, f.name, getattr(ticket, f.name))
+        if rng.random() < 0.5:
+            object.__setattr__(bad, "resolved_at", ticket.opened_at - 1)
+        else:
+            object.__setattr__(bad, "impact", "catastrophic")
+        return bad
+
+    # -- dialect faults -----------------------------------------------------
+
+    def _inject_dialect_faults(self, corpus: Corpus, plan: FaultPlan,
+                               rngs, counts) -> InventoryStore:
+        if not plan.unknown_dialect:
+            return corpus.inventory
+        rng = rngs["unknown_dialect"]
+        inventory = InventoryStore()
+        for network in corpus.inventory.iter_networks():
+            inventory.add_network(network)
+        for device in corpus.inventory.iter_devices():
+            if rng.random() < plan.unknown_dialect:
+                # a model the dialect registry has never heard of
+                device = dataclasses.replace(
+                    device, model=f"{device.model}-rev-unknown"
+                )
+                counts["unknown_dialect"] += 1
+            inventory.add_device(device)
+        return inventory
+
+
+def inject_faults(corpus: Corpus, plan: FaultPlan,
+                  seed: int = 0) -> InjectionResult:
+    """Apply ``plan`` to ``corpus`` with the given injector seed."""
+    return FaultInjector(plan, seed=seed).apply(corpus)

@@ -1,0 +1,74 @@
+"""Fault classes and per-class injection rates."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Per-fault-class injection rates (each a probability in [0, 1]).
+
+    Rates apply to the natural unit of each class: snapshots for the
+    snapshot faults, tickets for the ticket faults, devices for
+    ``unknown_dialect``.
+    """
+
+    #: cut a snapshot's config text at a random interior byte
+    truncate_config: float = 0.0
+    #: insert an undecodable/garbage line into a snapshot's config text
+    garbage_lines: float = 0.0
+    #: structurally break a stanza (delete a brace / inject a bogus
+    #: top-level line, per dialect structure)
+    broken_stanza: float = 0.0
+    #: silently remove a snapshot (the NMS missed a poll)
+    drop_snapshot: float = 0.0
+    #: duplicate a snapshot record with the same timestamp
+    duplicate_snapshot: float = 0.0
+    #: swap adjacent snapshots so the list is no longer time-ordered
+    out_of_order: float = 0.0
+    #: push a snapshot's timestamp months past the study end (clock skew)
+    clock_skew: float = 0.0
+    #: append an exact duplicate of a ticket record (same ticket id)
+    duplicate_ticket: float = 0.0
+    #: corrupt a ticket record (resolution before open, bogus impact)
+    malformed_ticket: float = 0.0
+    #: re-model a device as hardware with no registered config dialect
+    unknown_dialect: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, rate in self.rates().items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"fault rate {name}={rate} outside [0, 1]"
+                )
+
+    def rates(self) -> dict[str, float]:
+        """Fault-class name -> rate mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def any_active(self) -> bool:
+        return any(rate > 0.0 for rate in self.rates().values())
+
+    @classmethod
+    def single(cls, fault_class: str, rate: float) -> "FaultPlan":
+        """A plan activating exactly one fault class."""
+        if fault_class not in FAULT_CLASSES:
+            raise ValueError(
+                f"unknown fault class {fault_class!r}; "
+                f"choose from {FAULT_CLASSES}"
+            )
+        return cls(**{fault_class: rate})
+
+    @classmethod
+    def uniform(cls, rate: float) -> "FaultPlan":
+        """A plan applying the same rate to every fault class."""
+        return cls(**{name: rate for name in FAULT_CLASSES})
+
+
+#: All fault classes a :class:`FaultPlan` can inject, in field order.
+FAULT_CLASSES: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(FaultPlan)
+)

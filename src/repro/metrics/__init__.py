@@ -3,8 +3,11 @@
 from repro.metrics.catalog import MetricDef, METRICS, metric_names, DESIGN, OPERATIONAL
 from repro.metrics.dataset import MetricDataset, build_dataset
 from repro.metrics.events import group_change_events, DEFAULT_DELTA_MINUTES
+from repro.metrics.quality import DataQualityReport, QualityIssue
 
 __all__ = [
+    "DataQualityReport",
+    "QualityIssue",
     "MetricDef",
     "METRICS",
     "metric_names",

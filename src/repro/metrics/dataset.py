@@ -15,14 +15,16 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.confparse.diff import diff_configs
 from repro.confparse.registry import parse_config
+from repro.errors import ConfigParseError, CorpusError
 from repro.metrics.catalog import metric_names
+from repro.metrics.quality import DataQualityReport, scrub_corpus
 from repro.metrics.design import (
     DeviceFeatures,
     config_metrics,
@@ -32,7 +34,7 @@ from repro.metrics.design import (
 from repro.metrics.events import DEFAULT_DELTA_MINUTES, group_change_events
 from repro.metrics.health import modality_from_login, monthly_ticket_count
 from repro.metrics.operational import operational_metrics
-from repro.runtime.pool import parallel_map
+from repro.runtime.pool import TaskFailure, parallel_map
 from repro.synthesis.corpus import Corpus
 from repro.types import (
     CaseKey,
@@ -129,19 +131,54 @@ class MetricDataset:
 
     @classmethod
     def load(cls, path: str | Path) -> "MetricDataset":
+        """Load a dataset saved by :meth:`save`.
+
+        A missing ``.npz``/sidecar pair, a sidecar that does not match
+        the arrays, or missing members in either file all surface as
+        :class:`~repro.errors.CorpusError` naming the offending path —
+        never a bare ``FileNotFoundError``/``KeyError``.
+        """
         path = Path(path)
         if path.suffix != ".npz":
             path = path.with_suffix(".npz")
-        arrays = np.load(path)
-        meta = json.loads(path.with_suffix(".json").read_text())
-        return cls(
-            names=meta["names"],
-            case_networks=meta["case_networks"],
-            case_month_indices=meta["case_month_indices"],
-            values=arrays["values"],
-            tickets=arrays["tickets"],
-            epoch=MonthKey(*meta["epoch"]),
-        )
+        sidecar = path.with_suffix(".json")
+        try:
+            arrays = np.load(path)
+        except FileNotFoundError:
+            raise CorpusError(f"no metric dataset at {path}") from None
+        try:
+            meta = json.loads(sidecar.read_text())
+        except FileNotFoundError:
+            raise CorpusError(
+                f"metric dataset sidecar missing at {sidecar} "
+                f"(for {path})"
+            ) from None
+        try:
+            values = arrays["values"]
+            tickets = arrays["tickets"]
+        except KeyError as exc:
+            raise CorpusError(
+                f"metric dataset {path} is missing array {exc}"
+            ) from None
+        try:
+            dataset = cls(
+                names=meta["names"],
+                case_networks=meta["case_networks"],
+                case_month_indices=meta["case_month_indices"],
+                values=values,
+                tickets=tickets,
+                epoch=MonthKey(*meta["epoch"]),
+            )
+        except KeyError as exc:
+            raise CorpusError(
+                f"metric dataset sidecar {sidecar} is missing field {exc}"
+            ) from None
+        except (ValueError, TypeError) as exc:
+            raise CorpusError(
+                f"metric dataset sidecar {sidecar} does not match "
+                f"{path}: {exc}"
+            ) from None
+        return dataset
 
 
 @dataclass
@@ -157,10 +194,20 @@ class NetworkTimeline:
 
 def build_network_timeline(corpus: Corpus, network_id: str,
                            delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
+                           report: DataQualityReport | None = None,
                            ) -> NetworkTimeline:
-    """Parse + diff one network's snapshots into changes, events, features."""
+    """Parse + diff one network's snapshots into changes, events, features.
+
+    Parse failures degrade instead of aborting: an unparsable snapshot
+    is quarantined (recorded in ``report``) and the previously-in-effect
+    config carries forward; a device whose dialect is unknown or with
+    zero parsable snapshots is dropped from the timeline entirely.
+    """
+    if report is None:
+        report = DataQualityReport()
     n_months = corpus.n_months
     devices = corpus.inventory.devices_in(network_id)
+    report.devices_total += len(devices)
     changes: list[ChangeRecord] = []
     # features_by_month[m][device] = summary of config in effect at end of m
     features_by_month: list[dict[str, DeviceFeatures]] = [
@@ -170,12 +217,36 @@ def build_network_timeline(corpus: Corpus, network_id: str,
     for device in devices:
         snaps = corpus.snapshots.get(device.device_id, [])
         if not snaps:
+            report.drop_device(device.device_id, network_id,
+                               "no snapshots in corpus")
             continue
-        dialect = corpus.dialect_of(device.device_id)
+        try:
+            dialect = corpus.dialect_of(device.device_id)
+        except KeyError:
+            for _ in snaps:
+                report.quarantine_snapshot(
+                    device.device_id, network_id,
+                    f"no dialect registered for "
+                    f"{device.vendor}/{device.model}",
+                )
+            report.drop_device(
+                device.device_id, network_id,
+                f"unknown dialect for model {device.vendor}/{device.model}",
+            )
+            continue
         prev_config = None
         features_at: list[tuple[int, DeviceFeatures]] = []
         for snap in snaps:
-            config = parse_config(snap.config_text, dialect)
+            try:
+                config = parse_config(snap.config_text, dialect)
+            except ConfigParseError as exc:
+                # quarantine: the config previously in effect carries
+                # forward (no diff, no feature update for this snapshot)
+                report.quarantine_snapshot(
+                    device.device_id, network_id, f"unparsable config: {exc}"
+                )
+                continue
+            report.snapshots_parsed += 1
             if prev_config is not None:
                 diff = diff_configs(prev_config, config)
                 if diff:
@@ -192,6 +263,10 @@ def build_network_timeline(corpus: Corpus, network_id: str,
                     ))
             features_at.append((snap.timestamp, extract_device_features(config)))
             prev_config = config
+        if not features_at:
+            report.drop_device(device.device_id, network_id,
+                               "zero parsable snapshots")
+            continue
         # config in effect at end of each month = last snapshot before it
         pointer = 0
         current = features_at[0][1]
@@ -220,26 +295,40 @@ class PipelineResult:
     dataset: MetricDataset
     #: network id -> all device-level changes over the whole study period
     changes: dict[str, list[ChangeRecord]]
+    #: per-run data-quality provenance (quarantines, drops, degradations)
+    quality: DataQualityReport = field(default_factory=DataQualityReport)
 
 
 def build_full(corpus: Corpus,
                delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
+               max_bad_fraction: float | None = None,
                ) -> PipelineResult:
     """Like :func:`build_dataset` but also returns the raw change records
-    (used by the delta-sweep and characterization benches)."""
-    dataset, changes = _build(corpus, delta_minutes, keep_changes=True)
-    return PipelineResult(dataset=dataset, changes=changes)
+    (used by the delta-sweep and characterization benches) and the
+    :class:`~repro.metrics.quality.DataQualityReport` of the run."""
+    dataset, changes, quality = _build(corpus, delta_minutes,
+                                       keep_changes=True,
+                                       max_bad_fraction=max_bad_fraction)
+    return PipelineResult(dataset=dataset, changes=changes, quality=quality)
 
 
 def build_dataset(corpus: Corpus,
                   delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
+                  max_bad_fraction: float | None = None,
                   ) -> MetricDataset:
     """Infer the full metric table from a corpus.
 
     This is the expensive step (it parses every snapshot); see
-    :func:`repro.core.workspace` for the cached entry point.
+    :func:`repro.core.workspace` for the cached entry point. Bad input
+    degrades the run (quarantined snapshots, dropped devices, degraded
+    networks) instead of aborting it; when more than
+    ``max_bad_fraction`` of any input dimension had to be discarded
+    (default :data:`repro.metrics.quality.DEFAULT_MAX_BAD_FRACTION`,
+    overridable via ``MPA_MAX_BAD_FRACTION``), the run raises
+    :class:`~repro.errors.DataError` rather than producing garbage.
     """
-    dataset, _ = _build(corpus, delta_minutes, keep_changes=False)
+    dataset, _, _ = _build(corpus, delta_minutes, keep_changes=False,
+                           max_bad_fraction=max_bad_fraction)
     return dataset
 
 
@@ -252,6 +341,7 @@ class _NetworkCases:
     tickets: list[int]
     months: list[int]
     changes: list[ChangeRecord] | None
+    quality: DataQualityReport = field(default_factory=DataQualityReport)
 
 
 def _network_cases(corpus: Corpus, network_id: str,
@@ -264,7 +354,9 @@ def _network_cases(corpus: Corpus, network_id: str,
         d.device_id for d in devices if d.role.is_middlebox
     )
     inv = inventory_metrics(corpus.inventory, network_id)
-    timeline = build_network_timeline(corpus, network_id, delta_minutes)
+    quality = DataQualityReport()
+    timeline = build_network_timeline(corpus, network_id, delta_minutes,
+                                      report=quality)
 
     changes_by_month: list[list[ChangeRecord]] = [
         [] for _ in range(corpus.n_months)
@@ -305,22 +397,32 @@ def _network_cases(corpus: Corpus, network_id: str,
         tickets=tickets,
         months=months,
         changes=timeline.changes if keep_changes else None,
+        quality=quality,
     )
 
 
 def _build(corpus: Corpus, delta_minutes: int | None,
-           keep_changes: bool) -> tuple[MetricDataset, dict]:
+           keep_changes: bool,
+           max_bad_fraction: float | None = None,
+           ) -> tuple[MetricDataset, dict, DataQualityReport]:
     names = metric_names()
+    report = DataQualityReport()
+    # pre-parse scrub: re-sort out-of-order snapshot lists, quarantine
+    # duplicate/clock-skewed snapshots and duplicate/malformed tickets.
+    # A clean corpus passes through unchanged (bit-identical output).
+    corpus = scrub_corpus(corpus, report)
     network_ids = [
         network_id for network_id in corpus.inventory.network_ids
         if corpus.inventory.devices_in(network_id)
     ]
+    report.networks_total = len(network_ids)
     per_network = parallel_map(
         lambda network_id: _network_cases(
             corpus, network_id, delta_minutes, keep_changes
         ),
         network_ids,
         stage="metric-inference",
+        on_error="collect",
     )
 
     rows: list[list[float]] = []
@@ -328,7 +430,18 @@ def _build(corpus: Corpus, delta_minutes: int | None,
     case_networks: list[str] = []
     case_months: list[int] = []
     all_changes: dict[str, list[ChangeRecord]] = {}
-    for cases in per_network:
+    for network_id, cases in zip(network_ids, per_network):
+        if isinstance(cases, TaskFailure):
+            # the whole per-network task blew up on something the
+            # quarantine layers did not contain: exclude the network
+            # from the table instead of aborting the corpus.
+            report.degrade_network(
+                network_id,
+                f"inference task failed: {cases.error_type}: "
+                f"{cases.message}",
+            )
+            continue
+        report.merge(cases.quality)
         rows.extend(cases.rows)
         tickets.extend(cases.tickets)
         case_networks.extend([cases.network_id] * len(cases.rows))
@@ -336,12 +449,14 @@ def _build(corpus: Corpus, delta_minutes: int | None,
         if keep_changes:
             all_changes[cases.network_id] = cases.changes or []
 
+    report.check(max_bad_fraction)
     dataset = MetricDataset(
         names=names,
         case_networks=case_networks,
         case_month_indices=case_months,
-        values=np.asarray(rows, dtype=float),
+        values=(np.asarray(rows, dtype=float) if rows
+                else np.empty((0, len(names)), dtype=float)),
         tickets=np.asarray(tickets, dtype=np.int64),
         epoch=corpus.epoch,
     )
-    return dataset, all_changes
+    return dataset, all_changes, report

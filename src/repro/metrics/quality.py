@@ -1,0 +1,361 @@
+"""Per-run data-quality accounting and corpus scrubbing.
+
+Real OSP data (the paper's 17 months of snapshots and tickets) is never
+clean: snapshots arrive truncated or unparsable, timestamps are skewed
+or duplicated, tickets are duplicated or malformed. The inference
+pipeline's contract is *degradation, not crash*: every bad record is
+quarantined with a reason, every affected device/network is accounted
+for, and the run only hard-fails (:class:`~repro.errors.DataError`)
+when so much input was quarantined that the resulting tables would be
+garbage.
+
+Two pieces live here:
+
+* :class:`DataQualityReport` — the provenance ledger accumulated through
+  one pipeline run and attached to
+  :class:`~repro.metrics.dataset.PipelineResult` (and cached by
+  :class:`~repro.core.workspace.Workspace`).
+* :func:`scrub_corpus` — the pre-parse pass that repairs orderable
+  problems (out-of-order snapshot lists) and quarantines irreparable
+  records (exact-duplicate snapshots, clock-skewed timestamps,
+  duplicate/malformed tickets) before the per-network fan-out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import DataError
+from repro.tickets.models import IMPACT_LEVELS, TicketCategory, TicketRecord
+from repro.tickets.store import TicketStore
+from repro.util.timeutils import MINUTES_PER_MONTH
+
+#: Environment variable overriding the hard-fail threshold.
+ENV_MAX_BAD_FRACTION = "MPA_MAX_BAD_FRACTION"
+
+#: Default hard-fail threshold: a run aborts with :class:`DataError` when
+#: more than this fraction of snapshots, devices, networks, or tickets
+#: had to be quarantined/dropped/degraded.
+DEFAULT_MAX_BAD_FRACTION = 0.25
+
+
+def resolve_max_bad_fraction(value: float | None = None) -> float:
+    """The effective hard-fail threshold: argument > env var > default."""
+    source = "max_bad_fraction argument"
+    if value is None:
+        env = os.environ.get(ENV_MAX_BAD_FRACTION, "").strip()
+        if env:
+            source = f"{ENV_MAX_BAD_FRACTION} environment variable"
+            try:
+                value = float(env)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_MAX_BAD_FRACTION}={env!r} is not a number"
+                ) from None
+        else:
+            return DEFAULT_MAX_BAD_FRACTION
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{source} must be in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class QualityIssue:
+    """One quarantined/dropped/degraded/repaired item, with its reason."""
+
+    kind: str  # "snapshot" | "device" | "network" | "ticket"
+    item: str  # id of the affected record (device id, ticket id, ...)
+    network_id: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.item} ({self.network_id}): {self.reason}"
+
+
+@dataclass
+class DataQualityReport:
+    """Ledger of everything a pipeline run quarantined or repaired.
+
+    Totals count the *input* population (before quarantine), so the
+    ``*_fraction`` properties measure how much of the corpus the run had
+    to discard. ``snapshots_repaired`` records non-destructive repairs
+    (re-sorted out-of-order snapshot lists); repairs never count toward
+    the hard-fail threshold.
+    """
+
+    snapshots_total: int = 0
+    snapshots_parsed: int = 0
+    snapshots_quarantined: list[QualityIssue] = field(default_factory=list)
+    snapshots_repaired: list[QualityIssue] = field(default_factory=list)
+    devices_total: int = 0
+    devices_dropped: list[QualityIssue] = field(default_factory=list)
+    networks_total: int = 0
+    networks_degraded: list[QualityIssue] = field(default_factory=list)
+    tickets_total: int = 0
+    tickets_quarantined: list[QualityIssue] = field(default_factory=list)
+
+    # -- recording helpers ---------------------------------------------------
+
+    def quarantine_snapshot(self, device_id: str, network_id: str,
+                            reason: str) -> None:
+        self.snapshots_quarantined.append(
+            QualityIssue("snapshot", device_id, network_id, reason)
+        )
+
+    def repair_snapshots(self, device_id: str, network_id: str,
+                         reason: str) -> None:
+        self.snapshots_repaired.append(
+            QualityIssue("snapshot", device_id, network_id, reason)
+        )
+
+    def drop_device(self, device_id: str, network_id: str,
+                    reason: str) -> None:
+        self.devices_dropped.append(
+            QualityIssue("device", device_id, network_id, reason)
+        )
+
+    def degrade_network(self, network_id: str, reason: str) -> None:
+        self.networks_degraded.append(
+            QualityIssue("network", network_id, network_id, reason)
+        )
+
+    def quarantine_ticket(self, ticket_id: str, network_id: str,
+                          reason: str) -> None:
+        self.tickets_quarantined.append(
+            QualityIssue("ticket", ticket_id, network_id, reason)
+        )
+
+    def merge(self, other: "DataQualityReport") -> None:
+        """Fold a per-task report fragment into this run-level report."""
+        self.snapshots_total += other.snapshots_total
+        self.snapshots_parsed += other.snapshots_parsed
+        self.snapshots_quarantined.extend(other.snapshots_quarantined)
+        self.snapshots_repaired.extend(other.snapshots_repaired)
+        self.devices_total += other.devices_total
+        self.devices_dropped.extend(other.devices_dropped)
+        self.networks_total += other.networks_total
+        self.networks_degraded.extend(other.networks_degraded)
+        self.tickets_total += other.tickets_total
+        self.tickets_quarantined.extend(other.tickets_quarantined)
+
+    # -- derived measures ----------------------------------------------------
+
+    @staticmethod
+    def _fraction(bad: int, total: int) -> float:
+        return bad / total if total else 0.0
+
+    @property
+    def snapshot_bad_fraction(self) -> float:
+        return self._fraction(len(self.snapshots_quarantined),
+                              self.snapshots_total)
+
+    @property
+    def device_bad_fraction(self) -> float:
+        return self._fraction(len(self.devices_dropped), self.devices_total)
+
+    @property
+    def network_bad_fraction(self) -> float:
+        return self._fraction(len(self.networks_degraded),
+                              self.networks_total)
+
+    @property
+    def ticket_bad_fraction(self) -> float:
+        return self._fraction(len(self.tickets_quarantined),
+                              self.tickets_total)
+
+    @property
+    def worst_fraction(self) -> float:
+        """The worst-degraded dimension, compared to the threshold."""
+        return max(self.snapshot_bad_fraction, self.device_bad_fraction,
+                   self.network_bad_fraction, self.ticket_bad_fraction)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing was quarantined, dropped, or repaired."""
+        return not (self.snapshots_quarantined or self.snapshots_repaired
+                    or self.devices_dropped or self.networks_degraded
+                    or self.tickets_quarantined)
+
+    def all_issues(self) -> list[QualityIssue]:
+        return (list(self.snapshots_quarantined)
+                + list(self.snapshots_repaired)
+                + list(self.devices_dropped)
+                + list(self.networks_degraded)
+                + list(self.tickets_quarantined))
+
+    def check(self, max_bad_fraction: float | None = None) -> None:
+        """Hard-fail gate: raise :class:`DataError` when any dimension's
+        quarantined fraction exceeds the threshold (a mostly-corrupt
+        corpus must not silently produce garbage tables)."""
+        limit = resolve_max_bad_fraction(max_bad_fraction)
+        over = []
+        for label, fraction in (
+            ("snapshots quarantined", self.snapshot_bad_fraction),
+            ("devices dropped", self.device_bad_fraction),
+            ("networks degraded", self.network_bad_fraction),
+            ("tickets quarantined", self.ticket_bad_fraction),
+        ):
+            if fraction > limit:
+                over.append(f"{label}: {fraction:.1%}")
+        if over:
+            raise DataError(
+                "corpus quality below hard-fail threshold "
+                f"({limit:.1%}): " + "; ".join(over)
+            )
+
+    # -- presentation / persistence ------------------------------------------
+
+    def summary(self) -> str:
+        """A small human-readable account of the run's data quality."""
+        lines = [
+            "data quality report:",
+            f"  snapshots : {self.snapshots_parsed}/{self.snapshots_total} "
+            f"parsed, {len(self.snapshots_quarantined)} quarantined, "
+            f"{len(self.snapshots_repaired)} repaired",
+            f"  devices   : {len(self.devices_dropped)}/{self.devices_total} "
+            "dropped",
+            f"  networks  : {len(self.networks_degraded)}/"
+            f"{self.networks_total} degraded",
+            f"  tickets   : {len(self.tickets_quarantined)}/"
+            f"{self.tickets_total} quarantined",
+        ]
+        if self.is_clean:
+            lines.append("  corpus is clean")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DataQualityReport":
+        report = cls()
+        for name in ("snapshots_total", "snapshots_parsed", "devices_total",
+                     "networks_total", "tickets_total"):
+            setattr(report, name, int(data.get(name, 0)))
+        for name in ("snapshots_quarantined", "snapshots_repaired",
+                     "devices_dropped", "networks_degraded",
+                     "tickets_quarantined"):
+            setattr(report, name,
+                    [QualityIssue(**issue) for issue in data.get(name, ())])
+        return report
+
+
+# -- corpus scrubbing --------------------------------------------------------
+
+
+def _ticket_problem(ticket: TicketRecord) -> str | None:
+    """Why a ticket record is malformed, or None when it is valid.
+
+    Validates the invariants :class:`TicketRecord` normally enforces at
+    construction, because dirty ingest paths (and the fault injector)
+    can materialize records that bypass ``__post_init__``.
+    """
+    if not ticket.ticket_id:
+        return "empty ticket id"
+    if not isinstance(ticket.opened_at, int) or ticket.opened_at < 0:
+        return f"invalid opened_at {ticket.opened_at!r}"
+    if (not isinstance(ticket.resolved_at, int)
+            or ticket.resolved_at < ticket.opened_at):
+        return (f"resolved_at {ticket.resolved_at!r} precedes "
+                f"opened_at {ticket.opened_at!r}")
+    if not isinstance(ticket.category, TicketCategory):
+        return f"unknown category {ticket.category!r}"
+    if ticket.impact not in IMPACT_LEVELS:
+        return f"unknown impact {ticket.impact!r}"
+    return None
+
+
+def scrub_corpus(corpus, report: DataQualityReport):
+    """Quarantine/repair corpus-level data problems before parsing.
+
+    Returns a corpus safe for :func:`repro.metrics.dataset.build_dataset`
+    to iterate: per-device snapshot lists sorted by timestamp with
+    exact-duplicate and clock-skewed records removed, and the ticket
+    store deduplicated and free of malformed records. A clean corpus is
+    returned *unchanged* (same object), which keeps the clean-path
+    output bit-identical to the pre-scrub pipeline.
+    """
+    study_end = corpus.n_months * MINUTES_PER_MONTH
+
+    # -- snapshots ----------------------------------------------------------
+    new_snapshots: dict[str, list] = {}
+    snapshots_changed = False
+    for device_id in corpus.snapshots:
+        snaps = corpus.snapshots[device_id]
+        report.snapshots_total += len(snaps)
+        out_of_order = any(
+            snaps[i].timestamp > snaps[i + 1].timestamp
+            for i in range(len(snaps) - 1)
+        )
+        kept = []
+        seen: set[tuple[int, str, str]] = set()
+        for snap in snaps:
+            network_id = snap.network_id
+            if not isinstance(snap.timestamp, int) or snap.timestamp < 0:
+                report.quarantine_snapshot(
+                    device_id, network_id,
+                    f"invalid timestamp {snap.timestamp!r}",
+                )
+                continue
+            if snap.timestamp >= study_end:
+                report.quarantine_snapshot(
+                    device_id, network_id,
+                    f"clock-skewed timestamp {snap.timestamp} beyond study "
+                    f"end {study_end}",
+                )
+                continue
+            fingerprint = (snap.timestamp, snap.login, snap.config_text)
+            if fingerprint in seen:
+                report.quarantine_snapshot(
+                    device_id, network_id,
+                    f"exact duplicate of snapshot at t={snap.timestamp}",
+                )
+                continue
+            seen.add(fingerprint)
+            kept.append(snap)
+        if out_of_order:
+            kept.sort(key=lambda s: s.timestamp)
+            report.repair_snapshots(
+                device_id,
+                snaps[0].network_id if snaps else "",
+                "out-of-order snapshot timestamps re-sorted",
+            )
+        if out_of_order or len(kept) != len(snaps):
+            snapshots_changed = True
+            new_snapshots[device_id] = kept
+        else:
+            new_snapshots[device_id] = snaps
+
+    # -- tickets ------------------------------------------------------------
+    report.tickets_total = len(corpus.tickets)
+    clean_tickets: list[TicketRecord] = []
+    tickets_changed = False
+    seen_ids: set[str] = set()
+    for ticket in corpus.tickets.iter_all():
+        problem = _ticket_problem(ticket)
+        if problem is not None:
+            report.quarantine_ticket(
+                str(ticket.ticket_id), str(ticket.network_id), problem
+            )
+            tickets_changed = True
+            continue
+        if ticket.ticket_id in seen_ids:
+            report.quarantine_ticket(
+                ticket.ticket_id, ticket.network_id, "duplicate ticket id"
+            )
+            tickets_changed = True
+            continue
+        seen_ids.add(ticket.ticket_id)
+        clean_tickets.append(ticket)
+
+    if not snapshots_changed and not tickets_changed:
+        return corpus
+    return dataclasses.replace(
+        corpus,
+        snapshots=new_snapshots if snapshots_changed else corpus.snapshots,
+        tickets=(TicketStore(clean_tickets) if tickets_changed
+                 else corpus.tickets),
+    )

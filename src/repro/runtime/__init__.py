@@ -3,13 +3,29 @@
 See :mod:`repro.runtime.pool` for the ``MPA_JOBS``-controlled
 ``parallel_map`` and :mod:`repro.runtime.telemetry` for the per-stage
 timing layer.
+
+Error containment contract: ``parallel_map(..., on_error="collect")``
+never lets a task exception escape — the failing slot of the returned
+list holds a :class:`~repro.runtime.pool.TaskFailure` record (index,
+exception type, message, traceback) so callers can quarantine failed
+items and keep the survivors. The default ``on_error="raise"`` keeps
+the historical fail-fast semantics. In both modes a pool whose worker
+dies mid-run (``BrokenProcessPool``) is recovered by retrying every
+unaccounted task serially in the parent process.
 """
 
-from repro.runtime.pool import ENV_JOBS, parallel_map, resolve_jobs, task_seed
+from repro.runtime.pool import (
+    ENV_JOBS,
+    TaskFailure,
+    parallel_map,
+    resolve_jobs,
+    task_seed,
+)
 from repro.runtime.telemetry import TELEMETRY, StageStats, Telemetry
 
 __all__ = [
     "ENV_JOBS",
+    "TaskFailure",
     "parallel_map",
     "resolve_jobs",
     "task_seed",

@@ -24,14 +24,32 @@ pickling, plain ``[fn(x) for x in items]``. The same fallback engages
 automatically inside pool workers (no nested pools), when ``fork`` is
 unavailable on the platform, or when the pool cannot be created (e.g.
 sandboxes without semaphore support).
+
+Error handling is selected per call via ``on_error``:
+
+* ``on_error="raise"`` (default): the first task exception propagates to
+  the caller, exactly like the plain list comprehension.
+* ``on_error="collect"``: a task exception never escapes; the failing
+  slot of the result list holds a :class:`TaskFailure` record (index,
+  exception type, message, traceback) instead of a value, so callers can
+  quarantine failed items and keep the survivors.
+
+If the pool itself dies mid-run (a worker killed by the OOM killer, a
+segfaulting extension — surfacing as ``BrokenProcessPool``), the results
+already received are kept and every task not yet accounted for is
+retried serially in the parent process, so one lost worker degrades a
+run instead of killing it.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback as traceback_mod
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any
 
 from repro.runtime.telemetry import TELEMETRY
@@ -43,15 +61,40 @@ ENV_JOBS = "MPA_JOBS"
 #: True inside pool workers; nested ``parallel_map`` calls run serially.
 _IN_WORKER = False
 
-#: (fn, items) of the in-flight map, inherited by forked workers.
-_FORK_TASK: tuple[Callable[[Any], Any], Sequence[Any]] | None = None
+#: (fn, items, on_error) of the in-flight map, inherited by forked workers.
+_FORK_TASK: tuple[Callable[[Any], Any], Sequence[Any], str] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFailure:
+    """One failed task of a ``parallel_map(on_error="collect")`` call.
+
+    Exceptions are captured as strings (type name, message, formatted
+    traceback) rather than live objects so the record always pickles
+    across the process boundary, whatever the task raised.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"task {self.index} failed: {self.error_type}: {self.message}"
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """The effective worker count: argument > ``MPA_JOBS`` > cpu count."""
+    """The effective worker count: argument > ``MPA_JOBS`` > cpu count.
+
+    The ``ValueError`` for a non-positive or non-integer count names
+    where the bad value came from (the ``jobs`` argument or the
+    ``MPA_JOBS`` environment variable).
+    """
+    source = "jobs argument"
     if jobs is None:
         env = os.environ.get(ENV_JOBS, "").strip()
         if env:
+            source = f"{ENV_JOBS} environment variable"
             try:
                 jobs = int(env)
             except ValueError:
@@ -59,10 +102,11 @@ def resolve_jobs(jobs: int | None = None) -> int:
                     f"{ENV_JOBS}={env!r} is not an integer"
                 ) from None
         else:
+            source = "cpu count"
             jobs = os.cpu_count() or 1
     jobs = int(jobs)
     if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+        raise ValueError(f"{source} must be >= 1, got {jobs}")
     return jobs
 
 
@@ -81,21 +125,59 @@ def _mark_worker() -> None:
     _IN_WORKER = True
 
 
+def _failure(index: int, exc: BaseException) -> TaskFailure:
+    return TaskFailure(
+        index=index,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(traceback_mod.format_exception(exc)),
+    )
+
+
 def _run_indexed(index: int) -> Any:
     assert _FORK_TASK is not None, "worker started outside parallel_map"
-    fn, items = _FORK_TASK
+    fn, items, on_error = _FORK_TASK
+    if on_error == "collect":
+        try:
+            return fn(items[index])
+        except Exception as exc:
+            return _failure(index, exc)
     return fn(items[index])
+
+
+def _run_serial(fn: Callable[[Any], Any], items: Sequence[Any],
+                indices: Iterable[int], on_error: str) -> list[Any]:
+    """The serial fallback, honoring ``on_error`` per task."""
+    results: list[Any] = []
+    for index in indices:
+        if on_error == "collect":
+            try:
+                results.append(fn(items[index]))
+            except Exception as exc:
+                results.append(_failure(index, exc))
+        else:
+            results.append(fn(items[index]))
+    return results
 
 
 def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
                  jobs: int | None = None,
-                 stage: str | None = None) -> list[Any]:
+                 stage: str | None = None,
+                 on_error: str = "raise") -> list[Any]:
     """``[fn(x) for x in items]``, fanned out over a process pool.
 
-    Results are returned in input order; a task exception propagates to
-    the caller. When ``stage`` is given, the call records one sample in
-    :data:`repro.runtime.telemetry.TELEMETRY` under that name.
+    Results are returned in input order. With ``on_error="raise"`` (the
+    default) a task exception propagates to the caller; with
+    ``on_error="collect"`` the failing slot holds a :class:`TaskFailure`
+    record and every other task still runs. A pool that dies mid-run
+    (``BrokenProcessPool``) is recovered by retrying the unaccounted
+    tasks serially. When ``stage`` is given, the call records one sample
+    in :data:`repro.runtime.telemetry.TELEMETRY` under that name.
     """
+    if on_error not in ("raise", "collect"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}"
+        )
     items = list(items)
     jobs = min(resolve_jobs(jobs), len(items)) if items else 1
     use_pool = (
@@ -104,21 +186,21 @@ def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
         and "fork" in multiprocessing.get_all_start_methods()
     )
     if stage is None:
-        return _pool_map(fn, items, jobs) if use_pool else [
-            fn(item) for item in items
-        ]
+        if use_pool:
+            return _pool_map(fn, items, jobs, on_error)
+        return _run_serial(fn, items, range(len(items)), on_error)
     with TELEMETRY.stage(stage, tasks=len(items),
                          jobs=jobs if use_pool else 1):
         if use_pool:
-            return _pool_map(fn, items, jobs)
-        return [fn(item) for item in items]
+            return _pool_map(fn, items, jobs, on_error)
+        return _run_serial(fn, items, range(len(items)), on_error)
 
 
 def _pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
-              jobs: int) -> list[Any]:
+              jobs: int, on_error: str) -> list[Any]:
     global _FORK_TASK
     context = multiprocessing.get_context("fork")
-    _FORK_TASK = (fn, items)
+    _FORK_TASK = (fn, items, on_error)
     try:
         try:
             executor = ProcessPoolExecutor(
@@ -128,10 +210,21 @@ def _pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
         except OSError:
             # pool creation can fail in restricted sandboxes (no
             # semaphores / no subprocesses); fall back to serial
-            return [fn(item) for item in items]
+            return _run_serial(fn, items, range(len(items)), on_error)
+        results: list[Any] = []
         with executor:
             chunksize = max(1, len(items) // (jobs * 4))
-            return list(executor.map(_run_indexed, range(len(items)),
-                                     chunksize=chunksize))
+            try:
+                for value in executor.map(_run_indexed, range(len(items)),
+                                          chunksize=chunksize):
+                    results.append(value)
+            except BrokenProcessPool:
+                # a worker died (OOM kill, segfault, ...). Results
+                # received so far are a prefix of the input order; retry
+                # everything not yet accounted for in-process.
+                results.extend(_run_serial(
+                    fn, items, range(len(results), len(items)), on_error
+                ))
+        return results
     finally:
         _FORK_TASK = None

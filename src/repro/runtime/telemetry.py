@@ -20,6 +20,8 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.util.ioutils import atomic_write_text
+
 
 @dataclass
 class StageStats:
@@ -81,8 +83,13 @@ class Telemetry:
         }
 
     def dump_json(self, path: str | Path) -> None:
-        """Write :meth:`as_dict` to ``path`` as indented JSON."""
-        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        """Write :meth:`as_dict` to ``path`` as indented JSON.
+
+        The dump is atomic (temp name + rename, the same pattern the
+        workspace cache uses), so a run that crashes mid-dump never
+        leaves a truncated JSON file under ``path``.
+        """
+        atomic_write_text(path, json.dumps(self.as_dict(), indent=2) + "\n")
 
     def summary(self) -> str:
         """A small human-readable table of all recorded stages."""

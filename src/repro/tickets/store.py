@@ -29,6 +29,19 @@ class TicketStore:
         self._count += 1
         self._sorted = False
 
+    def add_unchecked(self, ticket: TicketRecord) -> None:
+        """Append a ticket without the duplicate-id invariant.
+
+        Dirty-ingest entry point: real ticketing exports contain
+        duplicated records, and the fault injector reproduces that. The
+        pipeline's scrub pass (:func:`repro.metrics.quality.scrub_corpus`)
+        is responsible for quarantining the duplicates again.
+        """
+        self._ids.add(ticket.ticket_id)
+        self._by_network[ticket.network_id].append(ticket)
+        self._count += 1
+        self._sorted = False
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             for tickets in self._by_network.values():

@@ -4,8 +4,22 @@ from __future__ import annotations
 
 import gzip
 import io
+import os
 from contextlib import contextmanager
 from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX, so readers never observe a
+    truncated file under the final name — the pattern every cache
+    artifact (workspace, dataset sidecars, telemetry dumps) relies on.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 @contextmanager

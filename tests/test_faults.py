@@ -1,0 +1,220 @@
+"""Fault-injection matrix: the pipeline survives every fault class.
+
+The acceptance contract of the robustness work: a corpus perturbed with
+any single fault class at a low rate still completes ``build_full``
+without an exception, the :class:`DataQualityReport` attributes every
+quarantined/dropped/degraded item to a reason, a clean corpus produces a
+bit-identical dataset, and a mostly-corrupt corpus hard-fails with
+:class:`DataError` instead of silently producing garbage tables.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.faults import FAULT_CLASSES, FaultInjector, FaultPlan, inject_faults
+from repro.metrics import dataset as dataset_mod
+from repro.metrics.dataset import build_full
+from repro.synthesis.organization import OrganizationSynthesizer, SynthesisSpec
+from repro.version import CORPUS_FORMAT_VERSION
+
+FAULT_RATE = 0.05
+INJECT_SEED = 99
+
+#: Which report bucket each fault class must surface in once the
+#: pipeline digests the perturbed corpus. ``drop_snapshot`` is silent
+#: loss — there is nothing left to attribute, the run just completes.
+ATTRIBUTION = {
+    "truncate_config": "snapshots_quarantined",
+    "garbage_lines": "snapshots_quarantined",
+    "broken_stanza": "snapshots_quarantined",
+    "drop_snapshot": None,
+    "duplicate_snapshot": "snapshots_quarantined",
+    "out_of_order": "snapshots_repaired",
+    "clock_skew": "snapshots_quarantined",
+    "duplicate_ticket": "tickets_quarantined",
+    "malformed_ticket": "tickets_quarantined",
+    "unknown_dialect": "devices_dropped",
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = SynthesisSpec(n_networks=20, n_months=6, seed=11)
+    return OrganizationSynthesizer(spec).build()
+
+
+@pytest.fixture(scope="module")
+def clean_result(corpus):
+    return build_full(corpus)
+
+
+def _case_map(dataset):
+    """(network, month) -> metric row, for drift comparison."""
+    return {
+        (net, month): dataset.values[i]
+        for i, (net, month) in enumerate(
+            zip(dataset.case_networks, dataset.case_month_indices)
+        )
+    }
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("fault_class", FAULT_CLASSES)
+    def test_pipeline_survives(self, corpus, clean_result, fault_class):
+        plan = FaultPlan.single(fault_class, FAULT_RATE)
+        injected = inject_faults(corpus, plan, seed=INJECT_SEED)
+        assert injected.counts[fault_class] > 0, "no faults landed"
+        assert all(count == 0 for name, count in injected.counts.items()
+                   if name != fault_class)
+
+        result = build_full(injected.corpus)
+
+        assert result.dataset.n_cases > 0
+        report = result.quality
+        bucket = ATTRIBUTION[fault_class]
+        if bucket is not None:
+            issues = getattr(report, bucket)
+            assert issues, f"{fault_class} left no trace in {bucket}"
+        # every recorded issue carries a non-empty attribution
+        for issue in report.all_issues():
+            assert issue.reason
+            assert issue.item
+            assert issue.kind in {"snapshot", "device", "network", "ticket"}
+
+    @pytest.mark.parametrize("fault_class", FAULT_CLASSES)
+    def test_metric_drift_is_bounded(self, corpus, clean_result, fault_class):
+        """At a 5% fault rate the surviving cases stay close to the
+        clean run: column means over common cases drift by a bounded
+        amount, so degradation loses data without distorting it."""
+        plan = FaultPlan.single(fault_class, FAULT_RATE)
+        injected = inject_faults(corpus, plan, seed=INJECT_SEED)
+        faulted = build_full(injected.corpus)
+
+        clean_cases = _case_map(clean_result.dataset)
+        faulted_cases = _case_map(faulted.dataset)
+        common = sorted(set(clean_cases) & set(faulted_cases))
+        assert len(common) >= 0.5 * len(clean_cases)
+
+        clean_mat = np.array([clean_cases[k] for k in common])
+        fault_mat = np.array([faulted_cases[k] for k in common])
+        clean_mean = clean_mat.mean(axis=0)
+        fault_mean = fault_mat.mean(axis=0)
+        drift = np.abs(fault_mean - clean_mean) / (np.abs(clean_mean) + 1.0)
+        worst = clean_result.dataset.names[int(np.argmax(drift))]
+        assert drift.max() < 0.5, f"{worst} drifted {drift.max():.2f}"
+
+    def test_clean_corpus_is_clean_and_bit_identical(self, corpus,
+                                                     clean_result):
+        """A zero-rate plan is the identity and the clean pipeline run
+        reports a clean corpus."""
+        assert not FaultPlan().any_active
+        injected = inject_faults(corpus, FaultPlan(), seed=INJECT_SEED)
+        assert sum(injected.counts.values()) == 0
+        rebuilt = build_full(injected.corpus)
+
+        assert clean_result.quality.is_clean
+        assert rebuilt.quality.is_clean
+        a, b = clean_result.dataset, rebuilt.dataset
+        assert a.names == b.names
+        assert a.case_networks == b.case_networks
+        assert a.case_month_indices == b.case_month_indices
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.tickets, b.tickets)
+        assert a.epoch == b.epoch
+        assert clean_result.changes == rebuilt.changes
+
+    def test_corpus_format_version_unchanged(self):
+        # graceful degradation must not invalidate existing caches
+        assert CORPUS_FORMAT_VERSION == 5
+
+    def test_mostly_corrupt_corpus_hard_fails(self, corpus):
+        plan = FaultPlan.single("unknown_dialect", 0.9)
+        injected = inject_faults(corpus, plan, seed=INJECT_SEED)
+        with pytest.raises(DataError, match="hard-fail threshold"):
+            build_full(injected.corpus)
+        # the same corpus passes with a permissive threshold
+        result = build_full(injected.corpus, max_bad_fraction=1.0)
+        assert len(result.quality.devices_dropped) > 0
+
+    def test_threshold_env_override(self, corpus, monkeypatch):
+        plan = FaultPlan.single("unknown_dialect", 0.9)
+        injected = inject_faults(corpus, plan, seed=INJECT_SEED)
+        monkeypatch.setenv("MPA_MAX_BAD_FRACTION", "1.0")
+        result = build_full(injected.corpus)
+        assert result.dataset.n_cases > 0
+
+    def test_failed_network_task_degrades_not_aborts(self, corpus,
+                                                     monkeypatch):
+        """An inference task that raises past all quarantine layers
+        excludes its network and degrades the report — the other
+        networks still make it into the table."""
+        real = dataset_mod._network_cases
+        victims = {"net0003"}
+
+        def flaky(corpus, network_id, delta_minutes, keep_changes):
+            if network_id in victims:
+                raise RuntimeError("simulated inference crash")
+            return real(corpus, network_id, delta_minutes, keep_changes)
+
+        monkeypatch.setenv("MPA_JOBS", "1")
+        monkeypatch.setattr(dataset_mod, "_network_cases", flaky)
+        result = build_full(corpus)
+        assert "net0003" not in set(result.dataset.case_networks)
+        assert len(set(result.dataset.case_networks)) == 19
+        degraded = result.quality.networks_degraded
+        assert [i.item for i in degraded] == ["net0003"]
+        assert "RuntimeError" in degraded[0].reason
+        assert "simulated inference crash" in degraded[0].reason
+
+
+class TestInjector:
+    def test_deterministic(self, corpus):
+        plan = FaultPlan.uniform(0.05)
+        a = FaultInjector(plan, seed=INJECT_SEED).apply(corpus)
+        b = FaultInjector(plan, seed=INJECT_SEED).apply(corpus)
+        assert a.counts == b.counts
+        assert a.corpus.snapshots == b.corpus.snapshots
+        assert (list(a.corpus.tickets.iter_all())
+                == list(b.corpus.tickets.iter_all()))
+
+    def test_seed_changes_outcome(self, corpus):
+        plan = FaultPlan.uniform(0.05)
+        a = FaultInjector(plan, seed=1).apply(corpus)
+        b = FaultInjector(plan, seed=2).apply(corpus)
+        assert a.corpus.snapshots != b.corpus.snapshots
+
+    def test_input_not_mutated(self, corpus):
+        before = {d: list(s) for d, s in corpus.snapshots.items()}
+        n_tickets = len(corpus.tickets)
+        inject_faults(corpus, FaultPlan.uniform(0.2), seed=INJECT_SEED)
+        assert corpus.snapshots == before
+        assert len(corpus.tickets) == n_tickets
+
+    def test_class_isolation(self, corpus):
+        """Activating one class never shifts another class's draws."""
+        single = inject_faults(
+            corpus, FaultPlan.single("garbage_lines", 0.05),
+            seed=INJECT_SEED,
+        )
+        combined = inject_faults(
+            corpus,
+            FaultPlan(garbage_lines=0.05, duplicate_ticket=0.05),
+            seed=INJECT_SEED,
+        )
+        assert single.counts["garbage_lines"] == \
+            combined.counts["garbage_lines"]
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="outside"):
+            FaultPlan(garbage_lines=1.5)
+        with pytest.raises(ValueError, match="unknown fault class"):
+            FaultPlan.single("cosmic_rays", 0.1)
+
+    def test_plan_covers_every_field(self):
+        assert set(FAULT_CLASSES) == {
+            f.name for f in dataclasses.fields(FaultPlan)
+        }
+        assert set(FaultPlan.uniform(0.1).rates().values()) == {0.1}

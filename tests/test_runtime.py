@@ -7,7 +7,7 @@ import pytest
 
 from repro.metrics.dataset import build_full
 from repro.runtime import pool as pool_mod
-from repro.runtime.pool import parallel_map, resolve_jobs, task_seed
+from repro.runtime.pool import TaskFailure, parallel_map, resolve_jobs, task_seed
 from repro.runtime.telemetry import Telemetry
 from repro.synthesis.organization import SCALES, OrganizationSynthesizer
 
@@ -18,6 +18,19 @@ def _square(x):
 
 def _in_worker(_):
     return pool_mod._IN_WORKER
+
+
+def _boom_on_three(x):
+    if x == 3:
+        raise ValueError("x was three")
+    return x * 10
+
+
+def _kill_worker(x):
+    if pool_mod._IN_WORKER:
+        import os
+        os._exit(1)  # simulate a worker lost to the OOM killer
+    return x + 10
 
 
 class TestResolveJobs:
@@ -42,6 +55,62 @@ class TestResolveJobs:
     def test_nonpositive_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(0)
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError,
+                           match=r"jobs argument must be >= 1, got 0"):
+            resolve_jobs(0)
+
+    def test_error_names_the_env_variable(self, monkeypatch):
+        monkeypatch.setenv("MPA_JOBS", "0")
+        with pytest.raises(
+            ValueError,
+            match=r"MPA_JOBS environment variable must be >= 1, got 0",
+        ):
+            resolve_jobs()
+
+
+class TestCollectMode:
+    """``on_error="collect"``: failures become TaskFailure records."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failures_collected_in_place(self, jobs):
+        result = parallel_map(_boom_on_three, range(6), jobs=jobs,
+                              on_error="collect")
+        assert [r for r in result if not isinstance(r, TaskFailure)] == \
+            [0, 10, 20, 40, 50]
+        failure = result[3]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 3
+        assert failure.error_type == "ValueError"
+        assert failure.message == "x was three"
+        assert "_boom_on_three" in failure.traceback
+        assert str(failure) == "task 3 failed: ValueError: x was three"
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_raise_mode_still_raises(self, jobs):
+        with pytest.raises(ValueError, match="x was three"):
+            parallel_map(_boom_on_three, range(6), jobs=jobs,
+                         on_error="raise")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            parallel_map(_square, range(3), jobs=1, on_error="ignore")
+
+    def test_failure_record_is_picklable(self):
+        import pickle
+        failure = TaskFailure(1, "RuntimeError", "boom", "tb")
+        assert pickle.loads(pickle.dumps(failure)) == failure
+
+
+class TestBrokenPoolRecovery:
+    """A worker death mid-run degrades to serial retry, not a crash."""
+
+    @pytest.mark.parametrize("on_error", ["raise", "collect"])
+    def test_killed_worker_recovered_serially(self, on_error):
+        result = parallel_map(_kill_worker, range(6), jobs=2,
+                              on_error=on_error)
+        assert result == [10, 11, 12, 13, 14, 15]
 
 
 class TestParallelMap:
