@@ -4,11 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench smoke fuzz
+.PHONY: test bench smoke fuzz lint
 
 # tier-1 test suite
 test:
 	$(PYTHON) -m pytest -x -q
+
+# static checks (config in pyproject.toml [tool.ruff])
+lint:
+	ruff check src tests benchmarks examples
 
 # parser fuzz pass with a pinned seed (CI runs this; override
 # MPA_FUZZ_SEED to explore other corners)

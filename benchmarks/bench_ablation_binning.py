@@ -38,9 +38,9 @@ def test_ablation_binning_strategy(benchmark, dataset):
     print()
     print(render_table(["n_config_changes bin", "min/max", "5/95 clamped"], rows,
                        title="Ablation: bin occupancy under both strategies"))
-    top_fmt = lambda results: [
-        (r.practice, round(r.avg_monthly_mi, 3)) for r in results[:5]
-    ]
+    def top_fmt(results):
+        return [(r.practice, round(r.avg_monthly_mi, 3))
+                for r in results[:5]]
     print("top-5 MI (clamped):", top_fmt(clamped))
     print("top-5 MI (min/max):", top_fmt(naive))
 

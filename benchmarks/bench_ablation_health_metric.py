@@ -8,8 +8,6 @@ statistical dependence with the top practices dwarfs MTTR's and the
 high-impact count's.
 """
 
-import numpy as np
-
 from repro.analysis.mutual_information import binned_mutual_information
 from repro.metrics.health_alt import alternative_health_columns
 from repro.util.tables import render_table

@@ -6,8 +6,6 @@ confounders (Mahalanobis suffers similarly); propensity matching pairs
 ~99.8% of treated cases.
 """
 
-import numpy as np
-
 from repro.analysis.qed.experiment import build_confounders, _to_logit
 from repro.analysis.qed.matching import (
     exact_match,
@@ -51,7 +49,7 @@ def test_ablation_matching_method(benchmark, dataset):
     ]
     print()
     print(render_table(["method", "pairs", "treated matched"], rows,
-                       title=f"Ablation: matching methods "
+                       title="Ablation: matching methods "
                              f"({n_treated} treated cases)"))
 
     # the paper's contrast: exact matching is hopeless with this many

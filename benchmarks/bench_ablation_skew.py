@@ -21,10 +21,10 @@ def _evaluate(X, y, factors, n_rounds):
             return X_train, y_train
         return oversample(X_train, y_train, factors)
 
-    if n_rounds == 0:
-        factory = lambda: DecisionTreeClassifier()
-    else:
-        factory = lambda: AdaBoostClassifier(n_rounds=n_rounds)
+    def factory():
+        if n_rounds == 0:
+            return DecisionTreeClassifier()
+        return AdaBoostClassifier(n_rounds=n_rounds)
     return cross_validate(factory, X, y, k=5, seed=2,
                           train_transform=transform)
 

@@ -5,8 +5,6 @@ more models (which is why causal analysis must account for confounding
 between practices).
 """
 
-import numpy as np
-
 from repro.reporting.figures import relationship_figure
 from repro.util.stats import pearson_correlation
 

@@ -3,8 +3,6 @@
 Paper shape: both show a strong, visually obvious positive dependence.
 """
 
-import numpy as np
-
 from repro.reporting.figures import relationship_figure
 from repro.util.binning import equal_width_bins
 from repro.util.stats import pearson_correlation

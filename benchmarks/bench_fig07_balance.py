@@ -9,7 +9,6 @@ import numpy as np
 
 from repro.analysis.qed.experiment import (
     build_confounders,
-    run_comparison,
 )
 from repro.analysis.qed.matching import nearest_neighbor_match
 from repro.analysis.qed.propensity import propensity_scores
@@ -26,8 +25,9 @@ def _run(dataset):
     untreated_idx, treated_idx = binning.split(point)
     s_u, s_t = propensity_scores(confounders[untreated_idx],
                                  confounders[treated_idx], l2=0.1)
-    logit = lambda s: np.log(np.clip(s, 1e-9, 1 - 1e-9)
-                             / (1 - np.clip(s, 1e-9, 1 - 1e-9)))
+    def logit(s):
+        clipped = np.clip(s, 1e-9, 1 - 1e-9)
+        return np.log(clipped / (1 - clipped))
     pairs = nearest_neighbor_match(logit(s_u), logit(s_t),
                                    untreated_idx, treated_idx)
     return names, confounders, pairs

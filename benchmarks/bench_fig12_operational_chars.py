@@ -27,7 +27,7 @@ def test_fig12_operational_characterization(benchmark, dataset, changes,
     )
 
     print()
-    print(f"Fig 12(a): corr(network size, changes/month) = "
+    print("Fig 12(a): corr(network size, changes/month) = "
           f"{chars.size_change_correlation:.2f}")
     print(ascii_cdf(chars.frac_devices_changed_month,
                     title="Fig 12(b): frac devices changed per month"))
@@ -38,7 +38,7 @@ def test_fig12_operational_characterization(benchmark, dataset, changes,
                         title=f"Fig 12(c): frac changes touching {stype}"))
     print(ascii_cdf(chars.frac_changes_automated,
                     title="Fig 12(d): frac changes automated"))
-    print(f"Fig 12(d): corr(automation, change volume) = "
+    print("Fig 12(d): corr(automation, change volume) = "
           f"{chars.automation_change_correlation:.2f}")
     print(ascii_cdf(chars.avg_events_per_month,
                     title="Fig 12(e): change events per month"))

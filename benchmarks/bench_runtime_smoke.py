@@ -6,13 +6,20 @@ deadlocks, nondeterministic fan-out — surface immediately instead of
 only at full scale. Builds a fresh ``tiny`` workspace in a temp cache
 with two workers, checks it against the serial result, and prints the
 stage telemetry.
+
+Also measures the staged engine's incremental rebuild: the session
+corpus extended by one month, rebuilt cold vs. through the stage
+cache. The speedup lands in the telemetry summary as a note.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.workspace import Workspace
+from repro.metrics.dataset import build_full
 from repro.runtime.telemetry import TELEMETRY
 
 
@@ -35,3 +42,50 @@ def test_runtime_smoke_parallel_tiny_build(tmp_path, monkeypatch):
 
     print()
     print(TELEMETRY.summary())
+
+
+def test_runtime_incremental_rebuild_speedup(workspace):
+    """+1-month extension: cold full rebuild vs. stage-cached rebuild.
+
+    The staged engine's contract: after an extend, the incremental
+    rebuild reuses every untouched (network, stage) unit — so it must
+    be several times faster than the cold build while producing a
+    bit-identical table and quality report.
+    """
+    corpus = workspace.corpus()
+    cache = workspace.stage_cache()
+    # make sure the base span's units are present (no-op when
+    # workspace.ensure() already wrote them in this cache dir)
+    build_full(corpus, cache=cache)
+
+    extended = corpus.extend_months(1)
+
+    start = time.perf_counter()
+    incremental = build_full(extended, cache=cache)
+    t_incremental = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold = build_full(extended)
+    t_cold = time.perf_counter() - start
+
+    assert np.array_equal(incremental.dataset.values, cold.dataset.values)
+    assert np.array_equal(incremental.dataset.tickets, cold.dataset.tickets)
+    assert incremental.dataset.case_networks == cold.dataset.case_networks
+    assert incremental.changes == cold.changes
+    assert incremental.quality.to_dict() == cold.quality.to_dict()
+
+    hits = {c.name: c.hits for c in TELEMETRY.caches()}
+    assert hits.get("parse", 0) > 0, "extension rebuild reused no units"
+
+    speedup = t_cold / t_incremental if t_incremental else float("inf")
+    TELEMETRY.note(
+        "incremental_rebuild_speedup",
+        f"{speedup:.1f}x (cold {t_cold:.2f}s / "
+        f"incremental {t_incremental:.2f}s, +1 month at "
+        f"{workspace.scale})",
+    )
+    print()
+    print(TELEMETRY.summary())
+    # conservative floor (acceptance target is ~5x at small scale; keep
+    # slack for loaded CI machines)
+    assert speedup >= 2.0

@@ -10,7 +10,6 @@ from repro.analysis.dependence import (
     rank_practice_pairs_by_cmi,
     rank_practices_by_mi,
 )
-from repro.metrics.catalog import get_metric
 from repro.reporting.tables import format_cmi_table
 
 

@@ -44,14 +44,14 @@ def main() -> None:
     # step 2: confounders (everything but the treatment)
     names, confounders = build_confounders(dataset, treatment)
     print(f"Confounders: {len(names)} practices "
-          f"(log1p scale; same-family operational metrics use the "
-          f"network's leave-one-out practice level)")
+          "(log1p scale; same-family operational metrics use the "
+          "network's leave-one-out practice level)")
     print()
 
     # steps 2-4, all comparison points
     experiment = run_causal_analysis(dataset, treatment)
     print(format_matching_table(
-        experiment, title=f"Matching per comparison point (Table 5)"
+        experiment, title="Matching per comparison point (Table 5)"
     ))
     print()
     print(format_signtest_table(
@@ -65,7 +65,7 @@ def main() -> None:
         report = result.balance
         print(f"Balance at {result.point_label}: "
               f"{report.n_imbalanced}/{len(report.covariates)} covariates "
-              f"out of thresholds; propensity std-diff = "
+              "out of thresholds; propensity std-diff = "
               f"{report.propensity.abs_std_diff_of_means:.4f}, "
               f"var-ratio = {report.propensity.ratio_of_variances:.3f}")
         worst = report.worst

@@ -46,7 +46,7 @@ def main() -> None:
     print("== Operational practices (Figures 12-13) ==")
     oper = characterize_operational(dataset, changes,
                                     SCALES[scale].n_months)
-    print(f"corr(network size, changes/month) = "
+    print("corr(network size, changes/month) = "
           f"{oper.size_change_correlation:.2f} (paper: 0.64)")
     print(ascii_cdf(oper.avg_events_per_month, "change events per month"))
     print(ascii_cdf(oper.frac_changes_automated, "fraction automated"))

@@ -3,6 +3,9 @@
 Commands:
 
 * ``mpa synthesize --scale small`` — build + cache the corpus/dataset,
+* ``mpa extend --months 1`` — append synthetic months and rebuild the
+  table incrementally (stage-cache hits for untouched units), then
+  evaluate the rolling prediction on the new months,
 * ``mpa summary`` — dataset sizes (Table 2),
 * ``mpa quality`` — the run's data-quality report (quarantines/drops),
 * ``mpa top`` — top practices by MI (Table 3),
@@ -59,6 +62,16 @@ def main(argv: list[str] | None = None) -> int:
                    help="hard-fail when more than this fraction of any "
                         "input dimension is quarantined (default: "
                         "MPA_MAX_BAD_FRACTION env var or 0.25)")
+
+    p = sub.add_parser("extend",
+                       help="append months and rebuild incrementally")
+    _add_scale(p)
+    p.add_argument("--months", type=int, default=1,
+                   help="months of history to append (default 1)")
+    p.add_argument("--history", type=int, default=3,
+                   help="training window for the rolling prediction "
+                        "over the new months (default 3)")
+    p.add_argument("--classes", type=int, default=2)
 
     p = sub.add_parser("summary", help="dataset sizes (Table 2)")
     _add_scale(p)
@@ -124,6 +137,21 @@ def main(argv: list[str] | None = None) -> int:
         workspace.ensure()
         print(f"workspace ready under {workspace.root}")
         print(workspace.quality().summary())
+        return 0
+    if args.command == "extend":
+        from repro.core.online import predict_extension
+        from repro.runtime.telemetry import TELEMETRY
+        extended = workspace.extended(args.months)
+        extended.ensure()
+        print(f"extended workspace ready under {extended.root} "
+              f"(+{args.months} month(s), "
+              f"{extended.spec.n_months} total)")
+        print(TELEMETRY.summary())
+        scheme = _scheme(args.classes)
+        result = predict_extension(extended.dataset(), args.months,
+                                   history_months=args.history,
+                                   scheme=scheme)
+        print(format_online_table([result], [scheme.name]))
         return 0
     if args.command == "summary":
         print(render_kv(sorted(workspace.summary().items()),

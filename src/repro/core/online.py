@@ -84,3 +84,30 @@ def online_prediction_accuracy(dataset: MetricDataset,
         monthly_accuracy=tuple(accuracies),
         evaluated_months=tuple(evaluated),
     )
+
+
+def predict_extension(dataset: MetricDataset,
+                      n_new_months: int,
+                      history_months: int = 3,
+                      scheme: HealthClassScheme = TWO_CLASS,
+                      variant: str = "dt+ab+os") -> OnlineResult:
+    """Rolling prediction over a table's newest ``n_new_months`` months.
+
+    The companion of the incremental build (``mpa extend``): after the
+    metric table grows by a month, evaluate the paper's Section 6.2
+    workflow on exactly the appended months — train on the trailing
+    ``history_months`` window, predict each new month's health classes.
+    """
+    if n_new_months < 1:
+        raise ValueError("n_new_months must be positive")
+    months = sorted(set(dataset.case_month_indices))
+    if n_new_months > len(months):
+        raise InsufficientDataError(
+            f"table has {len(months)} months, cannot evaluate the "
+            f"newest {n_new_months}"
+        )
+    new_months = months[-n_new_months:]
+    return online_prediction_accuracy(
+        dataset, history_months, scheme=scheme, variant=variant,
+        first_month=new_months[0], last_month=new_months[-1],
+    )

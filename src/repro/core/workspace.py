@@ -45,6 +45,7 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import pickle
 import warnings
 import zipfile
 from contextlib import contextmanager
@@ -73,6 +74,54 @@ _ARTIFACT_ERRORS = (
     TypeError,  # sidecar/meta fields of the wrong shape
     CorpusError,
 )
+
+
+class StageCache:
+    """Content-addressed store for per-(network, stage) pipeline results.
+
+    Keys are SHA-256 hex digests computed by
+    :mod:`repro.metrics.stages` over each unit's inputs plus the corpus
+    format and stage code versions, so entries never need invalidation:
+    a changed input, format bump, or stage rewrite simply misses and
+    writes a new entry. That also makes the store safe to **share**
+    across workspaces (it lives beside them, not inside one) — an
+    extended workspace hits the entries its base build wrote, which is
+    what makes a 1-month extension cheap.
+
+    Values are pickled to a temp name and atomically renamed, the same
+    crash-safety pattern as every other workspace artifact; an
+    unreadable entry (truncated by a crash, wrong pickle) is treated as
+    a miss and overwritten by the recompute.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        # two-level fan-out keeps directory listings small at scale
+        return self.root / key[:2] / key
+
+    def load(self, key: str):
+        """The stored value for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def store(self, key: str, value) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> None:
+        """Drop every entry (testing/benchmark helper)."""
+        import shutil
+        shutil.rmtree(self.root, ignore_errors=True)
 
 
 def _default_cache_dir() -> Path:
@@ -109,11 +158,19 @@ def _file_lock(lock_path: Path):
 
 @dataclass
 class Workspace:
-    """Disk-cached pipeline artifacts for one (scale, seed)."""
+    """Disk-cached pipeline artifacts for one (scale, seed).
+
+    ``extra_months > 0`` denotes an *extended* workspace: the scale's
+    corpus plus that many appended months (see :meth:`extended` and the
+    ``mpa extend`` CLI verb). Extended workspaces cache their artifacts
+    under their own root but share the stage cache with the base, so
+    their build recomputes only the units the new months dirty.
+    """
 
     scale: str
     seed: int
     cache_dir: Path
+    extra_months: int = 0
 
     @classmethod
     def default(cls, scale: str | None = None) -> "Workspace":
@@ -123,15 +180,31 @@ class Workspace:
         seed = int(os.environ.get("MPA_SEED", SCALES[scale].seed))
         return cls(scale=scale, seed=seed, cache_dir=_default_cache_dir())
 
+    def extended(self, extra_months: int = 1) -> "Workspace":
+        """The workspace covering this one's span plus ``extra_months``."""
+        if extra_months < 1:
+            raise ValueError("extra_months must be positive")
+        return Workspace(scale=self.scale, seed=self.seed,
+                         cache_dir=self.cache_dir,
+                         extra_months=self.extra_months + extra_months)
+
     @property
     def spec(self) -> SynthesisSpec:
         base = SCALES[self.scale]
-        return SynthesisSpec(base.n_networks, base.n_months, self.seed,
+        return SynthesisSpec(base.n_networks,
+                             base.n_months + self.extra_months, self.seed,
                              base.epoch)
 
     @property
     def root(self) -> Path:
-        return self.cache_dir / f"{self.scale}-seed{self.seed}"
+        suffix = f"-plus{self.extra_months}mo" if self.extra_months else ""
+        return self.cache_dir / f"{self.scale}-seed{self.seed}{suffix}"
+
+    def stage_cache(self) -> StageCache:
+        """The per-(network, stage) result cache shared by every
+        workspace under this cache dir (content-addressed keys make
+        sharing safe)."""
+        return StageCache(self.cache_dir / "stagecache")
 
     # -- artifact paths -----------------------------------------------------
 
@@ -215,7 +288,7 @@ class Workspace:
                 return  # another process finished the build meanwhile
             with TELEMETRY.stage("workspace-build"):
                 corpus = self._load_or_build_corpus()
-                result = build_full(corpus)
+                result = build_full(corpus, cache=self.stage_cache())
                 result.dataset.save(self.dataset_path)
                 self._save_changes(result.changes)
                 atomic_write_text(self.summary_path,
@@ -243,7 +316,15 @@ class Workspace:
                     f"cached corpus at {self.corpus_dir} is unreadable "
                     f"({exc!r}); rebuilding", RuntimeWarning, stacklevel=2,
                 )
-        corpus = OrganizationSynthesizer(self.spec).build()
+        if self.extra_months:
+            # extended span: append months to the base corpus via RNG
+            # replay (bit-identical to a cold synthesis of the full
+            # span, but without re-rendering the covered months)
+            base = Workspace(scale=self.scale, seed=self.seed,
+                             cache_dir=self.cache_dir)
+            corpus = base.corpus().extend_months(self.extra_months)
+        else:
+            corpus = OrganizationSynthesizer(self.spec).build()
         corpus.save(self.corpus_dir)
         return corpus
 

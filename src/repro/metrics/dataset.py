@@ -20,30 +20,20 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.confparse.diff import diff_configs
-from repro.confparse.registry import parse_config
-from repro.errors import ConfigParseError, CorpusError
+from repro.errors import CorpusError
 from repro.metrics.catalog import metric_names
 from repro.metrics.quality import DataQualityReport, scrub_corpus
-from repro.metrics.design import (
-    DeviceFeatures,
-    config_metrics,
-    extract_device_features,
-    inventory_metrics,
+from repro.metrics.design import DeviceFeatures
+from repro.metrics.events import DEFAULT_DELTA_MINUTES
+from repro.metrics.stages import (
+    compute_network_timeline_parts,
+    compute_network_unit,
 )
-from repro.metrics.events import DEFAULT_DELTA_MINUTES, group_change_events
-from repro.metrics.health import modality_from_login, monthly_ticket_count
-from repro.metrics.operational import operational_metrics
 from repro.runtime.pool import TaskFailure, parallel_map
+from repro.runtime.telemetry import TELEMETRY
 from repro.synthesis.corpus import Corpus
-from repro.types import (
-    CaseKey,
-    ChangeEvent,
-    ChangeModality,
-    ChangeRecord,
-    MonthKey,
-)
-from repro.util.timeutils import MINUTES_PER_MONTH
+from repro.types import CaseKey, ChangeEvent, ChangeRecord, MonthKey
+from repro.util.ioutils import atomic_write_text
 
 
 @dataclass
@@ -74,12 +64,14 @@ class MetricDataset:
         return len(self.case_networks)
 
     def column(self, name: str) -> np.ndarray:
-        """One metric's values across all cases (a view, do not mutate)."""
+        """One metric's values across all cases (a read-only view)."""
         try:
             idx = self.names.index(name)
         except ValueError:
             raise KeyError(f"unknown metric {name!r}") from None
-        return self.values[:, idx]
+        view = self.values[:, idx]
+        view.setflags(write=False)
+        return view
 
     def case_keys(self) -> list[CaseKey]:
         return [
@@ -117,17 +109,12 @@ class MetricDataset:
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}.npz")
         np.savez_compressed(tmp, values=self.values, tickets=self.tickets)
         os.replace(tmp, path)
-        sidecar = path.with_suffix(".json")
-        sidecar_tmp = sidecar.with_name(
-            f"{sidecar.name}.tmp-{os.getpid()}"
-        )
-        sidecar_tmp.write_text(json.dumps({
+        atomic_write_text(path.with_suffix(".json"), json.dumps({
             "names": self.names,
             "case_networks": self.case_networks,
             "case_month_indices": self.case_month_indices,
             "epoch": [self.epoch.year, self.epoch.month],
         }))
-        os.replace(sidecar_tmp, sidecar)
 
     @classmethod
     def load(cls, path: str | Path) -> "MetricDataset":
@@ -202,84 +189,15 @@ def build_network_timeline(corpus: Corpus, network_id: str,
     is quarantined (recorded in ``report``) and the previously-in-effect
     config carries forward; a device whose dialect is unknown or with
     zero parsable snapshots is dropped from the timeline entirely.
+
+    This is the uncached spelling of the per-network stage graph in
+    :mod:`repro.metrics.stages`.
     """
     if report is None:
         report = DataQualityReport()
-    n_months = corpus.n_months
-    devices = corpus.inventory.devices_in(network_id)
-    report.devices_total += len(devices)
-    changes: list[ChangeRecord] = []
-    # features_by_month[m][device] = summary of config in effect at end of m
-    features_by_month: list[dict[str, DeviceFeatures]] = [
-        {} for _ in range(n_months)
-    ]
-
-    for device in devices:
-        snaps = corpus.snapshots.get(device.device_id, [])
-        if not snaps:
-            report.drop_device(device.device_id, network_id,
-                               "no snapshots in corpus")
-            continue
-        try:
-            dialect = corpus.dialect_of(device.device_id)
-        except KeyError:
-            for _ in snaps:
-                report.quarantine_snapshot(
-                    device.device_id, network_id,
-                    f"no dialect registered for "
-                    f"{device.vendor}/{device.model}",
-                )
-            report.drop_device(
-                device.device_id, network_id,
-                f"unknown dialect for model {device.vendor}/{device.model}",
-            )
-            continue
-        prev_config = None
-        features_at: list[tuple[int, DeviceFeatures]] = []
-        for snap in snaps:
-            try:
-                config = parse_config(snap.config_text, dialect)
-            except ConfigParseError as exc:
-                # quarantine: the config previously in effect carries
-                # forward (no diff, no feature update for this snapshot)
-                report.quarantine_snapshot(
-                    device.device_id, network_id, f"unparsable config: {exc}"
-                )
-                continue
-            report.snapshots_parsed += 1
-            if prev_config is not None:
-                diff = diff_configs(prev_config, config)
-                if diff:
-                    modality = (ChangeModality.AUTOMATED
-                                if modality_from_login(snap.login)
-                                else ChangeModality.MANUAL)
-                    changes.append(ChangeRecord(
-                        device_id=device.device_id,
-                        network_id=network_id,
-                        timestamp=snap.timestamp,
-                        modality=modality,
-                        stanza_types=diff.changed_types,
-                        login=snap.login,
-                    ))
-            features_at.append((snap.timestamp, extract_device_features(config)))
-            prev_config = config
-        if not features_at:
-            report.drop_device(device.device_id, network_id,
-                               "zero parsable snapshots")
-            continue
-        # config in effect at end of each month = last snapshot before it
-        pointer = 0
-        current = features_at[0][1]
-        for month in range(n_months):
-            month_end = (month + 1) * MINUTES_PER_MONTH
-            while (pointer < len(features_at)
-                   and features_at[pointer][0] < month_end):
-                current = features_at[pointer][1]
-                pointer += 1
-            features_by_month[month][device.device_id] = current
-
-    changes.sort(key=lambda c: (c.timestamp, c.device_id))
-    events = group_change_events(changes, delta_minutes) if changes else []
+    changes, events, features_by_month = compute_network_timeline_parts(
+        corpus, network_id, delta_minutes, report
+    )
     return NetworkTimeline(
         network_id=network_id,
         changes=changes,
@@ -302,19 +220,22 @@ class PipelineResult:
 def build_full(corpus: Corpus,
                delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
                max_bad_fraction: float | None = None,
+               cache=None,
                ) -> PipelineResult:
     """Like :func:`build_dataset` but also returns the raw change records
     (used by the delta-sweep and characterization benches) and the
     :class:`~repro.metrics.quality.DataQualityReport` of the run."""
     dataset, changes, quality = _build(corpus, delta_minutes,
                                        keep_changes=True,
-                                       max_bad_fraction=max_bad_fraction)
+                                       max_bad_fraction=max_bad_fraction,
+                                       cache=cache)
     return PipelineResult(dataset=dataset, changes=changes, quality=quality)
 
 
 def build_dataset(corpus: Corpus,
                   delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
                   max_bad_fraction: float | None = None,
+                  cache=None,
                   ) -> MetricDataset:
     """Infer the full metric table from a corpus.
 
@@ -326,84 +247,21 @@ def build_dataset(corpus: Corpus,
     (default :data:`repro.metrics.quality.DEFAULT_MAX_BAD_FRACTION`,
     overridable via ``MPA_MAX_BAD_FRACTION``), the run raises
     :class:`~repro.errors.DataError` rather than producing garbage.
+
+    ``cache`` is an optional per-(network, stage) result cache (see
+    :class:`repro.core.workspace.StageCache`); passing one makes
+    rebuilds after small corpus deltas incremental while keeping the
+    output bit-identical to a cold build.
     """
     dataset, _, _ = _build(corpus, delta_minutes, keep_changes=False,
-                           max_bad_fraction=max_bad_fraction)
+                           max_bad_fraction=max_bad_fraction, cache=cache)
     return dataset
-
-
-@dataclass
-class _NetworkCases:
-    """One network's metric rows (the unit of parallel fan-out)."""
-
-    network_id: str
-    rows: list[list[float]]
-    tickets: list[int]
-    months: list[int]
-    changes: list[ChangeRecord] | None
-    quality: DataQualityReport = field(default_factory=DataQualityReport)
-
-
-def _network_cases(corpus: Corpus, network_id: str,
-                   delta_minutes: int | None,
-                   keep_changes: bool) -> _NetworkCases:
-    """Infer one network's (month x metric) rows (pool task body)."""
-    names = metric_names()
-    devices = corpus.inventory.devices_in(network_id)
-    mbox_ids = frozenset(
-        d.device_id for d in devices if d.role.is_middlebox
-    )
-    inv = inventory_metrics(corpus.inventory, network_id)
-    quality = DataQualityReport()
-    timeline = build_network_timeline(corpus, network_id, delta_minutes,
-                                      report=quality)
-
-    changes_by_month: list[list[ChangeRecord]] = [
-        [] for _ in range(corpus.n_months)
-    ]
-    for change in timeline.changes:
-        month = change.timestamp // MINUTES_PER_MONTH
-        if 0 <= month < corpus.n_months:
-            changes_by_month[month].append(change)
-    events_by_month: list[list[ChangeEvent]] = [
-        [] for _ in range(corpus.n_months)
-    ]
-    for event in timeline.events:
-        month = event.start_timestamp // MINUTES_PER_MONTH
-        if 0 <= month < corpus.n_months:
-            events_by_month[month].append(event)
-
-    rows: list[list[float]] = []
-    tickets: list[int] = []
-    months: list[int] = []
-    for month_index in range(corpus.n_months):
-        config = config_metrics(timeline.features_by_month[month_index])
-        op = operational_metrics(
-            changes_by_month[month_index],
-            events_by_month[month_index],
-            n_network_devices=len(devices),
-            mbox_device_ids=mbox_ids,
-        )
-        row_map = {**inv, **config, **op}
-        rows.append([row_map[name] for name in names])
-        month = MonthKey.from_index(corpus.epoch.index() + month_index)
-        tickets.append(monthly_ticket_count(
-            corpus.tickets, network_id, month, corpus.epoch
-        ))
-        months.append(month_index)
-    return _NetworkCases(
-        network_id=network_id,
-        rows=rows,
-        tickets=tickets,
-        months=months,
-        changes=timeline.changes if keep_changes else None,
-        quality=quality,
-    )
 
 
 def _build(corpus: Corpus, delta_minutes: int | None,
            keep_changes: bool,
            max_bad_fraction: float | None = None,
+           cache=None,
            ) -> tuple[MetricDataset, dict, DataQualityReport]:
     names = metric_names()
     report = DataQualityReport()
@@ -417,8 +275,8 @@ def _build(corpus: Corpus, delta_minutes: int | None,
     ]
     report.networks_total = len(network_ids)
     per_network = parallel_map(
-        lambda network_id: _network_cases(
-            corpus, network_id, delta_minutes, keep_changes
+        lambda network_id: compute_network_unit(
+            corpus, network_id, delta_minutes, keep_changes, cache
         ),
         network_ids,
         stage="metric-inference",
@@ -430,6 +288,7 @@ def _build(corpus: Corpus, delta_minutes: int | None,
     case_networks: list[str] = []
     case_months: list[int] = []
     all_changes: dict[str, list[ChangeRecord]] = {}
+    cache_totals: dict[str, list[int]] = {}
     for network_id, cases in zip(network_ids, per_network):
         if isinstance(cases, TaskFailure):
             # the whole per-network task blew up on something the
@@ -448,6 +307,18 @@ def _build(corpus: Corpus, delta_minutes: int | None,
         case_months.extend(cases.months)
         if keep_changes:
             all_changes[cases.network_id] = cases.changes or []
+        for stage_name, (hits, misses) in cases.cache_stats.items():
+            totals = cache_totals.setdefault(stage_name, [0, 0])
+            totals[0] += hits
+            totals[1] += misses
+
+    if cache is not None:
+        # pool workers run in forked processes, so their telemetry
+        # counters die with them; each unit therefore reports its own
+        # hit/miss counts back through the task result and the parent
+        # aggregates them here.
+        for stage_name, (hits, misses) in cache_totals.items():
+            TELEMETRY.record_cache(stage_name, hits=hits, misses=misses)
 
     report.check(max_bad_fraction)
     dataset = MetricDataset(

@@ -1,0 +1,546 @@
+"""Staged incremental build engine: per-(network, stage) pure units.
+
+The corpus -> :class:`~repro.metrics.dataset.MetricDataset` pipeline is
+an explicit stage graph evaluated independently for every network:
+
+* ``parse`` — one *chunk* per month (plus a ``tail`` chunk for
+  out-of-study timestamps): parse the month's snapshots, diff them
+  against the config carried in from the previous chunk, and summarize
+  the configs in effect at month end.
+* ``events`` — group the network's concatenated change records into
+  change events with the delta-window heuristic.
+* ``metrics`` — the monthly design + operational metric rows.
+* ``health`` — the monthly non-maintenance ticket counts.
+
+Every unit is a pure function of its declared inputs, so each result can
+be cached under a **content-addressed key**: a SHA-256 over the unit's
+inputs, :data:`repro.version.CORPUS_FORMAT_VERSION`, and
+:data:`STAGE_CODE_VERSION` (bumped whenever a stage's semantics change).
+Parse chunks are *chained* — chunk ``m``'s key folds in chunk ``m-1``'s
+key — so a key transitively fingerprints every snapshot that could have
+influenced the carried-forward config state. Appending a month (or
+mutating a few networks' snapshots) therefore dirties only the affected
+chunks and the cheap downstream stages of the affected networks;
+everything else is a cache hit.
+
+The cache itself (:class:`repro.core.workspace.StageCache`) is passed in
+by the caller; any object with ``load(key) -> value | None`` and
+``store(key, value)`` works, and ``cache=None`` computes everything
+in-process (the behaviour of the original monolithic builder). Cached
+or not, the assembled output is bit-identical — the incremental-vs-full
+guarantee the tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.confparse.diff import diff_configs
+from repro.confparse.registry import parse_config
+from repro.errors import ConfigParseError
+from repro.metrics.catalog import metric_names
+from repro.metrics.design import (
+    DeviceFeatures,
+    config_metrics,
+    extract_device_features,
+    inventory_metrics,
+)
+from repro.metrics.events import group_change_events
+from repro.metrics.health import modality_from_login, monthly_ticket_count
+from repro.metrics.operational import operational_metrics
+from repro.metrics.quality import DataQualityReport
+from repro.synthesis.corpus import Corpus
+from repro.types import ChangeEvent, ChangeModality, ChangeRecord, MonthKey
+from repro.util.timeutils import MINUTES_PER_MONTH
+from repro.version import CORPUS_FORMAT_VERSION
+
+#: Version of the stage implementations baked into every cache key.
+#: Bump whenever any stage function's output for the same inputs changes,
+#: so stale cached units are missed rather than reused.
+STAGE_CODE_VERSION = 1
+
+#: Stage names, as reported in cache-hit/miss telemetry.
+STAGE_NAMES = ("parse", "events", "metrics", "health")
+
+
+@dataclass
+class ParseChunk:
+    """Output of one (network, month) parse+diff unit.
+
+    ``features_end`` and ``carry`` are *cumulative* (they fold in every
+    earlier chunk), so a chunk loaded from cache is self-contained: the
+    next chunk never needs to re-read history, only the carry pointers.
+    """
+
+    #: snapshots successfully parsed in this chunk
+    n_parsed: int = 0
+    #: device id -> quarantine reasons, in snapshot order
+    quarantined: dict[str, list[str]] = field(default_factory=dict)
+    #: this chunk's device-level changes, sorted by (timestamp, device id)
+    changes: list[ChangeRecord] = field(default_factory=list)
+    #: device id -> features of the config in effect at chunk end
+    features_end: dict[str, DeviceFeatures] = field(default_factory=dict)
+    #: device id -> features of the device's first-ever parsable snapshot,
+    #: recorded in the chunk where that snapshot appears (for backfilling
+    #: months before a device's first snapshot)
+    first_features: dict[str, DeviceFeatures] = field(default_factory=dict)
+    #: device id -> index (into the corpus snapshot list) of the last
+    #: parsable snapshot seen so far — the diff base for the next chunk
+    carry: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class NetworkUnit:
+    """One network's fully-assembled share of the metric table."""
+
+    network_id: str
+    rows: list[list[float]]
+    tickets: list[int]
+    months: list[int]
+    changes: list[ChangeRecord] | None
+    quality: DataQualityReport
+    #: stage name -> (cache hits, cache misses) for this network's units
+    cache_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+# -- content-addressed keys ---------------------------------------------------
+
+
+def _hasher(label: str) -> "hashlib._Hash":
+    h = hashlib.sha256()
+    h.update(f"{label}|code={STAGE_CODE_VERSION}"
+             f"|corpus={CORPUS_FORMAT_VERSION}|".encode())
+    return h
+
+
+def _update(h: "hashlib._Hash", *parts: object) -> None:
+    for part in parts:
+        if isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(str(part).encode())
+        h.update(b"\x1f")
+
+
+def network_spec_digest(corpus: Corpus, network_id: str) -> str:
+    """Fingerprint of everything non-snapshot the parse/metrics stages
+    read about a network: its device records, their dialects, and the
+    workload count feeding the inventory metrics."""
+    h = _hasher("netspec")
+    _update(h, network_id,
+            corpus.inventory.workload_count(network_id))
+    for device in corpus.inventory.devices_in(network_id):
+        _update(h, device.device_id, device.vendor, device.model,
+                device.role.value, device.firmware,
+                corpus.dialects.get(f"{device.vendor}/{device.model}", ""))
+    return h.hexdigest()
+
+
+def _chunk_key(prev_key: str | None, spec_digest: str, label: str,
+               corpus: Corpus, devices, slices) -> str:
+    """Chained key of one parse chunk: the previous chunk's key (which
+    transitively covers all earlier snapshots) plus this chunk's own
+    snapshot contents."""
+    h = _hasher(f"parse/{label}")
+    _update(h, prev_key or spec_digest)
+    for device in devices:
+        lo, hi = slices[device.device_id][label]
+        if lo == hi:
+            continue
+        snaps = corpus.snapshots[device.device_id]
+        for snap in snaps[lo:hi]:
+            _update(h, device.device_id, snap.timestamp, snap.login)
+            h.update(snap.config_text.encode())
+            h.update(b"\x1e")
+    return h.hexdigest()
+
+
+def _events_key(parse_key: str, delta_minutes: int | None) -> str:
+    h = _hasher("events")
+    _update(h, parse_key, repr(delta_minutes))
+    return h.hexdigest()
+
+
+def _metrics_key(events_key: str, n_months: int) -> str:
+    h = _hasher("metrics")
+    _update(h, events_key, n_months)
+    return h.hexdigest()
+
+
+def _health_key(corpus: Corpus, network_id: str) -> str:
+    h = _hasher("health")
+    _update(h, network_id, corpus.epoch.year, corpus.epoch.month,
+            corpus.n_months)
+    for ticket in corpus.tickets.for_network(network_id):
+        _update(h, ticket.ticket_id, ticket.opened_at, ticket.resolved_at,
+                ticket.category.value, ticket.impact, ticket.summary)
+    return h.hexdigest()
+
+
+# -- the parse stage ----------------------------------------------------------
+
+
+def _month_slices(corpus: Corpus, devices, n_months: int,
+                  ) -> tuple[dict[str, dict[object, tuple[int, int]]],
+                             list[object]]:
+    """Per-device snapshot index ranges for each chunk label.
+
+    Chunk ``m`` covers timestamps in ``[m*MONTH, (m+1)*MONTH)`` (chunk 0
+    additionally absorbs anything earlier); the ``"tail"`` chunk covers
+    everything at or past the study end, so arbitrary corpora — even
+    unscrubbed ones with out-of-range timestamps — partition exactly.
+    """
+    labels: list[object] = list(range(n_months)) + ["tail"]
+    slices: dict[str, dict[object, tuple[int, int]]] = {}
+    for device in devices:
+        snaps = corpus.snapshots.get(device.device_id, [])
+        keys = [snap.timestamp for snap in snaps]
+        per_label: dict[object, tuple[int, int]] = {}
+        lo = 0
+        for month in range(n_months):
+            hi = bisect_left(keys, (month + 1) * MINUTES_PER_MONTH, lo=lo)
+            per_label[month] = (lo, hi)
+            lo = hi
+        per_label["tail"] = (lo, len(snaps))
+        slices[device.device_id] = per_label
+    return slices, labels
+
+
+def _compute_chunk(corpus: Corpus, network_id: str, devices, slices,
+                   label: object, prev: ParseChunk | None,
+                   live_configs: dict | None,
+                   ) -> tuple[ParseChunk, dict]:
+    """Parse + diff one chunk's snapshots (the expensive unit body).
+
+    ``live_configs`` carries parsed config objects forward between
+    chunks *computed in the same run*, so a cold build parses each
+    snapshot exactly once; after a cache hit the chain restarts from the
+    stored carry pointers (one re-parse per device, already known to
+    succeed).
+    """
+    chunk = ParseChunk(
+        features_end=dict(prev.features_end) if prev else {},
+        carry=dict(prev.carry) if prev else {},
+    )
+    new_live = dict(live_configs) if live_configs else {}
+    for device in devices:
+        device_id = device.device_id
+        lo, hi = slices[device_id][label]
+        if lo == hi:
+            continue
+        snaps = corpus.snapshots[device_id]
+        dialect = corpus.dialect_of(device_id)
+        prev_config = new_live.get(device_id)
+        if prev_config is None:
+            carry_index = chunk.carry.get(device_id)
+            if carry_index is not None:
+                # the carry snapshot parsed successfully when its own
+                # chunk ran, so this re-parse cannot fail
+                prev_config = parse_config(
+                    snaps[carry_index].config_text, dialect
+                )
+        parsed_before = device_id in chunk.features_end
+        last_features = None
+        for index in range(lo, hi):
+            snap = snaps[index]
+            try:
+                config = parse_config(snap.config_text, dialect)
+            except ConfigParseError as exc:
+                chunk.quarantined.setdefault(device_id, []).append(
+                    f"unparsable config: {exc}"
+                )
+                continue
+            chunk.n_parsed += 1
+            if prev_config is not None:
+                diff = diff_configs(prev_config, config)
+                if diff:
+                    modality = (ChangeModality.AUTOMATED
+                                if modality_from_login(snap.login)
+                                else ChangeModality.MANUAL)
+                    chunk.changes.append(ChangeRecord(
+                        device_id=device_id,
+                        network_id=network_id,
+                        timestamp=snap.timestamp,
+                        modality=modality,
+                        stanza_types=diff.changed_types,
+                        login=snap.login,
+                    ))
+            last_features = extract_device_features(config)
+            if not parsed_before and device_id not in chunk.first_features:
+                chunk.first_features[device_id] = last_features
+            prev_config = config
+            chunk.carry[device_id] = index
+        if last_features is not None:
+            chunk.features_end[device_id] = last_features
+        if prev_config is not None:
+            new_live[device_id] = prev_config
+    chunk.changes.sort(key=lambda c: (c.timestamp, c.device_id))
+    return chunk, new_live
+
+
+def _run_parse_chunks(corpus: Corpus, network_id: str, devices, cache,
+                      stats: dict[str, list[int]],
+                      ) -> tuple[list[ParseChunk], str | None]:
+    """Evaluate (or load) every parse chunk of one network, in order.
+
+    Returns the chunk list and the final chain key (``None`` without a
+    cache), which downstream stage keys build on.
+    """
+    slices, labels = _month_slices(corpus, devices, corpus.n_months)
+    spec_digest = network_spec_digest(corpus, network_id) if cache else ""
+    chunks: list[ParseChunk] = []
+    prev: ParseChunk | None = None
+    live: dict | None = {}
+    key: str | None = None
+    for label in labels:
+        if cache is not None:
+            key = _chunk_key(key, spec_digest, label, corpus, devices, slices)
+            cached = cache.load(key)
+        else:
+            cached = None
+        if cached is None:
+            chunk, live = _compute_chunk(
+                corpus, network_id, devices, slices, label, prev, live
+            )
+            if cache is not None:
+                cache.store(key, chunk)
+                stats["parse"][1] += 1
+        else:
+            chunk = cached
+            live = None  # parsed objects not cached; re-derive from carry
+            stats["parse"][0] += 1
+        chunks.append(chunk)
+        prev = chunk
+    return chunks, key
+
+
+# -- assembly helpers ---------------------------------------------------------
+
+
+def _parseable_devices(corpus: Corpus, devices) -> list:
+    """Devices the parse stage can work on (snapshots + known dialect)."""
+    usable = []
+    for device in devices:
+        if not corpus.snapshots.get(device.device_id):
+            continue
+        try:
+            corpus.dialect_of(device.device_id)
+        except KeyError:
+            continue
+        usable.append(device)
+    return usable
+
+
+def _assemble_features(devices, chunks: list[ParseChunk],
+                       n_months: int) -> list[dict[str, DeviceFeatures]]:
+    """Reconstruct features-in-effect per month from the chunk outputs.
+
+    Months before a device's first parsable snapshot are backfilled with
+    that first snapshot's features (the monolithic builder's carry-back
+    semantics); insertion order follows the inventory's device order so
+    downstream aggregation iterates deterministically.
+    """
+    first: dict[str, DeviceFeatures] = {}
+    for chunk in chunks:
+        for device_id, features in chunk.first_features.items():
+            first.setdefault(device_id, features)
+    features_by_month: list[dict[str, DeviceFeatures]] = []
+    for month in range(n_months):
+        chunk = chunks[month]
+        month_features: dict[str, DeviceFeatures] = {}
+        for device in devices:
+            device_id = device.device_id
+            features = chunk.features_end.get(device_id)
+            if features is None:
+                features = first.get(device_id)
+            if features is not None:
+                month_features[device_id] = features
+        features_by_month.append(month_features)
+    return features_by_month
+
+
+def _assemble_quality(corpus: Corpus, network_id: str, devices,
+                      chunks: list[ParseChunk]) -> DataQualityReport:
+    """Fold chunk fragments into the per-network quality report,
+    preserving the device-major issue order of the monolithic builder."""
+    report = DataQualityReport()
+    report.devices_total = len(devices)
+    report.snapshots_parsed = sum(chunk.n_parsed for chunk in chunks)
+    parsed_any = chunks[-1].features_end if chunks else {}
+    for device in devices:
+        device_id = device.device_id
+        snaps = corpus.snapshots.get(device_id, [])
+        if not snaps:
+            report.drop_device(device_id, network_id,
+                               "no snapshots in corpus")
+            continue
+        try:
+            corpus.dialect_of(device_id)
+        except KeyError:
+            for _ in snaps:
+                report.quarantine_snapshot(
+                    device_id, network_id,
+                    "no dialect registered for "
+                    f"{device.vendor}/{device.model}",
+                )
+            report.drop_device(
+                device_id, network_id,
+                f"unknown dialect for model {device.vendor}/{device.model}",
+            )
+            continue
+        for chunk in chunks:
+            for reason in chunk.quarantined.get(device_id, ()):
+                report.quarantine_snapshot(device_id, network_id, reason)
+        if device_id not in parsed_any:
+            report.drop_device(device_id, network_id,
+                               "zero parsable snapshots")
+    return report
+
+
+# -- downstream stages --------------------------------------------------------
+
+
+def _stage_events(changes: list[ChangeRecord],
+                  delta_minutes: int | None,
+                  parse_key: str | None, cache,
+                  stats: dict[str, list[int]]) -> list[ChangeEvent]:
+    if cache is not None and parse_key is not None:
+        key = _events_key(parse_key, delta_minutes)
+        cached = cache.load(key)
+        if cached is not None:
+            stats["events"][0] += 1
+            return cached
+        stats["events"][1] += 1
+    events = group_change_events(changes, delta_minutes) if changes else []
+    if cache is not None and parse_key is not None:
+        cache.store(key, events)
+    return events
+
+
+def _compute_rows(corpus: Corpus, network_id: str, devices,
+                  features_by_month: list[dict[str, DeviceFeatures]],
+                  changes: list[ChangeRecord],
+                  events: list[ChangeEvent]) -> list[list[float]]:
+    """The monthly design + operational metric rows of one network."""
+    names = metric_names()
+    n_months = corpus.n_months
+    mbox_ids = frozenset(
+        d.device_id for d in devices if d.role.is_middlebox
+    )
+    inv = inventory_metrics(corpus.inventory, network_id)
+
+    changes_by_month: list[list[ChangeRecord]] = [[] for _ in range(n_months)]
+    for change in changes:
+        month = change.timestamp // MINUTES_PER_MONTH
+        if 0 <= month < n_months:
+            changes_by_month[month].append(change)
+    events_by_month: list[list[ChangeEvent]] = [[] for _ in range(n_months)]
+    for event in events:
+        month = event.start_timestamp // MINUTES_PER_MONTH
+        if 0 <= month < n_months:
+            events_by_month[month].append(event)
+
+    rows: list[list[float]] = []
+    for month_index in range(n_months):
+        config = config_metrics(features_by_month[month_index])
+        op = operational_metrics(
+            changes_by_month[month_index],
+            events_by_month[month_index],
+            n_network_devices=len(devices),
+            mbox_device_ids=mbox_ids,
+        )
+        row_map = {**inv, **config, **op}
+        rows.append([row_map[name] for name in names])
+    return rows
+
+
+def _stage_health(corpus: Corpus, network_id: str, cache,
+                  stats: dict[str, list[int]]) -> list[int]:
+    if cache is not None:
+        key = _health_key(corpus, network_id)
+        cached = cache.load(key)
+        if cached is not None:
+            stats["health"][0] += 1
+            return cached
+        stats["health"][1] += 1
+    tickets = [
+        monthly_ticket_count(
+            corpus.tickets, network_id,
+            MonthKey.from_index(corpus.epoch.index() + month_index),
+            corpus.epoch,
+        )
+        for month_index in range(corpus.n_months)
+    ]
+    if cache is not None:
+        cache.store(key, tickets)
+    return tickets
+
+
+# -- unit entry points --------------------------------------------------------
+
+
+def compute_network_unit(corpus: Corpus, network_id: str,
+                         delta_minutes: int | None,
+                         keep_changes: bool,
+                         cache=None) -> NetworkUnit:
+    """Run one network through the full stage graph (pool task body)."""
+    stats: dict[str, list[int]] = {name: [0, 0] for name in STAGE_NAMES}
+    devices = corpus.inventory.devices_in(network_id)
+    parse_devices = _parseable_devices(corpus, devices)
+    chunks, parse_key = _run_parse_chunks(
+        corpus, network_id, parse_devices, cache, stats
+    )
+    changes = [change for chunk in chunks for change in chunk.changes]
+    events = _stage_events(changes, delta_minutes, parse_key, cache, stats)
+
+    rows: list[list[float]] | None = None
+    if cache is not None and parse_key is not None:
+        metrics_key = _metrics_key(
+            _events_key(parse_key, delta_minutes), corpus.n_months
+        )
+        rows = cache.load(metrics_key)
+        stats["metrics"][0 if rows is not None else 1] += 1
+    if rows is None:
+        features_by_month = _assemble_features(
+            parse_devices, chunks, corpus.n_months
+        )
+        rows = _compute_rows(corpus, network_id, devices,
+                             features_by_month, changes, events)
+        if cache is not None and parse_key is not None:
+            cache.store(metrics_key, rows)
+
+    tickets = _stage_health(corpus, network_id, cache, stats)
+    quality = _assemble_quality(corpus, network_id, devices, chunks)
+    return NetworkUnit(
+        network_id=network_id,
+        rows=rows,
+        tickets=tickets,
+        months=list(range(corpus.n_months)),
+        changes=changes if keep_changes else None,
+        quality=quality,
+        cache_stats={name: (hits, misses)
+                     for name, (hits, misses) in stats.items()},
+    )
+
+
+def compute_network_timeline_parts(corpus: Corpus, network_id: str,
+                                   delta_minutes: int | None,
+                                   report: DataQualityReport,
+                                   ) -> tuple[list[ChangeRecord],
+                                              list[ChangeEvent],
+                                              list[dict[str, DeviceFeatures]]]:
+    """Uncached stage-graph evaluation backing
+    :func:`repro.metrics.dataset.build_network_timeline`."""
+    stats: dict[str, list[int]] = {name: [0, 0] for name in STAGE_NAMES}
+    devices = corpus.inventory.devices_in(network_id)
+    parse_devices = _parseable_devices(corpus, devices)
+    chunks, _ = _run_parse_chunks(corpus, network_id, parse_devices,
+                                  None, stats)
+    changes = [change for chunk in chunks for change in chunk.changes]
+    events = _stage_events(changes, delta_minutes, None, None, stats)
+    features_by_month = _assemble_features(parse_devices, chunks,
+                                           corpus.n_months)
+    report.merge(_assemble_quality(corpus, network_id, devices, chunks))
+    return changes, events, features_by_month

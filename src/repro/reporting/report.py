@@ -109,7 +109,7 @@ def generate_report(workspace: Workspace, top_k: int = 10,
         zip(latest.case_networks, predictions) if label == 1
     )
     sections.append(
-        f"- networks flagged unhealthy for the latest month: "
+        "- networks flagged unhealthy for the latest month: "
         f"{len(flagged)} of {latest.n_cases}"
     )
     if flagged:

@@ -42,10 +42,26 @@ class StageStats:
 
 
 @dataclass
+class CacheStats:
+    """Accumulated hit/miss counts for one named result cache."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
 class Telemetry:
     """Thread-safe per-process aggregator of stage timings."""
 
     _stages: dict[str, StageStats] = field(default_factory=dict)
+    _caches: dict[str, CacheStats] = field(default_factory=dict)
+    _notes: dict[str, str] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def record(self, name: str, seconds: float, tasks: int = 0,
@@ -56,6 +72,20 @@ class Telemetry:
             if stats is None:
                 stats = self._stages[name] = StageStats(name=name)
             stats.add(seconds, tasks, jobs)
+
+    def record_cache(self, name: str, hits: int = 0, misses: int = 0) -> None:
+        """Accumulate hit/miss counts for result cache ``name``."""
+        with self._lock:
+            stats = self._caches.get(name)
+            if stats is None:
+                stats = self._caches[name] = CacheStats(name=name)
+            stats.hits += hits
+            stats.misses += misses
+
+    def note(self, key: str, value: str) -> None:
+        """Attach a free-form key/value fact to the run (latest wins)."""
+        with self._lock:
+            self._notes[key] = value
 
     @contextmanager
     def stage(self, name: str, tasks: int = 0, jobs: int = 1):
@@ -71,16 +101,34 @@ class Telemetry:
         with self._lock:
             return list(self._stages.values())
 
+    def caches(self) -> list[CacheStats]:
+        """Recorded cache counters in first-seen order."""
+        with self._lock:
+            return list(self._caches.values())
+
+    def notes(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._notes)
+
     def reset(self) -> None:
         with self._lock:
             self._stages.clear()
+            self._caches.clear()
+            self._notes.clear()
 
     def as_dict(self) -> dict:
         stages = self.stages()
-        return {
+        data = {
             "total_seconds": sum(s.seconds for s in stages),
             "stages": [asdict(s) for s in stages],
         }
+        caches = self.caches()
+        if caches:
+            data["caches"] = [asdict(c) for c in caches]
+        notes = self.notes()
+        if notes:
+            data["notes"] = notes
+        return data
 
     def dump_json(self, path: str | Path) -> None:
         """Write :meth:`as_dict` to ``path`` as indented JSON.
@@ -94,14 +142,27 @@ class Telemetry:
     def summary(self) -> str:
         """A small human-readable table of all recorded stages."""
         stages = self.stages()
-        if not stages:
+        caches = self.caches()
+        notes = self.notes()
+        if not stages and not caches and not notes:
             return "runtime telemetry: no stages recorded"
-        lines = ["runtime telemetry (per-stage wall time):",
-                 f"  {'stage':<22} {'calls':>6} {'tasks':>7} "
-                 f"{'jobs':>5} {'seconds':>9}"]
-        for s in stages:
-            lines.append(f"  {s.name:<22} {s.calls:>6} {s.tasks:>7} "
-                         f"{s.max_jobs:>5} {s.seconds:>9.3f}")
+        lines = []
+        if stages:
+            lines += ["runtime telemetry (per-stage wall time):",
+                      f"  {'stage':<22} {'calls':>6} {'tasks':>7} "
+                      f"{'jobs':>5} {'seconds':>9}"]
+            for s in stages:
+                lines.append(f"  {s.name:<22} {s.calls:>6} {s.tasks:>7} "
+                             f"{s.max_jobs:>5} {s.seconds:>9.3f}")
+        if caches:
+            lines += ["stage cache (hits/misses):",
+                      f"  {'cache':<22} {'hits':>7} {'misses':>7} "
+                      f"{'rate':>6}"]
+            for c in caches:
+                lines.append(f"  {c.name:<22} {c.hits:>7} {c.misses:>7} "
+                             f"{c.hit_rate:>6.1%}")
+        for key, value in notes.items():
+            lines.append(f"  note: {key} = {value}")
         return "\n".join(lines)
 
 

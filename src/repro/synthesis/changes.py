@@ -95,8 +95,17 @@ class ChangeEngine:
             for device_id in self._all_devices
         ]
 
-    def run_month(self, month_index: int) -> tuple[list[ConfigSnapshot], MonthTruth]:
-        """Simulate one month; returns emitted snapshots + ground truth."""
+    def run_month(self, month_index: int, render: bool = True,
+                  ) -> tuple[list[ConfigSnapshot], MonthTruth]:
+        """Simulate one month; returns emitted snapshots + ground truth.
+
+        ``render=False`` replays the month without materializing
+        snapshots: device states mutate and **every** RNG draw happens
+        exactly as in a rendered run (snapshot rendering itself consumes
+        no randomness), so replaying months 0..k-1 un-rendered and then
+        rendering month k yields bit-identical output to a full
+        rendered run — the property :func:`extend_corpus` relies on.
+        """
         rng = self._rng
         # month-to-month wobble decouples a month's activity level from the
         # network's static design metrics (gives the QED within-network
@@ -142,6 +151,8 @@ class ChangeEngine:
                 changed_devices.add(device_id)
                 # ~2% of snapshots are lost to logging gaps
                 if rng.random() < 0.02:
+                    continue
+                if not render:
                     continue
                 modality = (ChangeModality.AUTOMATED if plan.automated
                             else ChangeModality.MANUAL)

@@ -78,6 +78,13 @@ class Corpus:
         device = self.inventory.device(device_id)
         return self.dialects[f"{device.vendor}/{device.model}"]
 
+    def extend_months(self, extra_months: int = 1) -> "Corpus":
+        """A new corpus with ``extra_months`` more synthetic history,
+        bit-identical to a cold synthesis of the full span (see
+        :func:`repro.synthesis.organization.extend_corpus`)."""
+        from repro.synthesis.organization import extend_corpus
+        return extend_corpus(self, extra_months)
+
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:

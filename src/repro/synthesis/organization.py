@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import CorpusError
 from repro.inventory.catalog import DEFAULT_CATALOG, HardwareCatalog
 from repro.inventory.store import InventoryStore
 from repro.runtime.pool import parallel_map
@@ -135,8 +136,16 @@ class OrganizationSynthesizer:
             month_truth=month_truth,  # type: ignore[arg-type]
         )
 
-    def _build_network(self, index: int) -> _NetworkBuild:
-        """Synthesize network ``index`` in isolation (pool task body)."""
+    def _build_network(self, index: int, start_month: int = 0) -> _NetworkBuild:
+        """Synthesize network ``index`` in isolation (pool task body).
+
+        ``start_month > 0`` is the corpus-extension replay: months
+        before it are simulated with ``render=False`` — device states
+        evolve and every RNG draw happens exactly as in a full build,
+        but no snapshots/truths/tickets are materialized — so the
+        months from ``start_month`` on come out bit-identical to a
+        cold build of the full span (see :func:`extend_corpus`).
+        """
         spec = self._spec
         network_id = f"net{index:04d}"
         profile_rng = self._seeds.rng(f"profile/{network_id}")
@@ -166,8 +175,9 @@ class OrganizationSynthesizer:
         engine = ChangeEngine(
             built, profile, self._seeds.rng(f"changes/{network_id}")
         )
-        for snap in engine.baseline_snapshots():
-            result.snapshots.setdefault(snap.device_id, []).append(snap)
+        if start_month == 0:
+            for snap in engine.baseline_snapshots():
+                result.snapshots.setdefault(snap.device_id, []).append(snap)
 
         factory = TicketFactory(
             rng=self._seeds.rng(f"tickets/{network_id}"),
@@ -177,19 +187,138 @@ class OrganizationSynthesizer:
         device_ids = [d.device_id for d in built.devices]
 
         for month_index in range(spec.n_months):
-            month_snaps, truth = engine.run_month(month_index)
-            for snap in month_snaps:
-                result.snapshots.setdefault(snap.device_id, []).append(snap)
+            render = month_index >= start_month
+            month_snaps, truth = engine.run_month(month_index, render=render)
+            # the ticket draws below replay un-rendered months too: the
+            # factory's RNG stream and ticket-id serial must advance
+            # identically for the rendered months to match a cold build
             rate = ticket_rate(
                 result.net_truth, truth, network_effect,
                 factory.month_noise(), self._health_params,
             )
             count = factory.draw_ticket_count(rate)
-            result.month_truths.append(truth.with_tickets(count))
-            result.tickets.extend(factory.materialize(
+            tickets = factory.materialize(
                 network_id, month_index, count, device_ids
-            ))
+            )
+            if not render:
+                continue
+            for snap in month_snaps:
+                result.snapshots.setdefault(snap.device_id, []).append(snap)
+            result.month_truths.append(truth.with_tickets(count))
+            result.tickets.extend(tickets)
         return result
+
+
+def extend_corpus(corpus: Corpus, extra_months: int = 1,
+                  catalog: HardwareCatalog = DEFAULT_CATALOG,
+                  health_params: HealthModelParams | None = None,
+                  profile_transform=None) -> Corpus:
+    """Append ``extra_months`` of synthetic history to ``corpus``.
+
+    The result is **bit-identical** to a cold synthesis of the full
+    span: every network's RNG streams are replayed through the already-
+    covered months with ``render=False`` (device states and random
+    draws advance, nothing is materialized), then the new months render
+    normally and merge with the existing snapshots/tickets/truth.
+
+    Only corpora produced by :class:`OrganizationSynthesizer` (with the
+    same catalog/params/transform) can be extended; a replay that
+    diverges from the corpus — wrong seed, different catalog, hand-
+    edited inventory — raises :class:`~repro.errors.CorpusError` rather
+    than silently producing months from a different universe.
+    """
+    if extra_months < 1:
+        raise ValueError("extra_months must be positive")
+    n_networks = corpus.inventory.num_networks
+    old_months = corpus.n_months
+    expected_ids = [f"net{i:04d}" for i in range(n_networks)]
+    if corpus.inventory.network_ids != expected_ids:
+        raise CorpusError(
+            "corpus network ids do not match OrganizationSynthesizer "
+            "output; cannot extend"
+        )
+    spec = SynthesisSpec(n_networks, old_months + extra_months,
+                         corpus.seed, corpus.epoch)
+    synthesizer = OrganizationSynthesizer(
+        spec, catalog, health_params, profile_transform
+    )
+    dialects = {
+        f"{model.vendor}/{model.model}": model.config_dialect
+        for model in catalog.models
+    }
+    if dialects != corpus.dialects:
+        raise CorpusError(
+            "corpus dialect table does not match the extension catalog; "
+            "cannot extend"
+        )
+
+    builds = parallel_map(
+        lambda index: synthesizer._build_network(index,
+                                                 start_month=old_months),
+        range(n_networks),
+        stage="synthesis-extend",
+    )
+
+    snapshots: dict[str, list[ConfigSnapshot]] = {}
+    tickets = TicketStore()
+    for ticket in corpus.tickets.iter_all():
+        tickets.add_unchecked(ticket)
+    month_truth: dict[tuple[str, int], MonthTruth] = {}
+    for index, built in enumerate(builds):
+        network_id = expected_ids[index]
+        replayed = {d.device_id for d in built.devices}
+        recorded = {
+            d.device_id
+            for d in corpus.inventory.devices_in(network_id)
+        }
+        if replayed != recorded:
+            raise CorpusError(
+                f"replay of {network_id} diverges from the corpus "
+                "inventory (different catalog, transform, or seed?); "
+                "cannot extend"
+            )
+        if (corpus.network_truth
+                and built.net_truth != corpus.network_truth.get(network_id)):
+            raise CorpusError(
+                f"replay of {network_id} diverges from the corpus "
+                "ground truth; cannot extend"
+            )
+        for month_index in range(old_months):
+            truth = corpus.month_truth.get((network_id, month_index))
+            if truth is not None:
+                month_truth[(network_id, month_index)] = truth
+        for offset, truth in enumerate(built.month_truths):
+            month_truth[(network_id, old_months + offset)] = truth
+        for device_id, new_snaps in built.snapshots.items():
+            # all new timestamps are past the old study end, so a
+            # stable sort of the new slice + append equals the cold
+            # build's whole-list stable sort
+            snapshots[device_id] = new_snaps
+        for ticket in built.tickets:
+            tickets.add(ticket)
+
+    merged_snapshots: dict[str, list[ConfigSnapshot]] = {}
+    for device_id, old_snaps in corpus.snapshots.items():
+        new_snaps = snapshots.pop(device_id, [])
+        new_snaps.sort(key=lambda s: s.timestamp)
+        merged_snapshots[device_id] = list(old_snaps) + new_snaps
+    if snapshots:
+        raise CorpusError(
+            "replay produced snapshots for devices absent from the "
+            f"corpus ({sorted(snapshots)[:3]}...); cannot extend"
+        )
+
+    return Corpus(
+        epoch=corpus.epoch,
+        n_months=old_months + extra_months,
+        seed=corpus.seed,
+        inventory=corpus.inventory,
+        snapshots=merged_snapshots,
+        tickets=tickets,
+        dialects=corpus.dialects,
+        network_truth=corpus.network_truth,
+        month_truth=month_truth,
+    )
 
 
 def synthesize(scale: str = "small", seed: int | None = None) -> Corpus:

@@ -3,7 +3,6 @@ render -> parse -> re-render byte-identically, in every dialect."""
 
 import string
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.confgen.base import render_config
@@ -86,7 +85,7 @@ def device_states(draw, dialect=None, allow_lb=True):
                          members=[f"{draw(ip_address())}:80"])
         state.pools[pool.name] = pool
         state.vips[f"vip-{draw(_name)}"] = VipState(
-            f"vip-x", f"{draw(ip_address())}:80", pool.name,
+            "vip-x", f"{draw(ip_address())}:80", pool.name,
         )
     for _ in range(draw(st.integers(0, 2))):
         user = UserState(f"u{draw(_name)}")

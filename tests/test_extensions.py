@@ -1,7 +1,6 @@
 """Tests for the extension modules: alternative health metrics, intent
 inference, and config linting."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.intent import (
@@ -20,7 +19,6 @@ from repro.confparse.lint import (
 from repro.confparse.registry import parse_config
 from repro.metrics.health_alt import (
     alternative_health_columns,
-    monthly_high_impact,
     monthly_mttr,
 )
 from repro.types import ChangeEvent, ChangeModality, ChangeRecord

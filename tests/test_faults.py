@@ -151,16 +151,18 @@ class TestFaultMatrix:
         """An inference task that raises past all quarantine layers
         excludes its network and degrades the report — the other
         networks still make it into the table."""
-        real = dataset_mod._network_cases
+        real = dataset_mod.compute_network_unit
         victims = {"net0003"}
 
-        def flaky(corpus, network_id, delta_minutes, keep_changes):
+        def flaky(corpus, network_id, delta_minutes, keep_changes,
+                  cache=None):
             if network_id in victims:
                 raise RuntimeError("simulated inference crash")
-            return real(corpus, network_id, delta_minutes, keep_changes)
+            return real(corpus, network_id, delta_minutes, keep_changes,
+                        cache)
 
         monkeypatch.setenv("MPA_JOBS", "1")
-        monkeypatch.setattr(dataset_mod, "_network_cases", flaky)
+        monkeypatch.setattr(dataset_mod, "compute_network_unit", flaky)
         result = build_full(corpus)
         assert "net0003" not in set(result.dataset.case_networks)
         assert len(set(result.dataset.case_networks)) == 19

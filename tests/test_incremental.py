@@ -1,0 +1,238 @@
+"""Incremental-vs-full equivalence of the staged build engine.
+
+The contract under test (PR 3's tentpole): extending a corpus by a
+month and rebuilding through the stage cache must be **bit-identical**
+to a cold synthesis + cold build of the full span — dataset, change
+records, and quality report — while recomputing only the units the new
+month dirties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import StageCache, Workspace
+from repro.errors import CorpusError
+from repro.metrics.dataset import build_full
+from repro.metrics.stages import compute_network_unit
+from repro.synthesis.organization import (
+    OrganizationSynthesizer,
+    SynthesisSpec,
+)
+from repro.util.timeutils import MINUTES_PER_MONTH
+
+SPEC_BASE = SynthesisSpec(n_networks=8, n_months=4, seed=11)
+SPEC_FULL = SynthesisSpec(n_networks=8, n_months=5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def base_corpus():
+    return OrganizationSynthesizer(SPEC_BASE).build()
+
+
+@pytest.fixture(scope="module")
+def full_corpus():
+    return OrganizationSynthesizer(SPEC_FULL).build()
+
+
+def assert_datasets_identical(a, b):
+    assert a.names == b.names
+    assert a.case_networks == b.case_networks
+    assert a.case_month_indices == b.case_month_indices
+    assert a.epoch == b.epoch
+    assert np.array_equal(a.values, b.values)
+    assert np.array_equal(a.tickets, b.tickets)
+
+
+class TestCorpusExtension:
+    def test_extension_equals_cold_synthesis(self, base_corpus, full_corpus):
+        extended = base_corpus.extend_months(1)
+        assert extended.n_months == full_corpus.n_months
+        assert list(extended.snapshots) == list(full_corpus.snapshots)
+        for device_id in full_corpus.snapshots:
+            assert (extended.snapshots[device_id]
+                    == full_corpus.snapshots[device_id])
+        assert (list(extended.tickets.iter_all())
+                == list(full_corpus.tickets.iter_all()))
+        assert extended.month_truth == full_corpus.month_truth
+        assert (list(extended.month_truth)
+                == list(full_corpus.month_truth))
+        assert extended.network_truth == full_corpus.network_truth
+        assert extended.summary() == full_corpus.summary()
+
+    def test_multi_month_extension(self, base_corpus):
+        two_step = base_corpus.extend_months(1).extend_months(1)
+        one_step = base_corpus.extend_months(2)
+        assert two_step.summary() == one_step.summary()
+        for device_id in one_step.snapshots:
+            assert (two_step.snapshots[device_id]
+                    == one_step.snapshots[device_id])
+
+    def test_rejects_nonpositive(self, base_corpus):
+        with pytest.raises(ValueError, match="positive"):
+            base_corpus.extend_months(0)
+
+    def test_rejects_foreign_corpus(self, base_corpus):
+        import copy
+        # inventory ids no longer line up with a replay of net0000..
+        foreign_inventory = copy.deepcopy(base_corpus.inventory)
+        foreign_inventory._networks = {
+            f"x-{k}": v for k, v in foreign_inventory._networks.items()
+        }
+        renamed = dataclasses.replace(base_corpus,
+                                      inventory=foreign_inventory)
+        with pytest.raises(CorpusError, match="cannot extend"):
+            renamed.extend_months(1)
+
+    def test_rejects_diverging_seed(self, base_corpus):
+        reseeded = dataclasses.replace(base_corpus, seed=99)
+        with pytest.raises(CorpusError, match="cannot extend"):
+            reseeded.extend_months(1)
+
+
+class TestIncrementalBuild:
+    def test_incremental_equals_cold_rebuild(self, base_corpus, full_corpus,
+                                             tmp_path):
+        cache = StageCache(tmp_path / "stagecache")
+        build_full(base_corpus, cache=cache)  # populate
+
+        incremental = build_full(base_corpus.extend_months(1), cache=cache)
+        cold = build_full(full_corpus)
+
+        assert_datasets_identical(incremental.dataset, cold.dataset)
+        assert incremental.changes == cold.changes
+        assert incremental.quality.to_dict() == cold.quality.to_dict()
+
+    def test_cached_build_matches_uncached(self, base_corpus, tmp_path):
+        cache = StageCache(tmp_path / "stagecache")
+        plain = build_full(base_corpus)
+        cold_cached = build_full(base_corpus, cache=cache)
+        warm_cached = build_full(base_corpus, cache=cache)
+        for result in (cold_cached, warm_cached):
+            assert_datasets_identical(plain.dataset, result.dataset)
+            assert plain.changes == result.changes
+            assert plain.quality.to_dict() == result.quality.to_dict()
+
+    def test_warm_rebuild_hits_every_stage(self, base_corpus, tmp_path):
+        cache = StageCache(tmp_path / "stagecache")
+        build_full(base_corpus, cache=cache)
+        network_ids = base_corpus.inventory.network_ids
+        for network_id in network_ids:
+            unit = compute_network_unit(base_corpus, network_id, 5, False,
+                                        cache)
+            for stage_name, (hits, misses) in unit.cache_stats.items():
+                assert misses == 0, (network_id, stage_name)
+                assert hits > 0, (network_id, stage_name)
+
+    def test_mutation_dirties_only_affected_network(self, base_corpus,
+                                                    tmp_path):
+        cache = StageCache(tmp_path / "stagecache")
+        build_full(base_corpus, cache=cache)
+
+        # touch one snapshot of one network in month 1: its login feeds
+        # the parse chunk digest without affecting parsability
+        victim = None
+        for device_id, snaps in base_corpus.snapshots.items():
+            for index, snap in enumerate(snaps):
+                if MINUTES_PER_MONTH <= snap.timestamp < 2 * MINUTES_PER_MONTH:
+                    victim = (device_id, index, snap.network_id)
+                    break
+            if victim:
+                break
+        assert victim is not None
+        device_id, index, victim_network = victim
+        mutated_snaps = dict(base_corpus.snapshots)
+        mutated_list = list(mutated_snaps[device_id])
+        mutated_list[index] = dataclasses.replace(
+            mutated_list[index], login="ops-touched"
+        )
+        mutated_snaps[device_id] = mutated_list
+        mutated = dataclasses.replace(base_corpus, snapshots=mutated_snaps)
+
+        n_months = base_corpus.n_months
+        for network_id in base_corpus.inventory.network_ids:
+            unit = compute_network_unit(mutated, network_id, 5, False, cache)
+            parse_hits, parse_misses = unit.cache_stats["parse"]
+            if network_id == victim_network:
+                # chunk 0 still hits; the mutated month and everything
+                # chained after it (incl. the tail chunk) recompute
+                assert parse_hits == 1
+                assert parse_misses == n_months  # months 1..3 + tail
+                assert unit.cache_stats["events"][1] == 1
+                assert unit.cache_stats["metrics"][1] == 1
+                assert unit.cache_stats["health"][0] == 1  # tickets untouched
+            else:
+                assert parse_misses == 0
+                assert unit.cache_stats["events"] == (1, 0)
+                assert unit.cache_stats["metrics"] == (1, 0)
+                assert unit.cache_stats["health"] == (1, 0)
+
+    def test_corrupt_cache_entry_is_a_miss(self, base_corpus, tmp_path):
+        cache = StageCache(tmp_path / "stagecache")
+        plain = build_full(base_corpus)
+        build_full(base_corpus, cache=cache)
+        entries = sorted(cache.root.rglob("*"))
+        files = [p for p in entries if p.is_file()]
+        assert files
+        files[0].write_bytes(b"not a pickle")
+        rebuilt = build_full(base_corpus, cache=cache)
+        assert_datasets_identical(plain.dataset, rebuilt.dataset)
+        assert plain.quality.to_dict() == rebuilt.quality.to_dict()
+
+
+class TestExtendedWorkspace:
+    def test_extend_reuses_stage_cache(self, tmp_path):
+        ws = Workspace(scale="tiny", seed=7, cache_dir=tmp_path)
+        ws.ensure()
+        extended = ws.extended(1)
+        assert extended.root != ws.root
+        assert extended.spec.n_months == ws.spec.n_months + 1
+
+        from repro.runtime.telemetry import Telemetry
+        import repro.core.workspace as workspace_mod
+        import repro.metrics.dataset as dataset_mod
+        probe = Telemetry()
+        originals = (workspace_mod.TELEMETRY, dataset_mod.TELEMETRY)
+        workspace_mod.TELEMETRY = dataset_mod.TELEMETRY = probe
+        try:
+            extended.ensure()
+        finally:
+            workspace_mod.TELEMETRY, dataset_mod.TELEMETRY = originals
+
+        caches = {c.name: c for c in probe.caches()}
+        n_networks = ws.spec.n_networks
+        n_old_months = ws.spec.n_months
+        # every covered month's parse chunk is reused for every network
+        assert caches["parse"].hits == n_networks * n_old_months
+        assert caches["parse"].misses == 2 * n_networks  # new month + tail
+        dataset = extended.dataset()
+        assert (max(dataset.case_month_indices)
+                == ws.spec.n_months)  # the appended month is present
+
+
+class TestDatasetViews:
+    def test_column_is_read_only(self, base_corpus):
+        dataset = build_full(base_corpus).dataset
+        column = dataset.column(dataset.names[0])
+        with pytest.raises(ValueError, match="read-only"):
+            column[0] = 123.0
+        # the backing table itself stays writable
+        assert dataset.values.flags.writeable
+
+    def test_restrict_months_empty_set(self, base_corpus):
+        dataset = build_full(base_corpus).dataset
+        empty = dataset.restrict_months(set())
+        assert empty.n_cases == 0
+        assert empty.names == dataset.names
+        assert empty.values.shape == (0, len(dataset.names))
+        assert empty.tickets.shape == (0,)
+
+    def test_restrict_months_all_months(self, base_corpus):
+        dataset = build_full(base_corpus).dataset
+        everything = dataset.restrict_months(
+            set(dataset.case_month_indices)
+        )
+        assert_datasets_identical(everything, dataset)

@@ -6,7 +6,6 @@ run at larger scales).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.dependence import rank_practices_by_mi
 from repro.core.mpa import MPA

@@ -11,7 +11,7 @@ from repro.metrics.catalog import (
     get_metric,
     metric_names,
 )
-from repro.metrics.dataset import MetricDataset, build_dataset
+from repro.metrics.dataset import MetricDataset
 from repro.metrics.design import (
     config_metrics,
     extract_device_features,
@@ -20,7 +20,7 @@ from repro.metrics.design import (
 from repro.metrics.health import modality_from_login, monthly_ticket_count
 from repro.metrics.operational import operational_metrics
 from repro.metrics.events import group_change_events
-from repro.types import ChangeModality, ChangeRecord, MonthKey
+from repro.types import ChangeModality, ChangeRecord
 from repro.util.stats import pearson_correlation
 
 

@@ -5,11 +5,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.qed.balance import (
-    BalanceReport,
-    CovariateBalance,
-    check_balance,
-)
+from repro.analysis.qed.balance import check_balance
 from repro.analysis.qed.experiment import (
     build_confounders,
     loo_network_means,
@@ -23,7 +19,7 @@ from repro.analysis.qed.matching import (
 )
 from repro.analysis.qed.propensity import propensity_scores
 from repro.analysis.qed.significance import sign_test
-from repro.analysis.qed.treatment import ComparisonPoint, TreatmentBinning
+from repro.analysis.qed.treatment import TreatmentBinning
 from repro.errors import MatchingError
 
 

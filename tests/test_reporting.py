@@ -1,6 +1,5 @@
 """Tests for table/figure rendering and the characterization module."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.dependence import rank_practices_by_mi
