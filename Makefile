@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench smoke fuzz lint
+.PHONY: test bench smoke fuzz lint selfcheck
 
 # tier-1 test suite
 test:
@@ -18,6 +18,11 @@ lint:
 # MPA_FUZZ_SEED to explore other corners)
 fuzz:
 	MPA_FUZZ_SEED=20240806 $(PYTHON) -m pytest tests/test_confparse_fuzz.py -q
+
+# statistical self-validation: estimator invariants + planted-truth
+# recovery scorecard; exits nonzero on any failure or regression
+selfcheck:
+	MPA_SCALE=$${MPA_SCALE:-small} $(PYTHON) -m repro.cli selfcheck
 
 # full paper-reproduction benchmark suite (prints tables/figures with -s)
 bench:

@@ -1,0 +1,32 @@
+"""Statistical self-validation: invariants + planted-truth scorecard.
+
+Runs the full :mod:`repro.analysis.selfcheck` harness against the shared
+benchmark workspace (the same dataset every other bench reads) and
+asserts the acceptance bar the subsystem promises: every estimator
+invariant holds, every planted causal practice is recovered with the
+correct sign, and no planted-null practice survives significance.
+"""
+
+from repro.analysis.selfcheck import run_selfcheck
+from repro.reporting.tables import (
+    format_invariant_table,
+    format_scorecard_table,
+)
+
+
+def test_selfcheck_harness(benchmark, dataset):
+    report = benchmark.pedantic(
+        lambda: run_selfcheck(dataset, seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_invariant_table(report.invariants))
+    print()
+    print(format_scorecard_table(report.scorecard))
+
+    assert report.n_invariant_failures == 0
+    card = report.scorecard
+    assert card.missed == []
+    assert card.n_recovered == card.n_planted
+    assert card.n_spurious == 0
+    assert report.passed

@@ -1,0 +1,35 @@
+"""Statistical self-validation: invariant checks + planted-truth recovery.
+
+The estimators behind the paper's tables are graded two ways on every
+run (see :mod:`repro.analysis.selfcheck.invariants` and
+:mod:`repro.analysis.selfcheck.scorecard`); ``mpa selfcheck`` is the CLI
+entry point and persists the combined report as ``selfcheck.json``.
+"""
+
+from repro.analysis.selfcheck.invariants import (
+    ALL_CHECKS,
+    InvariantResult,
+    run_invariant_checks,
+)
+from repro.analysis.selfcheck.report import (
+    SELFCHECK_FORMAT_VERSION,
+    SelfCheckReport,
+    run_selfcheck,
+)
+from repro.analysis.selfcheck.scorecard import (
+    PracticeScore,
+    Scorecard,
+    score_planted_truth,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "InvariantResult",
+    "run_invariant_checks",
+    "SELFCHECK_FORMAT_VERSION",
+    "SelfCheckReport",
+    "run_selfcheck",
+    "PracticeScore",
+    "Scorecard",
+    "score_planted_truth",
+]

@@ -1,0 +1,133 @@
+"""The combined selfcheck report: invariants + scorecard + regression.
+
+``selfcheck.json`` (written by ``mpa selfcheck``) is the serialized
+:class:`SelfCheckReport`. Regression detection compares a fresh report
+against the previously persisted one: any newly failing invariant, any
+drop in planted-practice recovery, or any new spurious survivor is a
+regression — the CLI exits nonzero on any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.selfcheck.invariants import (
+    InvariantResult,
+    run_invariant_checks,
+)
+from repro.analysis.selfcheck.scorecard import Scorecard, score_planted_truth
+from repro.metrics.dataset import MetricDataset
+from repro.runtime.telemetry import TELEMETRY
+
+#: Bumped when the selfcheck.json layout changes incompatibly.
+SELFCHECK_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SelfCheckReport:
+    """Everything one selfcheck run established."""
+
+    seed: int
+    invariants: tuple[InvariantResult, ...]
+    scorecard: Scorecard | None
+
+    @property
+    def n_invariant_failures(self) -> int:
+        return sum(1 for r in self.invariants if not r.passed)
+
+    @property
+    def passed(self) -> bool:
+        if self.n_invariant_failures:
+            return False
+        return self.scorecard is None or self.scorecard.passed
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SELFCHECK_FORMAT_VERSION,
+            "seed": self.seed,
+            "passed": self.passed,
+            "n_invariant_failures": self.n_invariant_failures,
+            "invariants": [r.to_dict() for r in self.invariants],
+            "scorecard": (self.scorecard.to_dict()
+                          if self.scorecard is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SelfCheckReport":
+        scorecard = data.get("scorecard")
+        return cls(
+            seed=data.get("seed", 0),
+            invariants=tuple(
+                InvariantResult.from_dict(r) for r in data["invariants"]
+            ),
+            scorecard=(Scorecard.from_dict(scorecard)
+                       if scorecard is not None else None),
+        )
+
+    def regressions_from(self, baseline: "SelfCheckReport") -> list[str]:
+        """Human-readable regressions of this report vs ``baseline``.
+
+        An empty list means no regression. Failures present in the
+        baseline too are still reported (a failing selfcheck never
+        becomes acceptable just because it failed before).
+        """
+        problems: list[str] = []
+        for result in self.invariants:
+            if not result.passed:
+                problems.append(
+                    f"invariant {result.name} failed: {result.detail}"
+                )
+        if self.scorecard is not None:
+            card = self.scorecard
+            for practice in card.missed:
+                problems.append(
+                    f"planted causal practice {practice} not recovered"
+                )
+            for score in card.practices:
+                if score.spurious:
+                    problems.append(
+                        f"planted-null practice {score.practice} "
+                        f"survives significance"
+                    )
+            base = baseline.scorecard
+            if base is not None:
+                if card.n_recovered < base.n_recovered:
+                    problems.append(
+                        f"recovery regressed: {card.n_recovered}/"
+                        f"{card.n_planted} planted practices vs "
+                        f"{base.n_recovered}/{base.n_planted} in baseline"
+                    )
+                if card.n_spurious > base.n_spurious:
+                    problems.append(
+                        f"specificity regressed: {card.n_spurious} spurious "
+                        f"survivors vs {base.n_spurious} in baseline"
+                    )
+        return problems
+
+
+def run_selfcheck(dataset: MetricDataset | None, seed: int = 0,
+                  **scorecard_kwargs) -> SelfCheckReport:
+    """Run the full statistical self-validation harness.
+
+    ``dataset=None`` runs the invariant half only (fast, corpus-free).
+    Every verdict is mirrored into the process telemetry
+    (``invariant:*`` / ``scorecard:*`` check counters), so selfcheck
+    outcomes appear in ``MPA_TELEMETRY`` dumps alongside stage timings.
+    """
+    with TELEMETRY.stage("selfcheck-invariants"):
+        invariants = tuple(run_invariant_checks(seed))
+    for result in invariants:
+        TELEMETRY.record_check(f"invariant:{result.name}", result.passed)
+    scorecard = None
+    if dataset is not None:
+        with TELEMETRY.stage("selfcheck-scorecard"):
+            scorecard = score_planted_truth(dataset, **scorecard_kwargs)
+        for score in scorecard.practices:
+            if score.planted_sign == "+":
+                TELEMETRY.record_check(f"scorecard:{score.practice}",
+                                       bool(score.recovered))
+            else:
+                TELEMETRY.record_check(f"scorecard:{score.practice}",
+                                       not score.spurious)
+    return SelfCheckReport(seed=seed, invariants=invariants,
+                           scorecard=scorecard)

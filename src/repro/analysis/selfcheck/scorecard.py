@@ -1,0 +1,293 @@
+"""Planted-truth recovery scorecard.
+
+The synthesizer *knows* which practices it planted as causal
+(:data:`repro.analysis.validation.PLANTED_EFFECTS` mirrors the health
+model's coefficients), so the full observational pipeline —
+corpus → metric table → MI ranking → QED — can be graded against ground
+truth on every run. The scorecard answers two questions:
+
+* **Recovery**: does the pipeline recover every planted causal practice
+  with the correct sign? The per-practice sign evidence pools the
+  matched-pair outcome differences across *all* of the QED's
+  neighbouring-bin comparison points (a single sign test over the
+  pooled pairs — far more power at reduced scales than any one point,
+  where the paper itself reports many "Imbal." cells). When matching
+  yields too few pooled pairs for a sign verdict (small corpora), the
+  marginal log-log correlation sign is used as the fallback channel.
+* **Specificity**: do any planted-null practices (confounded or
+  negligible — the paper's non-significant Table 7 rows) *survive*
+  significance? A null practice is flagged spurious when any strict QED
+  point affirms causality or its pooled sign test clears the paper's
+  p < 0.001 threshold.
+
+The scorecard is machine-readable (``to_dict``/``from_dict``) and is
+what ``mpa selfcheck`` persists as ``selfcheck.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.analysis import dependence as dependence_mod
+from repro.analysis import validation as validation_mod
+from repro.analysis.qed import balance as balance_mod
+from repro.analysis.qed import experiment as experiment_mod
+from repro.analysis.qed import matching as matching_mod
+from repro.analysis.qed import propensity as propensity_mod
+from repro.analysis.qed import significance as significance_mod
+from repro.analysis.qed.treatment import TreatmentBinning
+from repro.errors import MatchingError
+from repro.metrics.dataset import MetricDataset
+from repro.util import stats as stats_mod
+
+#: Minimum pooled matched pairs for the sign test to be the evidence
+#: channel; below this the marginal correlation sign is used instead.
+MIN_POOLED_PAIRS = 50
+
+#: Significance threshold for flagging a planted-null practice as a
+#: spurious survivor (the paper's own rejection threshold).
+ALPHA_SPURIOUS = 1e-3
+
+#: |correlation| below this counts as "no direction" in the fallback.
+CORR_DEADBAND = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class PracticeScore:
+    """One planted practice's recovery record."""
+
+    practice: str
+    planted_sign: str  # "+" causal, "0" null
+    mi_rank: int  # 1 = strongest avg monthly MI
+    avg_monthly_mi: float
+    marginal_corr: float  # log1p(practice) vs log1p(tickets)
+    n_points: int  # comparison points that produced matched pairs
+    n_causal_points: int  # points strictly causal (balanced + p<1e-3)
+    pooled_pairs: int
+    pooled_more: int  # pairs where treatment raised tickets
+    pooled_fewer: int
+    pooled_p: float
+    evidence: str  # "matched-pairs" or "correlation"
+    observed_sign: str  # "+", "-", or "0"
+    recovered: bool | None  # None for planted-null practices
+    spurious: bool  # null practice surviving significance
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PracticeScore":
+        return cls(**data)
+
+
+@dataclass(frozen=True, slots=True)
+class Scorecard:
+    """Recovery + specificity verdict over all planted practices."""
+
+    n_cases: int
+    n_networks: int
+    min_pooled_pairs: int
+    alpha_spurious: float
+    practices: tuple[PracticeScore, ...]
+
+    @property
+    def n_planted(self) -> int:
+        return sum(1 for p in self.practices if p.planted_sign == "+")
+
+    @property
+    def n_recovered(self) -> int:
+        return sum(1 for p in self.practices if p.recovered)
+
+    @property
+    def n_spurious(self) -> int:
+        return sum(1 for p in self.practices if p.spurious)
+
+    @property
+    def missed(self) -> list[str]:
+        """Planted causal practices the pipeline failed to recover."""
+        return [p.practice for p in self.practices
+                if p.planted_sign == "+" and not p.recovered]
+
+    @property
+    def passed(self) -> bool:
+        return self.n_recovered == self.n_planted and self.n_spurious == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "n_cases": self.n_cases,
+            "n_networks": self.n_networks,
+            "min_pooled_pairs": self.min_pooled_pairs,
+            "alpha_spurious": self.alpha_spurious,
+            "n_planted": self.n_planted,
+            "n_recovered": self.n_recovered,
+            "n_spurious": self.n_spurious,
+            "passed": self.passed,
+            "practices": [p.to_dict() for p in self.practices],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scorecard":
+        return cls(
+            n_cases=data["n_cases"],
+            n_networks=data["n_networks"],
+            min_pooled_pairs=data["min_pooled_pairs"],
+            alpha_spurious=data["alpha_spurious"],
+            practices=tuple(
+                PracticeScore.from_dict(p) for p in data["practices"]
+            ),
+        )
+
+
+def _pooled_pair_differences(dataset: MetricDataset, practice: str,
+                             caliper_sd: float | None,
+                             propensity_l2: float,
+                             ) -> tuple[list[np.ndarray], int, int]:
+    """Matched-pair ticket differences for every viable comparison point.
+
+    Returns ``(per-point difference arrays, n_points, n_causal_points)``
+    where a point is *causal* by the strict Table 7/8 criterion
+    (balance holds and the per-point sign test clears p < 0.001).
+    """
+    values = dataset.column(practice)
+    binning = TreatmentBinning.fit(practice, values, n_bins=5)
+    confounder_names, confounders = experiment_mod.build_confounders(
+        dataset, practice
+    )
+    diffs: list[np.ndarray] = []
+    n_causal = 0
+    for point in binning.comparison_points():
+        untreated_idx, treated_idx = binning.split(point)
+        if (len(untreated_idx) < experiment_mod.MIN_GROUP_SIZE
+                or len(treated_idx) < experiment_mod.MIN_GROUP_SIZE):
+            continue
+        scores_u, scores_t = propensity_mod.propensity_scores(
+            confounders[untreated_idx], confounders[treated_idx],
+            l2=propensity_l2,
+        )
+        try:
+            pairs = matching_mod.nearest_neighbor_match(
+                experiment_mod._to_logit(scores_u),
+                experiment_mod._to_logit(scores_t),
+                untreated_idx, treated_idx, caliper_sd=caliper_sd,
+            )
+        except MatchingError:
+            continue
+        if pairs.n_pairs == 0:
+            continue
+        point_diffs = (dataset.tickets[pairs.treated_indices]
+                       - dataset.tickets[pairs.untreated_indices])
+        diffs.append(np.asarray(point_diffs, dtype=float))
+        if pairs.n_pairs >= experiment_mod.MIN_GROUP_SIZE:
+            score_by_case = dict(
+                zip(untreated_idx.tolist(),
+                    experiment_mod._to_logit(scores_u))
+            )
+            score_by_case.update(
+                zip(treated_idx.tolist(),
+                    experiment_mod._to_logit(scores_t))
+            )
+            report = balance_mod.check_balance(
+                confounder_names,
+                confounders[pairs.treated_indices],
+                confounders[pairs.untreated_indices],
+                np.array([score_by_case[int(i)]
+                          for i in pairs.treated_indices]),
+                np.array([score_by_case[int(i)]
+                          for i in pairs.untreated_indices]),
+            )
+            sign = significance_mod.sign_test(
+                dataset.tickets[pairs.treated_indices],
+                dataset.tickets[pairs.untreated_indices],
+            )
+            if report.balanced and sign.significant:
+                n_causal += 1
+    return diffs, len(diffs), n_causal
+
+
+def score_planted_truth(dataset: MetricDataset,
+                        min_pooled_pairs: int = MIN_POOLED_PAIRS,
+                        alpha_spurious: float = ALPHA_SPURIOUS,
+                        caliper_sd: float | None = 0.25,
+                        propensity_l2: float = 0.1) -> Scorecard:
+    """Grade the MI + QED pipeline against the planted causal truth."""
+    mi_ranking = dependence_mod.rank_practices_by_mi(dataset)
+    mi_rank = {r.practice: i + 1 for i, r in enumerate(mi_ranking)}
+    mi_value = {r.practice: r.avg_monthly_mi for r in mi_ranking}
+    log_tickets = np.log1p(dataset.tickets.astype(float)).tolist()
+
+    scores: list[PracticeScore] = []
+    for effect in validation_mod.PLANTED_EFFECTS:
+        practice = effect.metric
+        marginal_corr = stats_mod.pearson_correlation(
+            np.log1p(np.maximum(dataset.column(practice), 0.0)).tolist(),
+            log_tickets,
+        )
+        diffs, n_points, n_causal = _pooled_pair_differences(
+            dataset, practice, caliper_sd, propensity_l2
+        )
+        pooled = (np.concatenate(diffs) if diffs
+                  else np.empty(0, dtype=float))
+        if pooled.size:
+            pooled_sign = significance_mod.sign_test(
+                pooled, np.zeros_like(pooled)
+            )
+            pooled_more = pooled_sign.n_more_tickets
+            pooled_fewer = pooled_sign.n_fewer_tickets
+            pooled_p = pooled_sign.p_value
+        else:
+            pooled_more = pooled_fewer = 0
+            pooled_p = 1.0
+
+        if pooled.size >= min_pooled_pairs:
+            evidence = "matched-pairs"
+            if pooled_more > pooled_fewer:
+                observed_sign = "+"
+            elif pooled_fewer > pooled_more:
+                observed_sign = "-"
+            else:
+                observed_sign = "0"
+        else:
+            evidence = "correlation"
+            if marginal_corr > CORR_DEADBAND:
+                observed_sign = "+"
+            elif marginal_corr < -CORR_DEADBAND:
+                observed_sign = "-"
+            else:
+                observed_sign = "0"
+
+        if effect.sign == "+":
+            recovered: bool | None = observed_sign == "+"
+            spurious = False
+        else:
+            recovered = None
+            spurious = bool(
+                n_causal > 0
+                or (pooled.size >= min_pooled_pairs
+                    and pooled_p < alpha_spurious)
+            )
+        scores.append(PracticeScore(
+            practice=practice,
+            planted_sign=effect.sign,
+            mi_rank=mi_rank[practice],
+            avg_monthly_mi=float(mi_value[practice]),
+            marginal_corr=float(marginal_corr),
+            n_points=n_points,
+            n_causal_points=n_causal,
+            pooled_pairs=int(pooled.size),
+            pooled_more=pooled_more,
+            pooled_fewer=pooled_fewer,
+            pooled_p=float(pooled_p),
+            evidence=evidence,
+            observed_sign=observed_sign,
+            recovered=recovered,
+            spurious=spurious,
+        ))
+    return Scorecard(
+        n_cases=dataset.n_cases,
+        n_networks=len(set(dataset.case_networks)),
+        min_pooled_pairs=min_pooled_pairs,
+        alpha_spurious=alpha_spurious,
+        practices=tuple(scores),
+    )

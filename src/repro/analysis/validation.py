@@ -31,6 +31,71 @@ from repro.synthesis.profiles import NetworkProfile
 Intervention = Callable[[NetworkProfile], NetworkProfile]
 
 
+# ---------------------------------------------------------------------------
+# Planted ground truth (the synthesizer's causal structure)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class PlantedEffect:
+    """One practice metric's planted causal role.
+
+    ``sign`` is ``"+"`` for practices whose increase raises the planted
+    ticket rate and ``"0"`` for practices the health model deliberately
+    ignores (confounded or negligible — the paper's non-significant
+    Table 7 rows). The signs mirror the coefficients of
+    :class:`repro.synthesis.health.HealthModelParams`.
+    """
+
+    metric: str
+    sign: str  # "+" (causal, raises tickets) or "0" (no direct effect)
+    mechanism: str
+
+    def __post_init__(self) -> None:
+        if self.sign not in ("+", "0"):
+            raise ValueError(f"bad planted sign {self.sign!r}")
+
+
+#: The synthesizer's planted causal structure, in one queryable place.
+#: This is the ground truth the selfcheck scorecard grades the
+#: observational pipeline against (see :mod:`repro.analysis.selfcheck`).
+PLANTED_EFFECTS: tuple[PlantedEffect, ...] = (
+    PlantedEffect("n_devices", "+", "coef_devices on log #devices"),
+    PlantedEffect("n_change_events", "+", "coef_events on log #events"),
+    PlantedEffect("n_change_types", "+", "coef_change_types on log #types"),
+    PlantedEffect("n_vlans", "+", "coef_vlans on log #VLANs"),
+    PlantedEffect("n_models", "+", "coef_models on #models"),
+    PlantedEffect("n_roles", "+", "coef_roles on #roles"),
+    PlantedEffect("avg_devices_per_event", "+",
+                  "coef_devices_per_event on log devices/event"),
+    PlantedEffect("frac_events_acl", "+", "coef_frac_acl on ACL fraction"),
+    PlantedEffect("intra_device_complexity", "0",
+                  "correlates with causal design practices; no coefficient"),
+    PlantedEffect("frac_events_interface", "0",
+                  "correlates with causal change mix; no coefficient"),
+    PlantedEffect("frac_events_mbox", "0",
+                  "negligible coefficient (paper: low impact despite "
+                  "operator opinion)"),
+)
+
+
+def planted_causal_metrics() -> list[str]:
+    """Metrics with a planted positive causal effect on tickets."""
+    return [e.metric for e in PLANTED_EFFECTS if e.sign == "+"]
+
+
+def planted_null_metrics() -> list[str]:
+    """Metrics the planted health model deliberately does not use."""
+    return [e.metric for e in PLANTED_EFFECTS if e.sign == "0"]
+
+
+def planted_sign(metric: str) -> str | None:
+    """The planted sign for ``metric``, or ``None`` if not planted."""
+    for effect in PLANTED_EFFECTS:
+        if effect.metric == metric:
+            return effect.sign
+    return None
+
+
 def scale_event_rate(factor: float) -> Intervention:
     """Multiply the network's change-event rate (treats n_change_events)."""
     if factor <= 0:

@@ -12,7 +12,10 @@ Commands:
 * ``mpa pairs`` — top practice pairs by CMI (Table 4),
 * ``mpa causal --treatment n_change_events`` — Tables 5/6 for one practice,
 * ``mpa evaluate --classes 2 --variant dt+ab+os`` — cross-validated model,
-* ``mpa online --history 3`` — Table 9-style rolling prediction.
+* ``mpa online --history 3`` — Table 9-style rolling prediction,
+* ``mpa selfcheck`` — statistical self-validation: estimator invariant
+  checks plus the planted-truth recovery scorecard; persists
+  ``selfcheck.json`` and exits nonzero on any failure or regression.
 """
 
 from __future__ import annotations
@@ -27,9 +30,11 @@ from repro.reporting.tables import (
     format_causal_table,
     format_class_report,
     format_cmi_table,
+    format_invariant_table,
     format_matching_table,
     format_mi_table,
     format_online_table,
+    format_scorecard_table,
     format_signtest_table,
 )
 from repro.util.tables import render_kv
@@ -125,6 +130,19 @@ def main(argv: list[str] | None = None) -> int:
     _add_scale(p)
     p.add_argument("--output", required=True, help="CSV file path")
 
+    p = sub.add_parser("selfcheck",
+                       help="statistical self-validation (invariants + "
+                            "planted-truth scorecard)")
+    _add_scale(p)
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the invariant checks' random draws "
+                        "(default 0)")
+    p.add_argument("--invariants-only", action="store_true",
+                   help="skip the corpus-backed scorecard (fast)")
+    p.add_argument("--output", default=None,
+                   help="where to write selfcheck.json (default: the "
+                        "workspace root)")
+
     args = parser.parse_args(argv)
     workspace = Workspace.default(args.scale)
 
@@ -165,6 +183,43 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {issue}")
         if len(issues) > args.limit:
             print(f"  ... and {len(issues) - args.limit} more")
+        return 0
+    if args.command == "selfcheck":
+        import json
+        from pathlib import Path
+
+        from repro.analysis.selfcheck import SelfCheckReport, run_selfcheck
+        from repro.util.ioutils import atomic_write_text
+        dataset = None if args.invariants_only else workspace.dataset()
+        report = run_selfcheck(dataset, seed=args.seed)
+        print(format_invariant_table(report.invariants))
+        if report.scorecard is not None:
+            print()
+            print(format_scorecard_table(report.scorecard))
+        out_path = (Path(args.output) if args.output
+                    else workspace.selfcheck_path)
+        # the previously persisted report is the regression baseline;
+        # an unreadable or missing one degrades to "no baseline" (current
+        # failures are still fatal on their own)
+        baseline = SelfCheckReport(seed=report.seed, invariants=(),
+                                   scorecard=None)
+        if out_path.exists():
+            try:
+                baseline = SelfCheckReport.from_dict(
+                    json.loads(out_path.read_text())
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+        problems = report.regressions_from(baseline)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(out_path,
+                          json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"\nselfcheck report written to {out_path}")
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("selfcheck passed")
         return 0
 
     mpa = MPA(workspace.dataset())

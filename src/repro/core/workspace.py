@@ -229,6 +229,15 @@ class Workspace:
         return self.root / "quality.json"
 
     @property
+    def selfcheck_path(self) -> Path:
+        """Persisted :class:`~repro.analysis.selfcheck.SelfCheckReport`.
+
+        Written by ``mpa selfcheck``; the previous report doubles as the
+        regression baseline for the next run.
+        """
+        return self.root / "selfcheck.json"
+
+    @property
     def version_path(self) -> Path:
         return self.root / "format_version.txt"
 

@@ -6,6 +6,8 @@ from collections.abc import Sequence
 
 from repro.analysis.dependence import DependenceResult, PairDependenceResult
 from repro.analysis.qed.experiment import CausalExperiment, ComparisonResult
+from repro.analysis.selfcheck.invariants import InvariantResult
+from repro.analysis.selfcheck.scorecard import Scorecard
 from repro.core.online import OnlineResult
 from repro.metrics.catalog import display_name
 from repro.ml.model_eval import EvalReport
@@ -120,6 +122,43 @@ def format_online_table(results: Sequence[OnlineResult],
                     + [f"{r.mean_accuracy:.3f}" for r in chunk])
     return render_table(["M (months)"] + list(scheme_names), rows,
                         title=title)
+
+
+def format_invariant_table(results: Sequence[InvariantResult],
+                           title: str = "Estimator invariant checks",
+                           ) -> str:
+    """Render the metamorphic/invariant half of a selfcheck run."""
+    rows = [
+        [r.name, r.paper_section, "pass" if r.passed else "FAIL", r.detail]
+        for r in results
+    ]
+    return render_table(["Invariant", "Paper §", "Verdict", "Detail"], rows,
+                        title=title)
+
+
+def format_scorecard_table(card: Scorecard,
+                           title: str = "Planted-truth recovery scorecard",
+                           ) -> str:
+    """Render the recovery/specificity half of a selfcheck run."""
+    rows = []
+    for p in card.practices:
+        if p.planted_sign == "+":
+            verdict = "recovered" if p.recovered else "MISSED"
+        else:
+            verdict = "SPURIOUS" if p.spurious else "null ok"
+        rows.append([
+            display_name(p.practice), p.planted_sign, p.observed_sign,
+            p.evidence, p.pooled_pairs, f"{p.pooled_p:.2e}",
+            f"{p.marginal_corr:+.3f}", verdict,
+        ])
+    header = (f"{title} ({card.n_recovered}/{card.n_planted} recovered, "
+              f"{card.n_spurious} spurious, "
+              f"{card.n_cases} cases / {card.n_networks} networks)")
+    return render_table(
+        ["Practice", "Planted", "Observed", "Evidence", "Pairs", "Pooled p",
+         "Corr", "Verdict"],
+        rows, title=header,
+    )
 
 
 def format_class_report(report: EvalReport, class_names: Sequence[str],

@@ -56,11 +56,25 @@ class CacheStats:
 
 
 @dataclass
+class CheckStats:
+    """Accumulated pass/fail counts for one named validation check."""
+
+    name: str
+    passed: int = 0
+    failed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+@dataclass
 class Telemetry:
     """Thread-safe per-process aggregator of stage timings."""
 
     _stages: dict[str, StageStats] = field(default_factory=dict)
     _caches: dict[str, CacheStats] = field(default_factory=dict)
+    _checks: dict[str, CheckStats] = field(default_factory=dict)
     _notes: dict[str, str] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -81,6 +95,22 @@ class Telemetry:
                 stats = self._caches[name] = CacheStats(name=name)
             stats.hits += hits
             stats.misses += misses
+
+    def record_check(self, name: str, passed: bool) -> None:
+        """Accumulate one pass/fail sample for validation check ``name``.
+
+        The selfcheck harness (:mod:`repro.analysis.selfcheck`) reports
+        every invariant verdict here so check outcomes ride along in the
+        same telemetry dump the runtime stages use.
+        """
+        with self._lock:
+            stats = self._checks.get(name)
+            if stats is None:
+                stats = self._checks[name] = CheckStats(name=name)
+            if passed:
+                stats.passed += 1
+            else:
+                stats.failed += 1
 
     def note(self, key: str, value: str) -> None:
         """Attach a free-form key/value fact to the run (latest wins)."""
@@ -106,6 +136,11 @@ class Telemetry:
         with self._lock:
             return list(self._caches.values())
 
+    def checks(self) -> list[CheckStats]:
+        """Recorded check counters in first-seen order."""
+        with self._lock:
+            return list(self._checks.values())
+
     def notes(self) -> dict[str, str]:
         with self._lock:
             return dict(self._notes)
@@ -114,6 +149,7 @@ class Telemetry:
         with self._lock:
             self._stages.clear()
             self._caches.clear()
+            self._checks.clear()
             self._notes.clear()
 
     def as_dict(self) -> dict:
@@ -125,6 +161,9 @@ class Telemetry:
         caches = self.caches()
         if caches:
             data["caches"] = [asdict(c) for c in caches]
+        checks = self.checks()
+        if checks:
+            data["checks"] = [asdict(c) for c in checks]
         notes = self.notes()
         if notes:
             data["notes"] = notes
@@ -143,8 +182,9 @@ class Telemetry:
         """A small human-readable table of all recorded stages."""
         stages = self.stages()
         caches = self.caches()
+        checks = self.checks()
         notes = self.notes()
-        if not stages and not caches and not notes:
+        if not stages and not caches and not checks and not notes:
             return "runtime telemetry: no stages recorded"
         lines = []
         if stages:
@@ -161,6 +201,11 @@ class Telemetry:
             for c in caches:
                 lines.append(f"  {c.name:<22} {c.hits:>7} {c.misses:>7} "
                              f"{c.hit_rate:>6.1%}")
+        if checks:
+            lines += ["validation checks (pass/fail):",
+                      f"  {'check':<34} {'pass':>6} {'fail':>6}"]
+            for c in checks:
+                lines.append(f"  {c.name:<34} {c.passed:>6} {c.failed:>6}")
         for key, value in notes.items():
             lines.append(f"  note: {key} = {value}")
         return "\n".join(lines)

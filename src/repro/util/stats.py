@@ -50,13 +50,20 @@ def normalized_entropy(labels: Sequence[object]) -> float:
 
 
 def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
-    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    """Pearson correlation coefficient; 0.0 when either side is constant.
+
+    NaN input is rejected with :class:`ValueError` (the unified NaN
+    policy shared with :mod:`repro.util.binning`) instead of silently
+    propagating into a NaN coefficient.
+    """
     if len(xs) != len(ys):
         raise ValueError("sequences must have equal length")
     if len(xs) < 2:
         raise ValueError("need at least two points")
     x = np.asarray(xs, dtype=float)
     y = np.asarray(ys, dtype=float)
+    if np.isnan(x).any() or np.isnan(y).any():
+        raise ValueError("cannot correlate NaN values")
     sx = x.std()
     sy = y.std()
     if sx == 0 or sy == 0:
@@ -66,7 +73,14 @@ def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
 
 @dataclass(frozen=True, slots=True)
 class Summary:
-    """Descriptive summary used by the box-plot style figures (Figs 4, 6)."""
+    """Descriptive summary used by the box-plot style figures (Figs 4, 6).
+
+    ``whisker_low``/``whisker_high`` follow the paper's box-plot
+    convention: "whiskers indicate the most extreme datapoints within
+    twice the interquartile range" — they sit on actual datapoints
+    (computed by :func:`summarize`), not on the clamped limits
+    ``p25 - 2*iqr`` / ``p75 + 2*iqr`` themselves.
+    """
 
     count: int
     mean: float
@@ -75,24 +89,12 @@ class Summary:
     p75: float
     minimum: float
     maximum: float
+    whisker_low: float
+    whisker_high: float
 
     @property
     def iqr(self) -> float:
         return self.p75 - self.p25
-
-    @property
-    def whisker_low(self) -> float:
-        """Lowest datapoint within 2x IQR below the 25th percentile.
-
-        Matches the whisker convention in the paper's box plots
-        ("whiskers indicate the most extreme datapoints within twice the
-        interquartile range").
-        """
-        return max(self.minimum, self.p25 - 2 * self.iqr)
-
-    @property
-    def whisker_high(self) -> float:
-        return min(self.maximum, self.p75 + 2 * self.iqr)
 
 
 def summarize(values: Sequence[float]) -> Summary:
@@ -101,6 +103,11 @@ def summarize(values: Sequence[float]) -> Summary:
         raise ValueError("cannot summarize an empty sequence")
     arr = np.asarray(values, dtype=float)
     p25, p50, p75 = np.percentile(arr, [25, 50, 75])
+    iqr = float(p75 - p25)
+    # most extreme datapoints within 2x IQR of the quartiles; the sets
+    # are never empty because p25 - 2*iqr <= p25 <= max and vice versa
+    low_limit = p25 - 2 * iqr
+    high_limit = p75 + 2 * iqr
     return Summary(
         count=int(arr.size),
         mean=float(arr.mean()),
@@ -109,20 +116,32 @@ def summarize(values: Sequence[float]) -> Summary:
         p75=float(p75),
         minimum=float(arr.min()),
         maximum=float(arr.max()),
+        whisker_low=float(arr[arr >= low_limit].min()),
+        whisker_high=float(arr[arr <= high_limit].max()),
     )
 
 
 def ecdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
-    """Empirical CDF: returns sorted values and cumulative fractions."""
+    """Empirical CDF: returns sorted values and cumulative fractions.
+
+    The two arrays are always distinct objects, including for empty
+    input, so mutating one never aliases the other.
+    """
     arr = np.sort(np.asarray(values, dtype=float))
     if arr.size == 0:
-        return arr, arr
+        return arr, np.empty(0, dtype=float)
     fractions = np.arange(1, arr.size + 1, dtype=float) / arr.size
     return arr, fractions
 
 
 def quantile_at(values: Sequence[float], fraction: float) -> float:
-    """The ``fraction``-quantile of ``values`` (0 <= fraction <= 1)."""
+    """The ``fraction``-quantile of ``values`` (0 <= fraction <= 1).
+
+    Raises :class:`ValueError` on empty input (consistent with
+    :func:`summarize`) instead of leaking numpy's ``IndexError``.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be within [0, 1]")
+    if len(values) == 0:
+        raise ValueError("cannot take a quantile of an empty sequence")
     return float(np.percentile(np.asarray(values, dtype=float), fraction * 100))

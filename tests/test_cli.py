@@ -86,3 +86,49 @@ class TestExport:
         from repro.metrics.export import read_csv
         dataset = read_csv(target)
         assert dataset.n_cases > 0
+
+
+class TestSelfcheck:
+    def test_invariants_only(self, workspace_env, capsys):
+        assert main(["selfcheck", "--invariants-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Estimator invariant checks" in out
+        assert "selfcheck passed" in out
+        assert "recovery scorecard" not in out
+
+    def test_full_run_writes_report(self, workspace_env, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery scorecard" in out
+        report_path = workspace_env / "tiny-seed7" / "selfcheck.json"
+        assert report_path.exists()
+        import json
+        data = json.loads(report_path.read_text())
+        assert data["passed"] is True
+        assert data["scorecard"]["n_recovered"] == data["scorecard"][
+            "n_planted"]
+        assert data["scorecard"]["n_spurious"] == 0
+
+    def test_broken_estimator_exits_nonzero(self, workspace_env,
+                                            monkeypatch, capsys):
+        # deliberately break the MI estimator's symmetry: selfcheck must
+        # notice and fail the process
+        import sys as _sys
+        import repro.analysis.mutual_information  # noqa: F401
+        mi_mod = _sys.modules["repro.analysis.mutual_information"]
+        orig = mi_mod.mutual_information
+
+        def asymmetric(x, y, bias_correction=False):
+            return orig(x, y, bias_correction) + 1e-3 * float(sum(x) % 7)
+
+        monkeypatch.setattr(mi_mod, "mutual_information", asymmetric)
+        assert main(["selfcheck", "--invariants-only"]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "mi-symmetry" in err
+
+    def test_custom_output_path(self, workspace_env, tmp_path, capsys):
+        target = tmp_path / "out" / "sc.json"
+        assert main(["selfcheck", "--invariants-only", "--output",
+                     str(target)]) == 0
+        assert target.exists()

@@ -124,6 +124,60 @@ class TestMatching:
                                 np.arange(100, 120), caliper=1.0)
         assert near.n_pairs > far.n_pairs
 
+    def test_single_element_groups(self):
+        pairs = nearest_neighbor_match(np.array([0.4]), np.array([0.6]),
+                                       np.array([3]), np.array([8]),
+                                       caliper_sd=None)
+        assert pairs.n_pairs == 1
+        assert pairs.treated_indices[0] == 8
+        assert pairs.untreated_indices[0] == 3
+
+    def test_single_elements_outside_caliper(self):
+        # pooled SD of {0.0, 5.0} is 2.5 -> caliper 0.625 < distance 5,
+        # so trimming leaves no common support
+        with pytest.raises(MatchingError):
+            nearest_neighbor_match(np.array([0.0]), np.array([5.0]),
+                                   np.array([0]), np.array([1]),
+                                   caliper_sd=0.25)
+
+    def test_identical_scores_disable_caliper(self):
+        # pooled SD is 0: the caliper must degrade to "no caliper"
+        # instead of discarding every pair via a zero-width caliper
+        s_u = np.full(4, 0.5)
+        s_t = np.full(3, 0.5)
+        pairs = nearest_neighbor_match(s_u, s_t, np.arange(4),
+                                       np.array([10, 11, 12]),
+                                       caliper_sd=0.25)
+        assert pairs.n_pairs == 3
+        assert pairs.n_untreated_matched == 1
+
+    def test_midpoint_tie_picks_left_neighbor(self):
+        # 0.5 is equidistant from 0.0 and 1.0; the tie must break
+        # deterministically toward the lower-score neighbour
+        pairs = nearest_neighbor_match(np.array([0.0, 1.0]),
+                                       np.array([0.5]),
+                                       np.array([20, 21]), np.array([30]),
+                                       caliper_sd=None)
+        assert pairs.n_pairs == 1
+        assert pairs.untreated_indices[0] == 20
+
+    def test_midpoint_tie_deterministic_under_input_order(self):
+        # the same tie with the untreated group listed in reverse order
+        # still resolves to the lower-score case
+        pairs = nearest_neighbor_match(np.array([1.0, 0.0]),
+                                       np.array([0.5]),
+                                       np.array([21, 20]), np.array([30]),
+                                       caliper_sd=None)
+        assert pairs.untreated_indices[0] == 20
+
+    def test_caliper_none_matches_everything(self):
+        s_u = np.array([0.0, 0.1])
+        s_t = np.array([10.0, -10.0, 0.05])
+        pairs = nearest_neighbor_match(s_u, s_t, np.arange(2),
+                                       np.array([5, 6, 7]),
+                                       caliper_sd=None)
+        assert pairs.n_pairs == 3
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 1000))
     def test_pair_indices_always_from_inputs(self, n_u, n_t, seed):

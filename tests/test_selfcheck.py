@@ -1,0 +1,207 @@
+"""Tests for the statistical self-validation subsystem."""
+
+import sys
+
+import pytest
+
+import repro.analysis.mutual_information  # noqa: F401  (module handle below)
+from repro.analysis.selfcheck import (
+    ALL_CHECKS,
+    SELFCHECK_FORMAT_VERSION,
+    PracticeScore,
+    Scorecard,
+    SelfCheckReport,
+    run_invariant_checks,
+    run_selfcheck,
+    score_planted_truth,
+)
+from repro.analysis.validation import (
+    PLANTED_EFFECTS,
+    planted_causal_metrics,
+    planted_null_metrics,
+)
+from repro.runtime.telemetry import Telemetry
+
+# the package __init__ re-exports the mutual_information *function* under
+# the submodule's name, so a live module handle must come from sys.modules
+mi_mod = sys.modules["repro.analysis.mutual_information"]
+
+
+class TestInvariants:
+    def test_all_pass(self):
+        results = run_invariant_checks(seed=0)
+        assert len(results) == len(ALL_CHECKS)
+        failures = [r for r in results if not r.passed]
+        assert failures == []
+
+    @pytest.mark.parametrize("seed", [1, 7, 1234])
+    def test_pass_across_seeds(self, seed):
+        assert all(r.passed for r in run_invariant_checks(seed=seed))
+
+    def test_names_and_sections_match_registry(self):
+        results = run_invariant_checks(seed=0)
+        assert [(r.name, r.paper_section) for r in results] == [
+            (name, section) for name, section, _ in ALL_CHECKS
+        ]
+
+    def test_broken_symmetry_detected(self, monkeypatch):
+        orig = mi_mod.mutual_information
+
+        def asymmetric(x, y, bias_correction=False):
+            return orig(x, y, bias_correction) + 1e-3 * float(sum(x) % 7)
+
+        monkeypatch.setattr(mi_mod, "mutual_information", asymmetric)
+        failed = {r.name for r in run_invariant_checks(seed=0)
+                  if not r.passed}
+        assert "mi-symmetry" in failed
+
+    def test_broken_bias_correction_detected(self, monkeypatch):
+        orig = mi_mod.mutual_information
+
+        def uncorrected(x, y, bias_correction=False):
+            return orig(x, y, bias_correction=False)
+
+        monkeypatch.setattr(mi_mod, "mutual_information", uncorrected)
+        failed = {r.name for r in run_invariant_checks(seed=0)
+                  if not r.passed}
+        assert "mi-permutation-null" in failed
+
+    def test_raising_check_becomes_failure(self, monkeypatch):
+        def explode(x, y, bias_correction=False):
+            raise RuntimeError("estimator exploded")
+
+        monkeypatch.setattr(mi_mod, "mutual_information", explode)
+        results = run_invariant_checks(seed=0)
+        # every MI-backed check fails, none of them raises out
+        by_name = {r.name: r for r in results}
+        assert not by_name["mi-symmetry"].passed
+        assert "raised" in by_name["mi-symmetry"].detail
+
+    def test_result_round_trip(self):
+        for result in run_invariant_checks(seed=0):
+            data = result.to_dict()
+            assert isinstance(data["passed"], bool)
+            assert type(result).from_dict(data) == result
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def card(self, tiny_dataset):
+        return score_planted_truth(tiny_dataset)
+
+    def test_covers_all_planted_effects(self, card):
+        assert len(card.practices) == len(PLANTED_EFFECTS)
+        assert card.n_planted == len(planted_causal_metrics())
+
+    def test_recovers_planted_causal_truth(self, card):
+        assert card.missed == []
+        assert card.n_recovered == card.n_planted
+        for score in card.practices:
+            if score.planted_sign == "+":
+                assert score.observed_sign == "+"
+
+    def test_no_spurious_nulls(self, card):
+        assert card.n_spurious == 0
+        null_names = {s.practice for s in card.practices if s.spurious}
+        assert null_names <= set(planted_null_metrics())
+
+    def test_passed(self, card):
+        assert card.passed
+
+    def test_round_trip(self, card):
+        assert Scorecard.from_dict(card.to_dict()) == card
+
+    def test_evidence_channels_are_labelled(self, card):
+        assert {s.evidence for s in card.practices} <= {
+            "matched-pairs", "correlation"
+        }
+
+
+def _make_score(practice, planted_sign, observed_sign, recovered, spurious):
+    return PracticeScore(
+        practice=practice, planted_sign=planted_sign, mi_rank=1,
+        avg_monthly_mi=0.1, marginal_corr=0.3, n_points=2,
+        n_causal_points=0, pooled_pairs=100, pooled_more=60,
+        pooled_fewer=40, pooled_p=0.05, evidence="matched-pairs",
+        observed_sign=observed_sign, recovered=recovered, spurious=spurious,
+    )
+
+
+def _make_card(practices):
+    return Scorecard(n_cases=100, n_networks=10, min_pooled_pairs=50,
+                     alpha_spurious=1e-3, practices=tuple(practices))
+
+
+class TestReport:
+    def test_invariants_only(self):
+        report = run_selfcheck(None, seed=0)
+        assert report.scorecard is None
+        assert report.n_invariant_failures == 0
+        assert report.passed
+
+    def test_round_trip(self):
+        report = run_selfcheck(None, seed=3)
+        data = report.to_dict()
+        assert data["format_version"] == SELFCHECK_FORMAT_VERSION
+        assert SelfCheckReport.from_dict(data) == report
+
+    def test_full_run_on_dataset(self, tiny_dataset):
+        report = run_selfcheck(tiny_dataset, seed=0)
+        assert report.scorecard is not None
+        assert report.passed
+        assert report.regressions_from(
+            SelfCheckReport(seed=0, invariants=(), scorecard=None)
+        ) == []
+
+    def test_missed_practice_is_a_regression(self):
+        report = SelfCheckReport(
+            seed=0, invariants=(),
+            scorecard=_make_card([
+                _make_score("n_devices", "+", "-", False, False),
+            ]),
+        )
+        baseline = SelfCheckReport(seed=0, invariants=(), scorecard=None)
+        problems = report.regressions_from(baseline)
+        assert any("n_devices" in p and "not recovered" in p
+                   for p in problems)
+
+    def test_spurious_null_is_a_regression(self):
+        report = SelfCheckReport(
+            seed=0, invariants=(),
+            scorecard=_make_card([
+                _make_score("frac_events_mbox", "0", "+", None, True),
+            ]),
+        )
+        baseline = SelfCheckReport(seed=0, invariants=(), scorecard=None)
+        problems = report.regressions_from(baseline)
+        assert any("frac_events_mbox" in p and "survives" in p
+                   for p in problems)
+
+    def test_recovery_drop_vs_baseline_is_a_regression(self):
+        good = _make_score("n_devices", "+", "+", True, False)
+        bad = _make_score("n_devices", "+", "0", False, False)
+        baseline = SelfCheckReport(seed=0, invariants=(),
+                                   scorecard=_make_card([good]))
+        report = SelfCheckReport(seed=0, invariants=(),
+                                 scorecard=_make_card([bad]))
+        assert any("recovery regressed" in p
+                   for p in report.regressions_from(baseline))
+
+    def test_baseline_failures_do_not_excuse_current_ones(self):
+        bad = _make_score("n_devices", "+", "0", False, False)
+        failing = SelfCheckReport(seed=0, invariants=(),
+                                  scorecard=_make_card([bad]))
+        # same failure in the baseline: still reported
+        assert failing.regressions_from(failing)
+
+    def test_telemetry_records_check_verdicts(self, monkeypatch):
+        telemetry = Telemetry()
+        monkeypatch.setattr("repro.analysis.selfcheck.report.TELEMETRY",
+                            telemetry)
+        run_selfcheck(None, seed=0)
+        names = {c.name for c in telemetry.checks()}
+        assert {f"invariant:{name}" for name, _, _ in ALL_CHECKS} <= names
+        assert all(c.ok for c in telemetry.checks())
+        assert "selfcheck-invariants" in {
+            s.name for s in telemetry.stages()
+        }

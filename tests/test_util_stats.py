@@ -86,6 +86,12 @@ class TestPearson:
         with pytest.raises(ValueError):
             pearson_correlation([1], [1])
 
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            pearson_correlation([1.0, float("nan"), 3.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="NaN"):
+            pearson_correlation([1.0, 2.0, 3.0], [1.0, float("nan"), 3.0])
+
     @given(st.lists(st.floats(-100, 100), min_size=3, max_size=30))
     def test_bounded(self, xs):
         ys = [x * 2 + 1 for x in xs]
@@ -107,16 +113,37 @@ class TestSummary:
         assert summary.whisker_low >= summary.minimum
         assert summary.whisker_high <= summary.maximum
 
+    def test_whiskers_sit_on_datapoints(self):
+        # p25=2, p75=4, iqr=2: high limit is 8, so the 100 outlier is
+        # excluded and the whisker sits on 4 — the most extreme
+        # datapoint within 2x IQR, not on the limit itself
+        summary = summarize([1, 2, 3, 4, 100])
+        assert summary.whisker_high == 4.0
+        assert summary.whisker_low == 1.0
+        assert summary.maximum == 100.0
+
+    def test_whiskers_constant_data(self):
+        summary = summarize([5, 5, 5, 5])
+        assert summary.whisker_low == 5.0
+        assert summary.whisker_high == 5.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_whiskers_are_datapoints_within_limits(self, values):
+        summary = summarize(values)
+        assert summary.whisker_low in values
+        assert summary.whisker_high in values
+        assert summary.whisker_low >= summary.p25 - 2 * summary.iqr
+        assert summary.whisker_high <= summary.p75 + 2 * summary.iqr
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize([])
 
     def test_iqr(self):
         summary = Summary(count=4, mean=0, p25=1.0, median=2.0, p75=3.0,
-                          minimum=0.0, maximum=4.0)
+                          minimum=0.0, maximum=4.0,
+                          whisker_low=0.0, whisker_high=4.0)
         assert summary.iqr == 2.0
-        assert summary.whisker_low == 0.0  # 1 - 2*2 = -3, clipped to min
-        assert summary.whisker_high == 4.0
 
 
 class TestEcdf:
@@ -128,6 +155,10 @@ class TestEcdf:
     def test_empty(self):
         xs, fs = ecdf([])
         assert len(xs) == 0 and len(fs) == 0
+
+    def test_empty_returns_distinct_arrays(self):
+        xs, fs = ecdf([])
+        assert xs is not fs
 
     @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
     def test_monotone(self, values):
@@ -143,3 +174,7 @@ class TestQuantile:
     def test_rejects_out_of_range(self):
         with pytest.raises(ValueError):
             quantile_at([1, 2], 1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile_at([], 0.5)
