@@ -4,15 +4,26 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench smoke fuzz lint selfcheck
+.PHONY: test bench bench-check bench-pytest coverage smoke fuzz lint selfcheck
 
 # tier-1 test suite
 test:
 	$(PYTHON) -m pytest -x -q
 
+# tier-1 suite with line coverage over src/repro; prefers pytest-cov
+# (writes coverage.xml) and falls back to the dependency-free tracer in
+# tools/linecov.py when pytest-cov is not installed
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-report=xml; \
+	else \
+		echo "pytest-cov not installed; using tools/linecov.py"; \
+		$(PYTHON) tools/linecov.py -q; \
+	fi
+
 # static checks (config in pyproject.toml [tool.ruff])
 lint:
-	ruff check src tests benchmarks examples
+	ruff check src tests benchmarks examples tools
 
 # parser fuzz pass with a pinned seed (CI runs this; override
 # MPA_FUZZ_SEED to explore other corners)
@@ -24,8 +35,20 @@ fuzz:
 selfcheck:
 	MPA_SCALE=$${MPA_SCALE:-small} $(PYTHON) -m repro.cli selfcheck
 
-# full paper-reproduction benchmark suite (prints tables/figures with -s)
+# perf-regression runner: every bench_*.py, BENCH_*.json artifacts in
+# benchmarks/results/ (see `mpa bench --help` and DESIGN.md)
 bench:
+	$(PYTHON) -m repro.cli bench
+
+# gate the smoke benchmark against the committed noise-aware baseline;
+# exits nonzero on a wall-time regression or output drift
+bench-check:
+	$(PYTHON) -m repro.cli bench --filter runtime_smoke \
+		--compare benchmarks/baseline.json
+
+# full paper-reproduction benchmark suite under pytest (prints
+# tables/figures with -s); the same scripts the perf runner executes
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 
 # parallel-runtime smoke: tiny workspace under MPA_JOBS=2 + telemetry

@@ -54,3 +54,19 @@ def test_ablation_binning_strategy(benchmark, dataset):
     )
     # and the biggest bin hoards fewer cases
     assert occupancy_clamped.max() <= occupancy_naive.max()
+
+def run(ctx):
+    """Bench protocol (repro.bench): binning-strategy ablation."""
+    clamped, naive = _run(ctx.dataset)
+    column = ctx.dataset.column("n_config_changes")
+    occupancy_clamped = np.bincount(apply_bins(column, 10), minlength=10)
+    occupancy_naive = np.bincount(
+        apply_bins(column, 10, low_pct=0, high_pct=100), minlength=10
+    )
+    def top5(results):
+        return [[r.practice, float(r.avg_monthly_mi)]
+                for r in results[:5]]
+    return {"occupancy_clamped": occupancy_clamped.tolist(),
+            "occupancy_naive": occupancy_naive.tolist(),
+            "top5_clamped": top5(clamped),
+            "top5_naive": top5(naive)}

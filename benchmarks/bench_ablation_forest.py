@@ -54,3 +54,9 @@ def test_ablation_random_forests(benchmark, dataset):
     reference_accuracy = reports["dt+ab+os"].accuracy
     for variant in ("rf", "rf-balanced", "rf-weighted"):
         assert reports[variant].accuracy <= reference_accuracy + 0.12, variant
+
+def run(ctx):
+    """Bench protocol (repro.bench): forest-vs-AB+OS ablation."""
+    return {variant: {"accuracy": float(report.accuracy),
+                      "minority_recall": float(minority_recall(report))}
+            for variant, report in _run(ctx.dataset).items()}

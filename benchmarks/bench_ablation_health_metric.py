@@ -56,3 +56,10 @@ def test_ablation_health_metric(benchmark, dataset, workspace):
         assert table["high-impact count"][practice] <= count_mi + 0.01, practice
         # alarm count is a ~fixed fraction of the count: close to it
         assert table["alarm count"][practice] > 0.5 * count_mi, practice
+
+def run(ctx):
+    """Bench protocol (repro.bench): MI per alternative health metric."""
+    table = _run(ctx.dataset, ctx.workspace)
+    return {outcome: {practice: float(mi)
+                      for practice, mi in row.items()}
+            for outcome, row in table.items()}

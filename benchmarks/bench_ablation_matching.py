@@ -58,3 +58,11 @@ def test_ablation_matching_method(benchmark, dataset):
     assert propensity.n_pairs >= 0.7 * n_treated
     assert propensity.n_pairs > 10 * max(exact.n_pairs, 1)
     assert mahalanobis.n_pairs < propensity.n_pairs
+
+def run(ctx):
+    """Bench protocol (repro.bench): matching-method ablation."""
+    n_treated, exact, mahalanobis, propensity = _run(ctx.dataset)
+    return {"n_treated": int(n_treated),
+            "exact_pairs": int(exact.n_pairs),
+            "mahalanobis_pairs": int(mahalanobis.n_pairs),
+            "propensity_pairs": int(propensity.n_pairs)}

@@ -77,3 +77,10 @@ def test_ablation_skew_handling(benchmark, dataset):
     # nothing collapses below chance
     for name, report in reports.items():
         assert report.accuracy > 0.35, name
+
+def run(ctx):
+    """Bench protocol (repro.bench): skew-handling knob ablation."""
+    return {name: {"accuracy": float(report.accuracy),
+                   "intermediate_recall":
+                       float(intermediate_recall(report))}
+            for name, report in _run(ctx.dataset).items()}

@@ -55,3 +55,11 @@ def test_extension_opinion_vs_measurement(benchmark, dataset, large_scale):
 
     # at least one practice is misjudged in some direction
     assert misjudged_practices(gaps)
+
+def run(ctx):
+    """Bench protocol (repro.bench): opinion-vs-measurement gaps."""
+    return {gap.practice: {"mean_opinion": float(gap.mean_opinion),
+                           "mi_rank": int(gap.mi_rank),
+                           "causal_verdict": gap.causal_verdict,
+                           "misjudged": bool(gap.misjudged)}
+            for gap in _run(ctx.dataset)}

@@ -40,3 +40,14 @@ def test_extension_cross_org_transfer(benchmark, dataset):
     assert result.transfers_usefully
     # ... but not perfectly (bin edges and practice mixes shift)
     assert result.target_accuracy <= result.source_cv_accuracy + 0.05
+
+def run(ctx):
+    """Bench protocol (repro.bench): cross-organization transfer."""
+    result = _run(ctx.dataset)
+    return {
+        "source_cv_accuracy": float(result.source_cv_accuracy),
+        "target_accuracy": float(result.target_accuracy),
+        "target_majority_accuracy":
+            float(result.target_majority_accuracy),
+        "transfer_gap": float(result.transfer_gap),
+    }

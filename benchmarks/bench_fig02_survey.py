@@ -59,3 +59,10 @@ def test_fig02_operator_survey(benchmark):
     # some operators are unsure
     unsure = sum(table[p]["not_sure"] for p in SURVEYED_PRACTICES)
     assert unsure > 0
+
+def run(ctx):
+    """Bench protocol (repro.bench): Figure 2 survey tallies."""
+    table = _run()
+    return {practice: {level: int(counts[level])
+                       for level in OPINION_LEVELS}
+            for practice, counts in table.items()}

@@ -53,3 +53,10 @@ def test_fig03_event_grouping_window(benchmark, changes):
     assert np.mean(per_delta[None]) > np.mean(per_delta[5])
     # and the curve must actually move (events are multi-device)
     assert np.mean(per_delta[None]) > 1.1 * np.mean(per_delta[30])
+
+def run(ctx):
+    """Bench protocol (repro.bench): event counts per grouping delta."""
+    per_delta = _run(ctx.changes)
+    return {"NA" if delta is None else str(delta):
+            [int(count) for count in counts]
+            for delta, counts in per_delta.items()}

@@ -52,3 +52,9 @@ def test_fig04_ticket_relationships(benchmark, dataset):
     populated = [m for m in means if not np.isnan(m)]
     peak = int(np.argmax(populated))
     assert peak not in (0,), "relationship should rise from the low end"
+
+def run(ctx):
+    """Bench protocol (repro.bench): per-bin mean tickets per practice."""
+    results = _run(ctx.dataset)
+    return {metric: [None if np.isnan(m) else float(m) for m in means]
+            for metric, (_groups, means) in results.items()}

@@ -33,3 +33,11 @@ def test_fig05_models_vs_roles(benchmark, dataset):
     assert corr > 0.3
     means = [g.mean() for g in groups.values() if len(g) >= 5]
     assert means[-1] > means[0]
+
+def run(ctx):
+    """Bench protocol (repro.bench): models-vs-roles dependence."""
+    groups, corr = _run(ctx.dataset)
+    return {"corr": float(corr),
+            "mean_models_by_roles": {str(r): float(g.mean())
+                                     for r, g in groups.items()
+                                     if len(g)}}

@@ -38,3 +38,11 @@ def test_fig06_top_practices_vs_tickets(benchmark, dataset):
         assert corr > 0.25, metric
         populated = [g.mean() for g in groups if len(g) >= 5]
         assert populated[-1] > 1.3 * populated[0], metric
+
+def run(ctx):
+    """Bench protocol (repro.bench): tickets vs the top-two practices."""
+    results = _run(ctx.dataset)
+    return {metric: {"corr": float(corr),
+                     "bin_mean_tickets": [float(g.mean()) if len(g)
+                                          else None for g in groups]}
+            for metric, (groups, corr) in results.items()}

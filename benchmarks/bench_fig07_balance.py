@@ -52,3 +52,15 @@ def test_fig07_confounder_balance(benchmark, dataset):
         med_t = np.median(treated_values)
         med_u = np.median(untreated_values)
         assert abs(med_t - med_u) <= 0.35 * max(med_t, med_u, 1.0), metric
+
+def run(ctx):
+    """Bench protocol (repro.bench): matched-confounder balance medians."""
+    names, confounders, pairs = _run(ctx.dataset)
+    out = {"n_pairs": int(pairs.n_pairs)}
+    for metric in ("n_devices", "n_vlans"):
+        j = names.index(metric)
+        treated = np.expm1(confounders[pairs.treated_indices, j])
+        untreated = np.expm1(confounders[pairs.untreated_indices, j])
+        out[metric] = {"median_treated": float(np.median(treated)),
+                       "median_untreated": float(np.median(untreated))}
+    return out

@@ -53,3 +53,19 @@ def test_fig08_multiclass_precision_recall(benchmark, dataset):
     # all variants still beat chance overall
     for variant, report in reports.items():
         assert report.accuracy > 0.4, variant
+
+def _report_summary(report):
+    per_class = {}
+    for label in report.labels:
+        cr = report.report_for(label)
+        per_class[str(int(label))] = [float(cr.precision),
+                                      float(cr.recall)]
+    return {"accuracy": float(report.accuracy),
+            "precision_recall": per_class}
+
+
+def run(ctx):
+    """Bench protocol (repro.bench): 5-class skew-handling variants."""
+    reports = _run(ctx.dataset)
+    return {variant: _report_summary(report)
+            for variant, report in reports.items()}

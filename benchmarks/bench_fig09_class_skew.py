@@ -39,3 +39,9 @@ def test_fig09_class_distribution(benchmark, dataset):
     # the poor/very-poor tail is small but non-empty
     assert 0 < counts5[3] / total < 0.08        # paper: 0.023
     assert counts5[4] > 0
+
+def run(ctx):
+    """Bench protocol (repro.bench): health-class distributions."""
+    counts2, counts5 = _run(ctx.dataset)
+    return {"two_class": counts2.tolist(),
+            "five_class": counts5.tolist()}

@@ -38,3 +38,17 @@ def test_fig10_tree_structure(benchmark, dataset):
         # trees are built by MI, so the root is a strongly dependent
         # practice (paper: the top-MI practice)
         assert root_metric in ranked[:10], root_metric
+
+def run(ctx):
+    """Bench protocol (repro.bench): learned-tree structure."""
+    out = {}
+    for name, model in zip(("two_class", "five_class"),
+                           _run(ctx.dataset)):
+        root = model.decision_tree.root_
+        out[name] = {
+            "root_metric": (None if root.is_leaf
+                            else ctx.dataset.names[root.feature]),
+            "depth": int(root.depth()),
+            "n_nodes": int(root.n_nodes()),
+        }
+    return out

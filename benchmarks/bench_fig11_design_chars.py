@@ -58,3 +58,14 @@ def test_fig11_design_characterization(benchmark, dataset):
     # OSPF networks run only 1-2 instances
     ospf = chars.n_ospf_instances[chars.n_ospf_instances > 0]
     assert ospf.max() <= 2
+
+def run(ctx):
+    """Bench protocol (repro.bench): design-practice quantiles."""
+    chars = characterize_design(ctx.dataset)
+    fields = ("hardware_entropy", "firmware_entropy", "n_protocols",
+              "n_vlans", "intra_complexity", "inter_complexity",
+              "n_bgp_instances", "n_ospf_instances")
+    return {field: [float(q) for q in np.percentile(
+                np.asarray(getattr(chars, field), dtype=float),
+                (10, 50, 90))]
+            for field in fields}

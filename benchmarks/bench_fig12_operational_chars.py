@@ -79,3 +79,23 @@ def test_fig12_operational_characterization(benchmark, dataset, changes,
     # (e) events long-tailed
     events = chars.avg_events_per_month
     assert np.percentile(events, 90) > 3 * max(np.percentile(events, 10), 0.5)
+
+def run(ctx):
+    """Bench protocol (repro.bench): operational-practice summary."""
+    n_months = SCALES[ctx.scale].n_months
+    chars = characterize_operational(ctx.dataset, ctx.changes, n_months)
+    return {
+        "size_change_correlation": float(chars.size_change_correlation),
+        "automation_change_correlation":
+            float(chars.automation_change_correlation),
+        "median_frac_devices_changed_month":
+            float(np.median(chars.frac_devices_changed_month)),
+        "median_frac_devices_changed_year":
+            float(np.median(chars.frac_devices_changed_year)),
+        "median_type_fractions": {
+            stype: float(np.median(fracs))
+            for stype, fracs in chars.type_fractions.items()},
+        "automation_by_type": {
+            stype: float(rate)
+            for stype, rate in automation_by_type(ctx.changes).items()},
+    }

@@ -34,3 +34,14 @@ def test_fig13_change_events(benchmark, dataset, changes, workspace):
     # (b) middlebox-event fraction is diverse
     mbox = chars.frac_events_mbox
     assert np.percentile(mbox, 90) - np.percentile(mbox, 10) > 0.2
+
+def run(ctx):
+    """Bench protocol (repro.bench): change-event size/middlebox spread."""
+    n_months = SCALES[ctx.scale].n_months
+    chars = characterize_operational(ctx.dataset, ctx.changes, n_months)
+    return {
+        "mean_devices_per_event": [float(q) for q in np.percentile(
+            chars.mean_devices_per_event, (10, 50, 90))],
+        "frac_events_mbox": [float(q) for q in np.percentile(
+            chars.frac_events_mbox, (10, 50, 90))],
+    }

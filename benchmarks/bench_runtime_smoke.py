@@ -89,3 +89,47 @@ def test_runtime_incremental_rebuild_speedup(workspace):
     # conservative floor (acceptance target is ~5x at small scale; keep
     # slack for loaded CI machines)
     assert speedup >= 2.0
+
+def run(ctx):
+    """Bench protocol (repro.bench): the CI smoke subset.
+
+    Parallel-vs-serial tiny build (bit-identical datasets) plus the
+    staged engine's +1-month incremental rebuild, all under fresh
+    scratch caches so in-process repeats stay independent: the shared
+    session cache is never touched and ``MPA_JOBS`` is restored via
+    ``ctx.env`` (global state leaks here would show up as
+    nondeterministic output checksums and fail the run).
+    """
+    import hashlib
+
+    base = ctx.tmp_dir()
+    with ctx.env(MPA_JOBS="2"):
+        parallel_ws = Workspace(scale="tiny", seed=7,
+                                cache_dir=base / "parallel")
+        parallel_ws.ensure()
+        parallel = parallel_ws.dataset()
+    with ctx.env(MPA_JOBS="1"):
+        serial_ws = Workspace(scale="tiny", seed=7,
+                              cache_dir=base / "serial")
+        serial_ws.ensure()
+        serial = serial_ws.dataset()
+    assert np.array_equal(parallel.values, serial.values)
+    assert np.array_equal(parallel.tickets, serial.tickets)
+
+    # incremental rebuild through the scratch stage cache
+    corpus = parallel_ws.corpus()
+    cache = parallel_ws.stage_cache()
+    build_full(corpus, cache=cache)
+    extended_corpus = corpus.extend_months(1)
+    incremental = build_full(extended_corpus, cache=cache)
+    cold = build_full(extended_corpus)
+    assert np.array_equal(incremental.dataset.values,
+                          cold.dataset.values)
+    assert incremental.quality.to_dict() == cold.quality.to_dict()
+
+    values_sha = hashlib.sha256(
+        np.ascontiguousarray(parallel.values).tobytes()).hexdigest()
+    return {"n_cases": int(parallel.n_cases),
+            "n_metrics": len(parallel.names),
+            "values_sha256": values_sha,
+            "extended_cases": int(incremental.dataset.n_cases)}

@@ -44,3 +44,19 @@ def test_sec61_two_class_model(benchmark, dataset):
     # the DT also beats the linear SVM (the unhealthy pocket is an
     # axis-aligned corner in practice space)
     assert dt.accuracy >= svm.accuracy - 0.01
+
+def _report_summary(report):
+    per_class = {}
+    for label in report.labels:
+        cr = report.report_for(label)
+        per_class[str(int(label))] = [float(cr.precision),
+                                      float(cr.recall)]
+    return {"accuracy": float(report.accuracy),
+            "precision_recall": per_class}
+
+
+def run(ctx):
+    """Bench protocol (repro.bench): 2-class model comparison."""
+    reports = _run(ctx.dataset)
+    return {variant: _report_summary(report)
+            for variant, report in reports.items()}

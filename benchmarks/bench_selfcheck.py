@@ -30,3 +30,18 @@ def test_selfcheck_harness(benchmark, dataset):
     assert card.n_recovered == card.n_planted
     assert card.n_spurious == 0
     assert report.passed
+
+def run(ctx):
+    """Bench protocol (repro.bench): invariants + scorecard verdicts."""
+    report = run_selfcheck(ctx.dataset, seed=0)
+    return {
+        "n_invariant_failures": int(report.n_invariant_failures),
+        "invariants": {r.name: bool(r.passed)
+                       for r in report.invariants},
+        "scorecard": {
+            "n_planted": int(report.scorecard.n_planted),
+            "n_recovered": int(report.scorecard.n_recovered),
+            "n_spurious": int(report.scorecard.n_spurious),
+        },
+        "passed": bool(report.passed),
+    }

@@ -29,3 +29,8 @@ def test_tab02_dataset_summary(benchmark, workspace):
         assert summary["devices"] >= 5_000
         assert summary["config_snapshots"] >= 100_000
         assert summary["tickets"] >= 10_000
+
+def run(ctx):
+    """Bench protocol (repro.bench): dataset size summary."""
+    return {key: value if isinstance(value, str) else int(value)
+            for key, value in ctx.workspace.summary().items()}

@@ -38,3 +38,8 @@ def test_tab03_top10_mi(benchmark, dataset, large_scale):
         assert "frac_events_mbox" not in top10
         # ranking must be strictly dominated by the volume metrics
         assert ranked[0] in volume
+
+def run(ctx):
+    """Bench protocol (repro.bench): top-10 MI ranking."""
+    results = rank_practices_by_mi(ctx.dataset)
+    return [[r.practice, float(r.avg_monthly_mi)] for r in results[:10]]

@@ -39,3 +39,9 @@ def test_tab04_top10_cmi_pairs(benchmark, dataset):
     top_mi = {r.practice for r in rank_practices_by_mi(dataset)[:10]}
     in_pairs = {p for pair in pair_sets[:10] for p in pair}
     assert len(top_mi & in_pairs) >= 2
+
+def run(ctx):
+    """Bench protocol (repro.bench): top-10 CMI pairs."""
+    results = rank_practice_pairs_by_cmi(ctx.dataset)
+    return [[r.practice_a, r.practice_b, float(r.cmi)]
+            for r in results[:10]]

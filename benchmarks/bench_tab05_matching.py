@@ -36,3 +36,17 @@ def test_tab05_propensity_matching(benchmark, dataset):
     assert 0.5 <= result.balance.propensity.ratio_of_variances <= 2.0
     # bin populations shrink up the heavy tail (paper: 8259 -> 296)
     assert result.n_untreated > result.n_treated
+
+def run(ctx):
+    """Bench protocol (repro.bench): 1:2 matching quality."""
+    result = _run(ctx.dataset).result_for("1:2")
+    return {
+        "n_treated": int(result.n_treated),
+        "n_untreated": int(result.n_untreated),
+        "n_pairs": int(result.n_pairs),
+        "n_untreated_matched": int(result.n_untreated_matched),
+        "propensity_abs_std_diff":
+            float(result.balance.propensity.abs_std_diff_of_means),
+        "propensity_variance_ratio":
+            float(result.balance.propensity.ratio_of_variances),
+    }

@@ -46,3 +46,13 @@ def test_tab06_sign_test(benchmark, dataset, large_scale):
         assert upper.sign.p_value >= low.sign.p_value
         if label in ("3:4", "4:5"):
             assert not upper.causal
+
+def run(ctx):
+    """Bench protocol (repro.bench): sign-test table per point."""
+    experiment = _run(ctx.dataset)
+    return {result.point_label: {
+                "n_more": int(result.sign.n_more_tickets),
+                "n_fewer": int(result.sign.n_fewer_tickets),
+                "p_value": float(result.sign.p_value),
+                "causal": bool(result.causal),
+            } for result in experiment.results}

@@ -58,3 +58,19 @@ def test_tab07_causal_low_bins(benchmark, dataset, top10, large_scale):
         if result is not None:
             assert not (result.causal
                         and result.sign.direction == "worse"), practice
+
+def run(ctx):
+    """Bench protocol (repro.bench): 1:2 causal verdict per practice."""
+    out = {}
+    for experiment in _run(ctx.dataset, ctx.top10):
+        try:
+            result = experiment.result_for("1:2")
+        except KeyError:
+            out[experiment.practice] = None
+            continue
+        out[experiment.practice] = {
+            "causal": bool(result.causal),
+            "imbalanced": bool(result.imbalanced),
+            "p_value": float(result.sign.p_value),
+        }
+    return out

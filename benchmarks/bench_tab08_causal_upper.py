@@ -53,3 +53,22 @@ def test_tab08_causal_upper_bins(benchmark, dataset, top10):
         if experiment.practice == "n_devices":
             share = low.n_untreated / dataset.n_cases
             assert share > 0.4
+
+def run(ctx):
+    """Bench protocol (repro.bench): upper-bin verdicts per practice."""
+    cells = {}
+    for experiment in _run(ctx.dataset, ctx.top10):
+        for label in UPPER_POINTS:
+            key = f"{experiment.practice}@{label}"
+            try:
+                result = experiment.result_for(label)
+            except KeyError:
+                cells[key] = "skipped"
+                continue
+            if result.imbalanced:
+                cells[key] = "imbalanced"
+            elif result.sign.significant:
+                cells[key] = "causal"
+            else:
+                cells[key] = "not significant"
+    return cells

@@ -56,3 +56,8 @@ def test_tab09_online_prediction(benchmark, dataset):
         five_first, _ = stable[0]
         five_last, _ = stable[-1]
         assert five_last.mean_accuracy >= five_first.mean_accuracy - 0.05
+
+def run(ctx):
+    """Bench protocol (repro.bench): rolling-prediction accuracies."""
+    return [[int(r.history_months), len(r.evaluated_months),
+             float(r.mean_accuracy)] for r in _run(ctx.dataset)]

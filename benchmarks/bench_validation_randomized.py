@@ -75,3 +75,12 @@ def test_randomized_oracle(benchmark):
     noop = by_name["no-op (negative control)"]
     assert noop.effect == 0.0
     assert noop.p_value == 1.0
+
+def run(ctx):
+    """Bench protocol (repro.bench): randomized-experiment oracle."""
+    return {r.intervention: {
+                "control": float(r.mean_tickets_control),
+                "treated": float(r.mean_tickets_treated),
+                "effect": float(r.effect),
+                "p_value": float(r.p_value),
+            } for r in _run()}

@@ -1,0 +1,64 @@
+"""Benchmark orchestration and performance-regression harness.
+
+The ``benchmarks/bench_*.py`` scripts each reproduce one of the paper's
+figures or tables. Historically they only ran as a pytest suite; this
+package runs them *uniformly* as perf artifacts:
+
+* :mod:`repro.bench.discover` finds every ``bench_*.py`` script and its
+  ``run(ctx)`` protocol entry point;
+* :mod:`repro.bench.context` provides the shared resources a bench
+  needs (workspace, dataset, temp dirs) without pytest fixtures;
+* :mod:`repro.bench.runner` executes each bench in-process with warmup
+  + N repeats and captures wall time (median/min), peak RSS, the
+  :data:`repro.runtime.telemetry.TELEMETRY` stage/cache deltas, and a
+  SHA-256 checksum of the bench's numeric output;
+* :mod:`repro.bench.record` persists one ``BENCH_<name>.json`` per
+  bench (with a machine fingerprint);
+* :mod:`repro.bench.compare` diffs a run against the committed
+  noise-aware baseline (``benchmarks/baseline.json``) and flags time
+  regressions and output drift.
+
+``mpa bench`` (see :mod:`repro.cli`) wires it all together.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_TIME_TOLERANCE,
+    Baseline,
+    BaselineEntry,
+    BenchDelta,
+    compare_results,
+    update_baseline,
+)
+from repro.bench.context import BenchContext
+from repro.bench.discover import BenchProtocolError, BenchSpec, discover
+from repro.bench.record import load_report, result_path, write_results
+from repro.bench.runner import (
+    BenchResult,
+    RunReport,
+    machine_fingerprint,
+    output_checksum,
+    run_bench,
+    run_suite,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BenchContext",
+    "BenchDelta",
+    "BenchProtocolError",
+    "BenchResult",
+    "BenchSpec",
+    "DEFAULT_TIME_TOLERANCE",
+    "RunReport",
+    "compare_results",
+    "discover",
+    "load_report",
+    "machine_fingerprint",
+    "output_checksum",
+    "result_path",
+    "run_bench",
+    "run_suite",
+    "update_baseline",
+    "write_results",
+]

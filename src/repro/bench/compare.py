@@ -1,0 +1,214 @@
+"""Baseline comparison: golden-number guards for time and output.
+
+``benchmarks/baseline.json`` is the committed perf contract:
+
+* per bench, the **median-of-repeats** wall time and the SHA-256 of
+  the bench's numeric output, as recorded by ``mpa bench
+  --update-baseline`` on a quiet machine;
+* a global time tolerance (default ±20%) with optional per-bench
+  overrides (noisy benches can be granted more slack), plus an
+  absolute floor (default 50 ms) so sub-millisecond benches don't
+  flap on relative jitter;
+* the machine fingerprint of the recording host — wall-time deltas
+  against a *different* machine are reported but easy to misread, so
+  the comparison warns loudly when fingerprints differ.
+
+Verdicts per bench:
+
+========== =============================================== =========
+status     meaning                                         fails?
+========== =============================================== =========
+ok         within tolerance, checksum matches              no
+faster     median below ``base*(1-tol)`` — refresh hint    no
+slower     median above ``base*(1+tol)``                   yes
+drift      output checksum changed                         yes
+error      the bench raised or was nondeterministic        yes
+new        no baseline entry yet                           no
+missing    baseline entry whose bench no longer ran        yes
+========== =============================================== =========
+
+``missing`` is only raised for unfiltered runs — a vanished benchmark
+silently dropping out of the perf contract is itself a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.runner import RunReport
+from repro.util.ioutils import atomic_write_text
+
+#: Default relative wall-time tolerance (±20%).
+DEFAULT_TIME_TOLERANCE = 0.20
+
+#: Absolute slack (seconds) added on top of the relative tolerance: a
+#: bench is only ``slower``/``faster`` when the median moved by more
+#: than this too. Sub-millisecond benches jitter by tens of percent on
+#: any loaded machine; the floor keeps them from flapping.
+DEFAULT_TIME_FLOOR_SECONDS = 0.05
+
+
+@dataclass
+class BaselineEntry:
+    """The committed expectation for one bench."""
+
+    median_seconds: float
+    output_sha256: str | None = None
+    #: per-bench tolerance override (None = the baseline's global one)
+    time_tolerance: float | None = None
+
+    def to_dict(self) -> dict:
+        data = {"median_seconds": round(self.median_seconds, 6),
+                "output_sha256": self.output_sha256}
+        if self.time_tolerance is not None:
+            data["time_tolerance"] = self.time_tolerance
+        return data
+
+
+@dataclass
+class Baseline:
+    """The parsed ``benchmarks/baseline.json``."""
+
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE
+    time_floor_seconds: float = DEFAULT_TIME_FLOOR_SECONDS
+    machine: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        entries = {
+            name: BaselineEntry(
+                median_seconds=entry["median_seconds"],
+                output_sha256=entry.get("output_sha256"),
+                time_tolerance=entry.get("time_tolerance"),
+            )
+            for name, entry in data.get("benches", {}).items()
+        }
+        return cls(entries=entries,
+                   time_tolerance=data.get("time_tolerance",
+                                           DEFAULT_TIME_TOLERANCE),
+                   time_floor_seconds=data.get(
+                       "time_floor_seconds", DEFAULT_TIME_FLOOR_SECONDS),
+                   machine=data.get("machine", {}))
+
+    def save(self, path: Path) -> None:
+        data = {
+            "time_tolerance": self.time_tolerance,
+            "time_floor_seconds": self.time_floor_seconds,
+            "machine": self.machine,
+            "benches": {name: entry.to_dict()
+                        for name, entry in sorted(self.entries.items())},
+        }
+        atomic_write_text(path, json.dumps(data, indent=2) + "\n")
+
+    def tolerance_for(self, name: str) -> float:
+        entry = self.entries.get(name)
+        if entry is not None and entry.time_tolerance is not None:
+            return entry.time_tolerance
+        return self.time_tolerance
+
+
+@dataclass
+class BenchDelta:
+    """One bench's verdict against the baseline."""
+
+    name: str
+    status: str  # ok / faster / slower / drift / error / new / missing
+    baseline_seconds: float | None = None
+    current_seconds: float | None = None
+    tolerance: float | None = None
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("slower", "drift", "error", "missing")
+
+    @property
+    def ratio(self) -> float | None:
+        """current/baseline median wall time (1.0 = unchanged)."""
+        if not self.baseline_seconds or self.current_seconds is None:
+            return None
+        return self.current_seconds / self.baseline_seconds
+
+
+def compare_results(report: RunReport, baseline: Baseline,
+                    time_tolerance: float | None = None,
+                    check_missing: bool = False) -> list[BenchDelta]:
+    """Verdict for every result in ``report`` (plus missing entries).
+
+    ``time_tolerance`` overrides every tolerance in the baseline (CI
+    uses a loose one to absorb runner-to-runner machine variance).
+    ``check_missing`` adds a failing ``missing`` delta for baseline
+    entries that did not run — pass True only for unfiltered runs.
+    """
+    deltas = []
+    for result in report.results:
+        entry = baseline.entries.get(result.name)
+        base_seconds = entry.median_seconds if entry else None
+        tol = (time_tolerance if time_tolerance is not None
+               else baseline.tolerance_for(result.name))
+        delta = BenchDelta(name=result.name, status="ok",
+                           baseline_seconds=base_seconds,
+                           current_seconds=result.median_seconds,
+                           tolerance=tol)
+        if not result.ok:
+            delta.status = "error"
+            delta.detail = (result.error or "failed").strip().splitlines()[-1]
+        elif entry is None:
+            delta.status = "new"
+            delta.detail = "no baseline entry (run --update-baseline)"
+        elif (entry.output_sha256 is not None
+                and result.output_sha256 != entry.output_sha256):
+            delta.status = "drift"
+            delta.detail = (f"output {result.output_sha256[:12]} != "
+                            f"baseline {entry.output_sha256[:12]}")
+        elif (result.median_seconds
+                > base_seconds * (1.0 + tol) + baseline.time_floor_seconds):
+            delta.status = "slower"
+            delta.detail = (f"median {result.median_seconds:.3f}s > "
+                            f"{base_seconds:.3f}s * {1 + tol:.2f} + "
+                            f"{baseline.time_floor_seconds:.2f}s floor")
+        elif (result.median_seconds
+                < base_seconds * (1.0 - tol) - baseline.time_floor_seconds):
+            delta.status = "faster"
+            delta.detail = "consider refreshing the baseline"
+        deltas.append(delta)
+    if check_missing:
+        ran = {result.name for result in report.results}
+        for name in sorted(set(baseline.entries) - ran):
+            deltas.append(BenchDelta(
+                name=name, status="missing",
+                baseline_seconds=baseline.entries[name].median_seconds,
+                detail="in baseline but not discovered/run",
+            ))
+    return deltas
+
+
+def update_baseline(report: RunReport, path: Path,
+                    time_tolerance: float | None = None) -> Baseline:
+    """Merge ``report`` into the baseline at ``path`` (create if absent).
+
+    Only successful, deterministic benches are recorded; entries for
+    benches that did not run this time are kept untouched, and existing
+    per-bench tolerance overrides survive the refresh.
+    """
+    path = Path(path)
+    baseline = Baseline.load(path) if path.exists() else Baseline()
+    if time_tolerance is not None:
+        baseline.time_tolerance = time_tolerance
+    baseline.machine = report.fingerprint
+    for result in report.results:
+        if not result.ok or result.median_seconds is None:
+            continue
+        previous = baseline.entries.get(result.name)
+        baseline.entries[result.name] = BaselineEntry(
+            median_seconds=result.median_seconds,
+            output_sha256=result.output_sha256,
+            time_tolerance=(previous.time_tolerance
+                            if previous is not None else None),
+        )
+    baseline.save(path)
+    return baseline

@@ -1,0 +1,48 @@
+"""Persistence for benchmark runs: one ``BENCH_<name>.json`` per bench.
+
+Each file is self-contained — it embeds the run's machine fingerprint
+next to the measurement — so a single artifact uploaded from CI is
+interpretable without the rest of the run. Writes are atomic (the
+workspace-cache pattern) so a crashed run never leaves truncated JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.runner import BenchResult, RunReport
+from repro.util.ioutils import atomic_write_text
+
+DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+
+def result_path(out_dir: Path, name: str) -> Path:
+    """Where the result for bench ``name`` lives under ``out_dir``."""
+    return Path(out_dir) / f"BENCH_{name}.json"
+
+
+def write_results(report: RunReport, out_dir: Path) -> list[Path]:
+    """Persist every result in ``report``; returns the written paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for result in report.results:
+        payload = {"fingerprint": report.fingerprint,
+                   **result.to_dict()}
+        path = result_path(out_dir, result.name)
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+        paths.append(path)
+    return paths
+
+
+def load_report(out_dir: Path) -> RunReport:
+    """Rebuild a :class:`RunReport` from the ``BENCH_*.json`` files."""
+    out_dir = Path(out_dir)
+    results = []
+    fingerprint: dict = {}
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        data = json.loads(path.read_text())
+        fingerprint = data.pop("fingerprint", fingerprint)
+        results.append(BenchResult.from_dict(data))
+    return RunReport(fingerprint=fingerprint, results=results)

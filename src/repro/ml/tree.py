@@ -60,6 +60,52 @@ class TreeNode:
         return 1 + sum(child.n_nodes() for child in self._child_nodes())
 
 
+def prune_tree(root: TreeNode, alpha: float) -> TreeNode:
+    """Post-hoc alpha-pruning of a fitted tree (paper Section 6.1).
+
+    Applies the paper's rule — "each branch where the number of data
+    points reaching this branch is below a threshold alpha is replaced
+    with a leaf whose label is the majority class among the data points
+    reaching that leaf" — to an already-built tree: any internal node
+    with a child whose (normalized) support falls below ``alpha``
+    becomes a leaf carrying the node's majority label. Returns a new
+    tree; ``root`` is not modified.
+
+    :class:`DecisionTreeClassifier` enforces the same rule *during*
+    building (it never creates a sub-``alpha`` branch); this function
+    exists so an unpruned tree (``min_support_fraction=0``) can be
+    pruned after the fact, and so the rule's invariants can be tested
+    in isolation: every node of the result keeps support >= ``alpha``
+    (when the root does), and a training point routed to a leaf that
+    was already a leaf before pruning predicts the same class.
+    """
+    if alpha < 0.0:
+        raise ValueError("alpha must be non-negative")
+
+    def leaf_of(node: TreeNode) -> TreeNode:
+        return TreeNode(label=node.label, support=node.support)
+
+    def visit(node: TreeNode) -> TreeNode:
+        if node.is_leaf:
+            return leaf_of(node)
+        if any(child.support < alpha
+               for child in node._child_nodes()):
+            return leaf_of(node)
+        if node.threshold is not None:
+            assert node.low is not None and node.high is not None
+            return TreeNode(label=node.label, feature=node.feature,
+                            threshold=node.threshold,
+                            low=visit(node.low), high=visit(node.high),
+                            support=node.support)
+        return TreeNode(label=node.label, feature=node.feature,
+                        children={value: visit(child)
+                                  for value, child in
+                                  node.children.items()},
+                        support=node.support)
+
+    return visit(root)
+
+
 def _weighted_entropy(y: np.ndarray, w: np.ndarray, n_classes: int) -> float:
     return _entropy_from_weights(np.bincount(y, weights=w,
                                              minlength=n_classes))

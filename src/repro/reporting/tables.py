@@ -178,3 +178,29 @@ def format_class_report(report: EvalReport, class_names: Sequence[str],
         ["Class", "Precision", "Recall", "Support"], rows,
         title=f"{header} (accuracy={report.accuracy:.3f})",
     )
+
+
+def format_bench_table(deltas: Sequence["BenchDelta"],
+                       title: str = "Benchmark comparison vs baseline",
+                       ) -> str:
+    """Render the before/after delta table for ``mpa bench --compare``.
+
+    One row per bench: baseline median, current median, the relative
+    delta, and the verdict (``ok``/``faster``/``slower``/``drift``/
+    ``error``/``new``/``missing`` — see :mod:`repro.bench.compare`).
+    """
+    rows = []
+    for delta in deltas:
+        base = ("-" if delta.baseline_seconds is None
+                else f"{delta.baseline_seconds:.3f}s")
+        current = ("-" if delta.current_seconds is None
+                   else f"{delta.current_seconds:.3f}s")
+        ratio = delta.ratio
+        change = "-" if ratio is None else f"{(ratio - 1):+.1%}"
+        status = delta.status.upper() if delta.failed else delta.status
+        rows.append([delta.name, base, current, change, status,
+                     delta.detail])
+    return render_table(
+        ["bench", "baseline", "current", "delta", "status", "detail"],
+        rows, title=title,
+    )

@@ -145,6 +145,59 @@ class Telemetry:
         with self._lock:
             return dict(self._notes)
 
+    def snapshot(self) -> dict:
+        """An immutable snapshot of every counter, for later deltas.
+
+        The benchmark runner (:mod:`repro.bench`) snapshots the global
+        aggregator around each measured repeat so a bench's stage/cache
+        activity can be attributed to it even though :data:`TELEMETRY`
+        accumulates across the whole process.
+        """
+        with self._lock:
+            return {
+                "stages": {s.name: (s.calls, s.tasks, s.seconds)
+                           for s in self._stages.values()},
+                "caches": {c.name: (c.hits, c.misses)
+                           for c in self._caches.values()},
+                "checks": {c.name: (c.passed, c.failed)
+                           for c in self._checks.values()},
+            }
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """Counter increments since ``snapshot`` (zero rows dropped).
+
+        Returns ``{"stages": {name: {calls, tasks, seconds}},
+        "caches": {name: {hits, misses}},
+        "checks": {name: {passed, failed}}}`` containing only entries
+        that changed, so the result is a compact per-bench attribution.
+        """
+        current = self.snapshot()
+        stages = {}
+        for name, (calls, tasks, seconds) in current["stages"].items():
+            c0, t0, s0 = snapshot.get("stages", {}).get(name, (0, 0, 0.0))
+            if calls != c0 or tasks != t0:
+                stages[name] = {"calls": calls - c0, "tasks": tasks - t0,
+                                "seconds": round(seconds - s0, 6)}
+        caches = {}
+        for name, (hits, misses) in current["caches"].items():
+            h0, m0 = snapshot.get("caches", {}).get(name, (0, 0))
+            if hits != h0 or misses != m0:
+                caches[name] = {"hits": hits - h0, "misses": misses - m0}
+        checks = {}
+        for name, (passed, failed) in current["checks"].items():
+            p0, f0 = snapshot.get("checks", {}).get(name, (0, 0))
+            if passed != p0 or failed != f0:
+                checks[name] = {"passed": passed - p0,
+                                "failed": failed - f0}
+        delta: dict = {}
+        if stages:
+            delta["stages"] = stages
+        if caches:
+            delta["caches"] = caches
+        if checks:
+            delta["checks"] = checks
+        return delta
+
     def reset(self) -> None:
         with self._lock:
             self._stages.clear()

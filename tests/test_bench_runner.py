@@ -1,0 +1,458 @@
+"""Tests for the repro.bench perf-regression harness.
+
+Covers discovery, the repeat/median measurement protocol, output
+checksumming, baseline comparison verdicts, ``--update-baseline``, and
+the CLI exit codes — including the acceptance-criterion pair: a clean
+tree compares at exit 0 and an artificially slowed bench exits 1.
+"""
+
+import json
+import statistics
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Baseline,
+    BaselineEntry,
+    BenchContext,
+    BenchProtocolError,
+    BenchResult,
+    RunReport,
+    compare_results,
+    discover,
+    load_report,
+    machine_fingerprint,
+    output_checksum,
+    result_path,
+    run_bench,
+    run_suite,
+    update_baseline,
+    write_results,
+)
+from repro.bench.discover import default_bench_dir
+from repro.cli import main
+
+REPO_BENCH_COUNT_MIN = 30
+
+
+def write_bench(bench_dir, name, body):
+    bench_dir = Path(bench_dir)
+    bench_dir.mkdir(parents=True, exist_ok=True)
+    path = bench_dir / f"bench_{name}.py"
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    return tmp_path / "benches"
+
+
+@pytest.fixture
+def ctx():
+    with BenchContext("tiny") as context:
+        yield context
+
+
+# -- discovery ---------------------------------------------------------------
+
+
+class TestDiscovery:
+    def test_repo_benches_all_expose_run(self):
+        specs = discover()
+        assert len(specs) >= REPO_BENCH_COUNT_MIN
+        names = [spec.name for spec in specs]
+        assert len(names) == len(set(names))
+        assert "runtime_smoke" in names
+        for spec in specs:
+            assert callable(spec.load_run()), spec.name
+
+    def test_default_bench_dir_is_repo_benchmarks(self):
+        assert default_bench_dir().name == "benchmarks"
+        assert (default_bench_dir() / "bench_runtime_smoke.py").exists()
+
+    def test_discover_sorted_and_named_from_stem(self, bench_dir):
+        write_bench(bench_dir, "zeta", "def run(ctx):\n    return 1\n")
+        write_bench(bench_dir, "alpha", "def run(ctx):\n    return 2\n")
+        specs = discover(bench_dir)
+        assert [spec.name for spec in specs] == ["alpha", "zeta"]
+
+    def test_filters_are_substring_or(self, bench_dir):
+        for name in ("tab03_mi", "tab06_sign", "fig08_tree"):
+            write_bench(bench_dir, name, "def run(ctx):\n    return 0\n")
+        specs = discover(bench_dir, filters=["tab0"])
+        assert [spec.name for spec in specs] == ["tab03_mi", "tab06_sign"]
+        specs = discover(bench_dir, filters=["fig", "tab03"])
+        assert [spec.name for spec in specs] == ["fig08_tree", "tab03_mi"]
+        assert discover(bench_dir, filters=["nope"]) == []
+
+    def test_missing_run_is_protocol_error(self, bench_dir):
+        write_bench(bench_dir, "norun", "X = 1\n")
+        (spec,) = discover(bench_dir)
+        with pytest.raises(BenchProtocolError):
+            spec.load_run()
+
+    def test_non_callable_run_is_protocol_error(self, bench_dir):
+        write_bench(bench_dir, "notfunc", "run = 42\n")
+        (spec,) = discover(bench_dir)
+        with pytest.raises(BenchProtocolError):
+            spec.load_run()
+
+
+# -- measurement -------------------------------------------------------------
+
+
+class TestRunBench:
+    def test_repeat_and_median(self, bench_dir, ctx):
+        write_bench(bench_dir, "fast", """
+            def run(ctx):
+                return {"answer": 42, "values": [1.0, 2.5]}
+        """)
+        (spec,) = discover(bench_dir)
+        result = run_bench(spec, ctx, repeat=5, warmup=2)
+        assert result.ok
+        assert result.repeats == 5 and result.warmup == 2
+        assert len(result.seconds) == 5
+        assert result.median_seconds == statistics.median(result.seconds)
+        assert result.min_seconds == min(result.seconds)
+        assert result.deterministic
+        assert result.output_sha256 == output_checksum(
+            {"answer": 42, "values": [1.0, 2.5]})
+
+    def test_warmup_iterations_not_timed(self, bench_dir, ctx):
+        write_bench(bench_dir, "counted", """
+            CALLS = []
+            def run(ctx):
+                CALLS.append(1)
+                return len(CALLS) > 0  # output independent of count
+        """)
+        (spec,) = discover(bench_dir)
+        result = run_bench(spec, ctx, repeat=2, warmup=3)
+        assert len(result.seconds) == 2
+        module = sys.modules["_repro_bench_counted"]
+        assert len(module.CALLS) == 5  # 3 warmup + 2 timed
+
+    def test_repeat_must_be_positive(self, bench_dir, ctx):
+        write_bench(bench_dir, "fast", "def run(ctx):\n    return 1\n")
+        (spec,) = discover(bench_dir)
+        with pytest.raises(ValueError):
+            run_bench(spec, ctx, repeat=0)
+
+    def test_nondeterministic_output_is_flagged(self, bench_dir, ctx):
+        write_bench(bench_dir, "leaky", """
+            STATE = [0]
+            def run(ctx):
+                STATE[0] += 1
+                return STATE[0]
+        """)
+        (spec,) = discover(bench_dir)
+        result = run_bench(spec, ctx, repeat=3, warmup=0)
+        assert not result.deterministic
+        assert not result.ok
+        assert "nondeterministic" in result.error
+        assert "leaks state" in result.error
+
+    def test_raising_bench_records_traceback(self, bench_dir, ctx):
+        write_bench(bench_dir, "boom", """
+            def run(ctx):
+                raise RuntimeError("kaboom")
+        """)
+        (spec,) = discover(bench_dir)
+        result = run_bench(spec, ctx, repeat=2)
+        assert not result.ok
+        assert "kaboom" in result.error
+        assert result.median_seconds is None
+
+    def test_suite_continues_past_failures(self, bench_dir):
+        write_bench(bench_dir, "a_boom", """
+            def run(ctx):
+                raise RuntimeError("no")
+        """)
+        write_bench(bench_dir, "b_fine", "def run(ctx):\n    return 7\n")
+        report = run_suite(discover(bench_dir), repeat=1, warmup=0,
+                           scale="tiny")
+        assert [r.name for r in report.results] == ["a_boom", "b_fine"]
+        assert not report.ok
+        assert not report.result_for("a_boom").ok
+        assert report.result_for("b_fine").ok
+
+    def test_result_captures_rss_and_telemetry_fields(self, bench_dir, ctx):
+        write_bench(bench_dir, "fast", "def run(ctx):\n    return [1]\n")
+        (spec,) = discover(bench_dir)
+        result = run_bench(spec, ctx, repeat=1, warmup=0)
+        assert result.peak_rss_kb is None or result.peak_rss_kb > 0
+        assert isinstance(result.telemetry, dict)
+        data = result.to_dict()
+        for key in ("name", "seconds", "median_seconds", "min_seconds",
+                    "peak_rss_kb", "telemetry", "output_sha256"):
+            assert key in data
+
+    def test_fingerprint_identifies_machine(self):
+        fp = machine_fingerprint(scale="tiny")
+        assert fp["scale"] == "tiny"
+        assert fp["python"] and fp["hostname"] is not None
+        assert fp["numpy"] == np.__version__
+
+
+class TestOutputChecksum:
+    def test_numpy_and_python_types_agree(self):
+        assert output_checksum(np.float64(1.5)) == output_checksum(1.5)
+        assert output_checksum(np.int32(3)) == output_checksum(3)
+        assert output_checksum(np.array([1.0, 2.0])) == output_checksum(
+            [1.0, 2.0])
+        assert output_checksum((1, 2)) == output_checksum([1, 2])
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert output_checksum({"a": 1, "b": 2}) == output_checksum(
+            {"b": 2, "a": 1})
+
+    def test_nan_is_canonical(self):
+        assert output_checksum(float("nan")) == output_checksum(None)
+
+    def test_distinct_outputs_distinct_checksums(self):
+        assert output_checksum({"x": 1}) != output_checksum({"x": 2})
+
+    def test_non_numeric_output_rejected(self):
+        with pytest.raises(TypeError):
+            output_checksum(object())
+
+
+# -- persistence -------------------------------------------------------------
+
+
+class TestRecord:
+    def test_write_and_reload_round_trip(self, tmp_path):
+        report = RunReport(
+            fingerprint=machine_fingerprint(scale="tiny"),
+            results=[BenchResult(name="demo", repeats=2, warmup=1,
+                                 seconds=[0.1, 0.2], median_seconds=0.15,
+                                 min_seconds=0.1, output_sha256="ab" * 32)],
+        )
+        paths = write_results(report, tmp_path)
+        assert paths == [result_path(tmp_path, "demo")]
+        assert paths[0].name == "BENCH_demo.json"
+        loaded = load_report(tmp_path)
+        assert loaded.fingerprint == report.fingerprint
+        assert loaded.result_for("demo").median_seconds == 0.15
+        payload = json.loads(paths[0].read_text())
+        for key in ("fingerprint", "seconds", "median_seconds",
+                    "peak_rss_kb", "telemetry", "output_sha256"):
+            assert key in payload
+
+
+# -- baseline comparison -----------------------------------------------------
+
+
+def make_result(name, median, sha="aa" * 32, error=None):
+    return BenchResult(name=name, repeats=3, warmup=1,
+                       seconds=[median] * 3, median_seconds=median,
+                       min_seconds=median, output_sha256=sha,
+                       error=error)
+
+
+def make_report(*results):
+    return RunReport(fingerprint=machine_fingerprint(scale="tiny"),
+                     results=list(results))
+
+
+class TestCompare:
+    def baseline(self, **entries):
+        return Baseline(entries={
+            name: BaselineEntry(median_seconds=median,
+                                output_sha256="aa" * 32)
+            for name, median in entries.items()
+        })
+
+    def test_within_tolerance_is_ok(self):
+        deltas = compare_results(make_report(make_result("x", 1.1)),
+                                 self.baseline(x=1.0))
+        (delta,) = deltas
+        assert delta.status == "ok" and not delta.failed
+        assert delta.ratio == pytest.approx(1.1)
+
+    def test_slower_beyond_tolerance_fails(self):
+        (delta,) = compare_results(make_report(make_result("x", 1.5)),
+                                   self.baseline(x=1.0))
+        assert delta.status == "slower" and delta.failed
+        assert "floor" in delta.detail
+
+    def test_faster_is_informational(self):
+        (delta,) = compare_results(make_report(make_result("x", 0.5)),
+                                   self.baseline(x=1.0))
+        assert delta.status == "faster" and not delta.failed
+
+    def test_absolute_floor_absorbs_tiny_bench_jitter(self):
+        # +50% on a 1 ms bench is far inside the 50 ms absolute floor.
+        (delta,) = compare_results(make_report(make_result("x", 0.0015)),
+                                   self.baseline(x=0.001))
+        assert delta.status == "ok"
+
+    def test_output_drift_fails_even_when_fast(self):
+        (delta,) = compare_results(
+            make_report(make_result("x", 0.9, sha="bb" * 32)),
+            self.baseline(x=1.0))
+        assert delta.status == "drift" and delta.failed
+
+    def test_error_result_fails(self):
+        (delta,) = compare_results(
+            make_report(make_result("x", 1.0, error="boom")),
+            self.baseline(x=1.0))
+        assert delta.status == "error" and delta.failed
+
+    def test_unknown_bench_is_new_not_failure(self):
+        (delta,) = compare_results(make_report(make_result("y", 1.0)),
+                                   self.baseline(x=1.0))
+        assert delta.status == "new" and not delta.failed
+
+    def test_missing_only_checked_when_asked(self):
+        report = make_report(make_result("x", 1.0))
+        base = self.baseline(x=1.0, gone=2.0)
+        assert [d.status for d in compare_results(report, base)] == ["ok"]
+        deltas = compare_results(report, base, check_missing=True)
+        assert [d.status for d in deltas] == ["ok", "missing"]
+        assert deltas[1].failed
+
+    def test_per_bench_tolerance_override(self):
+        base = self.baseline(x=1.0)
+        base.entries["x"].time_tolerance = 2.0
+        (delta,) = compare_results(make_report(make_result("x", 2.5)), base)
+        assert delta.status == "ok"
+        # explicit override beats the per-bench one
+        (delta,) = compare_results(make_report(make_result("x", 2.5)), base,
+                                   time_tolerance=0.1)
+        assert delta.status == "slower"
+
+    def test_update_baseline_merges_and_skips_failures(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        update_baseline(make_report(make_result("x", 1.0)), path)
+        base = Baseline.load(path)
+        base.entries["x"].time_tolerance = 0.5  # survives refresh
+        base.save(path)
+        update_baseline(
+            make_report(make_result("x", 2.0),
+                        make_result("bad", 1.0, error="boom")),
+            path)
+        base = Baseline.load(path)
+        assert set(base.entries) == {"x"}
+        assert base.entries["x"].median_seconds == 2.0
+        assert base.entries["x"].time_tolerance == 0.5
+        assert base.machine.get("hostname")
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        return main(["bench", *argv])
+
+    def test_list_prints_names(self, bench_dir, capsys):
+        write_bench(bench_dir, "one", "def run(ctx):\n    return 1\n")
+        code = self.run_cli("--bench-dir", str(bench_dir), "--list")
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "one"
+
+    def test_no_match_exits_2(self, bench_dir, capsys):
+        write_bench(bench_dir, "one", "def run(ctx):\n    return 1\n")
+        code = self.run_cli("--bench-dir", str(bench_dir),
+                            "--filter", "nothing")
+        assert code == 2
+
+    def test_missing_baseline_exits_2(self, bench_dir, tmp_path, capsys):
+        write_bench(bench_dir, "one", "def run(ctx):\n    return 1\n")
+        code = self.run_cli("--bench-dir", str(bench_dir),
+                            "--output-dir", str(tmp_path / "out"),
+                            "--repeat", "1", "--warmup", "0",
+                            "--compare", str(tmp_path / "nope.json"))
+        assert code == 2
+
+    def test_clean_tree_exits_0_and_slowed_bench_exits_1(
+            self, bench_dir, tmp_path, capsys):
+        """The acceptance-criterion pair, proved both ways."""
+        out_dir = tmp_path / "out"
+        baseline = tmp_path / "baseline.json"
+        write_bench(bench_dir, "speedy", """
+            def run(ctx):
+                return {"total": 123}
+        """)
+        code = self.run_cli("--bench-dir", str(bench_dir),
+                            "--output-dir", str(out_dir),
+                            "--repeat", "2", "--warmup", "0",
+                            "--update-baseline", str(baseline))
+        assert code == 0
+        assert "baseline updated" in capsys.readouterr().out
+
+        # clean tree: same bench, same output -> exit 0
+        code = self.run_cli("--bench-dir", str(bench_dir),
+                            "--output-dir", str(out_dir),
+                            "--repeat", "2", "--warmup", "0",
+                            "--compare", str(baseline))
+        assert code == 0
+        assert "REGRESSION" not in capsys.readouterr().err
+
+        # artificially slowed (same output) -> time regression, exit 1
+        write_bench(bench_dir, "speedy", """
+            import time
+            def run(ctx):
+                time.sleep(0.12)
+                return {"total": 123}
+        """)
+        code = self.run_cli("--bench-dir", str(bench_dir),
+                            "--output-dir", str(out_dir),
+                            "--repeat", "2", "--warmup", "0",
+                            "--compare", str(baseline))
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION: speedy: slower" in captured.err
+        # the BENCH_*.json artifact carries the measurement
+        payload = json.loads(result_path(out_dir, "speedy").read_text())
+        assert payload["median_seconds"] >= 0.12
+        assert payload["output_sha256"]
+
+    def test_output_drift_exits_1(self, bench_dir, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        write_bench(bench_dir, "golden", "def run(ctx):\n    return [1, 2]\n")
+        assert self.run_cli("--bench-dir", str(bench_dir),
+                            "--output-dir", str(tmp_path / "out"),
+                            "--repeat", "1", "--warmup", "0",
+                            "--update-baseline", str(baseline)) == 0
+        capsys.readouterr()
+        write_bench(bench_dir, "golden", "def run(ctx):\n    return [1, 3]\n")
+        code = self.run_cli("--bench-dir", str(bench_dir),
+                            "--output-dir", str(tmp_path / "out"),
+                            "--repeat", "1", "--warmup", "0",
+                            "--compare", str(baseline))
+        assert code == 1
+        assert "drift" in capsys.readouterr().err
+
+    def test_failing_bench_exits_1_without_baseline(
+            self, bench_dir, tmp_path, capsys):
+        write_bench(bench_dir, "boom", """
+            def run(ctx):
+                raise RuntimeError("no")
+        """)
+        code = self.run_cli("--bench-dir", str(bench_dir),
+                            "--output-dir", str(tmp_path / "out"),
+                            "--repeat", "1", "--warmup", "0")
+        assert code == 1
+        assert "RuntimeError" in capsys.readouterr().err
+
+    def test_compare_prints_delta_table(self, bench_dir, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        write_bench(bench_dir, "tabled", "def run(ctx):\n    return 5\n")
+        self.run_cli("--bench-dir", str(bench_dir),
+                     "--output-dir", str(tmp_path / "out"),
+                     "--repeat", "1", "--warmup", "0",
+                     "--update-baseline", str(baseline))
+        capsys.readouterr()
+        self.run_cli("--bench-dir", str(bench_dir),
+                     "--output-dir", str(tmp_path / "out"),
+                     "--repeat", "1", "--warmup", "0",
+                     "--compare", str(baseline))
+        out = capsys.readouterr().out
+        assert "Benchmark comparison vs baseline" in out
+        assert "tabled" in out

@@ -1,0 +1,110 @@
+"""Golden-number guards: pinned analysis outputs at the tiny corpus.
+
+The bench harness guards *perf and output checksums*; these tests pin
+the *semantic* numbers the paper's tables hang off, at the fixed-seed
+tiny corpus the test suite already builds:
+
+* Table 3 — the mutual-information ranking of design practices (the
+  top-10 order is pinned exactly; the MI magnitudes within 1e-6);
+* Table 6 — the sign-test verdict for ``n_change_events`` (direction,
+  counts, p-value, and which treatment steps were skipped for support);
+* Figure 8 / Section 6 — two-class decision-tree accuracy at seed 1
+  (within a small absolute tolerance, and strictly above the majority
+  baseline).
+
+If a refactor legitimately moves one of these, the diff is the review
+artifact: update the constant here *and* refresh
+``benchmarks/baseline.json`` in the same commit.
+"""
+
+import pytest
+
+from repro.analysis.dependence import rank_practices_by_mi
+from repro.analysis.qed.experiment import run_causal_analysis
+from repro.core.prediction import TWO_CLASS, evaluate_model
+
+# Table 3 at the tiny fixed-seed corpus: exact order of the top-10
+# practices by average monthly mutual information with health.
+GOLDEN_TOP10_MI = [
+    "n_devices_changed",
+    "n_change_types",
+    "frac_events_acl",
+    "frac_changes_acl",
+    "firmware_entropy",
+    "n_config_changes",
+    "n_change_events",
+    "avg_devices_per_event",
+    "hardware_entropy",
+    "intra_device_complexity",
+]
+GOLDEN_TOP_MI = 1.233632234075
+GOLDEN_TENTH_MI = 0.991723683273
+
+# Table 6, n_change_events at tiny: one supported treatment step with a
+# decisive sign — 20 matched pairs saw MORE tickets after more change
+# events, 1 saw fewer.
+GOLDEN_SIGN_POINT = "1:2"
+GOLDEN_SIGN_N_MORE = 20
+GOLDEN_SIGN_N_FEWER = 1
+GOLDEN_SIGN_P_VALUE = 2.09808e-05
+GOLDEN_SIGN_SKIPPED = ["2:3", "3:4", "4:5"]
+
+# Figure 8 / two-class prediction at seed 1.
+GOLDEN_TWO_CLASS_DT_ACCURACY = 0.7777777777777778
+GOLDEN_TWO_CLASS_MAJORITY_ACCURACY = 0.6041666666666666
+ACCURACY_TOLERANCE = 0.02
+
+
+class TestTable3MutualInformation:
+    def test_top10_ranking_is_pinned(self, tiny_dataset):
+        ranked = rank_practices_by_mi(tiny_dataset)
+        assert [r.practice for r in ranked[:10]] == GOLDEN_TOP10_MI
+
+    def test_mi_magnitudes_are_pinned(self, tiny_dataset):
+        ranked = rank_practices_by_mi(tiny_dataset)
+        assert ranked[0].avg_monthly_mi == pytest.approx(
+            GOLDEN_TOP_MI, rel=1e-6)
+        assert ranked[9].avg_monthly_mi == pytest.approx(
+            GOLDEN_TENTH_MI, rel=1e-6)
+
+    def test_ranking_is_monotone(self, tiny_dataset):
+        ranked = rank_practices_by_mi(tiny_dataset)
+        values = [r.avg_monthly_mi for r in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTable6SignVerdicts:
+    @pytest.fixture(scope="class")
+    def experiment(self, tiny_dataset):
+        return run_causal_analysis(tiny_dataset, "n_change_events")
+
+    def test_supported_point_and_skips_are_pinned(self, experiment):
+        assert [r.point_label for r in experiment.results] == [
+            GOLDEN_SIGN_POINT]
+        assert experiment.skipped == GOLDEN_SIGN_SKIPPED
+
+    def test_sign_direction_more_changes_more_tickets(self, experiment):
+        (result,) = experiment.results
+        assert result.sign.n_more_tickets == GOLDEN_SIGN_N_MORE
+        assert result.sign.n_fewer_tickets == GOLDEN_SIGN_N_FEWER
+        assert result.sign.n_more_tickets > result.sign.n_fewer_tickets
+
+    def test_p_value_is_pinned(self, experiment):
+        (result,) = experiment.results
+        assert result.sign.p_value == pytest.approx(
+            GOLDEN_SIGN_P_VALUE, rel=1e-4)
+
+
+class TestTwoClassAccuracy:
+    def test_dt_accuracy_within_tolerance(self, tiny_dataset):
+        report = evaluate_model(tiny_dataset, TWO_CLASS, "dt", seed=1)
+        assert report.accuracy == pytest.approx(
+            GOLDEN_TWO_CLASS_DT_ACCURACY, abs=ACCURACY_TOLERANCE)
+
+    def test_dt_beats_majority_baseline(self, tiny_dataset):
+        dt = evaluate_model(tiny_dataset, TWO_CLASS, "dt", seed=1)
+        majority = evaluate_model(tiny_dataset, TWO_CLASS, "majority",
+                                  seed=1)
+        assert majority.accuracy == pytest.approx(
+            GOLDEN_TWO_CLASS_MAJORITY_ACCURACY, abs=ACCURACY_TOLERANCE)
+        assert dt.accuracy > majority.accuracy

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import NotFittedError
-from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.tree import DecisionTreeClassifier, prune_tree
 
 
 def xor_data(n=400, seed=0):
@@ -142,3 +142,93 @@ def test_training_accuracy_beats_majority(seed):
     tree = DecisionTreeClassifier().fit(X, y)
     majority = max(np.mean(y == 0), np.mean(y == 1))
     assert (tree.predict(X) == y).mean() >= majority
+
+
+# -- alpha-pruning invariants (hypothesis) ------------------------------------
+
+binned_datasets = st.integers(min_value=2, max_value=90).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.lists(st.integers(min_value=0, max_value=4),
+                          min_size=3, max_size=3),
+                 min_size=n, max_size=n),
+        st.lists(st.integers(min_value=0, max_value=2),
+                 min_size=n, max_size=n),
+    )
+)
+
+
+def _leaves(node):
+    if node.is_leaf:
+        return [node]
+    return [leaf for child in node._child_nodes()
+            for leaf in _leaves(child)]
+
+
+class TestPruningInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(data=binned_datasets,
+           alpha=st.floats(min_value=0.01, max_value=0.5))
+    def test_fit_time_pruning_leaf_support(self, data, alpha):
+        """Every leaf of a fitted tree carries support >= alpha."""
+        rows, labels = data
+        X = np.asarray(rows)
+        y = np.asarray(labels)
+        tree = DecisionTreeClassifier(min_support_fraction=alpha).fit(X, y)
+        for leaf in _leaves(tree.root_):
+            assert leaf.support >= alpha - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=binned_datasets,
+           alpha=st.floats(min_value=0.01, max_value=0.5))
+    def test_post_hoc_pruning_leaf_support(self, data, alpha):
+        """prune_tree keeps every surviving node's support >= alpha."""
+        rows, labels = data
+        X = np.asarray(rows)
+        y = np.asarray(labels)
+        unpruned = DecisionTreeClassifier(min_support_fraction=0.0).fit(X, y)
+        pruned = prune_tree(unpruned.root_, alpha)
+        for leaf in _leaves(pruned):
+            assert leaf.support >= alpha - 1e-9
+        # pruning only removes structure
+        assert pruned.n_nodes() <= unpruned.root_.n_nodes()
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=binned_datasets,
+           alpha=st.floats(min_value=0.01, max_value=0.5))
+    def test_post_hoc_pruning_preserves_unpruned_leaves(self, data, alpha):
+        """Training points whose leaf survived pruning predict the same.
+
+        Descend the original and the pruned tree in lockstep (the
+        pruned tree is a prefix of the original): when the pruned
+        descent ends on a node that is also a leaf of the original
+        tree, the path was untouched, so the prediction must agree
+        with the unpruned tree's.
+        """
+        rows, labels = data
+        X = np.asarray(rows)
+        y = np.asarray(labels)
+        unpruned = DecisionTreeClassifier(min_support_fraction=0.0).fit(X, y)
+        pruned = prune_tree(unpruned.root_, alpha)
+
+        checked = 0
+        for row in X:
+            original, copy = unpruned.root_, pruned
+            while not copy.is_leaf:
+                if copy.threshold is not None:
+                    side = "low" if row[copy.feature] <= copy.threshold \
+                        else "high"
+                    original = getattr(original, side)
+                    copy = getattr(copy, side)
+                else:
+                    child = copy.children.get(int(row[copy.feature]))
+                    if child is None:
+                        break  # unseen-value fallback: majority label
+                    original = original.children[int(row[copy.feature])]
+                    copy = child
+            if copy.is_leaf and original.is_leaf:
+                assert copy.label == original.label
+                checked += 1
+        # at least the points reaching the (never-pruned) root-as-leaf
+        # case or surviving paths were compared when the tree is a leaf
+        if unpruned.root_.is_leaf:
+            assert checked == len(X)

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Line coverage for ``src/repro`` without coverage.py.
+
+The container that runs the tier-1 suite does not ship pytest-cov, so
+``make coverage`` falls back to this: a ``sys.settrace`` tracer scoped
+to ``src/repro`` (every call into any other file returns ``None`` from
+the global trace function, so third-party and test code pay only the
+per-call check, not per-line tracing). Executable lines come from the
+compiled code objects themselves (``co_lines``, recursively through
+nested functions/classes), which is the same universe coverage.py
+reports against.
+
+Usage::
+
+    python tools/linecov.py [pytest args...]
+
+Runs ``pytest`` with the given arguments under the tracer, then prints
+a per-package table and the total percentage. ``--json PATH`` (consumed
+here, not passed to pytest) additionally writes the per-file data.
+
+Numbers are slightly conservative versus coverage.py: lines that only
+exist inside generated code (``dataclass`` ``__init__`` bodies compile
+with ``co_filename == "<string>"``) count as executable but can never
+be hit here.
+"""
+
+import argparse
+import json
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set:
+    """Line numbers with code in them, per the compiled code objects."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(line for _, _, line in obj.co_lines()
+                     if line is not None)
+        stack.extend(const for const in obj.co_consts
+                     if hasattr(const, "co_lines"))
+    return lines
+
+
+def collect_executable() -> dict:
+    return {str(path): executable_lines(path)
+            for path in sorted(SRC_ROOT.rglob("*.py"))}
+
+
+class Tracer:
+    """settrace hook recording (filename -> line numbers) for src/repro."""
+
+    def __init__(self):
+        self.hits = {}
+        self._prefix = str(SRC_ROOT)
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.hits.setdefault(
+                frame.f_code.co_filename, set()).add(frame.f_lineno)
+        return self._local
+
+    def global_trace(self, frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(
+                self._prefix):
+            # record the def/entry line too, then trace line events
+            self.hits.setdefault(
+                frame.f_code.co_filename, set()).add(frame.f_lineno)
+            return self._local
+        return None
+
+    def install(self):
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self):
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def report(executable: dict, hits: dict, json_path=None) -> float:
+    per_file = {}
+    for filename, lines in executable.items():
+        hit = hits.get(filename, set()) & lines
+        per_file[filename] = (len(hit), len(lines))
+    packages = {}
+    for filename, (hit, total) in per_file.items():
+        rel = Path(filename).relative_to(SRC_ROOT)
+        package = rel.parts[0] if len(rel.parts) > 1 else "(root)"
+        got, all_ = packages.get(package, (0, 0))
+        packages[package] = (got + hit, all_ + total)
+    width = max(len(name) for name in packages) + 2
+    print()
+    print(f"{'package':<{width}} {'lines':>7} {'hit':>7} {'cover':>7}")
+    for name in sorted(packages):
+        hit, total = packages[name]
+        pct = 100.0 * hit / total if total else 100.0
+        print(f"{name:<{width}} {total:>7} {hit:>7} {pct:>6.1f}%")
+    hit_all = sum(h for h, _ in per_file.values())
+    total_all = sum(t for _, t in per_file.values())
+    pct = 100.0 * hit_all / total_all if total_all else 100.0
+    print(f"{'TOTAL':<{width}} {total_all:>7} {hit_all:>7} {pct:>6.1f}%")
+    if json_path:
+        payload = {
+            "total": {"lines": total_all, "hit": hit_all,
+                      "percent": round(pct, 2)},
+            "files": {
+                str(Path(f).relative_to(REPO_ROOT)): {
+                    "lines": t, "hit": h,
+                    "missing": sorted(executable[f] - hits.get(f, set())),
+                }
+                for f, (h, t) in per_file.items()
+            },
+        }
+        Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"per-file detail written to {json_path}")
+    return pct
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="line coverage for src/repro via sys.settrace")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write per-file hit/miss data as JSON")
+    args, pytest_args = parser.parse_known_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import pytest
+
+    executable = collect_executable()
+    tracer = Tracer()
+    tracer.install()
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        tracer.uninstall()
+    report(executable, tracer.hits, json_path=args.json)
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
