@@ -41,16 +41,22 @@ bench:
 	$(PYTHON) -m repro.cli bench
 
 # gate the smoke benchmark against the committed noise-aware baseline;
-# exits nonzero on a wall-time regression or output drift
+# exits nonzero on a wall-time regression or output drift (the drift
+# check is repeated standalone so a checksum mismatch is reported even
+# when the timing gate passes)
 bench-check:
 	$(PYTHON) -m repro.cli bench --filter runtime_smoke \
 		--compare benchmarks/baseline.json
+	$(PYTHON) tools/check_bench_drift.py runtime_smoke
 
 # full paper-reproduction benchmark suite under pytest (prints
 # tables/figures with -s); the same scripts the perf runner executes
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 
-# parallel-runtime smoke: tiny workspace under MPA_JOBS=2 + telemetry
+# parallel-runtime smoke: tiny workspace under MPA_JOBS=2 + telemetry,
+# then the fused single-pass build with cold and hot content memos
+# (must agree bit-for-bit with the stage-cached build)
 smoke:
 	MPA_JOBS=2 $(PYTHON) -m pytest benchmarks/bench_runtime_smoke.py -q -s
+	$(PYTHON) tools/fused_smoke.py

@@ -29,6 +29,14 @@ missing    baseline entry whose bench no longer ran        yes
 
 ``missing`` is only raised for unfiltered runs — a vanished benchmark
 silently dropping out of the perf contract is itself a regression.
+
+Peak RSS is compared **advisorily**: a grown footprint annotates the
+row (never fails the run), and the judgment is skipped entirely when
+the runner could not reset the kernel's RSS high-water mark before the
+bench (``rss_reset=False``) — in that case ``peak_rss_kb`` is the
+process-lifetime high-water mark, which says nothing about *this*
+bench, and judging it would flag phantom regressions. Baselines only
+ever record RSS from reset measurements for the same reason.
 """
 
 from __future__ import annotations
@@ -49,6 +57,11 @@ DEFAULT_TIME_TOLERANCE = 0.20
 #: any loaded machine; the floor keeps them from flapping.
 DEFAULT_TIME_FLOOR_SECONDS = 0.05
 
+#: Relative peak-RSS growth above which a row gets an advisory
+#: annotation (never a failure — allocator and kernel accounting are
+#: too noisy for a hard memory gate).
+RSS_ADVISORY_TOLERANCE = 0.25
+
 
 @dataclass
 class BaselineEntry:
@@ -58,12 +71,18 @@ class BaselineEntry:
     output_sha256: str | None = None
     #: per-bench tolerance override (None = the baseline's global one)
     time_tolerance: float | None = None
+    #: peak RSS of the recording run; only ever stored from runs where
+    #: the runner reset the high-water mark first (``rss_reset=True``),
+    #: so it is a per-bench figure, not a process-lifetime one
+    peak_rss_kb: int | None = None
 
     def to_dict(self) -> dict:
         data = {"median_seconds": round(self.median_seconds, 6),
                 "output_sha256": self.output_sha256}
         if self.time_tolerance is not None:
             data["time_tolerance"] = self.time_tolerance
+        if self.peak_rss_kb is not None:
+            data["peak_rss_kb"] = self.peak_rss_kb
         return data
 
 
@@ -84,6 +103,7 @@ class Baseline:
                 median_seconds=entry["median_seconds"],
                 output_sha256=entry.get("output_sha256"),
                 time_tolerance=entry.get("time_tolerance"),
+                peak_rss_kb=entry.get("peak_rss_kb"),
             )
             for name, entry in data.get("benches", {}).items()
         }
@@ -121,6 +141,8 @@ class BenchDelta:
     current_seconds: float | None = None
     tolerance: float | None = None
     detail: str = ""
+    #: advisory peak-RSS annotation ("" = nothing to say); never fails
+    rss_note: str = ""
 
     @property
     def failed(self) -> bool:
@@ -132,6 +154,27 @@ class BenchDelta:
         if not self.baseline_seconds or self.current_seconds is None:
             return None
         return self.current_seconds / self.baseline_seconds
+
+
+def _rss_note(result, entry: BaselineEntry | None) -> str:
+    """Advisory peak-RSS annotation for one bench row.
+
+    A measurement taken without a high-water-mark reset is the process
+    peak *up to that point* — comparing it against a per-bench baseline
+    would misattribute earlier benches' memory to this one, so stale
+    measurements are called out and never judged.
+    """
+    if result.peak_rss_kb is None:
+        return ""
+    if not result.rss_reset:
+        return "rss stale (no reset); not judged"
+    if entry is None or not entry.peak_rss_kb:
+        return ""
+    growth = result.peak_rss_kb / entry.peak_rss_kb - 1.0
+    if growth > RSS_ADVISORY_TOLERANCE:
+        return (f"rss {result.peak_rss_kb} kB, {growth:+.0%} vs "
+                f"baseline (advisory)")
+    return ""
 
 
 def compare_results(report: RunReport, baseline: Baseline,
@@ -175,6 +218,7 @@ def compare_results(report: RunReport, baseline: Baseline,
                 < base_seconds * (1.0 - tol) - baseline.time_floor_seconds):
             delta.status = "faster"
             delta.detail = "consider refreshing the baseline"
+        delta.rss_note = _rss_note(result, entry)
         deltas.append(delta)
     if check_missing:
         ran = {result.name for result in report.results}
@@ -209,6 +253,11 @@ def update_baseline(report: RunReport, path: Path,
             output_sha256=result.output_sha256,
             time_tolerance=(previous.time_tolerance
                             if previous is not None else None),
+            # never let a stale (un-reset) measurement overwrite a
+            # trustworthy per-bench RSS figure
+            peak_rss_kb=(result.peak_rss_kb if result.rss_reset
+                         else (previous.peak_rss_kb
+                               if previous is not None else None)),
         )
     baseline.save(path)
     return baseline

@@ -74,6 +74,12 @@ class DeviceConfig:
                  stanzas: Iterable[Stanza]) -> None:
         self.hostname = hostname
         self.dialect = dialect
+        #: SHA-256 over (dialect, source text), set by
+        #: :func:`repro.confparse.registry.parse_config`; ``None`` for
+        #: configs constructed directly. Content-keyed caches (the diff
+        #: memo, the feature memo) use it to identify a config without
+        #: re-hashing its stanzas.
+        self.content_digest: str | None = None
         self._stanzas: dict[StanzaKey, Stanza] = {}
         for stanza in stanzas:
             if stanza.key in self._stanzas:

@@ -60,7 +60,19 @@ from repro.synthesis.corpus import Corpus
 from repro.synthesis.organization import SCALES, OrganizationSynthesizer, SynthesisSpec
 from repro.types import ChangeModality, ChangeRecord
 from repro.util.ioutils import atomic_write_text, gzip_text_writer
+from repro.util.memo import ContentMemo
 from repro.version import CORPUS_FORMAT_VERSION
+
+#: In-process memo of synthesized corpora, keyed by the full synthesis
+#: spec. Synthesis is deterministic (seeded RNG), so two workspaces with
+#: the same spec — e.g. the parallel and serial halves of the runtime
+#: smoke benchmark, or repeated benchmark iterations — share one corpus
+#: object instead of re-rendering every snapshot. Corpora are treated as
+#: immutable everywhere (scrubbing and fault injection both copy), which
+#: makes the sharing safe. The hard ``limit`` keeps at most a handful of
+#: corpora resident regardless of ``MPA_CONTENT_MEMO``; setting that
+#: variable to ``0`` disables this memo along with the content memos.
+_CORPUS_MEMO = ContentMemo("corpus-memo", limit=4)
 
 DEFAULT_SCALE = "small"
 
@@ -325,15 +337,21 @@ class Workspace:
                     f"cached corpus at {self.corpus_dir} is unreadable "
                     f"({exc!r}); rebuilding", RuntimeWarning, stacklevel=2,
                 )
-        if self.extra_months:
-            # extended span: append months to the base corpus via RNG
-            # replay (bit-identical to a cold synthesis of the full
-            # span, but without re-rendering the covered months)
-            base = Workspace(scale=self.scale, seed=self.seed,
-                             cache_dir=self.cache_dir)
-            corpus = base.corpus().extend_months(self.extra_months)
-        else:
-            corpus = OrganizationSynthesizer(self.spec).build()
+        spec = self.spec
+        memo_key = (CORPUS_FORMAT_VERSION, spec.n_networks, spec.n_months,
+                    spec.seed, spec.epoch.year, spec.epoch.month)
+        corpus = _CORPUS_MEMO.get(memo_key) if _CORPUS_MEMO.enabled else None
+        if corpus is None:
+            if self.extra_months:
+                # extended span: append months to the base corpus via RNG
+                # replay (bit-identical to a cold synthesis of the full
+                # span, but without re-rendering the covered months)
+                base = Workspace(scale=self.scale, seed=self.seed,
+                                 cache_dir=self.cache_dir)
+                corpus = base.corpus().extend_months(self.extra_months)
+            else:
+                corpus = OrganizationSynthesizer(self.spec).build()
+            _CORPUS_MEMO.put(memo_key, corpus)
         corpus.save(self.corpus_dir)
         return corpus
 

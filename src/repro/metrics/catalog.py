@@ -97,6 +97,14 @@ METRICS: tuple[MetricDef, ...] = (
 
 _BY_NAME = {metric.name: metric for metric in METRICS}
 
+# Precomputed name lists: metric_names() sits on the monthly hot path
+# (one call per network) and the catalog is immutable after import.
+_ALL_NAMES: tuple[str, ...] = tuple(metric.name for metric in METRICS)
+_NAMES_BY_CATEGORY: dict[str, tuple[str, ...]] = {
+    category: tuple(m.name for m in METRICS if m.category == category)
+    for category in (DESIGN, OPERATIONAL)
+}
+
 #: The health (outcome) metric; not a practice.
 HEALTH_METRIC = "n_tickets"
 
@@ -104,8 +112,8 @@ HEALTH_METRIC = "n_tickets"
 def metric_names(category: str | None = None) -> list[str]:
     """All metric names, optionally filtered by category."""
     if category is None:
-        return [metric.name for metric in METRICS]
-    return [metric.name for metric in METRICS if metric.category == category]
+        return list(_ALL_NAMES)
+    return list(_NAMES_BY_CATEGORY.get(category, ()))
 
 
 def get_metric(name: str) -> MetricDef:

@@ -12,10 +12,16 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.types import ChangeEvent, ChangeRecord
 
 #: delta used throughout the paper's analysis (minutes).
 DEFAULT_DELTA_MINUTES = 5
+
+#: Below this many changes the chained Python loop beats building numpy
+#: arrays; above it the vectorized gap scan wins.
+_VECTORIZE_THRESHOLD = 32
 
 #: The Figure 3 sweep. ``None`` is the "NA" column: no grouping, every
 #: device change is its own event.
@@ -44,6 +50,9 @@ def group_change_events(changes: Sequence[ChangeRecord],
     network_id = network_ids.pop()
     ordered = sorted(changes, key=lambda c: (c.timestamp, c.device_id))
 
+    if delta_minutes is not None and len(ordered) >= _VECTORIZE_THRESHOLD:
+        return _group_vectorized(network_id, ordered, delta_minutes)
+
     events: list[ChangeEvent] = []
     current: list[ChangeRecord] = [ordered[0]]
     for change in ordered[1:]:
@@ -55,6 +64,26 @@ def group_change_events(changes: Sequence[ChangeRecord],
             current = [change]
     events.append(_make_event(network_id, current))
     return events
+
+
+def _group_vectorized(network_id: str, ordered: list[ChangeRecord],
+                      delta_minutes: int) -> list[ChangeEvent]:
+    """Gap-scan grouping: one numpy pass instead of the chained loop.
+
+    The chained rule "a change joins the current event iff it is within
+    delta of the previous change" means event boundaries sit exactly at
+    the consecutive-timestamp gaps larger than delta — which a single
+    ``diff``/``flatnonzero`` finds. Output is identical to the loop.
+    """
+    timestamps = np.fromiter((change.timestamp for change in ordered),
+                             dtype=np.int64, count=len(ordered))
+    boundaries = np.flatnonzero(np.diff(timestamps) > delta_minutes) + 1
+    starts = [0, *boundaries.tolist()]
+    ends = [*boundaries.tolist(), len(ordered)]
+    return [
+        _make_event(network_id, ordered[start:end])
+        for start, end in zip(starts, ends)
+    ]
 
 
 def _make_event(network_id: str, changes: list[ChangeRecord]) -> ChangeEvent:

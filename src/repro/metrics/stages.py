@@ -25,10 +25,20 @@ everything else is a cache hit.
 
 The cache itself (:class:`repro.core.workspace.StageCache`) is passed in
 by the caller; any object with ``load(key) -> value | None`` and
-``store(key, value)`` works, and ``cache=None`` computes everything
-in-process (the behaviour of the original monolithic builder). Cached
-or not, the assembled output is bit-identical — the incremental-vs-full
-guarantee the tests pin down.
+``store(key, value)`` works. ``cache=None`` takes the **fused** path: a
+single pass per network that parses, diffs, and summarizes every
+snapshot in chronological order and hands the in-memory results straight
+to the events/metrics stages — no chunk splitting, no intermediate
+serialization. Cached or not, the assembled output is bit-identical —
+the incremental-vs-full guarantee the tests pin down.
+
+Content-keyed reuse rides underneath both paths: parsing, feature
+extraction, and pair diffing are memoized by snapshot content (see
+:mod:`repro.util.memo`), so rebuilding an already-seen corpus — the
+serial reference build next to a parallel one, a cold build next to an
+incremental one — costs dictionary lookups. Per-unit hit/miss deltas of
+these memos surface in :attr:`NetworkUnit.cache_stats` (and from there
+in the run telemetry) whenever the unit exercised them.
 """
 
 from __future__ import annotations
@@ -37,11 +47,12 @@ import hashlib
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
-from repro.confparse.diff import diff_configs
-from repro.confparse.registry import parse_config
+from repro.confparse.diff import DIFF_MEMO, diff_configs_cached
+from repro.confparse.registry import PARSE_MEMO, parse_config
 from repro.errors import ConfigParseError
 from repro.metrics.catalog import metric_names
 from repro.metrics.design import (
+    FEATURE_MEMO,
     DeviceFeatures,
     config_metrics,
     extract_device_features,
@@ -49,8 +60,8 @@ from repro.metrics.design import (
 )
 from repro.metrics.events import group_change_events
 from repro.metrics.health import modality_from_login, monthly_ticket_count
-from repro.metrics.operational import operational_metrics
 from repro.metrics.quality import DataQualityReport
+from repro.metrics.vectorized import monthly_operational_rows
 from repro.synthesis.corpus import Corpus
 from repro.types import ChangeEvent, ChangeModality, ChangeRecord, MonthKey
 from repro.util.timeutils import MINUTES_PER_MONTH
@@ -63,6 +74,26 @@ STAGE_CODE_VERSION = 1
 
 #: Stage names, as reported in cache-hit/miss telemetry.
 STAGE_NAMES = ("parse", "events", "metrics", "health")
+
+#: The content memos whose per-unit activity is reported alongside the
+#: stage cache stats (keys appear only when the unit exercised them, so
+#: all-hit invariants over ``cache_stats`` stay meaningful).
+_CONTENT_MEMOS = (PARSE_MEMO, FEATURE_MEMO, DIFF_MEMO)
+
+
+def _memo_snapshot() -> dict[str, tuple[int, int]]:
+    return {memo.name: memo.stats() for memo in _CONTENT_MEMOS}
+
+
+def _memo_deltas(base: dict[str, tuple[int, int]],
+                 ) -> dict[str, tuple[int, int]]:
+    deltas: dict[str, tuple[int, int]] = {}
+    for memo in _CONTENT_MEMOS:
+        hits0, misses0 = base[memo.name]
+        hits1, misses1 = memo.stats()
+        if hits1 - hits0 or misses1 - misses0:
+            deltas[memo.name] = (hits1 - hits0, misses1 - misses0)
+    return deltas
 
 
 @dataclass
@@ -211,6 +242,7 @@ def _month_slices(corpus: Corpus, devices, n_months: int,
 def _compute_chunk(corpus: Corpus, network_id: str, devices, slices,
                    label: object, prev: ParseChunk | None,
                    live_configs: dict | None,
+                   diff_store=None,
                    ) -> tuple[ParseChunk, dict]:
     """Parse + diff one chunk's snapshots (the expensive unit body).
 
@@ -219,6 +251,10 @@ def _compute_chunk(corpus: Corpus, network_id: str, devices, slices,
     snapshot exactly once; after a cache hit the chain restarts from the
     stored carry pointers (one re-parse per device, already known to
     succeed).
+
+    ``diff_store`` is an optional persistent pair-diff cache (the stage
+    cache) consulted/updated through
+    :func:`~repro.confparse.diff.diff_configs_cached`.
     """
     chunk = ParseChunk(
         features_end=dict(prev.features_end) if prev else {},
@@ -254,7 +290,8 @@ def _compute_chunk(corpus: Corpus, network_id: str, devices, slices,
                 continue
             chunk.n_parsed += 1
             if prev_config is not None:
-                diff = diff_configs(prev_config, config)
+                diff = diff_configs_cached(prev_config, config,
+                                           store=diff_store)
                 if diff:
                     modality = (ChangeModality.AUTOMATED
                                 if modality_from_login(snap.login)
@@ -287,6 +324,14 @@ def _run_parse_chunks(corpus: Corpus, network_id: str, devices, cache,
 
     Returns the chunk list and the final chain key (``None`` without a
     cache), which downstream stage keys build on.
+
+    Recomputed chunks that follow at least one cache hit also read and
+    write the persistent pair-diff cache: such chunks are the small
+    dirty suffix of an incremental rebuild, where a chained chunk key
+    changed but most snapshot *pairs* did not. Fully-cold networks skip
+    the pair-diff writes — on a cold build every pair is new, so the
+    store traffic would be pure overhead (the in-memory diff memo still
+    serves repeats within the process).
     """
     slices, labels = _month_slices(corpus, devices, corpus.n_months)
     spec_digest = network_spec_digest(corpus, network_id) if cache else ""
@@ -294,6 +339,7 @@ def _run_parse_chunks(corpus: Corpus, network_id: str, devices, cache,
     prev: ParseChunk | None = None
     live: dict | None = {}
     key: str | None = None
+    any_hit = False
     for label in labels:
         if cache is not None:
             key = _chunk_key(key, spec_digest, label, corpus, devices, slices)
@@ -302,7 +348,8 @@ def _run_parse_chunks(corpus: Corpus, network_id: str, devices, cache,
             cached = None
         if cached is None:
             chunk, live = _compute_chunk(
-                corpus, network_id, devices, slices, label, prev, live
+                corpus, network_id, devices, slices, label, prev, live,
+                diff_store=cache if any_hit else None,
             )
             if cache is not None:
                 cache.store(key, chunk)
@@ -311,9 +358,104 @@ def _run_parse_chunks(corpus: Corpus, network_id: str, devices, cache,
             chunk = cached
             live = None  # parsed objects not cached; re-derive from carry
             stats["parse"][0] += 1
+            any_hit = True
         chunks.append(chunk)
         prev = chunk
     return chunks, key
+
+
+# -- the fused (uncached) pass ------------------------------------------------
+
+
+def _fused_network_pass(corpus: Corpus, network_id: str, devices,
+                        n_months: int,
+                        ) -> tuple[list[ChangeRecord],
+                                   list[dict[str, DeviceFeatures]],
+                                   ParseChunk]:
+    """Single-pass parse+diff+summarize of one network, no chunking.
+
+    Used when no stage cache is in play (``cache=None`` builds and the
+    timeline extraction): every device's snapshots are walked once in
+    chronological order, producing the change records, the per-month
+    features-in-effect, and one synthetic *cumulative* chunk carrying
+    the quality-report inputs. Skips all chunk-key hashing, per-chunk
+    dict copying, and carry re-parsing.
+
+    Output contract (pinned by ``tests/test_incremental.py``): the
+    returned changes, per-month features, and quality fragments are
+    bit-identical to running the chunked path on the same corpus —
+    chunk boundaries partition each device's timeline into ascending
+    disjoint ranges, so a single ordered walk observes exactly the same
+    snapshot pairs, and the global ``(timestamp, device_id)`` sort
+    equals the chunked path's per-chunk-sorted concatenation.
+    """
+    chunk = ParseChunk()
+    changes: list[ChangeRecord] = []
+    features_by_month: list[dict[str, DeviceFeatures]] = [
+        {} for _ in range(n_months)
+    ]
+    for device in devices:
+        device_id = device.device_id
+        snaps = corpus.snapshots[device_id]
+        dialect = corpus.dialect_of(device_id)
+        prev_config = None
+        last_features: DeviceFeatures | None = None
+        first_features: DeviceFeatures | None = None
+        index = 0
+        n_snaps = len(snaps)
+        month_end_features: list[DeviceFeatures | None] = []
+
+        def _consume_until(end_ts: int | None) -> None:
+            nonlocal index, prev_config, last_features, first_features
+            while index < n_snaps and (
+                    end_ts is None or snaps[index].timestamp < end_ts):
+                snap = snaps[index]
+                try:
+                    config = parse_config(snap.config_text, dialect)
+                except ConfigParseError as exc:
+                    chunk.quarantined.setdefault(device_id, []).append(
+                        f"unparsable config: {exc}"
+                    )
+                    index += 1
+                    continue
+                chunk.n_parsed += 1
+                if prev_config is not None:
+                    diff = diff_configs_cached(prev_config, config)
+                    if diff:
+                        modality = (ChangeModality.AUTOMATED
+                                    if modality_from_login(snap.login)
+                                    else ChangeModality.MANUAL)
+                        changes.append(ChangeRecord(
+                            device_id=device_id,
+                            network_id=network_id,
+                            timestamp=snap.timestamp,
+                            modality=modality,
+                            stanza_types=diff.changed_types,
+                            login=snap.login,
+                        ))
+                last_features = extract_device_features(config)
+                if first_features is None:
+                    first_features = last_features
+                prev_config = config
+                chunk.carry[device_id] = index
+                index += 1
+
+        for month in range(n_months):
+            _consume_until((month + 1) * MINUTES_PER_MONTH)
+            month_end_features.append(last_features)
+        _consume_until(None)  # the "tail" past the study window
+
+        if last_features is not None:
+            chunk.features_end[device_id] = last_features
+        if first_features is not None:
+            chunk.first_features[device_id] = first_features
+        for month, features in enumerate(month_end_features):
+            if features is None:
+                features = first_features  # backfill pre-first months
+            if features is not None:
+                features_by_month[month][device_id] = features
+    changes.sort(key=lambda c: (c.timestamp, c.device_id))
+    return changes, features_by_month, chunk
 
 
 # -- assembly helpers ---------------------------------------------------------
@@ -423,35 +565,29 @@ def _compute_rows(corpus: Corpus, network_id: str, devices,
                   features_by_month: list[dict[str, DeviceFeatures]],
                   changes: list[ChangeRecord],
                   events: list[ChangeEvent]) -> list[list[float]]:
-    """The monthly design + operational metric rows of one network."""
+    """The monthly design + operational metric rows of one network.
+
+    The operational family is inferred for all months in one batch
+    (:func:`repro.metrics.vectorized.monthly_operational_rows`) instead
+    of re-walking the month buckets per month; the design family still
+    aggregates per month (its inputs differ each month).
+    """
     names = metric_names()
     n_months = corpus.n_months
     mbox_ids = frozenset(
         d.device_id for d in devices if d.role.is_middlebox
     )
     inv = inventory_metrics(corpus.inventory, network_id)
-
-    changes_by_month: list[list[ChangeRecord]] = [[] for _ in range(n_months)]
-    for change in changes:
-        month = change.timestamp // MINUTES_PER_MONTH
-        if 0 <= month < n_months:
-            changes_by_month[month].append(change)
-    events_by_month: list[list[ChangeEvent]] = [[] for _ in range(n_months)]
-    for event in events:
-        month = event.start_timestamp // MINUTES_PER_MONTH
-        if 0 <= month < n_months:
-            events_by_month[month].append(event)
+    op_rows = monthly_operational_rows(
+        changes, events, n_months,
+        n_network_devices=len(devices),
+        mbox_device_ids=mbox_ids,
+    )
 
     rows: list[list[float]] = []
     for month_index in range(n_months):
         config = config_metrics(features_by_month[month_index])
-        op = operational_metrics(
-            changes_by_month[month_index],
-            events_by_month[month_index],
-            n_network_devices=len(devices),
-            mbox_device_ids=mbox_ids,
-        )
-        row_map = {**inv, **config, **op}
+        row_map = {**inv, **config, **op_rows[month_index]}
         rows.append([row_map[name] for name in names])
     return rows
 
@@ -485,34 +621,50 @@ def compute_network_unit(corpus: Corpus, network_id: str,
                          delta_minutes: int | None,
                          keep_changes: bool,
                          cache=None) -> NetworkUnit:
-    """Run one network through the full stage graph (pool task body)."""
+    """Run one network through the full stage graph (pool task body).
+
+    With a cache, stages are resolved through their content-addressed
+    keys; without one the fused single pass feeds the events/metrics
+    stages directly from memory.
+    """
     stats: dict[str, list[int]] = {name: [0, 0] for name in STAGE_NAMES}
+    memo_base = _memo_snapshot()
     devices = corpus.inventory.devices_in(network_id)
     parse_devices = _parseable_devices(corpus, devices)
-    chunks, parse_key = _run_parse_chunks(
-        corpus, network_id, parse_devices, cache, stats
-    )
-    changes = [change for chunk in chunks for change in chunk.changes]
-    events = _stage_events(changes, delta_minutes, parse_key, cache, stats)
 
-    rows: list[list[float]] | None = None
-    if cache is not None and parse_key is not None:
+    if cache is None:
+        changes, features_by_month, fused = _fused_network_pass(
+            corpus, network_id, parse_devices, corpus.n_months
+        )
+        chunks = [fused]
+        events = _stage_events(changes, delta_minutes, None, None, stats)
+        rows = _compute_rows(corpus, network_id, devices,
+                             features_by_month, changes, events)
+    else:
+        chunks, parse_key = _run_parse_chunks(
+            corpus, network_id, parse_devices, cache, stats
+        )
+        changes = [change for chunk in chunks for change in chunk.changes]
+        events = _stage_events(changes, delta_minutes, parse_key, cache,
+                               stats)
         metrics_key = _metrics_key(
             _events_key(parse_key, delta_minutes), corpus.n_months
         )
         rows = cache.load(metrics_key)
         stats["metrics"][0 if rows is not None else 1] += 1
-    if rows is None:
-        features_by_month = _assemble_features(
-            parse_devices, chunks, corpus.n_months
-        )
-        rows = _compute_rows(corpus, network_id, devices,
-                             features_by_month, changes, events)
-        if cache is not None and parse_key is not None:
+        if rows is None:
+            features_by_month = _assemble_features(
+                parse_devices, chunks, corpus.n_months
+            )
+            rows = _compute_rows(corpus, network_id, devices,
+                                 features_by_month, changes, events)
             cache.store(metrics_key, rows)
 
     tickets = _stage_health(corpus, network_id, cache, stats)
     quality = _assemble_quality(corpus, network_id, devices, chunks)
+    cache_stats = {name: (hits, misses)
+                   for name, (hits, misses) in stats.items()}
+    cache_stats.update(_memo_deltas(memo_base))
     return NetworkUnit(
         network_id=network_id,
         rows=rows,
@@ -520,8 +672,7 @@ def compute_network_unit(corpus: Corpus, network_id: str,
         months=list(range(corpus.n_months)),
         changes=changes if keep_changes else None,
         quality=quality,
-        cache_stats={name: (hits, misses)
-                     for name, (hits, misses) in stats.items()},
+        cache_stats=cache_stats,
     )
 
 
@@ -532,15 +683,14 @@ def compute_network_timeline_parts(corpus: Corpus, network_id: str,
                                               list[ChangeEvent],
                                               list[dict[str, DeviceFeatures]]]:
     """Uncached stage-graph evaluation backing
-    :func:`repro.metrics.dataset.build_network_timeline`."""
+    :func:`repro.metrics.dataset.build_network_timeline` — served by the
+    fused single pass."""
     stats: dict[str, list[int]] = {name: [0, 0] for name in STAGE_NAMES}
     devices = corpus.inventory.devices_in(network_id)
     parse_devices = _parseable_devices(corpus, devices)
-    chunks, _ = _run_parse_chunks(corpus, network_id, parse_devices,
-                                  None, stats)
-    changes = [change for chunk in chunks for change in chunk.changes]
+    changes, features_by_month, fused = _fused_network_pass(
+        corpus, network_id, parse_devices, corpus.n_months
+    )
     events = _stage_events(changes, delta_minutes, None, None, stats)
-    features_by_month = _assemble_features(parse_devices, chunks,
-                                           corpus.n_months)
-    report.merge(_assemble_quality(corpus, network_id, devices, chunks))
+    report.merge(_assemble_quality(corpus, network_id, devices, [fused]))
     return changes, events, features_by_month

@@ -1,0 +1,166 @@
+"""Batched monthly inference of the operational metrics (O1-O4).
+
+:func:`repro.metrics.operational.operational_metrics` is defined per
+network-month; the monthly sweep in the stage graph used to call it once
+per month, re-walking that month's change and event lists in the
+interpreter each time. This module computes *every* month's rows in one
+batch: the per-change attributes are lowered to numpy integer arrays
+once and the per-month counts fall out of ``bincount`` reductions (one
+pass per metric family), with the set-valued counts (distinct devices,
+distinct stanza types) gathered in a single linear pass.
+
+Bit-identity contract: the final ratios are evaluated with exactly the
+same Python ``int / int`` expressions as the scalar implementation, on
+counts that are exact integers either way — so for every month
+``monthly_operational_rows(...)[m] == operational_metrics(month_m ...)``
+to the last bit. ``tests/test_metrics.py`` pins this equivalence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.metrics.operational import _MBOX_STANZA_TYPES
+from repro.types import ChangeEvent, ChangeModality, ChangeRecord
+from repro.util.timeutils import MINUTES_PER_MONTH
+
+
+def _change_counts(changes: Sequence[ChangeRecord],
+                   n_months: int) -> tuple[np.ndarray, ...]:
+    """Per-month (total, automated, interface, acl) change counts."""
+    n = len(changes)
+    months = np.fromiter(
+        (change.timestamp // MINUTES_PER_MONTH for change in changes),
+        dtype=np.int64, count=n,
+    )
+    in_range = (months >= 0) & (months < n_months)
+    months = months[in_range]
+
+    def _count(flags: np.ndarray | None) -> np.ndarray:
+        selected = months if flags is None else months[flags[in_range]]
+        return np.bincount(selected, minlength=n_months)
+
+    automated = np.fromiter(
+        (change.modality is ChangeModality.AUTOMATED for change in changes),
+        dtype=bool, count=n,
+    )
+    interface = np.fromiter(
+        ("interface" in change.stanza_types for change in changes),
+        dtype=bool, count=n,
+    )
+    acl = np.fromiter(
+        ("acl" in change.stanza_types for change in changes),
+        dtype=bool, count=n,
+    )
+    return (_count(None), _count(automated), _count(interface), _count(acl))
+
+
+def monthly_operational_rows(changes: Sequence[ChangeRecord],
+                             events: Sequence[ChangeEvent],
+                             n_months: int,
+                             n_network_devices: int,
+                             mbox_device_ids: frozenset[str],
+                             ) -> list[dict[str, float]]:
+    """O1-O4 metric dicts for months ``0..n_months-1`` in one batch.
+
+    Equivalent to bucketing ``changes``/``events`` by month and calling
+    :func:`~repro.metrics.operational.operational_metrics` on each
+    bucket, but with the counting lowered to numpy reductions. Changes
+    and events outside the study window are ignored, matching the
+    bucketing the stage graph used to do.
+    """
+    if n_network_devices < 1:
+        raise ValueError("n_network_devices must be positive")
+
+    if changes:
+        n_changes, automated, iface_changes, acl_changes = _change_counts(
+            changes, n_months
+        )
+    else:
+        n_changes = automated = iface_changes = acl_changes = np.zeros(
+            n_months, dtype=np.int64
+        )
+
+    devices_changed: list[set[str]] = [set() for _ in range(n_months)]
+    change_types: list[set[str]] = [set() for _ in range(n_months)]
+    for change in changes:
+        month = change.timestamp // MINUTES_PER_MONTH
+        if 0 <= month < n_months:
+            devices_changed[month].add(change.device_id)
+            change_types[month].update(change.stanza_types)
+
+    ev_total = [0] * n_months
+    ev_devices = [0] * n_months
+    ev_automated = [0] * n_months
+    ev_iface = [0] * n_months
+    ev_acl = [0] * n_months
+    ev_router = [0] * n_months
+    ev_mbox = [0] * n_months
+    for event in events:
+        month = event.start_timestamp // MINUTES_PER_MONTH
+        if not 0 <= month < n_months:
+            continue
+        ev_total[month] += 1
+        ev_devices[month] += event.num_devices
+        if event.is_automated:
+            ev_automated[month] += 1
+        stanza_types = event.stanza_types
+        if "interface" in stanza_types:
+            ev_iface[month] += 1
+        if "acl" in stanza_types:
+            ev_acl[month] += 1
+        if "router" in stanza_types:
+            ev_router[month] += 1
+        if (stanza_types & _MBOX_STANZA_TYPES) or (
+                event.devices & mbox_device_ids):
+            ev_mbox[month] += 1
+
+    rows: list[dict[str, float]] = []
+    for month in range(n_months):
+        n_ch = int(n_changes[month])
+        n_ev = ev_total[month]
+        n_dev = len(devices_changed[month])
+        if n_ev:
+            devices_per_event = ev_devices[month] / n_ev
+            events_automated = ev_automated[month] / n_ev
+            events_iface = ev_iface[month] / n_ev
+            events_acl = ev_acl[month] / n_ev
+            events_router = ev_router[month] / n_ev
+            events_mbox = ev_mbox[month] / n_ev
+        else:
+            devices_per_event = 0.0
+            events_automated = events_iface = events_acl = 0.0
+            events_router = events_mbox = 0.0
+        rows.append({
+            "n_config_changes": float(n_ch),
+            "n_devices_changed": float(n_dev),
+            "frac_devices_changed": n_dev / n_network_devices,
+            "frac_changes_automated":
+                int(automated[month]) / n_ch if n_ch else 0.0,
+            "n_change_types": float(len(change_types[month])),
+            "frac_changes_interface":
+                int(iface_changes[month]) / n_ch if n_ch else 0.0,
+            "frac_changes_acl":
+                int(acl_changes[month]) / n_ch if n_ch else 0.0,
+            "n_change_events": float(n_ev),
+            "avg_devices_per_event": devices_per_event,
+            "frac_events_automated": events_automated,
+            "frac_events_interface": events_iface,
+            "frac_events_acl": events_acl,
+            "frac_events_router": events_router,
+            "frac_events_mbox": events_mbox,
+        })
+    return rows
+
+
+def monthly_event_buckets(events: Sequence[ChangeEvent],
+                          n_months: int) -> list[list[ChangeEvent]]:
+    """Events bucketed by starting month (out-of-window events dropped)."""
+    buckets: list[list[ChangeEvent]] = [[] for _ in range(n_months)]
+    for event in events:
+        month = event.start_timestamp // MINUTES_PER_MONTH
+        if 0 <= month < n_months:
+            buckets[month].append(event)
+    return buckets

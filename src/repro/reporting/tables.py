@@ -188,6 +188,8 @@ def format_bench_table(deltas: Sequence["BenchDelta"],
     One row per bench: baseline median, current median, the relative
     delta, and the verdict (``ok``/``faster``/``slower``/``drift``/
     ``error``/``new``/``missing`` — see :mod:`repro.bench.compare`).
+    Advisory peak-RSS notes (growth, or a stale un-reset measurement
+    that was skipped) are appended to the detail column.
     """
     rows = []
     for delta in deltas:
@@ -198,8 +200,11 @@ def format_bench_table(deltas: Sequence["BenchDelta"],
         ratio = delta.ratio
         change = "-" if ratio is None else f"{(ratio - 1):+.1%}"
         status = delta.status.upper() if delta.failed else delta.status
-        rows.append([delta.name, base, current, change, status,
-                     delta.detail])
+        detail = delta.detail
+        rss_note = getattr(delta, "rss_note", "")
+        if rss_note:
+            detail = f"{detail} [{rss_note}]" if detail else f"[{rss_note}]"
+        rows.append([delta.name, base, current, change, status, detail])
     return render_table(
         ["bench", "baseline", "current", "delta", "status", "detail"],
         rows, title=title,

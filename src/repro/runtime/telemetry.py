@@ -170,25 +170,51 @@ class Telemetry:
         "caches": {name: {hits, misses}},
         "checks": {name: {passed, failed}}}`` containing only entries
         that changed, so the result is a compact per-bench attribution.
+
+        Counters are cumulative, so a current value *below* the
+        snapshot means the aggregator was reset (or re-created) inside
+        the measured block — the delta is meaningless for that counter.
+        Such deltas are clamped at zero and the affected counters are
+        listed under ``"counter_resets"`` so consumers (the bench
+        artifacts) can flag the measurement instead of reporting a
+        negative — or silently wrong — increment.
         """
         current = self.snapshot()
+        resets: set[str] = set()
+
+        def _inc(kind: str, name: str, now: float, then: float) -> float:
+            if now < then:
+                resets.add(f"{kind}/{name}")
+                return 0
+            return now - then
+
         stages = {}
         for name, (calls, tasks, seconds) in current["stages"].items():
             c0, t0, s0 = snapshot.get("stages", {}).get(name, (0, 0, 0.0))
             if calls != c0 or tasks != t0:
-                stages[name] = {"calls": calls - c0, "tasks": tasks - t0,
-                                "seconds": round(seconds - s0, 6)}
+                stages[name] = {
+                    "calls": _inc("stages", name, calls, c0),
+                    "tasks": _inc("stages", name, tasks, t0),
+                    "seconds": round(_inc("stages", name, seconds, s0), 6),
+                }
         caches = {}
         for name, (hits, misses) in current["caches"].items():
             h0, m0 = snapshot.get("caches", {}).get(name, (0, 0))
             if hits != h0 or misses != m0:
-                caches[name] = {"hits": hits - h0, "misses": misses - m0}
+                caches[name] = {"hits": _inc("caches", name, hits, h0),
+                                "misses": _inc("caches", name, misses, m0)}
         checks = {}
         for name, (passed, failed) in current["checks"].items():
             p0, f0 = snapshot.get("checks", {}).get(name, (0, 0))
             if passed != p0 or failed != f0:
-                checks[name] = {"passed": passed - p0,
-                                "failed": failed - f0}
+                checks[name] = {"passed": _inc("checks", name, passed, p0),
+                                "failed": _inc("checks", name, failed, f0)}
+        # a counter present at snapshot time but gone now means the whole
+        # aggregator was cleared (reset()) inside the measured block
+        for kind in ("stages", "caches", "checks"):
+            for name in snapshot.get(kind, {}):
+                if name not in current[kind]:
+                    resets.add(f"{kind}/{name}")
         delta: dict = {}
         if stages:
             delta["stages"] = stages
@@ -196,6 +222,8 @@ class Telemetry:
             delta["caches"] = caches
         if checks:
             delta["checks"] = checks
+        if resets:
+            delta["counter_resets"] = sorted(resets)
         return delta
 
     def reset(self) -> None:

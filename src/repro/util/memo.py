@@ -1,0 +1,120 @@
+"""Bounded in-process content memos for the parse/diff/feature hot path.
+
+A :class:`ContentMemo` is a thread-safe LRU map from a content digest to
+a computed value. The pipeline's expensive pure functions (config
+parsing, feature extraction, stanza diffing) are keyed by the SHA-256 of
+their inputs, so any snapshot text the process has seen before — the
+serial rebuild after a parallel one, the cold reference build next to an
+incremental one, repeated benchmark iterations — is served from memory
+instead of being recomputed. Values must be treated as immutable by
+every consumer (they are shared between all hits).
+
+Capacity is bounded (LRU eviction) so long-lived processes cannot grow
+without limit; ``MPA_CONTENT_MEMO`` overrides the per-memo entry cap
+(``0`` disables content memos entirely).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+#: Default per-memo entry cap; enough for every distinct snapshot of a
+#: small-scale corpus while bounding resident memory at larger scales.
+DEFAULT_CAPACITY = 4096
+
+#: Environment variable overriding the cap (0 disables memoization).
+ENV_CAPACITY = "MPA_CONTENT_MEMO"
+
+_MISS = object()
+
+
+def memo_capacity() -> int:
+    """The configured per-memo entry cap (``MPA_CONTENT_MEMO`` wins)."""
+    env = os.environ.get(ENV_CAPACITY, "").strip()
+    if not env:
+        return DEFAULT_CAPACITY
+    try:
+        capacity = int(env)
+    except ValueError:
+        raise ValueError(f"{ENV_CAPACITY}={env!r} is not an integer") from None
+    if capacity < 0:
+        raise ValueError(f"{ENV_CAPACITY} must be >= 0, got {capacity}")
+    return capacity
+
+
+class ContentMemo:
+    """Thread-safe bounded LRU memo with hit/miss counters.
+
+    The capacity is re-read from the environment lazily on first use so
+    tests (and ``MPA_CONTENT_MEMO=0`` runs) can reconfigure the
+    process-wide memos without import-order games.
+    """
+
+    def __init__(self, name: str, capacity: int | None = None,
+                 limit: int | None = None) -> None:
+        self.name = name
+        self._capacity = capacity
+        #: hard upper bound on the effective capacity, for memos whose
+        #: values are large (e.g. whole corpora): the environment can
+        #: still *disable* the memo but never grow it past this.
+        self._limit = limit
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        if self._capacity is None:
+            self._capacity = memo_capacity()
+        if self._limit is not None:
+            return min(self._capacity, self._limit)
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key):
+        """The memoized value for ``key``, or ``None`` on a miss.
+
+        A miss is counted here; the caller is expected to compute the
+        value and :meth:`put` it back.
+        """
+        with self._lock:
+            value = self._data.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def stats(self) -> tuple[int, int]:
+        """(hits, misses) since process start (or the last clear)."""
+        with self._lock:
+            return (self.hits, self.misses)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self, reset_capacity: bool = False) -> None:
+        """Drop every entry and zero the counters (testing helper)."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            if reset_capacity:
+                self._capacity = None

@@ -456,3 +456,122 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Benchmark comparison vs baseline" in out
         assert "tabled" in out
+
+
+# -- peak-RSS staleness ------------------------------------------------------
+
+
+class TestRssStaleness:
+    """``rss_reset=False`` means ``peak_rss_kb`` is the process-lifetime
+    high-water mark, not this bench's: the comparison must skip any
+    RSS-derived judgment and say so instead of flagging phantom
+    regressions."""
+
+    def baseline_with_rss(self, rss):
+        return Baseline(entries={"x": BaselineEntry(
+            median_seconds=1.0, output_sha256="aa" * 32, peak_rss_kb=rss)})
+
+    def rss_result(self, rss_kb, reset):
+        result = make_result("x", 1.0)
+        result.peak_rss_kb = rss_kb
+        result.rss_reset = reset
+        return result
+
+    def test_stale_rss_skipped_and_annotated(self):
+        # grossly "grown" RSS, but un-reset: no judgment, explicit note
+        (delta,) = compare_results(
+            make_report(self.rss_result(999_999, reset=False)),
+            self.baseline_with_rss(1_000))
+        assert delta.status == "ok" and not delta.failed
+        assert "stale" in delta.rss_note and "not judged" in delta.rss_note
+
+    def test_stale_note_lands_in_bench_table(self):
+        from repro.reporting.tables import format_bench_table
+        (delta,) = compare_results(
+            make_report(self.rss_result(999_999, reset=False)),
+            self.baseline_with_rss(1_000))
+        assert "stale" in format_bench_table([delta])
+
+    def test_reset_rss_growth_is_advisory_only(self):
+        (delta,) = compare_results(
+            make_report(self.rss_result(2_000, reset=True)),
+            self.baseline_with_rss(1_000))
+        assert delta.status == "ok" and not delta.failed
+        assert "+100%" in delta.rss_note and "advisory" in delta.rss_note
+
+    def test_rss_within_tolerance_is_silent(self):
+        (delta,) = compare_results(
+            make_report(self.rss_result(1_100, reset=True)),
+            self.baseline_with_rss(1_000))
+        assert delta.rss_note == ""
+
+    def test_no_baseline_rss_is_silent(self):
+        base = Baseline(entries={"x": BaselineEntry(
+            median_seconds=1.0, output_sha256="aa" * 32)})
+        (delta,) = compare_results(
+            make_report(self.rss_result(2_000, reset=True)), base)
+        assert delta.rss_note == ""
+
+    def test_update_baseline_never_records_stale_rss(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        update_baseline(make_report(self.rss_result(1_000, reset=True)), path)
+        assert Baseline.load(path).entries["x"].peak_rss_kb == 1_000
+        # a stale refresh keeps the trustworthy figure ...
+        update_baseline(make_report(self.rss_result(999_999, reset=False)),
+                        path)
+        assert Baseline.load(path).entries["x"].peak_rss_kb == 1_000
+        # ... and a later reset measurement replaces it
+        update_baseline(make_report(self.rss_result(1_500, reset=True)), path)
+        assert Baseline.load(path).entries["x"].peak_rss_kb == 1_500
+
+
+# -- telemetry delta clamping ------------------------------------------------
+
+
+class TestTelemetryDeltaClamp:
+    """A counter rewound between snapshot and delta (aggregator reset
+    inside the measured block) must clamp to zero and be flagged, never
+    reported as a negative or silently-wrong increment."""
+
+    def make_telemetry(self):
+        from repro.runtime.telemetry import Telemetry
+        return Telemetry()
+
+    def test_rewound_counter_clamped_and_flagged(self):
+        telemetry = self.make_telemetry()
+        telemetry.record_cache("parse", hits=5, misses=3)
+        snapshot = telemetry.snapshot()
+        telemetry.reset()
+        telemetry.record_cache("parse", hits=1, misses=1)
+        delta = telemetry.delta_since(snapshot)
+        assert delta["caches"]["parse"] == {"hits": 0, "misses": 0}
+        assert "caches/parse" in delta["counter_resets"]
+
+    def test_cleared_counter_flagged_even_when_absent(self):
+        telemetry = self.make_telemetry()
+        telemetry.record_cache("parse", hits=2)
+        snapshot = telemetry.snapshot()
+        telemetry.reset()
+        delta = telemetry.delta_since(snapshot)
+        assert "caches/parse" in delta.get("counter_resets", [])
+
+    def test_forward_delta_not_flagged(self):
+        telemetry = self.make_telemetry()
+        telemetry.record_cache("parse", hits=1, misses=1)
+        snapshot = telemetry.snapshot()
+        telemetry.record_cache("parse", hits=2)
+        delta = telemetry.delta_since(snapshot)
+        assert delta["caches"]["parse"] == {"hits": 2, "misses": 0}
+        assert "counter_resets" not in delta
+
+    def test_stage_and_check_rewinds_flagged(self):
+        telemetry = self.make_telemetry()
+        telemetry.record("build", seconds=2.0, tasks=4)
+        telemetry.record_check("invariant", passed=True)
+        snapshot = telemetry.snapshot()
+        telemetry.reset()
+        telemetry.record("build", seconds=0.5, tasks=1)
+        delta = telemetry.delta_since(snapshot)
+        assert delta["stages"]["build"]["tasks"] == 0
+        resets = delta["counter_resets"]
+        assert "stages/build" in resets and "checks/invariant" in resets

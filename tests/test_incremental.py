@@ -183,6 +183,86 @@ class TestIncrementalBuild:
         assert plain.quality.to_dict() == rebuilt.quality.to_dict()
 
 
+class TestCarryForwardBoundaries:
+    """Cross-chunk carry-forward: a device whose diff/feature base for a
+    later month lives in an *earlier* chunk's carry pointer (its only
+    parsable history precedes an empty month) must produce identical
+    output under the fused cold path, the chunked cached path (cold and
+    warm), a recompute after cached-chunk hits, and an ``extend_months``
+    incremental rebuild."""
+
+    @pytest.fixture(scope="class")
+    def gap_corpus(self, base_corpus):
+        """The base corpus with one device's month-1 snapshots removed,
+        so its month-2+ diffs chain back across the empty chunk."""
+        for device_id, snaps in base_corpus.snapshots.items():
+            months = {s.timestamp // MINUTES_PER_MONTH for s in snaps}
+            if 0 in months and 1 in months and any(m >= 2 for m in months):
+                mutated = dict(base_corpus.snapshots)
+                mutated[device_id] = [
+                    snap for snap in snaps
+                    if snap.timestamp // MINUTES_PER_MONTH != 1
+                ]
+                gap = dataclasses.replace(base_corpus, snapshots=mutated)
+                return gap, device_id
+        pytest.skip("no device with snapshots in months 0, 1 and 2+")
+
+    def test_fused_equals_chunked_cold_and_warm(self, gap_corpus, tmp_path):
+        corpus, device_id = gap_corpus
+        fused = build_full(corpus)  # cache=None -> fused single pass
+        cache = StageCache(tmp_path / "stagecache")
+        cold_cached = build_full(corpus, cache=cache)
+        warm_cached = build_full(corpus, cache=cache)
+        for result in (cold_cached, warm_cached):
+            assert_datasets_identical(fused.dataset, result.dataset)
+            assert fused.changes == result.changes
+            assert fused.quality.to_dict() == result.quality.to_dict()
+        # the scenario must actually exercise the cross-chunk diff base:
+        # the gap device changes again after its empty month
+        late = [change
+                for network_changes in fused.changes.values()
+                for change in network_changes
+                if change.device_id == device_id
+                and change.timestamp >= 2 * MINUTES_PER_MONTH]
+        assert late, "gap device produced no post-gap changes"
+
+    def test_carry_base_after_cached_chunk_hits(self, gap_corpus, tmp_path):
+        corpus, device_id = gap_corpus
+        cache = StageCache(tmp_path / "stagecache")
+        build_full(corpus, cache=cache)
+        # dirty a month-2+ snapshot of the gap device without changing
+        # parsability: chunks 0 and 1 (the empty month) hit, the dirty
+        # chunk recomputes and must re-derive its diff base from the
+        # carry pointer stored by chunk 0
+        snaps = corpus.snapshots[device_id]
+        index = next(i for i, snap in enumerate(snaps)
+                     if snap.timestamp >= 2 * MINUTES_PER_MONTH)
+        mutated_list = list(snaps)
+        mutated_list[index] = dataclasses.replace(
+            mutated_list[index], login="ops-carry-touch"
+        )
+        mutated_snaps = dict(corpus.snapshots)
+        mutated_snaps[device_id] = mutated_list
+        mutated = dataclasses.replace(corpus, snapshots=mutated_snaps)
+
+        incremental = build_full(mutated, cache=cache)
+        cold = build_full(mutated)  # fused reference
+        assert_datasets_identical(incremental.dataset, cold.dataset)
+        assert incremental.changes == cold.changes
+        assert incremental.quality.to_dict() == cold.quality.to_dict()
+
+    def test_extension_identical_with_gap_device(self, gap_corpus, tmp_path):
+        corpus, _ = gap_corpus
+        cache = StageCache(tmp_path / "stagecache")
+        build_full(corpus, cache=cache)
+        extended = corpus.extend_months(1)
+        incremental = build_full(extended, cache=cache)
+        cold = build_full(extended)
+        assert_datasets_identical(incremental.dataset, cold.dataset)
+        assert incremental.changes == cold.changes
+        assert incremental.quality.to_dict() == cold.quality.to_dict()
+
+
 class TestExtendedWorkspace:
     def test_extend_reuses_stage_cache(self, tmp_path):
         ws = Workspace(scale="tiny", seed=7, cache_dir=tmp_path)

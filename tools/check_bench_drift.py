@@ -1,0 +1,79 @@
+"""Fail if a bench's output checksum drifted from the committed baseline.
+
+The bench runner hashes each repeat's returned result dict
+(canonical-JSON SHA-256) into ``output_sha256``; the committed
+``benchmarks/baseline.json`` pins that hash for every bench. This gate
+compares the freshly written ``BENCH_<name>.json`` artifact against the
+baseline entry and exits non-zero on any mismatch — a perf change that
+alters *what* a bench computes is a correctness bug, not a speedup, no
+matter how the timings move. Time regressions are judged separately
+(``mpa bench --compare``); this check is about bit-identity only.
+
+Usage: ``python tools/check_bench_drift.py [--results DIR] [names...]``
+(default: every bench that has both a baseline entry and an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "benchmarks" / "baseline.json"
+DEFAULT_RESULTS = REPO / "benchmarks" / "results"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*",
+                        help="bench names to check (default: all with "
+                             "both a baseline entry and a results file)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    entries = baseline.get("benches", baseline)
+    names = args.names or sorted(
+        name for name in entries
+        if (args.results / f"BENCH_{name}.json").is_file()
+    )
+    if not names:
+        print(f"no bench artifacts under {args.results}; run "
+              "`mpa bench` first", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in names:
+        entry = entries.get(name)
+        if entry is None:
+            print(f"  {name}: SKIP (no baseline entry)")
+            continue
+        artifact = args.results / f"BENCH_{name}.json"
+        if not artifact.is_file():
+            print(f"  {name}: FAIL (no results file {artifact})")
+            failures += 1
+            continue
+        current = json.loads(artifact.read_text())
+        want = entry.get("output_sha256")
+        got = current.get("output_sha256")
+        if want is None:
+            print(f"  {name}: SKIP (baseline pins no checksum)")
+        elif got == want:
+            print(f"  {name}: ok ({got[:16]})")
+        else:
+            print(f"  {name}: FAIL output checksum drift\n"
+                  f"    baseline {want}\n"
+                  f"    current  {got}")
+            failures += 1
+    if failures:
+        print(f"{failures} bench(es) drifted from baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
