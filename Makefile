@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-pytest coverage smoke fuzz lint selfcheck
+.PHONY: test bench bench-check bench-pytest coverage smoke fuzz lint selfcheck chaos
 
 # tier-1 test suite
 test:
@@ -53,6 +53,15 @@ bench-check:
 # tables/figures with -s); the same scripts the perf runner executes
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ -q -s
+
+# kill-resume chaos harness: SIGKILL the streaming ingester at
+# randomized WAL offsets / fault points, recover, and require the
+# recovered artifacts to be bit-identical to an uninterrupted run.
+# Bounded and deterministic (fixed seed); the JSONL recovery log is the
+# artifact CI uploads when an iteration fails.
+chaos:
+	$(PYTHON) -m repro.stream.chaos --iterations 5 --seed 7 \
+		--log chaos-recovery.jsonl
 
 # parallel-runtime smoke: tiny workspace under MPA_JOBS=2 + telemetry,
 # then the fused single-pass build with cold and hot content memos

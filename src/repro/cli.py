@@ -15,7 +15,12 @@ Commands:
 * ``mpa online --history 3`` — Table 9-style rolling prediction,
 * ``mpa selfcheck`` — statistical self-validation: estimator invariant
   checks plus the planted-truth recovery scorecard; persists
-  ``selfcheck.json`` and exits nonzero on any failure or regression.
+  ``selfcheck.json`` and exits nonzero on any failure or regression,
+* ``mpa ingest --state-dir S --events F`` — crash-safe streaming
+  ingestion: journal the events file through the WAL, rebuild
+  incrementally, checkpoint (initializes the state dir on first use),
+* ``mpa resume --state-dir S`` — finish whatever a crashed ingester
+  left incomplete (idempotent; safe to run any number of times).
 """
 
 from __future__ import annotations
@@ -86,6 +91,32 @@ def main(argv: list[str] | None = None) -> int:
     _add_scale(p)
     p.add_argument("--limit", type=int, default=20,
                    help="max quarantined items to list (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report (includes the "
+                        "dead-letter ledger with --state-dir)")
+    p.add_argument("--state-dir", default=None,
+                   help="read the quality report of a streaming-"
+                        "ingestion state dir instead of the workspace")
+
+    p = sub.add_parser("ingest",
+                       help="journal + apply snapshot-arrival events "
+                            "(crash-safe streaming ingestion)")
+    _add_scale(p)
+    p.add_argument("--state-dir", required=True,
+                   help="ingestion state directory (initialized on "
+                        "first use with a corpus at --scale)")
+    p.add_argument("--events", required=True,
+                   help="JSONL file of arrival events (device_id, "
+                        "network_id, timestamp, login, modality, "
+                        "config_text per line)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="events per journal/rebuild/checkpoint batch")
+
+    p = sub.add_parser("resume",
+                       help="recover a streaming-ingestion state dir "
+                            "after a crash (idempotent)")
+    _add_scale(p)
+    p.add_argument("--state-dir", required=True)
 
     p = sub.add_parser("top", help="top practices by MI (Table 3)")
     _add_scale(p)
@@ -210,13 +241,83 @@ def main(argv: list[str] | None = None) -> int:
                         title="Dataset summary (Table 2)"))
         return 0
     if args.command == "quality":
+        import json
+        from pathlib import Path
+        if args.state_dir:
+            # the streaming ingester's quality.json already embeds the
+            # dead-letter ledger; report it verbatim
+            quality_path = Path(args.state_dir) / "quality.json"
+            if not quality_path.exists():
+                print(f"no quality report under {args.state_dir} "
+                      "(run mpa ingest first)", file=sys.stderr)
+                return 2
+            doc = json.loads(quality_path.read_text())
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+                return 0
+            from repro.metrics.quality import DataQualityReport
+            ledger = doc.pop("dead_letters", [])
+            report = DataQualityReport.from_dict(doc)
+            print(report.summary())
+            for entry in ledger[:args.limit]:
+                print(f"  dead-letter seq {entry.get('seqno')}: "
+                      f"{entry.get('reason')} "
+                      f"({entry.get('device_id') or 'unattributed'})")
+            if len(ledger) > args.limit:
+                print(f"  ... and {len(ledger) - args.limit} more")
+            return 0
         report = workspace.quality()
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+            return 0
         print(report.summary())
         issues = report.all_issues()
         for issue in issues[:args.limit]:
             print(f"  - {issue}")
         if len(issues) > args.limit:
             print(f"  ... and {len(issues) - args.limit} more")
+        return 0
+    if args.command in ("ingest", "resume"):
+        from pathlib import Path
+
+        from repro.reporting.tables import format_fault_table
+        from repro.runtime.telemetry import TELEMETRY
+        from repro.stream import StreamIngester, read_events_file
+        state_dir = Path(args.state_dir)
+        if args.command == "ingest" and not (state_dir / "corpus").is_dir():
+            from repro.synthesis.organization import synthesize
+            print(f"initializing {state_dir} with a fresh "
+                  f"{workspace.scale} corpus (seed {workspace.seed})...")
+            corpus = synthesize(workspace.scale, seed=workspace.seed)
+            StreamIngester.create(state_dir, corpus)
+        kwargs = {}
+        if getattr(args, "batch_size", None):
+            kwargs["batch_size"] = args.batch_size
+        ingester = StreamIngester(state_dir, **kwargs)
+        if ingester.wal.recovery.repaired:
+            info = ingester.wal.recovery
+            print(f"journal repaired: truncated {info.truncated_bytes} "
+                  f"torn tail byte(s)"
+                  + (f", dropped {info.dropped_segment}"
+                     if info.dropped_segment else ""))
+        if args.command == "ingest":
+            payloads = [payload for _, payload
+                        in read_events_file(args.events)]
+            result = ingester.ingest(payloads)
+        else:
+            result = ingester.resume()
+        print(render_kv([
+            ("journaled", result.journaled),
+            ("applied", result.applied),
+            ("duplicates skipped", result.duplicates),
+            ("dead letters (total)", result.dead_letters),
+            ("batches checkpointed", result.batches),
+            ("applied seqno", result.applied_seqno),
+            ("dirty networks", len(result.dirty_networks)),
+            ("dataset digest", result.dataset_digest[:16] + "..."
+             if result.dataset_digest else "-"),
+        ], title=f"{args.command}: {state_dir}"))
+        print(format_fault_table(TELEMETRY.faults()))
         return 0
     if args.command == "bench":
         from pathlib import Path

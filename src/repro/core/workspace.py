@@ -46,8 +46,10 @@ import gzip
 import json
 import os
 import pickle
+import struct
 import warnings
 import zipfile
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -59,7 +61,11 @@ from repro.runtime.telemetry import TELEMETRY
 from repro.synthesis.corpus import Corpus
 from repro.synthesis.organization import SCALES, OrganizationSynthesizer, SynthesisSpec
 from repro.types import ChangeModality, ChangeRecord
-from repro.util.ioutils import atomic_write_text, gzip_text_writer
+from repro.util.ioutils import (
+    atomic_write_bytes,
+    atomic_write_text,
+    gzip_text_writer,
+)
 from repro.util.memo import ContentMemo
 from repro.version import CORPUS_FORMAT_VERSION
 
@@ -100,14 +106,30 @@ class StageCache:
     extended workspace hits the entries its base build wrote, which is
     what makes a 1-month extension cheap.
 
-    Values are pickled to a temp name and atomically renamed, the same
-    crash-safety pattern as every other workspace artifact; an
-    unreadable entry (truncated by a crash, wrong pickle) is treated as
-    a miss and overwritten by the recompute.
+    Entries are CRC-guarded: the on-disk format is a magic tag, then the
+    pickled payload's length and CRC-32, then the payload. A bare
+    ``pickle.load`` silently accepts truncated-then-repickled or
+    trailing-garbage files; the framed format makes *any* byte-level
+    corruption — torn tail, flipped bit, appended junk, foreign file —
+    a detectable mismatch. Values are written to a temp name and
+    atomically renamed, the same crash-safety pattern as every other
+    workspace artifact; a corrupt or legacy-format entry is treated as
+    a miss and overwritten by the recompute (content-addressing means a
+    miss is always safe, never wrong).
+
+    ``durable=True`` additionally fsyncs each entry and its parent
+    directory on store — the streaming ingester opts in so checkpointed
+    stage results survive power loss; batch builds keep the cheap
+    default.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    #: on-disk entry format tag; bump on incompatible framing changes
+    MAGIC = b"MPSC1\n"
+    _HEADER = struct.Struct(">QI")  # payload length, CRC-32
+
+    def __init__(self, root: str | Path, *, durable: bool = False) -> None:
         self.root = Path(root)
+        self.durable = durable
 
     def _path(self, key: str) -> Path:
         # two-level fan-out keeps directory listings small at scale
@@ -117,18 +139,30 @@ class StageCache:
         """The stored value for ``key``, or ``None`` on a miss."""
         try:
             with open(self._path(key), "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
-                ImportError, IndexError):
+                blob = handle.read()
+        except OSError:
+            return None
+        header_end = len(self.MAGIC) + self._HEADER.size
+        if not blob.startswith(self.MAGIC) or len(blob) < header_end:
+            return None
+        length, crc = self._HEADER.unpack_from(blob, len(self.MAGIC))
+        payload = blob[header_end:]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            return None
+        try:
+            return pickle.loads(payload)
+        except (EOFError, pickle.UnpicklingError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
             return None
 
     def store(self, key: str, value) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        with open(tmp, "wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = (self.MAGIC
+                + self._HEADER.pack(len(payload), zlib.crc32(payload))
+                + payload)
+        atomic_write_bytes(path, blob, durable=self.durable)
 
     def clear(self) -> None:
         """Drop every entry (testing/benchmark helper)."""

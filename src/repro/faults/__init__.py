@@ -17,11 +17,25 @@ every quarantined/dropped/degraded item attributed in the run's
 
 from repro.faults.inject import FaultInjector, InjectionResult, inject_faults
 from repro.faults.plan import FAULT_CLASSES, FaultPlan
+from repro.faults.process import (
+    EnospcAtBytes,
+    HangTask,
+    SigkillAtBytes,
+    SigkillAtPoint,
+    hooks_from_env,
+    tear_file,
+)
 
 __all__ = [
     "FAULT_CLASSES",
+    "EnospcAtBytes",
     "FaultPlan",
     "FaultInjector",
+    "HangTask",
     "InjectionResult",
+    "SigkillAtBytes",
+    "SigkillAtPoint",
+    "hooks_from_env",
     "inject_faults",
+    "tear_file",
 ]

@@ -1,0 +1,164 @@
+"""Process-level fault injection: crashes, hangs, torn writes, ENOSPC.
+
+The corpus-level classes in :mod:`repro.faults.plan` perturb *data*;
+these classes perturb the *process* — they are how the chaos harness
+(:mod:`repro.stream.chaos`) proves the streaming ingester's crash
+contract. All are deterministic given their constructor arguments (no
+wall clock, no global RNG), so a failing chaos iteration replays
+exactly.
+
+Hook protocol: the WAL calls ``pre_write(path, data)`` before and
+``post_write(path, data)`` after each physical append; the ingester
+calls ``point(name)`` at its named crash points (``post-journal-batch``,
+``pre-artifact-save``, ``pre-checkpoint``, ``post-checkpoint``). A hook
+object implements any subset.
+
+* :class:`SigkillAtBytes` — SIGKILL the process the instant cumulative
+  journal bytes cross an offset (mid-batch, after an acknowledged
+  write). Models power loss at an arbitrary WAL position.
+* :class:`SigkillAtPoint` — SIGKILL at the *n*-th occurrence of a named
+  fault point. Models crashes in the apply/save/checkpoint gaps.
+* :class:`EnospcAtBytes` — raise ``OSError(ENOSPC)`` once cumulative
+  bytes would cross a cap. Models a full disk; the retry layer turns it
+  into bounded retries and, if persistent, a clean failure.
+* :class:`HangTask` — a callable that sleeps far past any watchdog
+  timeout when its predicate matches; wraps pool task bodies to test
+  the reaper.
+* :func:`tear_file` — shear trailing bytes off a file, simulating the
+  torn final sector of a crashed write (applied by the chaos *parent*
+  to the dead child's WAL tail).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from pathlib import Path
+
+
+class SigkillAtBytes:
+    """SIGKILL self when cumulative post-write bytes reach ``offset``."""
+
+    def __init__(self, offset: int) -> None:
+        self.offset = offset
+        self.written = 0
+
+    def post_write(self, path, data) -> None:
+        self.written += len(data)
+        if self.written >= self.offset:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class SigkillAtPoint:
+    """SIGKILL self at the ``nth`` occurrence of a named fault point."""
+
+    def __init__(self, point_name: str, nth: int = 1) -> None:
+        self.point_name = point_name
+        self.nth = nth
+        self._hits = 0
+
+    def point(self, name: str) -> None:
+        if name != self.point_name:
+            return
+        self._hits += 1
+        if self._hits >= self.nth:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class EnospcAtBytes:
+    """Raise ``OSError(ENOSPC)`` once cumulative writes would cross ``cap``.
+
+    Raised from ``pre_write`` so the file is untouched — the journal
+    wraps it into a retryable :class:`~repro.stream.journal.JournalWriteError`.
+    With ``transient=True`` the device "frees space" after the first
+    rejection, so one retry succeeds (the happy recovery path); without
+    it, every further write fails (the retry-exhaustion path).
+    """
+
+    def __init__(self, cap: int, *, transient: bool = False) -> None:
+        self.cap = cap
+        self.transient = transient
+        self.written = 0
+        self._tripped = False
+
+    def pre_write(self, path, data) -> None:
+        if self._tripped and self.transient:
+            return
+        if self.written + len(data) > self.cap:
+            self._tripped = True
+            raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC),
+                          str(path))
+        self.written += len(data)
+
+    def post_write(self, path, data) -> None:
+        pass
+
+
+class HangTask:
+    """Wrap a task body so matching items hang (watchdog-reaper bait).
+
+    ``HangTask(fn, matches)`` is picklable across ``fork`` and sleeps
+    ``hang_seconds`` (default: effectively forever) for every item where
+    ``matches(item)`` is true — on *every* attempt, so retries of the
+    hung item time out too unless ``hang_once`` is set and a sentinel
+    file marks the first attempt as already burned.
+    """
+
+    def __init__(self, fn, matches, *, hang_seconds: float = 3600.0,
+                 hang_once_path: str | None = None) -> None:
+        self.fn = fn
+        self.matches = matches
+        self.hang_seconds = hang_seconds
+        self.hang_once_path = hang_once_path
+
+    def __call__(self, item):
+        if self.matches(item):
+            if self.hang_once_path is not None:
+                marker = Path(self.hang_once_path)
+                if not marker.exists():
+                    marker.touch()
+                    time.sleep(self.hang_seconds)
+            else:
+                time.sleep(self.hang_seconds)
+        return self.fn(item)
+
+
+def tear_file(path: str | Path, keep_bytes: int) -> int:
+    """Truncate ``path`` to ``keep_bytes``; returns bytes sheared off.
+
+    The chaos harness applies this to the dead ingester's last WAL
+    segment, simulating the torn final sector a real power cut leaves
+    behind (SIGKILL alone never tears a completed ``write``).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(0, min(keep_bytes, size))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return size - keep
+
+
+def hooks_from_env() -> object | None:
+    """Build fault hooks from ``MPA_FAULT_*`` variables (chaos children).
+
+    * ``MPA_FAULT_WAL_KILL_AT=<bytes>`` → :class:`SigkillAtBytes`
+    * ``MPA_FAULT_KILL_AT_POINT=<name>[:<nth>]`` → :class:`SigkillAtPoint`
+    * ``MPA_FAULT_ENOSPC_AT=<bytes>[:transient]`` → :class:`EnospcAtBytes`
+
+    Returns ``None`` when none is set, so production code paths can
+    call this unconditionally.
+    """
+    raw = os.environ.get("MPA_FAULT_WAL_KILL_AT", "").strip()
+    if raw:
+        return SigkillAtBytes(int(raw))
+    raw = os.environ.get("MPA_FAULT_KILL_AT_POINT", "").strip()
+    if raw:
+        name, _, nth = raw.partition(":")
+        return SigkillAtPoint(name, nth=int(nth) if nth else 1)
+    raw = os.environ.get("MPA_FAULT_ENOSPC_AT", "").strip()
+    if raw:
+        cap, _, flag = raw.partition(":")
+        return EnospcAtBytes(int(cap), transient=flag == "transient")
+    return None

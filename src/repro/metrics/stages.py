@@ -210,6 +210,37 @@ def _health_key(corpus: Corpus, network_id: str) -> str:
     return h.hexdigest()
 
 
+def network_stage_keys(corpus: Corpus, network_id: str,
+                       delta_minutes: int | None) -> dict[str, str]:
+    """The content-addressed cache key of every stage of one network.
+
+    Computed purely from the corpus (no stage is evaluated): the parse
+    key is the final link of the chunk-key chain, and the downstream
+    keys derive from it exactly as :func:`compute_network_unit` derives
+    them. Two corpora agree on a network's keys iff the stages would
+    produce identical outputs — the property ingestion checkpoints
+    (:mod:`repro.stream.checkpoint`) rely on to certify that a resumed
+    build landed in the same state as an uninterrupted one, without
+    re-running anything.
+    """
+    devices = corpus.inventory.devices_in(network_id)
+    parse_devices = _parseable_devices(corpus, devices)
+    slices, labels = _month_slices(corpus, parse_devices, corpus.n_months)
+    spec_digest = network_spec_digest(corpus, network_id)
+    key: str | None = None
+    for label in labels:
+        key = _chunk_key(key, spec_digest, label, corpus, parse_devices,
+                         slices)
+    parse_key = key or spec_digest
+    events_key = _events_key(parse_key, delta_minutes)
+    return {
+        "parse": parse_key,
+        "events": events_key,
+        "metrics": _metrics_key(events_key, corpus.n_months),
+        "health": _health_key(corpus, network_id),
+    }
+
+
 # -- the parse stage ----------------------------------------------------------
 
 

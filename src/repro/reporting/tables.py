@@ -11,6 +11,7 @@ from repro.analysis.selfcheck.scorecard import Scorecard
 from repro.core.online import OnlineResult
 from repro.metrics.catalog import display_name
 from repro.ml.model_eval import EvalReport
+from repro.runtime.telemetry import FaultStats
 from repro.util.tables import render_table
 
 
@@ -209,3 +210,23 @@ def format_bench_table(deltas: Sequence["BenchDelta"],
         ["bench", "baseline", "current", "delta", "status", "detail"],
         rows, title=title,
     )
+
+
+def format_fault_table(stats: Sequence[FaultStats],
+                       title: str = "Fault handling",
+                       ) -> str:
+    """Render per-component retry/timeout/dead-letter counters.
+
+    The streaming-ingestion surface of the telemetry: one row per
+    component that recorded fault activity (the pool watchdog, the WAL
+    retry layer, the ingester's dead-letter quarantine). Components
+    with all-zero counters are omitted.
+    """
+    rows = [
+        [s.name, s.retries, s.timeouts, s.dead_letters]
+        for s in stats if s.any
+    ]
+    if not rows:
+        return f"{title}: no faults recorded"
+    return render_table(["component", "retries", "timeouts", "dead letters"],
+                        rows, title=title)

@@ -39,12 +39,27 @@ segfaulting extension — surfacing as ``BrokenProcessPool``), the results
 already received are kept and every task not yet accounted for is
 retried serially in the parent process, so one lost worker degrades a
 run instead of killing it.
+
+With a per-task wall-clock ``timeout`` (argument or ``MPA_TASK_TIMEOUT``
+environment variable) the map runs under a **watchdog pool** instead:
+every worker gets a dedicated pipe, the parent tracks when each task was
+handed out, and a task that exceeds its deadline has its worker process
+killed (``SIGKILL``) and replaced — a hung task becomes a typed
+:class:`~repro.runtime.retry.TaskTimeout` failure instead of stalling
+the pool. Reaped (and otherwise retryably-failed) tasks are re-enqueued
+under a :class:`~repro.runtime.retry.RetryPolicy` — bounded attempts,
+exponential backoff with deterministically seeded jitter — before the
+failure becomes permanent. Timeout/retry activity is recorded in the
+process telemetry (:meth:`Telemetry.record_fault`) under the stage name.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
+import pickle
+import time
 import traceback as traceback_mod
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -52,6 +67,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
 
+from repro.runtime.retry import RetryPolicy, TaskTimeout, resolve_timeout
 from repro.runtime.telemetry import TELEMETRY
 from repro.util.rng import SeedSequenceTree
 
@@ -163,7 +179,9 @@ def _run_serial(fn: Callable[[Any], Any], items: Sequence[Any],
 def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
                  jobs: int | None = None,
                  stage: str | None = None,
-                 on_error: str = "raise") -> list[Any]:
+                 on_error: str = "raise",
+                 timeout: float | None = None,
+                 retry: RetryPolicy | None = None) -> list[Any]:
     """``[fn(x) for x in items]``, fanned out over a process pool.
 
     Results are returned in input order. With ``on_error="raise"`` (the
@@ -173,11 +191,22 @@ def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
     (``BrokenProcessPool``) is recovered by retrying the unaccounted
     tasks serially. When ``stage`` is given, the call records one sample
     in :data:`repro.runtime.telemetry.TELEMETRY` under that name.
+
+    ``timeout`` (argument, else ``MPA_TASK_TIMEOUT``) sets a per-task
+    wall-clock deadline and switches the parallel path to the watchdog
+    pool: a task still running at its deadline has its worker killed and
+    is retried under ``retry`` (default :meth:`RetryPolicy.from_env`)
+    with exponential backoff; exhausted tasks surface as
+    :class:`~repro.runtime.retry.TaskTimeout` (``raise`` mode) or a
+    :class:`TaskFailure` with ``error_type="TaskTimeout"`` (``collect``
+    mode). The serial fallback cannot preempt a hung call, so the
+    timeout is a no-op there.
     """
     if on_error not in ("raise", "collect"):
         raise ValueError(
             f"on_error must be 'raise' or 'collect', got {on_error!r}"
         )
+    timeout = resolve_timeout(timeout)
     items = list(items)
     jobs = min(resolve_jobs(jobs), len(items)) if items else 1
     use_pool = (
@@ -185,15 +214,21 @@ def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
         and not _IN_WORKER
         and "fork" in multiprocessing.get_all_start_methods()
     )
-    if stage is None:
+
+    def run() -> list[Any]:
+        if use_pool and timeout is not None:
+            policy = retry if retry is not None else RetryPolicy.from_env()
+            return _watchdog_map(fn, items, jobs, on_error, timeout,
+                                 policy, stage or "parallel-map")
         if use_pool:
             return _pool_map(fn, items, jobs, on_error)
         return _run_serial(fn, items, range(len(items)), on_error)
+
+    if stage is None:
+        return run()
     with TELEMETRY.stage(stage, tasks=len(items),
                          jobs=jobs if use_pool else 1):
-        if use_pool:
-            return _pool_map(fn, items, jobs, on_error)
-        return _run_serial(fn, items, range(len(items)), on_error)
+        return run()
 
 
 def _pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
@@ -227,4 +262,260 @@ def _pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
                 ))
         return results
     finally:
+        _FORK_TASK = None
+
+
+# --------------------------------------------------------------------------
+# watchdog pool: per-task deadlines, kill-and-replace, bounded retries
+# --------------------------------------------------------------------------
+
+def _watchdog_child(conn: Any) -> None:
+    """Worker loop of the watchdog pool: one task index per round trip.
+
+    Exceptions are always captured and shipped back (the *parent* decides
+    retry vs. permanent failure, which needs the live exception when it
+    pickles); an unpicklable exception or result degrades to a
+    :class:`TaskFailure` record.
+    """
+    _mark_worker()
+    assert _FORK_TASK is not None, "worker started outside parallel_map"
+    fn, items, _ = _FORK_TASK
+    try:
+        while True:
+            index = conn.recv()
+            if index is None:
+                return
+            try:
+                message = ("ok", fn(items[index]))
+            except Exception as exc:
+                try:
+                    pickle.dumps(exc)
+                except Exception:
+                    message = ("error", _failure(index, exc))
+                else:
+                    message = ("error", exc)
+            try:
+                conn.send(message)
+            except Exception as exc:
+                # the *value* would not pickle; report that instead of
+                # dying (a dead worker would look like a crash and burn
+                # a retry attempt on a deterministic failure)
+                conn.send(("error", _failure(index, exc)))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+class _WorkerCrash(Exception):
+    """Internal marker: a watchdog worker died without reporting."""
+
+
+@dataclass
+class _WatchdogWorker:
+    proc: Any
+    conn: Any
+    index: int | None = None      # task in flight, None when idle
+    deadline: float = 0.0
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        self.proc.join()
+        self.conn.close()
+
+
+def _watchdog_map(fn: Callable[[Any], Any], items: Sequence[Any],
+                  jobs: int, on_error: str, timeout: float,
+                  policy: RetryPolicy, fault_name: str) -> list[Any]:
+    """The timeout-enforcing parallel path; see :func:`parallel_map`.
+
+    Unlike ``_pool_map`` (one shared result queue), every worker owns a
+    dedicated pipe and the parent knows exactly which task each worker
+    holds and since when — so a hung task is attributable and its worker
+    can be SIGKILLed without poisoning a shared queue lock for the
+    others.
+    """
+    global _FORK_TASK
+    context = multiprocessing.get_context("fork")
+    _FORK_TASK = (fn, items, on_error)
+    results: dict[int, Any] = {}
+    attempts = dict.fromkeys(range(len(items)), 0)
+    todo: list[int] = list(range(len(items)))
+    delayed: list[tuple[float, int]] = []  # (ready-at monotonic, index)
+    workers: list[_WatchdogWorker] = []
+    pending = len(items)
+
+    def spawn() -> _WatchdogWorker | None:
+        parent_conn, child_conn = context.Pipe()
+        proc = context.Process(target=_watchdog_child, args=(child_conn,),
+                               daemon=True)
+        try:
+            proc.start()
+        except OSError:
+            parent_conn.close()
+            child_conn.close()
+            return None
+        child_conn.close()
+        worker = _WatchdogWorker(proc=proc, conn=parent_conn)
+        workers.append(worker)
+        return worker
+
+    def discard(worker: _WatchdogWorker) -> None:
+        worker.kill()
+        workers.remove(worker)
+
+    def settle(index: int, exc: BaseException) -> None:
+        """A task attempt failed: schedule a retry or make it permanent."""
+        nonlocal pending
+        crash = isinstance(exc, _WorkerCrash)
+        retryable = crash or policy.is_retryable(exc)
+        if retryable and attempts[index] < policy.max_attempts:
+            TELEMETRY.record_fault(fault_name, retries=1)
+            ready = time.monotonic() + policy.delay_for(
+                f"{fault_name}/task-{index}", attempts[index]
+            )
+            delayed.append((ready, index))
+            return
+        if crash:
+            exc = TaskFailure(index=index, error_type="WorkerCrash",
+                              message=f"worker died running task {index}")
+        if on_error == "collect":
+            results[index] = (exc if isinstance(exc, TaskFailure)
+                              else _failure(index, exc))
+            pending -= 1
+            return
+        if isinstance(exc, TaskFailure):
+            raise RuntimeError(str(exc))
+        raise exc
+
+    def receive(worker: _WatchdogWorker) -> None:
+        """Drain one message from a busy worker (or detect its death)."""
+        nonlocal pending
+        index = worker.index
+        assert index is not None
+        try:
+            kind, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            discard(worker)
+            settle(index, _WorkerCrash())
+            return
+        worker.index = None
+        if kind == "ok":
+            results[index] = payload
+            pending -= 1
+        else:
+            settle(index, payload)
+
+    try:
+        for _ in range(min(jobs, len(items))):
+            if spawn() is None:
+                break
+        if not workers:
+            # no subprocesses available at all — degrade to serial
+            # (documented: the serial path cannot enforce the timeout)
+            return _run_serial(fn, items, range(len(items)), on_error)
+
+        while pending:
+            now = time.monotonic()
+            # promote retries whose backoff has elapsed
+            if delayed:
+                ready = [d for d in delayed if d[0] <= now]
+                if ready:
+                    delayed[:] = [d for d in delayed if d[0] > now]
+                    todo.extend(index for _, index in sorted(ready))
+            # hand tasks to idle workers
+            for worker in workers:
+                if not todo:
+                    break
+                if worker.index is not None:
+                    continue
+                index = todo[0]
+                attempts[index] += 1
+                try:
+                    worker.conn.send(index)
+                except (OSError, BrokenPipeError):
+                    discard(worker)
+                    attempts[index] -= 1
+                    if todo or delayed:
+                        spawn()
+                    break
+                todo.pop(0)
+                worker.index = index
+                worker.deadline = now + timeout
+            busy = [w for w in workers if w.index is not None]
+            if not busy and not workers and (todo or delayed):
+                # every worker is gone and respawning fails: finish the
+                # leftovers serially rather than spinning forever
+                leftovers = sorted(todo + [i for _, i in delayed])
+                serial = _run_serial(fn, items, leftovers, on_error)
+                for index, value in zip(leftovers, serial):
+                    results[index] = value
+                    pending -= 1
+                todo.clear()
+                delayed.clear()
+                continue
+            if not busy:
+                # nothing in flight: sleep until the next retry is ready
+                if delayed:
+                    time.sleep(max(0.0, min(
+                        min(ready for ready, _ in delayed) - now, 0.05
+                    )))
+                continue
+            wait_until = min(w.deadline for w in busy)
+            if delayed:
+                wait_until = min(
+                    wait_until, min(ready for ready, _ in delayed)
+                )
+            handles = {w.conn: w for w in busy}
+            handles.update({w.proc.sentinel: w for w in busy})
+            ready_handles = multiprocessing.connection.wait(
+                list(handles), timeout=max(0.0, wait_until - now)
+            )
+            seen: set[int] = set()
+            for handle in ready_handles:
+                worker = handles[handle]
+                if id(worker) in seen or worker.index is None:
+                    continue
+                seen.add(id(worker))
+                if handle is worker.proc.sentinel and not worker.conn.poll():
+                    index = worker.index
+                    discard(worker)
+                    settle(index, _WorkerCrash())
+                    if todo or delayed:
+                        spawn()
+                else:
+                    receive(worker)
+            # reap workers whose task blew its wall-clock deadline
+            now = time.monotonic()
+            for worker in list(workers):
+                if worker.index is None or now < worker.deadline:
+                    continue
+                if worker.conn.poll():   # finished in the nick of time
+                    receive(worker)
+                    continue
+                index = worker.index
+                discard(worker)
+                TELEMETRY.record_fault(fault_name, timeouts=1)
+                settle(index, TaskTimeout(
+                    f"task {index} exceeded {timeout:g}s wall-clock "
+                    f"timeout (attempt {attempts[index]}) and was reaped",
+                    index=index, timeout=timeout,
+                ))
+                if pending and len(workers) < jobs:
+                    spawn()
+        return [results[index] for index in range(len(items))]
+    finally:
+        for worker in list(workers):
+            if worker.index is None and worker.proc.is_alive():
+                try:
+                    worker.conn.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+        for worker in list(workers):
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join()
+            worker.conn.close()
         _FORK_TASK = None

@@ -1,0 +1,215 @@
+"""Bounded retry with deterministic exponential backoff.
+
+Long-lived ingestion (:mod:`repro.stream`) and the watchdog pool
+(:mod:`repro.runtime.pool`) share one policy object:
+
+* **bounded attempts** — a task is tried at most
+  :attr:`RetryPolicy.max_attempts` times, then the failure becomes
+  permanent (:class:`RetryExhaustedError`, or a
+  :class:`~repro.runtime.pool.TaskFailure` in ``collect`` mode);
+* **typed retryable errors** — only exception classes listed in
+  :attr:`RetryPolicy.retryable` are retried. :class:`RetryableError` is
+  the opt-in marker base class; :class:`TaskTimeout` (a hung worker
+  reaped by the pool watchdog) is always retryable;
+* **exponential backoff with deterministic jitter** — delays double per
+  attempt up to a cap, and the jitter term is drawn from a stream
+  seeded by ``(policy.seed, label, attempt)``, so two runs of the same
+  workload back off identically (no wall-clock or global RNG input).
+
+Environment knobs (read by :meth:`RetryPolicy.from_env` and
+:func:`resolve_timeout`):
+
+* ``MPA_MAX_RETRIES`` — retries after the first attempt (default 2,
+  i.e. 3 attempts total);
+* ``MPA_RETRY_BASE_DELAY`` — first backoff delay in seconds;
+* ``MPA_TASK_TIMEOUT`` — per-task wall-clock timeout in seconds for
+  pool tasks (unset = no timeout, the historical behavior).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MPAError
+from repro.util.rng import SeedSequenceTree
+
+#: Environment variable: retries after the first attempt.
+ENV_MAX_RETRIES = "MPA_MAX_RETRIES"
+#: Environment variable: first backoff delay (seconds).
+ENV_RETRY_BASE_DELAY = "MPA_RETRY_BASE_DELAY"
+#: Environment variable: per-task wall-clock timeout (seconds).
+ENV_TASK_TIMEOUT = "MPA_TASK_TIMEOUT"
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BASE_DELAY = 0.05
+DEFAULT_MAX_DELAY = 2.0
+
+
+class RetryableError(MPAError):
+    """Marker base class: failures of this type are worth retrying."""
+
+
+class TaskTimeout(RetryableError):
+    """A pool task exceeded its wall-clock timeout and was reaped.
+
+    Raised (or recorded as the ``error_type`` of a
+    :class:`~repro.runtime.pool.TaskFailure`) by the watchdog in
+    :func:`repro.runtime.pool.parallel_map` after it kills the hung
+    worker process.
+    """
+
+    def __init__(self, message: str, *, index: int | None = None,
+                 timeout: float | None = None) -> None:
+        self.index = index
+        self.timeout = timeout
+        super().__init__(message)
+
+
+class RetryExhaustedError(MPAError):
+    """Every permitted attempt failed; the last cause is chained."""
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        self.attempts = attempts
+        super().__init__(message)
+
+
+def _positive_float_env(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} is not a number") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def resolve_timeout(timeout: float | None = None) -> float | None:
+    """The effective per-task timeout: argument > ``MPA_TASK_TIMEOUT`` >
+    ``None`` (no timeout)."""
+    if timeout is not None:
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        return timeout
+    return _positive_float_env(ENV_TASK_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts + exponential backoff with deterministic jitter."""
+
+    #: total attempts, including the first (so ``retries = max_attempts-1``)
+    max_attempts: int = DEFAULT_MAX_RETRIES + 1
+    #: backoff before the second attempt; doubles per further attempt
+    base_delay: float = DEFAULT_BASE_DELAY
+    #: backoff cap (pre-jitter)
+    max_delay: float = DEFAULT_MAX_DELAY
+    #: jitter fraction: the delay is scaled by ``1 + jitter * u`` with
+    #: ``u`` drawn deterministically from the (seed, label, attempt) stream
+    jitter: float = 0.1
+    #: seed of the jitter streams (deterministic across runs)
+    seed: int = 0
+    #: exception classes worth retrying
+    retryable: tuple[type[BaseException], ...] = field(
+        default=(RetryableError,)
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "RetryPolicy":
+        """A policy honoring ``MPA_MAX_RETRIES``/``MPA_RETRY_BASE_DELAY``.
+
+        Keyword overrides win over the environment, which wins over the
+        defaults (the same precedence every other runtime knob uses).
+        """
+        if "max_attempts" not in overrides:
+            raw = os.environ.get(ENV_MAX_RETRIES, "").strip()
+            if raw:
+                try:
+                    retries = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"{ENV_MAX_RETRIES}={raw!r} is not an integer"
+                    ) from None
+                if retries < 0:
+                    raise ValueError(
+                        f"{ENV_MAX_RETRIES} must be >= 0, got {retries}"
+                    )
+                overrides["max_attempts"] = retries + 1
+        if "base_delay" not in overrides:
+            delay = _positive_float_env(ENV_RETRY_BASE_DELAY)
+            if delay is not None:
+                overrides["base_delay"] = delay
+        return cls(**overrides)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retryable)
+
+    def delay_for(self, label: str, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (``attempt`` >= 1).
+
+        Deterministic: the jitter multiplier comes from a stream seeded
+        by ``(seed, label, attempt)``, never from wall clock or shared
+        RNG state, so a replayed run backs off identically.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.base_delay * (2.0 ** (attempt - 1)), self.max_delay)
+        if not self.jitter or not raw:
+            return raw
+        rng = SeedSequenceTree(self.seed).child(
+            f"retry/{label}/{attempt}"
+        ).rng("jitter")
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+
+def call_with_retry(fn: Callable[[], Any], *,
+                    policy: RetryPolicy | None = None,
+                    label: str = "",
+                    telemetry_name: str | None = None,
+                    sleep: Callable[[float], None] = time.sleep) -> Any:
+    """Run ``fn()`` under ``policy``; return its value or raise.
+
+    Retries only exceptions the policy marks retryable; anything else
+    propagates unchanged on the first occurrence. When every attempt
+    fails, raises :class:`RetryExhaustedError` chained to the last
+    cause. Each retry (and nothing else) increments the ``retries``
+    counter of ``telemetry_name`` in the process telemetry.
+    """
+    from repro.runtime.telemetry import TELEMETRY
+
+    policy = policy or RetryPolicy.from_env()
+    last: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except Exception as exc:
+            if not policy.is_retryable(exc):
+                raise
+            last = exc
+            if attempt == policy.max_attempts:
+                break
+            if telemetry_name:
+                TELEMETRY.record_fault(telemetry_name, retries=1)
+            sleep(policy.delay_for(label or fn.__name__, attempt))
+    raise RetryExhaustedError(
+        f"{label or fn.__name__}: all {policy.max_attempts} attempts "
+        f"failed; last error: {type(last).__name__}: {last}",
+        attempts=policy.max_attempts,
+    ) from last

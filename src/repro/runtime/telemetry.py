@@ -69,12 +69,33 @@ class CheckStats:
 
 
 @dataclass
+class FaultStats:
+    """Accumulated fault-handling counters for one named component.
+
+    ``retries`` counts re-attempts after a retryable failure (backoff
+    included), ``timeouts`` counts hung tasks reaped by the pool
+    watchdog, ``dead_letters`` counts events routed to the streaming
+    ingester's dead-letter quarantine after retries were exhausted.
+    """
+
+    name: str
+    retries: int = 0
+    timeouts: int = 0
+    dead_letters: int = 0
+
+    @property
+    def any(self) -> int:
+        return self.retries + self.timeouts + self.dead_letters
+
+
+@dataclass
 class Telemetry:
     """Thread-safe per-process aggregator of stage timings."""
 
     _stages: dict[str, StageStats] = field(default_factory=dict)
     _caches: dict[str, CacheStats] = field(default_factory=dict)
     _checks: dict[str, CheckStats] = field(default_factory=dict)
+    _faults: dict[str, FaultStats] = field(default_factory=dict)
     _notes: dict[str, str] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -112,6 +133,23 @@ class Telemetry:
             else:
                 stats.failed += 1
 
+    def record_fault(self, name: str, retries: int = 0, timeouts: int = 0,
+                     dead_letters: int = 0) -> None:
+        """Accumulate fault-handling counters for component ``name``.
+
+        The pool watchdog reports reaped hung tasks here, the retry
+        layer reports backoff re-attempts, and the streaming ingester
+        reports dead-lettered events — so a run's fault handling shows
+        up in the same summary/dump the stages use.
+        """
+        with self._lock:
+            stats = self._faults.get(name)
+            if stats is None:
+                stats = self._faults[name] = FaultStats(name=name)
+            stats.retries += retries
+            stats.timeouts += timeouts
+            stats.dead_letters += dead_letters
+
     def note(self, key: str, value: str) -> None:
         """Attach a free-form key/value fact to the run (latest wins)."""
         with self._lock:
@@ -141,6 +179,11 @@ class Telemetry:
         with self._lock:
             return list(self._checks.values())
 
+    def faults(self) -> list[FaultStats]:
+        """Recorded fault-handling counters in first-seen order."""
+        with self._lock:
+            return list(self._faults.values())
+
     def notes(self) -> dict[str, str]:
         with self._lock:
             return dict(self._notes)
@@ -161,6 +204,8 @@ class Telemetry:
                            for c in self._caches.values()},
                 "checks": {c.name: (c.passed, c.failed)
                            for c in self._checks.values()},
+                "faults": {f.name: (f.retries, f.timeouts, f.dead_letters)
+                           for f in self._faults.values()},
             }
 
     def delta_since(self, snapshot: dict) -> dict:
@@ -209,9 +254,18 @@ class Telemetry:
             if passed != p0 or failed != f0:
                 checks[name] = {"passed": _inc("checks", name, passed, p0),
                                 "failed": _inc("checks", name, failed, f0)}
+        faults = {}
+        for name, (retries, timeouts, dead) in current["faults"].items():
+            r0, t0, d0 = snapshot.get("faults", {}).get(name, (0, 0, 0))
+            if retries != r0 or timeouts != t0 or dead != d0:
+                faults[name] = {
+                    "retries": _inc("faults", name, retries, r0),
+                    "timeouts": _inc("faults", name, timeouts, t0),
+                    "dead_letters": _inc("faults", name, dead, d0),
+                }
         # a counter present at snapshot time but gone now means the whole
         # aggregator was cleared (reset()) inside the measured block
-        for kind in ("stages", "caches", "checks"):
+        for kind in ("stages", "caches", "checks", "faults"):
             for name in snapshot.get(kind, {}):
                 if name not in current[kind]:
                     resets.add(f"{kind}/{name}")
@@ -222,6 +276,8 @@ class Telemetry:
             delta["caches"] = caches
         if checks:
             delta["checks"] = checks
+        if faults:
+            delta["faults"] = faults
         if resets:
             delta["counter_resets"] = sorted(resets)
         return delta
@@ -231,6 +287,7 @@ class Telemetry:
             self._stages.clear()
             self._caches.clear()
             self._checks.clear()
+            self._faults.clear()
             self._notes.clear()
 
     def as_dict(self) -> dict:
@@ -245,6 +302,9 @@ class Telemetry:
         checks = self.checks()
         if checks:
             data["checks"] = [asdict(c) for c in checks]
+        faults = self.faults()
+        if faults:
+            data["faults"] = [asdict(f) for f in faults]
         notes = self.notes()
         if notes:
             data["notes"] = notes
@@ -264,8 +324,10 @@ class Telemetry:
         stages = self.stages()
         caches = self.caches()
         checks = self.checks()
+        faults = self.faults()
         notes = self.notes()
-        if not stages and not caches and not checks and not notes:
+        if (not stages and not caches and not checks and not faults
+                and not notes):
             return "runtime telemetry: no stages recorded"
         lines = []
         if stages:
@@ -287,6 +349,13 @@ class Telemetry:
                       f"  {'check':<34} {'pass':>6} {'fail':>6}"]
             for c in checks:
                 lines.append(f"  {c.name:<34} {c.passed:>6} {c.failed:>6}")
+        if faults:
+            lines += ["fault handling (retries/timeouts/dead letters):",
+                      f"  {'component':<22} {'retries':>8} {'timeouts':>9} "
+                      f"{'dead':>6}"]
+            for f in faults:
+                lines.append(f"  {f.name:<22} {f.retries:>8} "
+                             f"{f.timeouts:>9} {f.dead_letters:>6}")
         for key, value in notes.items():
             lines.append(f"  note: {key} = {value}")
         return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Crash-safe streaming ingestion: WAL → checkpointed incremental rebuilds.
+
+The batch pipeline answers "given a corpus, what does the management
+plane look like?"; this package answers "keep that answer current as
+snapshots arrive, and survive anything short of losing the disk":
+
+* :mod:`repro.stream.journal` — the append-only, CRC-guarded write-ahead
+  log of arrival events, with torn-tail recovery;
+* :mod:`repro.stream.checkpoint` — durable checkpoints tying a WAL
+  prefix to content digests of the artifacts it produced;
+* :mod:`repro.stream.ingest` — the event loop: journal, apply,
+  incrementally rebuild through the content-addressed stage cache,
+  dead-letter what can never apply, checkpoint;
+* :mod:`repro.stream.chaos` — the kill-resume harness that proves the
+  contract by murdering the ingester at random WAL offsets and
+  asserting the recovered artifacts are bit-identical.
+
+Entry points: ``mpa ingest`` / ``mpa resume`` (CLI), ``make chaos``.
+"""
+
+from repro.stream.checkpoint import (
+    CheckpointError,
+    IngestCheckpoint,
+    dataset_digest,
+    quality_digest,
+)
+from repro.stream.ingest import (
+    ArrivalEvent,
+    DeadLetter,
+    IngestError,
+    IngestResult,
+    StreamIngester,
+    decode_event,
+    encode_event,
+    event_identity,
+    read_events_file,
+    snapshot_identity,
+)
+from repro.stream.journal import (
+    JournalCorruptError,
+    JournalError,
+    JournalWriteError,
+    RecoveryInfo,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "ArrivalEvent",
+    "CheckpointError",
+    "DeadLetter",
+    "IngestCheckpoint",
+    "IngestError",
+    "IngestResult",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalWriteError",
+    "RecoveryInfo",
+    "StreamIngester",
+    "WriteAheadLog",
+    "dataset_digest",
+    "decode_event",
+    "encode_event",
+    "event_identity",
+    "quality_digest",
+    "read_events_file",
+    "snapshot_identity",
+]

@@ -1,0 +1,324 @@
+"""Kill-resume chaos harness: prove the ingester's crash contract.
+
+Each iteration forks an ingester child over a fresh copy of a template
+state directory and murders it mid-stream — SIGKILL when the WAL
+crosses a randomized byte offset, or at a randomized occurrence of a
+named fault point (after the journal fsync, before the artifact save,
+before/after the checkpoint). Optionally the dead child's last WAL
+segment is *torn* (trailing bytes sheared off) below the last durable
+sync point, modeling the partial final sector a real power cut leaves.
+Then a second fork recovers: ``resume()`` (finish journaled work) plus
+a full re-delivery ``ingest()`` (the at-least-once source re-sends
+un-acked events; dedup drops what survived). The iteration passes iff
+the recovered state directory's dataset and quality digests equal the
+uninterrupted reference run's — byte-identity, checksum-verified.
+
+Everything is deterministic from ``--seed``: the corpus, the event
+split, each iteration's kill mode/offset/tear come from labelled
+children of one :class:`~repro.util.rng.SeedSequenceTree`. A failing
+iteration therefore replays exactly. The per-iteration JSONL recovery
+log (kill mode, offsets, recovery wall-clock, digests, verdict) is the
+artifact CI uploads on failure.
+
+Run: ``python -m repro.stream.chaos --iterations 5 --seed 7`` (or
+``make chaos``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.faults.process import SigkillAtBytes, SigkillAtPoint, tear_file
+from repro.stream.ingest import ArrivalEvent, StreamIngester, encode_event
+from repro.stream.journal import _RECORD_HEADER, _SEGMENT_HEADER
+from repro.synthesis.organization import OrganizationSynthesizer, SynthesisSpec
+from repro.util.rng import SeedSequenceTree
+from repro.util.timeutils import MINUTES_PER_MONTH
+
+#: fault points the point-kill mode draws from
+KILL_POINTS = ("post-journal-batch", "pre-artifact-save",
+               "pre-checkpoint", "post-checkpoint")
+
+#: chaos corpus: small enough for sub-second rebuilds, big enough that
+#: batches, rotation, and multi-network dirty sets all occur
+CHAOS_SPEC = SynthesisSpec(n_networks=5, n_months=4, seed=0)
+
+CHAOS_BATCH_SIZE = 16
+#: tiny segments so randomized offsets regularly land near rotations
+CHAOS_SEGMENT_BYTES = 4 * 1024
+
+
+@dataclass
+class IterationRecord:
+    """One chaos iteration's recovery-log entry."""
+
+    iteration: int
+    mode: str
+    detail: str
+    killed: bool
+    torn_bytes: int
+    recovery_seconds: float
+    dataset_match: bool
+    quality_match: bool
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.dataset_match and self.quality_match and not self.error
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "mode": self.mode,
+            "detail": self.detail,
+            "killed": self.killed,
+            "torn_bytes": self.torn_bytes,
+            "recovery_seconds": round(self.recovery_seconds, 4),
+            "dataset_match": self.dataset_match,
+            "quality_match": self.quality_match,
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class ChaosReport:
+    iterations: list[IterationRecord] = field(default_factory=list)
+    reference_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(record.ok for record in self.iterations)
+
+    @property
+    def kills(self) -> int:
+        return sum(1 for record in self.iterations if record.killed)
+
+
+def chaos_events(corpus_full) -> tuple[object, list[bytes]]:
+    """Split a corpus into (base corpus, last-month arrival payloads)."""
+    import copy
+    base = copy.deepcopy(corpus_full)
+    cut = (base.n_months - 1) * MINUTES_PER_MONTH
+    payloads: list[bytes] = []
+    for device_id in sorted(base.snapshots):
+        snaps = base.snapshots[device_id]
+        base.snapshots[device_id] = [s for s in snaps if s.timestamp < cut]
+        for snap in snaps:
+            if snap.timestamp >= cut:
+                payloads.append(encode_event(ArrivalEvent(
+                    device_id=snap.device_id, network_id=snap.network_id,
+                    timestamp=snap.timestamp, login=snap.login,
+                    modality=snap.modality.value,
+                    config_text=snap.config_text,
+                )))
+    return base, payloads
+
+
+def _run_child(work) -> tuple[int, str]:
+    """fork + run ``work()`` + ``_exit``; returns (signal-or-0, error).
+
+    ``MPA_JOBS=1`` in the child keeps the dying process single-process —
+    a SIGKILLed child must not leave orphaned pool grandchildren behind.
+    """
+    pid = os.fork()
+    if pid == 0:
+        code = 0
+        try:
+            os.environ["MPA_JOBS"] = "1"
+            work()
+        except BaseException:  # noqa: BLE001 - child boundary
+            import traceback
+            sys.stderr.write(traceback.format_exc())
+            sys.stderr.flush()
+            code = 3
+        finally:
+            os._exit(code)
+    _, status = os.waitpid(pid, 0)
+    if os.WIFSIGNALED(status):
+        return os.WTERMSIG(status), ""
+    code = os.WEXITSTATUS(status)
+    return 0, f"child exited with code {code}" if code else ""
+
+
+def _safe_tear_floor(state_dir: Path) -> tuple[Path | None, int]:
+    """(last WAL segment, lowest offset a power cut could tear at).
+
+    Bytes at or below the last checkpointed record are fsynced by the
+    write ordering (sync happens before apply, apply before
+    checkpoint), so a real crash cannot shear them; tearing is only
+    honest past that point.
+    """
+    segments = sorted((state_dir / "wal").glob("wal-*.seg"))
+    if not segments:
+        return None, 0
+    last = segments[-1]
+    blob = last.read_bytes()
+    if len(blob) < _SEGMENT_HEADER.size:
+        return last, len(blob)
+    try:
+        checkpoint = json.loads((state_dir / "checkpoint.json").read_text())
+        applied = int(checkpoint["applied_seqno"])
+    except (OSError, ValueError, KeyError):
+        applied = 0
+    (_, first_seqno) = _SEGMENT_HEADER.unpack_from(blob)
+    floor = _SEGMENT_HEADER.size
+    offset = _SEGMENT_HEADER.size
+    seqno = first_seqno - 1
+    while offset + _RECORD_HEADER.size <= len(blob):
+        length, _ = _RECORD_HEADER.unpack_from(blob, offset)
+        end = offset + _RECORD_HEADER.size + length
+        if end > len(blob):
+            break
+        seqno += 1
+        offset = end
+        if seqno <= applied:
+            floor = end
+    return last, floor
+
+
+def _digests(state_dir: Path) -> tuple[str, str]:
+    try:
+        data = json.loads((state_dir / "checkpoint.json").read_text())
+        return str(data["dataset_digest"]), str(data["quality_digest"])
+    except (OSError, ValueError, KeyError):
+        return "", ""
+
+
+def run_chaos(iterations: int = 5, seed: int = 7,
+              state_root: str | Path | None = None,
+              log_path: str | Path | None = None) -> ChaosReport:
+    """Run the kill-resume loop; see the module docs for the contract."""
+    tree = SeedSequenceTree(seed)
+    root = Path(state_root) if state_root else Path(tempfile.mkdtemp(
+        prefix="mpa-chaos-"
+    ))
+    root.mkdir(parents=True, exist_ok=True)
+    spec = SynthesisSpec(n_networks=CHAOS_SPEC.n_networks,
+                         n_months=CHAOS_SPEC.n_months, seed=seed)
+    base, payloads = chaos_events(OrganizationSynthesizer(spec).build())
+    wal_record_bytes = sum(len(p) + _RECORD_HEADER.size for p in payloads)
+
+    template = root / "template"
+    if template.exists():
+        shutil.rmtree(template)
+    StreamIngester.create(template, base)
+
+    def ingester(state_dir: Path, hooks=None) -> StreamIngester:
+        ing = StreamIngester(state_dir, batch_size=CHAOS_BATCH_SIZE,
+                             fault_hooks=hooks)
+        ing.wal.max_segment_bytes = CHAOS_SEGMENT_BYTES
+        return ing
+
+    # the uninterrupted reference run, in a fork for parity with the
+    # chaos children (same MPA_JOBS=1 environment)
+    reference = root / "reference"
+    if reference.exists():
+        shutil.rmtree(reference)
+    shutil.copytree(template, reference)
+    _, error = _run_child(lambda: ingester(reference).ingest(payloads))
+    ref_dataset, ref_quality = _digests(reference)
+    if error or not ref_dataset:
+        raise RuntimeError(f"reference ingest failed: {error or 'no digest'}")
+
+    report = ChaosReport(reference_digest=ref_dataset)
+    records_log: list[dict] = []
+    for iteration in range(iterations):
+        rng = tree.child(f"iter/{iteration}").rng("chaos")
+        state = root / f"iter-{iteration:03d}"
+        if state.exists():
+            shutil.rmtree(state)
+        shutil.copytree(template, state)
+
+        if rng.random() < 0.6:
+            offset = int(rng.integers(1, max(2, wal_record_bytes)))
+            mode, detail = "wal-offset", f"kill at WAL byte {offset}"
+            hooks = SigkillAtBytes(offset)
+        else:
+            point = KILL_POINTS[int(rng.integers(0, len(KILL_POINTS)))]
+            max_batches = max(1, (len(payloads) + CHAOS_BATCH_SIZE - 1)
+                              // CHAOS_BATCH_SIZE)
+            nth = int(rng.integers(1, max_batches + 1))
+            mode, detail = "fault-point", f"kill at {point} #{nth}"
+            hooks = SigkillAtPoint(point, nth=nth)
+
+        sig, child_error = _run_child(
+            lambda s=state, h=hooks: ingester(s, hooks=h).ingest(payloads)
+        )
+        killed = sig == signal.SIGKILL
+
+        torn = 0
+        if killed and rng.random() < 0.5:
+            segment, floor = _safe_tear_floor(state)
+            if segment is not None:
+                size = segment.stat().st_size
+                if size > floor:
+                    keep = int(rng.integers(floor, size))
+                    torn = tear_file(segment, keep)
+
+        started = time.monotonic()
+        sig2, recover_error = _run_child(
+            lambda s=state: (ingester(s).resume(),
+                             ingester(s).ingest(payloads))
+        )
+        recovery_seconds = time.monotonic() - started
+
+        dataset_digest, quality_digest = _digests(state)
+        record = IterationRecord(
+            iteration=iteration, mode=mode, detail=detail, killed=killed,
+            torn_bytes=torn, recovery_seconds=recovery_seconds,
+            dataset_match=dataset_digest == ref_dataset,
+            quality_match=quality_digest == ref_quality,
+            error=recover_error or (f"recovery died with signal {sig2}"
+                                    if sig2 else child_error),
+        )
+        report.iterations.append(record)
+        records_log.append(record.to_dict())
+
+    if log_path is not None:
+        log_path = Path(log_path)
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        log_path.write_text("".join(
+            json.dumps(entry, sort_keys=True) + "\n" for entry in records_log
+        ))
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stream.chaos",
+        description="kill-resume chaos harness for the streaming ingester",
+    )
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--state-root", default=None,
+                        help="working directory (default: a fresh tempdir)")
+    parser.add_argument("--log", default="chaos-recovery.jsonl",
+                        help="JSONL recovery log path")
+    args = parser.parse_args(argv)
+    report = run_chaos(iterations=args.iterations, seed=args.seed,
+                       state_root=args.state_root, log_path=args.log)
+    for record in report.iterations:
+        verdict = "ok" if record.ok else "FAIL"
+        print(f"[{verdict}] iter {record.iteration}: {record.detail} "
+              f"(killed={record.killed}, torn={record.torn_bytes}B, "
+              f"recovered in {record.recovery_seconds:.2f}s)"
+              + (f" error={record.error}" if record.error else ""))
+    kills = report.kills
+    print(f"{len(report.iterations)} iterations, {kills} kills, "
+          f"reference digest {report.reference_digest[:12]}..., "
+          f"{'all recovered bit-identical' if report.ok else 'MISMATCH'}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

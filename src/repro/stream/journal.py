@@ -1,0 +1,315 @@
+"""Append-only write-ahead log of snapshot-arrival events.
+
+The streaming ingester journals every accepted event *before* applying
+it, so a crash at any instant loses at most the bytes of one in-flight
+record — never an acknowledged event. The on-disk format is built from
+two framing layers:
+
+**Segments.** The log is a directory of segment files named
+``wal-{first_seqno:012d}.seg``. Each starts with a 16-byte header: the
+8-byte magic ``b"MPAWAL1\\n"`` plus the big-endian sequence number of
+the segment's first record. Segments rotate once they exceed
+``max_segment_bytes``; rotation creates the new segment durably (file
+fsync + parent-directory fsync via :func:`repro.util.ioutils.fsync_dir`)
+before any record lands in it, so the segment chain never has holes.
+
+**Records.** ``4-byte BE payload length | 4-byte BE CRC-32 | payload``.
+The CRC guards the payload, the length prefix delimits it; together
+they make every torn or bit-flipped write detectable.
+
+Recovery (:meth:`WriteAheadLog.open` / construction) distinguishes the
+two corruption cases a crash can actually produce from real damage:
+
+* a **torn tail** — the last record of the *last* segment is short or
+  fails its CRC because the writer died mid-``write``. The tail is
+  truncated away and logging resumes at that offset; the record was
+  never acknowledged, so dropping it is correct.
+* a **torn segment header** — the writer died while creating a fresh
+  segment. The whole (recordless) file is deleted.
+* anything else — a bad CRC or magic *before* the tail, a gap in the
+  seqno chain — is not explicable by a crash and raises
+  :class:`JournalCorruptError` rather than silently dropping
+  acknowledged events.
+
+Appends go through an optional fault-hook object (``pre_write`` /
+``post_write``), which is how the chaos harness injects ENOSPC and
+kills the process at exact byte offsets; production runs pass none.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import MPAError
+from repro.runtime.retry import RetryableError
+from repro.util.ioutils import fsync_dir
+
+#: Segment header: 8-byte magic + 8-byte BE first sequence number.
+SEGMENT_MAGIC = b"MPAWAL1\n"
+_SEGMENT_HEADER = struct.Struct(">8sQ")
+#: Record header: payload length + CRC-32, both big-endian.
+_RECORD_HEADER = struct.Struct(">II")
+
+#: Default rotation threshold (bytes). Small enough that the chaos
+#: harness exercises rotation even on tiny corpora.
+DEFAULT_MAX_SEGMENT_BYTES = 256 * 1024
+
+
+class JournalError(MPAError):
+    """Base class for WAL failures."""
+
+
+class JournalCorruptError(JournalError):
+    """The WAL is damaged in a way a crash cannot explain."""
+
+
+class JournalWriteError(JournalError, RetryableError):
+    """An append failed at the I/O layer (e.g. ENOSPC); retryable."""
+
+
+@dataclass(frozen=True)
+class RecoveryInfo:
+    """What :meth:`WriteAheadLog.open` found and repaired."""
+
+    segments: int = 0
+    records: int = 0
+    #: bytes cut from the last segment's torn tail record (0 = clean)
+    truncated_bytes: int = 0
+    #: name of a dropped recordless segment with a torn header, if any
+    dropped_segment: str | None = None
+
+    @property
+    def repaired(self) -> bool:
+        return bool(self.truncated_bytes or self.dropped_segment)
+
+
+def _segment_name(first_seqno: int) -> str:
+    return f"wal-{first_seqno:012d}.seg"
+
+
+class WriteAheadLog:
+    """CRC-guarded, segment-rotated append log; see the module docs.
+
+    Sequence numbers start at 1 and never repeat, across any number of
+    open/crash/recover cycles. ``append`` buffers through the OS;
+    ``sync`` makes everything appended so far durable — the ingester
+    syncs once per batch, after the last append and before applying any
+    event of the batch.
+    """
+
+    def __init__(self, root: str | Path, *,
+                 max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+                 hooks=None) -> None:
+        self.root = Path(root)
+        self.max_segment_bytes = max_segment_bytes
+        self.hooks = hooks
+        self._segment_path: Path | None = None
+        self._segment_size = 0
+        self._next_seqno = 1
+        self.recovery = self._recover()
+
+    # -- recovery ------------------------------------------------------------
+
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self.root.glob("wal-*.seg"))
+
+    def _recover(self) -> RecoveryInfo:
+        self.root.mkdir(parents=True, exist_ok=True)
+        segments = self._segment_paths()
+        records = 0
+        truncated = 0
+        dropped: str | None = None
+        expected: int | None = None  # set from the first segment's header
+        for position, path in enumerate(segments):
+            last = position == len(segments) - 1
+            blob = path.read_bytes()
+            if (len(blob) < _SEGMENT_HEADER.size
+                    or not blob.startswith(SEGMENT_MAGIC)):
+                if not last:
+                    raise JournalCorruptError(
+                        f"{path.name}: bad segment header mid-journal"
+                    )
+                # the writer died while creating this segment; it holds
+                # no acknowledged records, so drop it
+                path.unlink()
+                fsync_dir(self.root)
+                dropped = path.name
+                segments = segments[:-1]
+                break
+            (_, first_seqno) = _SEGMENT_HEADER.unpack_from(blob)
+            if expected is None:
+                # the oldest surviving segment (earlier ones may have
+                # been pruned after checkpointing) anchors the chain
+                expected = first_seqno
+            elif first_seqno != expected:
+                raise JournalCorruptError(
+                    f"{path.name}: first seqno {first_seqno}, "
+                    f"expected {expected} (gap in the segment chain)"
+                )
+            offset = _SEGMENT_HEADER.size
+            while offset < len(blob):
+                header_end = offset + _RECORD_HEADER.size
+                torn = False
+                if header_end > len(blob):
+                    torn = True
+                else:
+                    length, crc = _RECORD_HEADER.unpack_from(blob, offset)
+                    end = header_end + length
+                    if end > len(blob):
+                        torn = True
+                    elif zlib.crc32(blob[header_end:end]) != crc:
+                        # a CRC mismatch is only crash-explicable on the
+                        # very last record of the journal
+                        if last and end == len(blob):
+                            torn = True
+                        else:
+                            raise JournalCorruptError(
+                                f"{path.name}: CRC mismatch at offset "
+                                f"{offset} (seqno {expected})"
+                            )
+                if torn:
+                    if not last:
+                        raise JournalCorruptError(
+                            f"{path.name}: torn record at offset {offset} "
+                            "in a non-final segment"
+                        )
+                    truncated = len(blob) - offset
+                    with open(path, "r+b") as handle:
+                        handle.truncate(offset)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    fsync_dir(self.root)
+                    break
+                records += 1
+                expected += 1
+                offset = end
+        self._next_seqno = 1 if expected is None else expected
+        if segments:
+            self._segment_path = segments[-1]
+            self._segment_size = self._segment_path.stat().st_size
+        else:
+            self._open_segment(first_seqno=self._next_seqno)
+        return RecoveryInfo(segments=len(segments) or 1, records=records,
+                            truncated_bytes=truncated,
+                            dropped_segment=dropped)
+
+    # -- appending -----------------------------------------------------------
+
+    @property
+    def next_seqno(self) -> int:
+        return self._next_seqno
+
+    @property
+    def last_seqno(self) -> int:
+        return self._next_seqno - 1
+
+    def _open_segment(self, first_seqno: int) -> None:
+        path = self.root / _segment_name(first_seqno)
+        header = _SEGMENT_HEADER.pack(SEGMENT_MAGIC, first_seqno)
+        self._write(path, header, mode="xb", sync=True)
+        fsync_dir(self.root)
+        self._segment_path = path
+        self._segment_size = len(header)
+
+    def _write(self, path: Path, data: bytes, *, mode: str = "ab",
+               sync: bool = False) -> None:
+        hooks = self.hooks
+        try:
+            # inside the guard: a pre_write hook simulating an I/O
+            # failure (e.g. ENOSPC) must surface exactly like one
+            if hooks is not None and hasattr(hooks, "pre_write"):
+                hooks.pre_write(path, data)
+            with open(path, mode) as handle:
+                handle.write(data)
+                if sync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError as exc:
+            raise JournalWriteError(
+                f"append to {path.name} failed: {exc}"
+            ) from exc
+        if hooks is not None and hasattr(hooks, "post_write"):
+            hooks.post_write(path, data)
+
+    def append(self, payload: bytes) -> int:
+        """Journal one event payload; returns its sequence number.
+
+        Buffered — call :meth:`sync` to make a batch durable. Rotation
+        to a fresh segment happens *before* the record that would
+        overflow the current one, and is itself durable.
+        """
+        if self._segment_size >= self.max_segment_bytes:
+            self.sync()
+            self._open_segment(first_seqno=self._next_seqno)
+        record = _RECORD_HEADER.pack(len(payload),
+                                     zlib.crc32(payload)) + payload
+        assert self._segment_path is not None
+        self._write(self._segment_path, record)
+        self._segment_size += len(record)
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        return seqno
+
+    def sync(self) -> None:
+        """fsync the active segment (durability barrier for a batch)."""
+        if self._segment_path is None:
+            return
+        try:
+            fd = os.open(self._segment_path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- reading -------------------------------------------------------------
+
+    def replay(self, after_seqno: int = 0) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(seqno, payload)`` for every record past ``after_seqno``.
+
+        Reads the segment files as recovered — callers should not
+        interleave appends with a replay of the same log.
+        """
+        seqno = 0
+        for path in self._segment_paths():
+            blob = path.read_bytes()
+            (_, first_seqno) = _SEGMENT_HEADER.unpack_from(blob)
+            seqno = first_seqno - 1
+            offset = _SEGMENT_HEADER.size
+            while offset + _RECORD_HEADER.size <= len(blob):
+                length, _ = _RECORD_HEADER.unpack_from(blob, offset)
+                start = offset + _RECORD_HEADER.size
+                payload = blob[start:start + length]
+                seqno += 1
+                if seqno > after_seqno:
+                    yield seqno, payload
+                offset = start + length
+
+    def prune(self, upto_seqno: int) -> int:
+        """Delete segments whose records are all checkpointed.
+
+        A segment is removable when the *next* segment starts at or
+        below ``upto_seqno + 1`` — i.e. every record it holds has been
+        applied and checkpointed. Returns the number of segments
+        removed. The active segment is never removed.
+        """
+        segments = self._segment_paths()
+        removed = 0
+        for path, successor in zip(segments, segments[1:]):
+            succ_first = int(successor.name[4:-4])
+            if succ_first <= upto_seqno + 1 and path != self._segment_path:
+                path.unlink()
+                removed += 1
+            else:
+                break
+        if removed:
+            fsync_dir(self.root)
+        return removed

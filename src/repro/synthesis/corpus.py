@@ -30,7 +30,7 @@ from repro.types import (
     MonthKey,
     NetworkRecord,
 )
-from repro.util.ioutils import gzip_text_writer
+from repro.util.ioutils import fsync_dir, gzip_text_writer
 from repro.version import CORPUS_FORMAT_VERSION
 
 
@@ -87,22 +87,76 @@ class Corpus:
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, directory: str | Path) -> None:
+    def save(self, directory: str | Path, *, durable: bool = False) -> None:
         """Write the corpus to ``directory`` (created if needed).
 
-        The write is atomic at the directory level: files go to a
-        sibling temp directory which then replaces ``directory``, so a
-        crash mid-save never leaves a half-written corpus behind.
+        The write is atomic at the directory level and survives a crash
+        at any instant: files go to a sibling ``<name>.tmp`` directory,
+        the previous version is renamed aside to ``<name>.old``, the
+        temp directory takes its place, and the old version is removed.
+        After a crash mid-swap, :meth:`recover_save` finishes the dance
+        (a completed temp is promoted; a half-written one is discarded
+        in favor of the surviving previous version). ``durable=True``
+        additionally fsyncs every written file and the parent directory
+        so the swap survives power loss, not just process death.
+
+        Single-writer: concurrent saves to the same ``directory`` race
+        on the fixed sibling names.
         """
         path = Path(directory)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
-        if tmp.exists():
-            shutil.rmtree(tmp)
+        parent = path.parent
+        parent.mkdir(parents=True, exist_ok=True)
+        tmp = parent / f"{path.name}.tmp"
+        old = parent / f"{path.name}.old"
+        for leftover in (tmp, old):
+            if leftover.exists():
+                shutil.rmtree(leftover)
         self._write_to(tmp)
+        if durable:
+            for file in sorted(tmp.rglob("*")):
+                if file.is_file():
+                    fd = os.open(file, os.O_RDONLY)
+                    try:
+                        os.fsync(fd)
+                    finally:
+                        os.close(fd)
+            fsync_dir(tmp)
         if path.exists():
-            shutil.rmtree(path)
+            os.replace(path, old)
         os.replace(tmp, path)
+        if durable:
+            fsync_dir(parent)
+        if old.exists():
+            shutil.rmtree(old)
+
+    @classmethod
+    def recover_save(cls, directory: str | Path) -> bool:
+        """Finish a :meth:`save` that crashed mid-swap; True if repaired.
+
+        The rename ordering in :meth:`save` means ``<name>.old`` only
+        ever exists after the temp directory was fully written — so if
+        ``directory`` is missing, a present temp is complete and gets
+        promoted. A temp with no ``.old`` sibling and no ``directory``
+        is an interrupted *initial* write and is discarded.
+        """
+        path = Path(directory)
+        tmp = path.parent / f"{path.name}.tmp"
+        old = path.parent / f"{path.name}.old"
+        repaired = False
+        if not path.exists():
+            if old.exists() and tmp.exists():
+                os.replace(tmp, path)
+                repaired = True
+            elif old.exists():
+                os.replace(old, path)
+                repaired = True
+            elif tmp.exists():
+                shutil.rmtree(tmp)  # interrupted initial write: no corpus yet
+        for leftover in (tmp, old):
+            if path.exists() and leftover.exists():
+                shutil.rmtree(leftover)
+                repaired = True
+        return repaired
 
     def _write_to(self, path: Path) -> None:
         path.mkdir(parents=True, exist_ok=True)

@@ -9,17 +9,61 @@ from contextlib import contextmanager
 from pathlib import Path
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes a rename atomic with respect to *readers*, but
+    the rename itself lives in the directory inode — until the
+    directory is fsynced, a power cut can roll the entry back to the
+    old (or no) name. Callers that need rename *durability* (the WAL,
+    ingestion checkpoints, durable stage-cache writes) call this right
+    after the replace. Filesystems that refuse directory fsync (some
+    network/overlay mounts) are tolerated silently — there is nothing
+    more userspace can do there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *,
+                       durable: bool = False) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename.
 
     ``os.replace`` is atomic on POSIX, so readers never observe a
-    truncated file under the final name — the pattern every cache
-    artifact (workspace, dataset sidecars, telemetry dumps) relies on.
+    truncated file under the final name. With ``durable=True`` the temp
+    file is fsynced before the rename and the parent directory after
+    it, so the rename also survives power loss — the contract WAL
+    segments and ingestion checkpoints rely on.
     """
     path = Path(path)
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    tmp.write_text(text)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
     os.replace(tmp, path)
+    if durable:
+        fsync_dir(path.parent)
+
+
+def atomic_write_text(path: str | Path, text: str, *,
+                      durable: bool = False) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    The pattern every cache artifact (workspace, dataset sidecars,
+    telemetry dumps) relies on; see :func:`atomic_write_bytes` for the
+    ``durable`` semantics.
+    """
+    atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
 
 
 @contextmanager

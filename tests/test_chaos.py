@@ -1,0 +1,28 @@
+"""Bounded kill-resume chaos run: the crash contract, end to end.
+
+Two deterministic iterations of the full harness (fork, SIGKILL at a
+randomized WAL offset or fault point, optional torn tail, fork again,
+recover, compare digests). ``make chaos`` runs the same harness for
+more iterations; this keeps the contract under the tier-1 suite.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.stream.chaos import run_chaos
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+def test_chaos_iterations_recover_bit_identical(tmp_path):
+    log = tmp_path / "chaos-recovery.jsonl"
+    report = run_chaos(iterations=2, seed=7, state_root=tmp_path / "work",
+                       log_path=log)
+    assert report.ok, [r.to_dict() for r in report.iterations if not r.ok]
+    assert len(report.iterations) == 2
+    assert report.reference_digest
+    entries = [json.loads(line) for line in log.read_text().splitlines()]
+    assert len(entries) == 2
+    assert all(entry["dataset_match"] and entry["quality_match"]
+               for entry in entries)

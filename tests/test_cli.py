@@ -132,3 +132,70 @@ class TestSelfcheck:
         assert main(["selfcheck", "--invariants-only", "--output",
                      str(target)]) == 0
         assert target.exists()
+
+
+class TestStreamIngestCli:
+    """``mpa ingest`` / ``mpa resume`` / ``mpa quality --state-dir``."""
+
+    @pytest.fixture()
+    def events_file(self, tmp_path):
+        """A small JSONL arrivals file consistent with the tiny corpus
+        (one garbage line included, exercising the dead-letter path)."""
+        from repro.stream import ArrivalEvent, encode_event
+        from repro.synthesis.organization import synthesize
+        corpus = synthesize("tiny", seed=7)
+        lines = []
+        for device_id in sorted(corpus.snapshots)[:6]:
+            snap = corpus.snapshots[device_id][-1]
+            lines.append(encode_event(ArrivalEvent(
+                device_id=snap.device_id, network_id=snap.network_id,
+                timestamp=snap.timestamp + 1, login="ops-stream",
+                modality=snap.modality.value,
+                config_text=snap.config_text,
+            )).decode())
+        lines.append("this is not an event")
+        path = tmp_path / "events.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_ingest_resume_quality_roundtrip(self, workspace_env, events_file,
+                                             capsys):
+        state_dir = workspace_env / "stream-state"
+        assert main(["ingest", "--state-dir", str(state_dir),
+                     "--events", str(events_file),
+                     "--batch-size", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "journaled" in out
+        assert "dead letters (total) : 1" in out
+        assert "Fault handling" in out
+
+        # resume over a clean checkpoint is a no-op
+        assert main(["resume", "--state-dir", str(state_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "batches checkpointed : 0" in out
+
+        # re-ingesting the same file only counts duplicates
+        assert main(["ingest", "--state-dir", str(state_dir),
+                     "--events", str(events_file)]) == 0
+        out = capsys.readouterr().out
+        assert "duplicates skipped   : 7" in out
+        assert "journaled            : 0" in out
+
+        # machine-readable quality report with the dead-letter ledger
+        import json as json_mod
+        assert main(["quality", "--state-dir", str(state_dir),
+                     "--json"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert len(doc["dead_letters"]) == 1
+        assert doc["dead_letters"][0]["reason"] == "undecodable"
+
+        # human-readable form mentions the quarantined event
+        assert main(["quality", "--state-dir", str(state_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "dead-letter seq" in out
+
+    def test_quality_state_dir_without_ingest_fails(self, workspace_env,
+                                                    tmp_path, capsys):
+        missing = tmp_path / "never-ingested"
+        assert main(["quality", "--state-dir", str(missing)]) == 2
+        assert "run mpa ingest first" in capsys.readouterr().err

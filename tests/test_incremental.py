@@ -182,6 +182,27 @@ class TestIncrementalBuild:
         assert_datasets_identical(plain.dataset, rebuilt.dataset)
         assert plain.quality.to_dict() == rebuilt.quality.to_dict()
 
+    def test_trailing_garbage_in_cache_entry_is_a_miss(self, base_corpus,
+                                                       tmp_path):
+        """A torn or over-written entry — valid header, payload longer
+        than the header claims — must fail the CRC frame check and read
+        as a miss, never as a partially-trusted hit."""
+        cache = StageCache(tmp_path / "stagecache")
+        plain = build_full(base_corpus)
+        build_full(base_corpus, cache=cache)
+        files = [p for p in sorted(cache.root.rglob("*")) if p.is_file()]
+        assert files
+        for victim in files[:3]:
+            victim.write_bytes(victim.read_bytes() + b"\x00trailing junk")
+        rebuilt = build_full(base_corpus, cache=cache)
+        assert_datasets_identical(plain.dataset, rebuilt.dataset)
+        assert plain.quality.to_dict() == rebuilt.quality.to_dict()
+        # truncated payloads are equally a miss
+        blob = files[0].read_bytes()
+        files[0].write_bytes(blob[:max(1, len(blob) // 2)])
+        again = build_full(base_corpus, cache=cache)
+        assert_datasets_identical(plain.dataset, again.dataset)
+
 
 class TestCarryForwardBoundaries:
     """Cross-chunk carry-forward: a device whose diff/feature base for a

@@ -1,0 +1,174 @@
+"""Retry policy, backoff determinism, timeouts, and the watchdog pool."""
+
+import time
+
+import pytest
+
+from repro.faults.process import HangTask
+from repro.runtime.pool import TaskFailure, parallel_map
+from repro.runtime.retry import (
+    ENV_MAX_RETRIES,
+    ENV_RETRY_BASE_DELAY,
+    ENV_TASK_TIMEOUT,
+    RetryableError,
+    RetryExhaustedError,
+    RetryPolicy,
+    TaskTimeout,
+    call_with_retry,
+    resolve_timeout,
+)
+from repro.runtime.telemetry import TELEMETRY
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        delays = [policy.delay_for("x", attempt) for attempt in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_is_deterministic_per_label_and_attempt(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=3)
+        again = RetryPolicy(base_delay=0.1, jitter=0.5, seed=3)
+        assert policy.delay_for("a", 1) == again.delay_for("a", 1)
+        assert policy.delay_for("a", 1) != policy.delay_for("b", 1)
+        assert policy.delay_for("a", 1) != policy.delay_for("a", 2)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_RETRIES, "5")
+        monkeypatch.setenv(ENV_RETRY_BASE_DELAY, "0.25")
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 6
+        assert policy.base_delay == 0.25
+        # explicit overrides beat the environment
+        assert RetryPolicy.from_env(max_attempts=2).max_attempts == 2
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_RETRIES, "many")
+        with pytest.raises(ValueError, match="MPA_MAX_RETRIES"):
+            RetryPolicy.from_env()
+
+
+class TestCallWithRetry:
+    def _flaky(self, failures, exc=RetryableError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc(f"transient #{calls['n']}")
+            return "ok"
+
+        return fn, calls
+
+    def test_succeeds_after_transient_failures(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        assert call_with_retry(fn, policy=policy, label="t",
+                               sleep=slept.append) == "ok"
+        assert calls["n"] == 3
+        assert slept == [0.1, 0.2]
+
+    def test_exhaustion_raises_with_cause(self):
+        fn, _ = self._flaky(99)
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as info:
+            call_with_retry(fn, policy=policy, sleep=lambda _: None)
+        assert info.value.attempts == 2
+        assert isinstance(info.value.__cause__, RetryableError)
+
+    def test_non_retryable_propagates_immediately(self):
+        fn, calls = self._flaky(99, exc=KeyError)
+        with pytest.raises(KeyError):
+            call_with_retry(fn, policy=RetryPolicy(), sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_retries_land_in_telemetry(self):
+        fn, _ = self._flaky(1)
+        before = {s.name: s.retries for s in TELEMETRY.faults()}
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        call_with_retry(fn, policy=policy, telemetry_name="retry-test",
+                        sleep=lambda _: None)
+        stats = {s.name: s for s in TELEMETRY.faults()}
+        assert stats["retry-test"].retries == before.get("retry-test", 0) + 1
+
+
+class TestResolveTimeout:
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_TASK_TIMEOUT, "30")
+        assert resolve_timeout(5.0) == 5.0
+        assert resolve_timeout() == 30.0
+        monkeypatch.delenv(ENV_TASK_TIMEOUT)
+        assert resolve_timeout() is None
+
+    def test_rejects_non_positive(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_timeout(0)
+        monkeypatch.setenv(ENV_TASK_TIMEOUT, "-3")
+        with pytest.raises(ValueError):
+            resolve_timeout()
+
+
+def _double(item):
+    return item * 2
+
+
+def _sleepy(item):
+    if item == 2:
+        time.sleep(60)
+    return item * 2
+
+
+class TestWatchdogPool:
+    def test_fast_tasks_pass_through(self):
+        assert parallel_map(_double, range(6), jobs=2, timeout=30.0) == \
+            [0, 2, 4, 6, 8, 10]
+
+    def test_hung_task_is_reaped_as_task_timeout(self):
+        policy = RetryPolicy(max_attempts=1)
+        results = parallel_map(_sleepy, range(4), jobs=2, timeout=0.5,
+                               on_error="collect", retry=policy)
+        failure = results[2]
+        assert isinstance(failure, TaskFailure)
+        assert failure.error_type == "TaskTimeout"
+        assert [r for r in results if not isinstance(r, TaskFailure)] == \
+            [0, 2, 6]
+
+    def test_hung_task_raises_in_raise_mode(self):
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(TaskTimeout):
+            parallel_map(_sleepy, range(4), jobs=2, timeout=0.5,
+                         retry=policy)
+
+    def test_hang_once_retry_recovers(self, tmp_path):
+        """First attempt hangs and is reaped; the bounded retry runs the
+        task again and succeeds — the dead worker is replaced."""
+        hang = HangTask(_double, matches=lambda item: item == 1,
+                        hang_once_path=str(tmp_path / "hung-once"))
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        before = {s.name: s for s in TELEMETRY.faults()}
+        results = parallel_map(hang, range(4), jobs=2, timeout=0.5,
+                               retry=policy, stage="wd-hang-once")
+        assert results == [0, 2, 4, 6]
+        stats = {s.name: s for s in TELEMETRY.faults()}
+        prior = before.get("wd-hang-once")
+        assert stats["wd-hang-once"].timeouts >= (
+            prior.timeouts if prior else 0) + 1
+        assert stats["wd-hang-once"].retries >= (
+            prior.retries if prior else 0) + 1
+
+    def test_timeout_env_knob_engages_watchdog(self, monkeypatch):
+        monkeypatch.setenv(ENV_TASK_TIMEOUT, "0.5")
+        monkeypatch.setenv(ENV_MAX_RETRIES, "0")
+        results = parallel_map(_sleepy, range(4), jobs=2,
+                               on_error="collect")
+        assert isinstance(results[2], TaskFailure)
+        assert results[2].error_type == "TaskTimeout"
