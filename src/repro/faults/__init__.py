@@ -18,8 +18,10 @@ every quarantined/dropped/degraded item attributed in the run's
 from repro.faults.inject import FaultInjector, InjectionResult, inject_faults
 from repro.faults.plan import FAULT_CLASSES, FaultPlan
 from repro.faults.process import (
+    EioOnSync,
     EnospcAtBytes,
     HangTask,
+    PartialWriteEnospc,
     SigkillAtBytes,
     SigkillAtPoint,
     hooks_from_env,
@@ -28,11 +30,13 @@ from repro.faults.process import (
 
 __all__ = [
     "FAULT_CLASSES",
+    "EioOnSync",
     "EnospcAtBytes",
     "FaultPlan",
     "FaultInjector",
     "HangTask",
     "InjectionResult",
+    "PartialWriteEnospc",
     "SigkillAtBytes",
     "SigkillAtPoint",
     "hooks_from_env",

@@ -21,6 +21,14 @@ object implements any subset.
 * :class:`EnospcAtBytes` — raise ``OSError(ENOSPC)`` once cumulative
   bytes would cross a cap. Models a full disk; the retry layer turns it
   into bounded retries and, if persistent, a clean failure.
+* :class:`PartialWriteEnospc` — flush a *prefix* of the record to the
+  file, then raise ``OSError(ENOSPC)``. Models what a real buffered
+  write does under ENOSPC/EIO: part of the data reaches the segment
+  before the error surfaces, so a blind retry would corrupt framing
+  unless the journal truncates back to the last record boundary first.
+* :class:`EioOnSync` — fail the first *n* durability barriers
+  (``pre_sync``) with ``OSError(EIO)``. The journal maps it to a
+  non-retryable ``JournalSyncError`` and the ingester aborts the batch.
 * :class:`HangTask` — a callable that sleeps far past any watchdog
   timeout when its predicate matches; wraps pool task bodies to test
   the reaper.
@@ -94,6 +102,62 @@ class EnospcAtBytes:
 
     def post_write(self, path, data) -> None:
         pass
+
+
+class PartialWriteEnospc:
+    """Flush ``flush_bytes`` of the record, then raise ``OSError(ENOSPC)``.
+
+    Unlike :class:`EnospcAtBytes` (which rejects before the file is
+    touched), this reproduces the dangerous half of a real device
+    failure: the buffered write tears mid-record, leaving garbage bytes
+    at the segment tail. The journal must truncate back to its last
+    known-good offset before retrying — ``tests/test_journal.py`` pins
+    that a retried append lands on clean framing. With
+    ``transient=True`` the device "recovers" after the first rejection,
+    so one retry succeeds; without it every further write tears again.
+    """
+
+    def __init__(self, cap: int, *, flush_bytes: int = 3,
+                 transient: bool = False) -> None:
+        self.cap = cap
+        self.flush_bytes = flush_bytes
+        self.transient = transient
+        self.written = 0
+        self._tripped = False
+
+    def pre_write(self, path, data) -> None:
+        if self._tripped and self.transient:
+            return
+        if self.written + len(data) > self.cap:
+            self._tripped = True
+            with open(path, "ab") as handle:
+                handle.write(data[:self.flush_bytes])
+            raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC),
+                          str(path))
+        self.written += len(data)
+
+    def post_write(self, path, data) -> None:
+        pass
+
+
+class EioOnSync:
+    """Fail the first ``count`` durability barriers with ``OSError(EIO)``.
+
+    Models a device error surfacing at fsync time. The journal wraps it
+    into a deliberately non-retryable ``JournalSyncError`` (a failed
+    fsync may have dropped the dirty pages, so a succeeding retry would
+    acknowledge lost data); the ingester must abort the batch instead
+    of applying, checkpointing, or pruning it.
+    """
+
+    def __init__(self, count: int = 1) -> None:
+        self.count = count
+        self.calls = 0
+
+    def pre_sync(self, path) -> None:
+        self.calls += 1
+        if self.calls <= self.count:
+            raise OSError(errno.EIO, os.strerror(errno.EIO), str(path))
 
 
 class HangTask:

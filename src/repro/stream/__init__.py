@@ -39,6 +39,7 @@ from repro.stream.ingest import (
 from repro.stream.journal import (
     JournalCorruptError,
     JournalError,
+    JournalSyncError,
     JournalWriteError,
     RecoveryInfo,
     WriteAheadLog,
@@ -53,6 +54,7 @@ __all__ = [
     "IngestResult",
     "JournalCorruptError",
     "JournalError",
+    "JournalSyncError",
     "JournalWriteError",
     "RecoveryInfo",
     "StreamIngester",

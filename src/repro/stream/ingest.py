@@ -257,9 +257,15 @@ class StreamIngester:
         self.fault_hooks = fault_hooks
         self.corpus = Corpus.load(self.state_dir / "corpus")
         self.cache = StageCache(self.state_dir / "cache", durable=True)
-        self.wal = WriteAheadLog(self.state_dir / "wal", hooks=fault_hooks)
+        # load the checkpoint first: its applied_seqno is the
+        # acknowledgment floor, which lets WAL recovery truncate a
+        # power-loss-reordered unsynced tail (several records deep)
+        # instead of refusing to open, while still treating damage to
+        # checkpointed records as real corruption
         self.checkpoint = (IngestCheckpoint.load(self.checkpoint_path)
                            or IngestCheckpoint())
+        self.wal = WriteAheadLog(self.state_dir / "wal", hooks=fault_hooks,
+                                 trusted_seqno=self.checkpoint.applied_seqno)
         if self.checkpoint.applied_seqno > self.wal.last_seqno:
             raise IngestError(
                 f"checkpoint claims seqno {self.checkpoint.applied_seqno} "
@@ -437,6 +443,11 @@ class StreamIngester:
         Each batch is made durable in the WAL before any of it is
         applied, and ends with artifacts + a checkpoint on disk — so a
         crash never loses an acknowledged event and resumes mid-stream.
+        A failed durability barrier
+        (:class:`~repro.stream.journal.JournalSyncError`) aborts the
+        batch by propagating: nothing of it is applied, checkpointed,
+        or pruned, because a failed fsync may have already dropped the
+        pages and a "successful" retry would acknowledge lost events.
         """
         out = result or IngestResult()
         payloads = list(payloads)

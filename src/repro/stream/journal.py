@@ -31,9 +31,39 @@ two corruption cases a crash can actually produce from real damage:
   :class:`JournalCorruptError` rather than silently dropping
   acknowledged events.
 
+The strictness of "the tail" is tunable via ``trusted_seqno``. With the
+default (``None``) only the literal last record of the journal may be
+CRC-bad; that is the right model for a process crash, where the page
+cache preserves write order. After a *power loss*, though, out-of-order
+writeback can leave a bad record before an intact one anywhere in the
+unsynced tail — which, at one ``sync`` per batch, may span several
+records. A caller that knows its acknowledgment floor (the ingester
+passes its checkpoint's ``applied_seqno``) sets ``trusted_seqno``:
+records at or below the floor are acknowledged and must be intact,
+while an invalid record *above* it in the final segment starts the torn
+tail and everything from there on is truncated. Records in non-final
+segments are always synced (rotation fsyncs the old segment first), so
+the floor never relaxes mid-chain corruption into truncation.
+
+Failure handling on the write path:
+
+* :meth:`append` is **retry-idempotent**: a failed buffered write may
+  flush part of the record before raising (real ENOSPC/EIO does this),
+  so the journal remembers the tear and truncates the segment back to
+  the last record boundary before the next attempt — a retried append
+  always lands on clean framing.
+* segment **rotation is retry-safe**: a header write that fails after
+  creating the file leaves a recordless leftover, which the next
+  attempt rewrites in place instead of tripping over ``FileExistsError``.
+* :meth:`sync` **raises** :class:`JournalSyncError` — deliberately
+  *not* retryable — when the fsync fails: on Linux a failed fsync drops
+  the dirty pages it could not write, so "retry and succeed" would
+  falsely acknowledge lost data. The caller must abort the batch.
+
 Appends go through an optional fault-hook object (``pre_write`` /
-``post_write``), which is how the chaos harness injects ENOSPC and
-kills the process at exact byte offsets; production runs pass none.
+``post_write`` / ``pre_sync``), which is how the chaos harness injects
+ENOSPC, fsync EIO, and kills the process at exact byte offsets;
+production runs pass none.
 """
 
 from __future__ import annotations
@@ -72,6 +102,16 @@ class JournalWriteError(JournalError, RetryableError):
     """An append failed at the I/O layer (e.g. ENOSPC); retryable."""
 
 
+class JournalSyncError(JournalError):
+    """The durability barrier (fsync) failed.
+
+    Deliberately **not** retryable: a failed fsync may have dropped the
+    dirty pages it could not write (Linux does), so a succeeding retry
+    would report durability for data that is gone. The batch must be
+    aborted instead; recovery truncates the unsynced tail on reopen.
+    """
+
+
 @dataclass(frozen=True)
 class RecoveryInfo:
     """What :meth:`WriteAheadLog.open` found and repaired."""
@@ -104,13 +144,22 @@ class WriteAheadLog:
 
     def __init__(self, root: str | Path, *,
                  max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
-                 hooks=None) -> None:
+                 hooks=None, trusted_seqno: int | None = None) -> None:
         self.root = Path(root)
         self.max_segment_bytes = max_segment_bytes
         self.hooks = hooks
+        #: acknowledgment floor for recovery (see the module docs):
+        #: None = only the literal last record may be torn; an int =
+        #: any invalid record above it in the final segment starts the
+        #: (unacknowledged, truncatable) tail
+        self.trusted_seqno = trusted_seqno
         self._segment_path: Path | None = None
         self._segment_size = 0
         self._next_seqno = 1
+        #: a failed append may have flushed a partial record; when set,
+        #: the segment is truncated back to ``_segment_size`` before the
+        #: next write so a retried append lands on clean framing
+        self._append_torn = False
         self.recovery = self._recover()
 
     # -- recovery ------------------------------------------------------------
@@ -163,9 +212,14 @@ class WriteAheadLog:
                     if end > len(blob):
                         torn = True
                     elif zlib.crc32(blob[header_end:end]) != crc:
-                        # a CRC mismatch is only crash-explicable on the
-                        # very last record of the journal
-                        if last and end == len(blob):
+                        # a CRC mismatch is crash-explicable on the very
+                        # last record of the journal, or — when the
+                        # caller supplied its acknowledgment floor —
+                        # anywhere in the final segment's unsynced tail
+                        # (power-loss writeback can reorder pages)
+                        if last and (end == len(blob)
+                                     or (self.trusted_seqno is not None
+                                         and expected > self.trusted_seqno)):
                             torn = True
                         else:
                             raise JournalCorruptError(
@@ -211,7 +265,19 @@ class WriteAheadLog:
     def _open_segment(self, first_seqno: int) -> None:
         path = self.root / _segment_name(first_seqno)
         header = _SEGMENT_HEADER.pack(SEGMENT_MAGIC, first_seqno)
-        self._write(path, header, mode="xb", sync=True)
+        mode = "xb"
+        if path.exists():
+            # leftover from an earlier attempt whose header write failed
+            # transiently: it was created before ``_segment_path`` moved,
+            # so it cannot hold records — rewrite it in place instead of
+            # turning the retry into a permanent FileExistsError
+            if path.stat().st_size > len(header):
+                raise JournalCorruptError(
+                    f"{path.name}: segment already exists with data "
+                    "while rotating — seqno chain is inconsistent"
+                )
+            mode = "wb"
+        self._write(path, header, mode=mode, sync=True)
         fsync_dir(self.root)
         self._segment_path = path
         self._segment_size = len(header)
@@ -236,39 +302,80 @@ class WriteAheadLog:
         if hooks is not None and hasattr(hooks, "post_write"):
             hooks.post_write(path, data)
 
+    def _repair_torn_append(self) -> None:
+        """Truncate the active segment back to the last record boundary.
+
+        A failed buffered append can flush part of the record to the
+        file before the error surfaces (real ENOSPC/EIO does this); a
+        blind re-append would land after those garbage bytes and corrupt
+        framing mid-segment. Raises :class:`JournalWriteError` (still
+        retryable) when the truncation itself fails.
+        """
+        path = self._segment_path
+        assert path is not None
+        try:
+            with open(path, "r+b") as handle:
+                handle.truncate(self._segment_size)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise JournalWriteError(
+                f"truncating torn append in {path.name} failed: {exc}"
+            ) from exc
+        self._append_torn = False
+
     def append(self, payload: bytes) -> int:
         """Journal one event payload; returns its sequence number.
 
         Buffered — call :meth:`sync` to make a batch durable. Rotation
         to a fresh segment happens *before* the record that would
-        overflow the current one, and is itself durable.
+        overflow the current one, and is itself durable. Idempotent
+        under retry: a previously failed append's partial flush is
+        truncated away before the next record is written.
         """
+        if self._append_torn:
+            self._repair_torn_append()
         if self._segment_size >= self.max_segment_bytes:
             self.sync()
             self._open_segment(first_seqno=self._next_seqno)
         record = _RECORD_HEADER.pack(len(payload),
                                      zlib.crc32(payload)) + payload
         assert self._segment_path is not None
-        self._write(self._segment_path, record)
+        try:
+            self._write(self._segment_path, record)
+        except JournalWriteError:
+            # the OS may have flushed part of the record before failing
+            self._append_torn = True
+            raise
         self._segment_size += len(record)
         seqno = self._next_seqno
         self._next_seqno += 1
         return seqno
 
     def sync(self) -> None:
-        """fsync the active segment (durability barrier for a batch)."""
+        """fsync the active segment (the durability barrier for a batch).
+
+        Raises :class:`JournalSyncError` — deliberately not retryable —
+        when the barrier fails: a failed fsync may have dropped the
+        dirty pages (Linux does), so retrying cannot recover them and
+        the batch must be aborted un-acknowledged instead of applied.
+        """
         if self._segment_path is None:
             return
+        hooks = self.hooks
         try:
+            if hooks is not None and hasattr(hooks, "pre_sync"):
+                hooks.pre_sync(self._segment_path)
             fd = os.open(self._segment_path, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(fd)
-        except OSError:
-            pass
-        finally:
-            os.close(fd)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError as exc:
+            raise JournalSyncError(
+                f"fsync of {self._segment_path.name} failed: {exc}; "
+                "the current batch cannot be acknowledged"
+            ) from exc
 
     # -- reading -------------------------------------------------------------
 

@@ -7,13 +7,18 @@ from pathlib import Path
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.faults.process import EnospcAtBytes
-from repro.runtime.retry import RetryPolicy, call_with_retry
+from repro.faults.process import EioOnSync, EnospcAtBytes, PartialWriteEnospc
+from repro.runtime.retry import (
+    RetryExhaustedError,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.stream.journal import (
     _RECORD_HEADER,
     _SEGMENT_HEADER,
     SEGMENT_MAGIC,
     JournalCorruptError,
+    JournalSyncError,
     JournalWriteError,
     WriteAheadLog,
 )
@@ -171,6 +176,46 @@ class TestRecovery:
         with pytest.raises(JournalCorruptError, match="gap"):
             WriteAheadLog(tmp_path / "wal")
 
+    def _corrupt_record(self, root, index):
+        """Flip a payload byte of record ``index`` (0-based) in the
+        single segment under ``root``; returns the segment path."""
+        segment = next(iter(sorted(root.glob("wal-*.seg"))))
+        blob = bytearray(segment.read_bytes())
+        offset = _SEGMENT_HEADER.size
+        for payload in PAYLOADS[:index]:
+            offset += _RECORD_HEADER.size + len(payload)
+        blob[offset + _RECORD_HEADER.size] ^= 0xFF
+        segment.write_bytes(bytes(blob))
+        return segment
+
+    def test_trusted_floor_truncates_the_unsynced_tail(self, tmp_path):
+        """Power-loss writeback reordering can leave a CRC-bad record
+        *before* intact ones in the unsynced tail. With the caller's
+        acknowledgment floor, recovery truncates from the first invalid
+        record instead of refusing to open."""
+        _fill(tmp_path / "wal")
+        self._corrupt_record(tmp_path / "wal", index=2)
+        wal = WriteAheadLog(tmp_path / "wal", trusted_seqno=2)
+        assert wal.recovery.truncated_bytes > 0
+        assert [p for _, p in wal.replay()] == PAYLOADS[:2]
+        assert wal.append(b"after") == 3
+
+    def test_damage_at_or_below_the_floor_still_raises(self, tmp_path):
+        """Records at or below the floor are acknowledged: damage there
+        is real corruption, never a truncatable tail."""
+        _fill(tmp_path / "wal")
+        self._corrupt_record(tmp_path / "wal", index=2)
+        with pytest.raises(JournalCorruptError, match="CRC mismatch"):
+            WriteAheadLog(tmp_path / "wal", trusted_seqno=3)
+
+    def test_without_a_floor_midsegment_damage_raises(self, tmp_path):
+        """The conservative default (no floor) keeps the process-crash
+        model: only the literal last record may be torn."""
+        _fill(tmp_path / "wal")
+        self._corrupt_record(tmp_path / "wal", index=2)
+        with pytest.raises(JournalCorruptError, match="CRC mismatch"):
+            WriteAheadLog(tmp_path / "wal")
+
     def test_crc_catches_bitflip_in_tail_record(self, tmp_path):
         """A flipped bit in the final record is crash-indistinguishable
         from a torn write: recovered by truncation, not trusted."""
@@ -182,6 +227,20 @@ class TestRecovery:
         wal = WriteAheadLog(tmp_path / "wal")
         assert wal.recovery.truncated_bytes > 0
         assert [p for _, p in wal.replay()] == PAYLOADS[:-1]
+
+
+class TestSyncFailure:
+    def test_failed_fsync_raises_and_is_not_retryable(self, tmp_path):
+        """A failed durability barrier must surface (a swallowed one
+        would acknowledge a batch that can vanish on power loss) and
+        must NOT be retryable — a failed fsync drops the dirty pages,
+        so a succeeding retry would lie."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(b"payload")
+        wal.hooks = EioOnSync()
+        with pytest.raises(JournalSyncError):
+            wal.sync()
+        assert not RetryPolicy().is_retryable(JournalSyncError("x"))
 
 
 class TestEnospc:
@@ -201,6 +260,60 @@ class TestEnospc:
                                 policy=policy, label="wal-append")
         assert seqno == 2
         assert [p for _, p in wal.replay()] == [b"x" * 10, b"y" * 100]
+
+    def test_partial_flush_then_retry_lands_on_clean_framing(self, tmp_path):
+        """A real ENOSPC can flush part of the record before the write
+        raises; a retried append must truncate that garbage away instead
+        of appending after it (which would corrupt framing)."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(b"ok")
+        wal.hooks = PartialWriteEnospc(cap=0, flush_bytes=3, transient=True)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        seqno = call_with_retry(lambda: wal.append(b"y" * 30),
+                                policy=policy, label="wal-append")
+        assert seqno == 2
+        assert [p for _, p in wal.replay()] == [b"ok", b"y" * 30]
+        wal.hooks = None
+        wal.sync()
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert not reopened.recovery.repaired
+        assert [p for _, p in reopened.replay()] == [b"ok", b"y" * 30]
+
+    def test_persistent_partial_flush_leaves_a_recoverable_journal(
+            self, tmp_path):
+        """When every retry tears, the append fails permanently — but the
+        garbage prefix is a torn tail, not corruption: reopen recovers
+        every previously acknowledged record."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(b"ok")
+        wal.sync()
+        wal.hooks = PartialWriteEnospc(cap=0, flush_bytes=3)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(lambda: wal.append(b"y" * 30),
+                            policy=policy, label="wal-append")
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert reopened.recovery.truncated_bytes == 3
+        assert [p for _, p in reopened.replay()] == [b"ok"]
+        assert reopened.append(b"after") == 2
+
+    def test_failed_rotation_is_retry_safe(self, tmp_path):
+        """A header write that dies after creating the segment file must
+        not turn the retry into a permanent FileExistsError."""
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_bytes=64)
+        wal.append(b"a" * 60)  # fills the first segment past the threshold
+        # next append must rotate; tear the header write once
+        wal.hooks = PartialWriteEnospc(cap=0, flush_bytes=5, transient=True)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        seqno = call_with_retry(lambda: wal.append(b"second"),
+                                policy=policy, label="wal-append")
+        assert seqno == 2
+        wal.hooks = None
+        wal.sync()
+        assert len(sorted((tmp_path / "wal").glob("wal-*.seg"))) == 2
+        reopened = WriteAheadLog(tmp_path / "wal", max_segment_bytes=64)
+        assert not reopened.recovery.repaired
+        assert [p for _, p in reopened.replay()] == [b"a" * 60, b"second"]
 
     def test_record_framing_is_length_plus_crc(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal")

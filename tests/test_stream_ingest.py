@@ -4,9 +4,11 @@ import json
 
 import pytest
 
+from repro.faults.process import EioOnSync
 from repro.metrics.dataset import MetricDataset, build_full
 from repro.stream.chaos import chaos_events
 from repro.stream.checkpoint import IngestCheckpoint, dataset_digest
+from repro.stream.journal import JournalSyncError
 from repro.stream.ingest import (
     ArrivalEvent,
     StreamIngester,
@@ -104,6 +106,26 @@ class TestResume:
         resumed = reopened.resume()
         assert resumed.batches == 1
         assert resumed.applied_seqno == reopened.wal.last_seqno
+
+
+class TestSyncFailure:
+    def test_failed_barrier_aborts_before_apply_or_checkpoint(
+            self, split, state):
+        """A failed WAL fsync must abort the batch: nothing applied,
+        checkpointed, or pruned — an acknowledged batch must never rest
+        on a durability barrier that did not hold."""
+        full, _, payloads = split
+        state.wal.hooks = EioOnSync(count=10 ** 6)
+        with pytest.raises(JournalSyncError):
+            state.ingest(payloads)
+        assert not state.checkpoint_path.exists()
+        assert not state.dataset_path.exists()
+        # the journaled-but-unacknowledged batch is not lost history: a
+        # healthy successor replays it and lands bit-identical
+        reopened = StreamIngester(state.state_dir)
+        result = reopened.resume()
+        direct = build_full(full, reopened.delta_minutes)
+        assert result.dataset_digest == dataset_digest(direct.dataset)
 
 
 class TestDedup:
