@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-pytest coverage smoke fuzz lint selfcheck chaos
+.PHONY: test bench bench-check bench-pytest coverage smoke migrate-smoke fuzz lint selfcheck chaos
 
 # tier-1 test suite
 test:
@@ -69,3 +69,8 @@ chaos:
 smoke:
 	MPA_JOBS=2 $(PYTHON) -m pytest benchmarks/bench_runtime_smoke.py -q -s
 	$(PYTHON) tools/fused_smoke.py
+
+# legacy .npz -> columnar store round trip: the migrated store must be
+# byte-identical (dataset digest and manifest digest) to a direct build
+migrate-smoke:
+	$(PYTHON) tools/migrate_smoke.py

@@ -20,7 +20,13 @@ Commands:
   ingestion: journal the events file through the WAL, rebuild
   incrementally, checkpoint (initializes the state dir on first use),
 * ``mpa resume --state-dir S`` — finish whatever a crashed ingester
-  left incomplete (idempotent; safe to run any number of times).
+  left incomplete (idempotent; safe to run any number of times),
+* ``mpa query --columns n_devices --months 0,1,2 --aggregate mean`` —
+  typed projections/aggregations straight off the columnar store
+  (touches only the projected columns; see :mod:`repro.store`),
+* ``mpa corpus info`` — shard/column/byte accounting of the store,
+* ``mpa migrate`` — one-shot conversion of a legacy ``dataset.npz``
+  artifact into the sharded columnar store.
 """
 
 from __future__ import annotations
@@ -117,6 +123,51 @@ def main(argv: list[str] | None = None) -> int:
                             "after a crash (idempotent)")
     _add_scale(p)
     p.add_argument("--state-dir", required=True)
+
+    p = sub.add_parser("query",
+                       help="filter/project/aggregate over the columnar "
+                            "store without materializing the table")
+    _add_scale(p)
+    p.add_argument("--columns", default=None,
+                   help="comma-separated column names to project "
+                        "(metric names plus month_index/tickets)")
+    p.add_argument("--networks", default=None,
+                   help="comma-separated network ids to keep")
+    p.add_argument("--months", default=None,
+                   help="comma-separated month indices to keep")
+    p.add_argument("--aggregate", default=None,
+                   choices=("mean", "sum", "min", "max", "count"),
+                   help="reduce the projection instead of listing rows")
+    p.add_argument("--by", default=None, choices=("network", "month"),
+                   help="group the aggregate")
+    p.add_argument("--count", action="store_true",
+                   help="print the scoped row count only")
+    p.add_argument("--limit", type=int, default=20,
+                   help="max rows to list without --aggregate "
+                        "(default 20)")
+
+    p = sub.add_parser("corpus",
+                       help="inspect the columnar corpus store")
+    p.add_argument("action", choices=("info",),
+                   help="info: shard/column/byte accounting")
+    _add_scale(p)
+    p.add_argument("--state-dir", default=None,
+                   help="inspect a streaming state dir's store instead "
+                        "of the workspace's")
+
+    p = sub.add_parser("migrate",
+                       help="convert a legacy dataset.npz into the "
+                            "sharded columnar store (one-shot)")
+    _add_scale(p)
+    p.add_argument("--input", default=None,
+                   help="legacy .npz artifact (default: the "
+                        "workspace's dataset.npz)")
+    p.add_argument("--output", default=None,
+                   help="store directory to write (default: "
+                        "dataset.mpstore next to the input)")
+    p.add_argument("--delete-legacy", action="store_true",
+                   help="remove the .npz + sidecar after a verified "
+                        "conversion")
 
     p = sub.add_parser("top", help="top practices by MI (Table 3)")
     _add_scale(p)
@@ -276,6 +327,113 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {issue}")
         if len(issues) > args.limit:
             print(f"  ... and {len(issues) - args.limit} more")
+        return 0
+    if args.command == "query":
+        from repro.errors import CorpusError
+        from repro.util.tables import render_table
+        try:
+            store = workspace.store()
+            q = store.query()
+            if args.networks:
+                q = q.where(networks=[n.strip()
+                                      for n in args.networks.split(",")
+                                      if n.strip()])
+            if args.months:
+                q = q.where(months=[int(m)
+                                    for m in args.months.split(",")
+                                    if m.strip()])
+            columns = ([c.strip() for c in args.columns.split(",")
+                        if c.strip()] if args.columns else [])
+            if columns:
+                q = q.project(*columns)
+            if args.count or (args.aggregate == "count" and not columns):
+                print(q.count())
+                return 0
+            if args.aggregate:
+                if len(columns) != 1:
+                    print("--aggregate needs exactly one --columns entry",
+                          file=sys.stderr)
+                    return 2
+                result = q.aggregate(args.aggregate, columns[0], by=args.by)
+                if args.by is None:
+                    print(result)
+                else:
+                    print(render_table(
+                        [args.by, args.aggregate],
+                        [[key, value] for key, value in result],
+                        title=f"{args.aggregate}({columns[0]}) "
+                              f"by {args.by}",
+                    ))
+                return 0
+            if not columns:
+                print("query needs --columns (or --count/--aggregate)",
+                      file=sys.stderr)
+                return 2
+            table = q.table()
+            total = len(table["network"])
+            rows = [[table["network"][i]]
+                    + [table[name][i] for name in columns]
+                    for i in range(min(total, args.limit))]
+            print(render_table(["network"] + columns, rows,
+                               title=f"{total} row(s)"))
+            if total > args.limit:
+                print(f"... and {total - args.limit} more "
+                      "(raise --limit)")
+        except (ValueError, CorpusError) as exc:
+            print(f"query failed: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    if args.command == "corpus":
+        from pathlib import Path
+
+        from repro.errors import CorpusError
+        from repro.reporting.tables import format_store_table
+        from repro.store import CorpusStore, is_store
+        if args.state_dir:
+            root = Path(args.state_dir) / "dataset.mpstore"
+            if not is_store(root):
+                print(f"no columnar store at {root} (run mpa ingest, "
+                      "or mpa migrate for a legacy artifact)",
+                      file=sys.stderr)
+                return 2
+            store = CorpusStore.open(root)
+        else:
+            try:
+                store = workspace.store()
+            except CorpusError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        print(format_store_table(store.info()))
+        return 0
+    if args.command == "migrate":
+        from pathlib import Path
+
+        from repro.errors import CorpusError
+        from repro.metrics.dataset import MetricDataset
+        from repro.stream.checkpoint import dataset_digest
+        input_path = (Path(args.input) if args.input
+                      else workspace.legacy_dataset_path)
+        output_path = (Path(args.output) if args.output
+                       else input_path.with_name("dataset.mpstore"))
+        try:
+            dataset = MetricDataset.load(input_path)
+        except CorpusError as exc:
+            print(f"cannot migrate: {exc}", file=sys.stderr)
+            return 2
+        before = dataset_digest(dataset)
+        dataset.save(output_path)
+        after = dataset_digest(MetricDataset.load(output_path))
+        if before != after:
+            print(f"migration verification FAILED: digest {before[:16]} "
+                  f"became {after[:16]} — the store at {output_path} "
+                  "does not reproduce the legacy table", file=sys.stderr)
+            return 1
+        print(f"migrated {input_path} -> {output_path}")
+        print(f"dataset digest {before[:16]}... verified identical")
+        if args.delete_legacy:
+            input_path.unlink(missing_ok=True)
+            input_path.with_suffix(".json").unlink(missing_ok=True)
+            print(f"legacy artifact {input_path} removed")
         return 0
     if args.command in ("ingest", "resume"):
         from pathlib import Path

@@ -18,12 +18,15 @@ Control knobs (environment variables):
 
 Cache-format and concurrency guarantees:
 
-* Every artifact (``dataset.npz`` + sidecar, ``changes.jsonl.gz``,
-  ``summary.json``, ``quality.json`` — the run's
+* Every artifact (``dataset.mpstore`` — the sharded columnar store of
+  :mod:`repro.store`, committed by an atomic manifest rename —
+  ``changes.jsonl.gz``, ``summary.json``, ``quality.json`` — the run's
   :class:`~repro.metrics.quality.DataQualityReport` — the corpus
   directory, ``format_version.txt``) is
   written to a temporary name and atomically renamed into place;
   ``format_version.txt`` is written last and acts as the commit marker.
+  A pre-store monolithic ``dataset.npz`` left by an older build is
+  still readable (and convertible in place via ``mpa migrate``).
 * :meth:`Workspace.ensure` holds an advisory file lock
   (``.build.lock``) for the whole build, so two processes (e.g. pytest
   and a benchmark run) never interleave a build; the loser of the race
@@ -56,6 +59,7 @@ from pathlib import Path
 
 from repro.errors import CorpusError
 from repro.metrics.dataset import MetricDataset, build_full
+from repro.store import CorpusStore, StoreWriter, is_store
 from repro.metrics.quality import DataQualityReport
 from repro.runtime.telemetry import TELEMETRY
 from repro.synthesis.corpus import Corpus
@@ -260,6 +264,13 @@ class Workspace:
 
     @property
     def dataset_path(self) -> Path:
+        """The metric table's sharded columnar store (a directory)."""
+        return self.root / "dataset.mpstore"
+
+    @property
+    def legacy_dataset_path(self) -> Path:
+        """Pre-store monolithic artifact; read (and ``mpa migrate``)
+        only — new builds always write :attr:`dataset_path`."""
         return self.root / "dataset.npz"
 
     @property
@@ -309,10 +320,19 @@ class Workspace:
                 and meta.get("seed") == self.spec.seed
                 and meta.get("n_months") == self.spec.n_months)
 
+    def _dataset_present(self) -> bool:
+        """A committed store (or a readable legacy artifact) exists.
+
+        A ``dataset.mpstore`` directory *without* a manifest — an
+        interrupted first build — does not count; only the manifest
+        commit makes a store real.
+        """
+        return is_store(self.dataset_path) or self.legacy_dataset_path.exists()
+
     def _cache_is_current(self) -> bool:
         """The single freshness predicate: derived artifacts committed at
         the current format version AND a reusable corpus (same version)."""
-        if not (self.dataset_path.exists() and self.changes_path.exists()
+        if not (self._dataset_present() and self.changes_path.exists()
                 and self.summary_path.exists()
                 and self.quality_path.exists()
                 and self.version_path.exists()):
@@ -343,8 +363,11 @@ class Workspace:
                 return  # another process finished the build meanwhile
             with TELEMETRY.stage("workspace-build"):
                 corpus = self._load_or_build_corpus()
-                result = build_full(corpus, cache=self.stage_cache())
-                result.dataset.save(self.dataset_path)
+                # the store writer rides the build: each network's rows
+                # become a shard append as they finish, and the manifest
+                # commits inside build_full only after the quality gate
+                result = build_full(corpus, cache=self.stage_cache(),
+                                    store=StoreWriter(self.dataset_path))
                 self._save_changes(result.changes)
                 atomic_write_text(self.summary_path,
                                   json.dumps(corpus.summary()))
@@ -357,7 +380,10 @@ class Workspace:
 
     def invalidate(self) -> None:
         """Drop the derived artifacts (keeps a current corpus for reuse)."""
-        for path in (self.dataset_path, self.dataset_path.with_suffix(".json"),
+        import shutil
+        shutil.rmtree(self.dataset_path, ignore_errors=True)
+        for path in (self.legacy_dataset_path,
+                     self.legacy_dataset_path.with_suffix(".json"),
                      self.changes_path, self.summary_path, self.quality_path,
                      self.version_path):
             path.unlink(missing_ok=True)
@@ -410,14 +436,42 @@ class Workspace:
             self._recover("corpus", exc)
             return Corpus.load(self.corpus_dir)
 
+    def _active_dataset_path(self) -> Path:
+        """The store when committed, else the legacy artifact."""
+        if is_store(self.dataset_path):
+            return self.dataset_path
+        return self.legacy_dataset_path
+
     def dataset(self) -> MetricDataset:
         """The inferred metric table (cached)."""
         self.ensure()
         try:
-            return MetricDataset.load(self.dataset_path)
+            return MetricDataset.load(self._active_dataset_path())
         except _ARTIFACT_ERRORS as exc:
             self._recover("dataset", exc)
-            return MetricDataset.load(self.dataset_path)
+            return MetricDataset.load(self._active_dataset_path())
+
+    def store(self) -> CorpusStore:
+        """The columnar store behind :meth:`dataset` (lazy reader).
+
+        Use this when only a projection is needed — ``store().query()``
+        faults in just the touched columns instead of materializing the
+        table. A workspace still on a legacy ``dataset.npz`` has no
+        store; that raises a :class:`~repro.errors.CorpusError` naming
+        ``mpa migrate``.
+        """
+        self.ensure()
+        if not is_store(self.dataset_path):
+            raise CorpusError(
+                f"workspace {self.scale}-seed{self.seed} has no columnar "
+                f"store at {self.dataset_path} (legacy dataset.npz cache?) "
+                "— run 'mpa migrate' to convert it"
+            )
+        try:
+            return CorpusStore.open(self.dataset_path)
+        except _ARTIFACT_ERRORS as exc:
+            self._recover("dataset store", exc)
+            return CorpusStore.open(self.dataset_path)
 
     def summary(self) -> dict:
         """The corpus size summary (Table 2) without loading the corpus."""

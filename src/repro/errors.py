@@ -67,3 +67,13 @@ class NotFittedError(MPAError):
 
 class CorpusError(DataError):
     """A synthetic corpus on disk is missing, partial, or versioned wrong."""
+
+
+class StoreError(CorpusError):
+    """A columnar corpus store is unreadable, truncated, or versioned wrong.
+
+    Subclasses :class:`CorpusError` so the ``MetricDataset.load`` contract
+    (store/manifest damage surfaces as a ``CorpusError`` naming the
+    offending path) holds without callers knowing which substrate —
+    monolithic artifact or sharded store — backed the dataset.
+    """

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import CorpusError
+from repro.errors import CorpusError, StoreError
 from repro.metrics.catalog import metric_names
 from repro.metrics.quality import DataQualityReport, scrub_corpus
 from repro.metrics.design import DeviceFeatures
@@ -31,6 +31,7 @@ from repro.metrics.stages import (
 )
 from repro.runtime.pool import TaskFailure, parallel_map
 from repro.runtime.telemetry import TELEMETRY
+from repro.store import CorpusStore, StoreWriter, is_store
 from repro.synthesis.corpus import Corpus
 from repro.types import CaseKey, ChangeEvent, ChangeRecord, MonthKey
 from repro.util.ioutils import atomic_write_text
@@ -97,14 +98,65 @@ class MetricDataset:
 
     # -- persistence -------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Write as an ``.npz`` next to a small JSON sidecar.
+    def save(self, path: str | Path, *, durable: bool = False) -> str | None:
+        """Persist the dataset at ``path``.
 
-        Both files are written to a temporary name and renamed into
-        place, so a crash mid-write never leaves a truncated artifact
-        under the final name.
+        A path ending in ``.npz`` writes the **legacy** monolithic
+        artifact (compressed ``.npz`` + JSON sidecar, kept for old
+        caches and the ``mpa migrate`` round-trip); any other path
+        writes the sharded columnar store (:mod:`repro.store`) — one
+        immutable per-network shard plus a versioned manifest, which is
+        what every pipeline layer uses now. Either way each file is
+        written to a temporary name and renamed into place, so a crash
+        mid-write never leaves a truncated artifact under the final
+        name; ``durable=True`` additionally fsyncs (store format only).
+
+        Returns the committed store's manifest digest (``None`` for the
+        legacy format) — streaming checkpoints record it as a fast
+        certification path.
         """
         path = Path(path)
+        if path.suffix == ".npz":
+            self._save_legacy(path)
+            return None
+        writer = StoreWriter(path, durable=durable)
+        for network_id, start, stop in self._network_runs():
+            writer.append(
+                network_id, self.names, self.values[start:stop],
+                np.asarray(self.tickets[start:stop], dtype=np.int64),
+                np.asarray(self.case_month_indices[start:stop],
+                           dtype=np.int64),
+            )
+        manifest = writer.commit(self.names,
+                                 (self.epoch.year, self.epoch.month))
+        return manifest.digest()
+
+    def _network_runs(self):
+        """Contiguous ``(network_id, start, stop)`` case runs.
+
+        Store shards are per-network, so the case list must group each
+        network's rows contiguously (every pipeline product does); an
+        interleaved dataset cannot round-trip through the store
+        bit-identically and is rejected.
+        """
+        runs: list[tuple[str, int, int]] = []
+        seen: set[str] = set()
+        start = 0
+        for i in range(1, self.n_cases + 1):
+            if i == self.n_cases or self.case_networks[i] != \
+                    self.case_networks[start]:
+                network_id = self.case_networks[start]
+                if network_id in seen:
+                    raise StoreError(
+                        f"cases of network {network_id!r} are not "
+                        "contiguous; cannot shard per network"
+                    )
+                seen.add(network_id)
+                runs.append((network_id, start, i))
+                start = i
+        return runs
+
+    def _save_legacy(self, path: Path) -> None:
         # the temp name must keep the .npz suffix or numpy appends one
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}.npz")
         np.savez_compressed(tmp, values=self.values, tickets=self.tickets)
@@ -118,14 +170,33 @@ class MetricDataset:
 
     @classmethod
     def load(cls, path: str | Path) -> "MetricDataset":
-        """Load a dataset saved by :meth:`save`.
+        """Load a dataset saved by :meth:`save` (store or legacy format).
 
-        A missing ``.npz``/sidecar pair, a sidecar that does not match
-        the arrays, or missing members in either file all surface as
-        :class:`~repro.errors.CorpusError` naming the offending path —
-        never a bare ``FileNotFoundError``/``KeyError``.
+        A directory with a store manifest loads through
+        :class:`repro.store.CorpusStore`; anything else takes the
+        legacy ``.npz`` + sidecar path. Damage in either substrate — a
+        missing artifact, a manifest/shard version mismatch, a
+        truncated or trailing-garbage column file, a sidecar that does
+        not match the arrays — surfaces as
+        :class:`~repro.errors.CorpusError` naming the offending path,
+        never a bare ``FileNotFoundError``/``KeyError``/crash
+        (:class:`~repro.errors.StoreError` is a ``CorpusError``).
         """
         path = Path(path)
+        if is_store(path):
+            return CorpusStore.open(path).dataset()
+        if path.is_dir():
+            # a store directory whose manifest is gone (interrupted
+            # first commit, manual damage): same contract as a missing
+            # monolithic artifact
+            raise CorpusError(
+                f"no metric dataset at {path} (directory without a "
+                "store manifest)"
+            )
+        return cls._load_legacy(path)
+
+    @classmethod
+    def _load_legacy(cls, path: Path) -> "MetricDataset":
         if path.suffix != ".npz":
             path = path.with_suffix(".npz")
         sidecar = path.with_suffix(".json")
@@ -221,14 +292,23 @@ def build_full(corpus: Corpus,
                delta_minutes: int | None = DEFAULT_DELTA_MINUTES,
                max_bad_fraction: float | None = None,
                cache=None,
+               store: StoreWriter | None = None,
                ) -> PipelineResult:
     """Like :func:`build_dataset` but also returns the raw change records
     (used by the delta-sweep and characterization benches) and the
-    :class:`~repro.metrics.quality.DataQualityReport` of the run."""
+    :class:`~repro.metrics.quality.DataQualityReport` of the run.
+
+    ``store`` is an optional :class:`~repro.store.StoreWriter`: each
+    finished network unit is appended as a shard while later networks
+    are still computing, and the manifest commits only after the
+    quality gate passes — so persisting the table costs no extra pass
+    over it, unchanged networks' shards are reused without a write, and
+    an aborted build never publishes a manifest.
+    """
     dataset, changes, quality = _build(corpus, delta_minutes,
                                        keep_changes=True,
                                        max_bad_fraction=max_bad_fraction,
-                                       cache=cache)
+                                       cache=cache, store=store)
     return PipelineResult(dataset=dataset, changes=changes, quality=quality)
 
 
@@ -262,6 +342,7 @@ def _build(corpus: Corpus, delta_minutes: int | None,
            keep_changes: bool,
            max_bad_fraction: float | None = None,
            cache=None,
+           store: StoreWriter | None = None,
            ) -> tuple[MetricDataset, dict, DataQualityReport]:
     names = metric_names()
     report = DataQualityReport()
@@ -305,6 +386,12 @@ def _build(corpus: Corpus, delta_minutes: int | None,
         tickets.extend(cases.tickets)
         case_networks.extend([cases.network_id] * len(cases.rows))
         case_months.extend(cases.months)
+        if store is not None:
+            # stage output -> shard append, while later networks are
+            # still in flight; content addressing makes this a digest
+            # (not a write) for networks whose rows did not change
+            store.append_rows(cases.network_id, names, cases.rows,
+                              cases.tickets, cases.months)
         if keep_changes:
             all_changes[cases.network_id] = cases.changes or []
         for stage_name, (hits, misses) in cases.cache_stats.items():
@@ -330,4 +417,8 @@ def _build(corpus: Corpus, delta_minutes: int | None,
         tickets=np.asarray(tickets, dtype=np.int64),
         epoch=corpus.epoch,
     )
+    if store is not None:
+        # commit only after the quality gate: a run that raised above
+        # leaves at most orphan shard files next to the old manifest
+        store.commit(names, (corpus.epoch.year, corpus.epoch.month))
     return dataset, all_changes, report

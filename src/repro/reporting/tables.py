@@ -230,3 +230,42 @@ def format_fault_table(stats: Sequence[FaultStats],
         return f"{title}: no faults recorded"
     return render_table(["component", "retries", "timeouts", "dead letters"],
                         rows, title=title)
+
+
+def _human_bytes(n: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{n}B"
+        n /= 1024
+    return f"{n}B"  # pragma: no cover - loop always returns
+
+
+def format_store_table(info: "StoreInfo",
+                       title: str = "Columnar corpus store",
+                       ) -> str:
+    """Render ``mpa corpus info``: shard/column/byte accounting.
+
+    ``resident`` is the column data actually materialized through the
+    reporting handle — the lazy-loading counterpoint to the on-disk
+    size (a freshly opened store reads headers only, so it shows 0
+    until something projects a column).
+    """
+    from repro.util.tables import render_kv
+    head = render_kv([
+        ("store", info.root),
+        ("shards", info.n_shards),
+        ("rows", info.n_rows),
+        ("on-disk bytes", f"{info.on_disk_bytes} "
+                          f"({_human_bytes(info.on_disk_bytes)})"),
+        ("resident bytes", f"{info.resident_bytes} "
+                           f"({_human_bytes(info.resident_bytes)})"),
+    ], title=title)
+    rows = [
+        [col.name, col.dtype, col.rows, col.on_disk_bytes]
+        for col in info.columns
+    ]
+    if not rows:
+        return head
+    return head + "\n\n" + render_table(
+        ["column", "dtype", "rows", "on-disk bytes"], rows,
+    )

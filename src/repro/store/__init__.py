@@ -1,0 +1,48 @@
+"""Sharded, memory-mapped columnar storage for the metric table.
+
+The paper's analyses are column projections over a networks x months x
+metrics table; this package stores that table as immutable per-network
+shard files behind a versioned manifest, so reading one column faults
+in only that column's pages (see DESIGN.md "Sharded columnar corpus
+store"). :class:`CorpusStore` / :class:`Query` are the read side,
+:class:`StoreWriter` the write side; :class:`~repro.errors.StoreError`
+(a :class:`~repro.errors.CorpusError`) is the typed failure surface.
+"""
+
+from repro.errors import StoreError
+from repro.store.columnar import (
+    ColumnInfo,
+    CorpusStore,
+    StoreInfo,
+    StoreWriter,
+    is_store,
+)
+from repro.store.format import (
+    MONTH_COLUMN,
+    RESERVED_COLUMNS,
+    STORE_FORMAT_VERSION,
+    TICKETS_COLUMN,
+    Manifest,
+    Shard,
+    ShardEntry,
+)
+from repro.store.query import AGGREGATES, GROUP_KEYS, Query
+
+__all__ = [
+    "AGGREGATES",
+    "GROUP_KEYS",
+    "ColumnInfo",
+    "CorpusStore",
+    "Manifest",
+    "MONTH_COLUMN",
+    "Query",
+    "RESERVED_COLUMNS",
+    "STORE_FORMAT_VERSION",
+    "Shard",
+    "ShardEntry",
+    "StoreError",
+    "StoreInfo",
+    "StoreWriter",
+    "TICKETS_COLUMN",
+    "is_store",
+]

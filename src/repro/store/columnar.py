@@ -1,0 +1,332 @@
+"""The sharded columnar corpus store: engine boundary over the shard files.
+
+:class:`CorpusStore` is the read side — open a committed store, resolve
+networks to lazily-mapped :class:`~repro.store.format.Shard` objects,
+and serve typed queries (:mod:`repro.store.query`) or a fully
+materialized :class:`~repro.metrics.dataset.MetricDataset`.
+
+:class:`StoreWriter` is the write side — per-network **shard appends**
+followed by a single manifest **commit**. Because shard files are
+content-addressed and immutable, an append whose bytes already exist on
+disk is a no-op (the incremental-rebuild fast path: clean networks cost
+a digest, not a write), the commit is one atomic manifest rename, and
+superseded shard files are garbage-collected only *after* the new
+manifest is durable. ``durable=True`` fsyncs every new shard file and
+the manifest per the PR 7 write-ordering rules, so a committed store
+survives power loss.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.format import (
+    MONTH_COLUMN,
+    RESERVED_COLUMNS,
+    TICKETS_COLUMN,
+    Manifest,
+    Shard,
+    ShardEntry,
+    encode_shard,
+    shard_digest,
+    shard_filename,
+)
+from repro.util.ioutils import atomic_write_bytes, fsync_dir
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+
+
+def is_store(path: str | Path) -> bool:
+    """True when ``path`` looks like a committed columnar store."""
+    return (Path(path) / MANIFEST_NAME).is_file()
+
+
+@dataclass
+class ColumnInfo:
+    """Per-column stats for ``mpa corpus info``."""
+
+    name: str
+    dtype: str
+    rows: int
+    on_disk_bytes: int
+
+
+@dataclass
+class StoreInfo:
+    """What ``CorpusStore.info()`` reports (shards, columns, bytes)."""
+
+    root: str
+    n_shards: int
+    n_rows: int
+    columns: list[ColumnInfo] = field(default_factory=list)
+    on_disk_bytes: int = 0
+    #: bytes of column data actually materialized through this handle —
+    #: the lazy-loading counterpoint to ``on_disk_bytes``
+    resident_bytes: int = 0
+
+
+class CorpusStore:
+    """A committed store opened for reading (lazy, mmap-backed)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.manifest = Manifest.load(self.root / MANIFEST_NAME)
+        self._index = {entry.network_id: entry
+                       for entry in self.manifest.shards}
+        self._shards: dict[str, Shard] = {}
+        self._resident_bytes = 0
+
+    # -- identity ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, root: str | Path) -> "CorpusStore":
+        return cls(root)
+
+    @property
+    def names(self) -> list[str]:
+        """Metric column names, in table order."""
+        return list(self.manifest.names)
+
+    def column_names(self) -> list[str]:
+        """Every queryable column (metrics plus bookkeeping columns)."""
+        return self.names + list(RESERVED_COLUMNS)
+
+    @property
+    def networks(self) -> list[str]:
+        """Network ids in shard (= table row) order."""
+        return [entry.network_id for entry in self.manifest.shards]
+
+    @property
+    def n_rows(self) -> int:
+        return sum(entry.rows for entry in self.manifest.shards)
+
+    @property
+    def epoch(self) -> tuple[int, int]:
+        return self.manifest.epoch
+
+    def digest(self) -> str:
+        return self.manifest.digest()
+
+    # -- shard access --------------------------------------------------------
+
+    def _entry(self, network_id: str) -> ShardEntry:
+        try:
+            return self._index[network_id]
+        except KeyError:
+            raise StoreError(
+                f"store {self.root} has no shard for network {network_id!r}"
+            ) from None
+
+    def shard(self, network_id: str) -> Shard:
+        """The (lazily opened, cached) shard of one network."""
+        cached = self._shards.get(network_id)
+        if cached is not None:
+            return cached
+        entry = self._entry(network_id)
+        shard = Shard(self.root / entry.file)
+        if shard.network_id != network_id or shard.rows != entry.rows:
+            raise StoreError(
+                f"shard {self.root / entry.file} does not match its "
+                f"manifest entry (network {shard.network_id!r} rows "
+                f"{shard.rows}, manifest says {network_id!r} rows "
+                f"{entry.rows})"
+            )
+        self._shards[network_id] = shard
+        return shard
+
+    def iter_shards(self):
+        """(network_id, Shard) pairs in manifest (= row) order."""
+        for entry in self.manifest.shards:
+            yield entry.network_id, self.shard(entry.network_id)
+
+    def _count_resident(self, shard: Shard, name: str) -> None:
+        self._resident_bytes += shard.nbytes_of(name)
+
+    def column(self, network_id: str, name: str) -> np.ndarray:
+        """One network's slice of one column (read-only mmap view)."""
+        shard = self.shard(network_id)
+        view = shard.column(name)
+        self._count_resident(shard, name)
+        return view
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self):
+        """A fresh typed :class:`~repro.store.query.Query` over the store."""
+        from repro.store.query import Query
+        return Query(self)
+
+    # -- materialization -----------------------------------------------------
+
+    def dataset(self):
+        """Materialize the full :class:`MetricDataset` (every column)."""
+        from repro.metrics.dataset import MetricDataset
+        from repro.types import MonthKey
+        names = self.names
+        total = self.n_rows
+        values = np.empty((total, len(names)), dtype=float)
+        tickets = np.empty(total, dtype=np.int64)
+        case_networks: list[str] = []
+        case_months: list[int] = []
+        row = 0
+        for network_id, shard in self.iter_shards():
+            rows = shard.rows
+            for i, name in enumerate(names):
+                values[row:row + rows, i] = self.column(network_id, name)
+            tickets[row:row + rows] = self.column(network_id, TICKETS_COLUMN)
+            months = self.column(network_id, MONTH_COLUMN)
+            case_networks.extend([network_id] * rows)
+            case_months.extend(int(m) for m in months)
+            row += rows
+        return MetricDataset(
+            names=names,
+            case_networks=case_networks,
+            case_month_indices=case_months,
+            values=values,
+            tickets=tickets,
+            epoch=MonthKey(*self.manifest.epoch),
+        )
+
+    # -- accounting ----------------------------------------------------------
+
+    def info(self) -> StoreInfo:
+        """Shard/column/byte accounting for ``mpa corpus info``."""
+        per_column: dict[str, ColumnInfo] = {}
+        on_disk = 0
+        for entry in self.manifest.shards:
+            shard = self.shard(entry.network_id)
+            on_disk += entry.nbytes
+            for name in shard.column_names():
+                dtype, _, nbytes = shard._columns[name]
+                info = per_column.get(name)
+                if info is None:
+                    per_column[name] = ColumnInfo(
+                        name=name, dtype=dtype, rows=shard.rows,
+                        on_disk_bytes=nbytes,
+                    )
+                else:
+                    info.rows += shard.rows
+                    info.on_disk_bytes += nbytes
+        try:
+            manifest_bytes = (self.root / MANIFEST_NAME).stat().st_size
+        except OSError:
+            manifest_bytes = 0
+        ordered = [per_column[name] for name in self.column_names()
+                   if name in per_column]
+        return StoreInfo(
+            root=str(self.root),
+            n_shards=len(self.manifest.shards),
+            n_rows=self.n_rows,
+            columns=ordered,
+            on_disk_bytes=on_disk + manifest_bytes,
+            resident_bytes=self._resident_bytes,
+        )
+
+    def close(self) -> None:
+        for shard in self._shards.values():
+            shard.close()
+        self._shards.clear()
+
+
+class StoreWriter:
+    """Shard appends + one-commit manifest writes against a store root.
+
+    The writer is single-use per build: call :meth:`append` once per
+    network (in table row order), then :meth:`commit`. Content
+    addressing makes appends idempotent and cheap when nothing changed;
+    the commit atomically replaces the manifest and then removes shard
+    files no longer referenced. A crashed writer leaves at worst orphan
+    shard files next to a fully-consistent previous manifest — the next
+    successful commit garbage-collects them.
+    """
+
+    def __init__(self, root: str | Path, *, durable: bool = False) -> None:
+        self.root = Path(root)
+        self.durable = durable
+        self._entries: list[ShardEntry] = []
+        self._written = 0
+        self._skipped = 0
+
+    def append(self, network_id: str, names: list[str],
+               values: np.ndarray, tickets: np.ndarray,
+               months: np.ndarray) -> ShardEntry:
+        """Append (or reuse) one network's shard; returns its entry."""
+        blob = encode_shard(network_id, names, values, tickets, months)
+        digest = shard_digest(blob)
+        file = f"{SHARD_DIR}/{shard_filename(network_id, digest)}"
+        path = self.root / file
+        if path.is_file() and path.stat().st_size == len(blob):
+            # content-addressed: an existing file with the right name
+            # and size is byte-identical by construction
+            self._skipped += 1
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, blob, durable=self.durable)
+            self._written += 1
+        entry = ShardEntry(
+            network_id=network_id, file=file, rows=int(values.shape[0]),
+            nbytes=len(blob), sha256=digest,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def append_rows(self, network_id: str, names: list[str],
+                    rows: list[list[float]], tickets: list[int],
+                    months: list[int]) -> ShardEntry:
+        """:meth:`append` from the stage graph's row-list spelling."""
+        values = (np.asarray(rows, dtype=float) if rows
+                  else np.empty((0, len(names)), dtype=float))
+        return self.append(
+            network_id, names, values,
+            np.asarray(tickets, dtype=np.int64),
+            np.asarray(months, dtype=np.int64),
+        )
+
+    @property
+    def shards_written(self) -> int:
+        """Shard files physically (re)written by this writer."""
+        return self._written
+
+    @property
+    def shards_reused(self) -> int:
+        """Appends satisfied by an existing content-addressed file."""
+        return self._skipped
+
+    def commit(self, names: list[str], epoch: tuple[int, int]) -> Manifest:
+        """Atomically publish the appended shards as the store's content.
+
+        Returns the committed manifest (callers checkpoint its
+        ``digest()``). Unreferenced shard files are removed only after
+        the manifest rename — and, when durable, after its fsync — so a
+        crash anywhere in between preserves a readable store.
+        """
+        manifest = Manifest(
+            names=list(names), epoch=(int(epoch[0]), int(epoch[1])),
+            shards=list(self._entries),
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest.save(self.root / MANIFEST_NAME, durable=self.durable)
+        self._collect_garbage(manifest)
+        return manifest
+
+    def _collect_garbage(self, manifest: Manifest) -> None:
+        referenced = {self.root / entry.file for entry in manifest.shards}
+        shard_dir = self.root / SHARD_DIR
+        if not shard_dir.is_dir():
+            return
+        removed = False
+        for path in shard_dir.iterdir():
+            if path not in referenced and path.suffix == ".shard":
+                try:
+                    os.unlink(path)
+                    removed = True
+                except OSError:
+                    pass  # best effort; orphans are harmless
+        if removed and self.durable:
+            fsync_dir(shard_dir)

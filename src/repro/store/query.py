@@ -1,0 +1,231 @@
+"""Typed filter/project/aggregate queries over the columnar store.
+
+A :class:`Query` is an immutable builder: ``where`` narrows the
+network/month scope, ``project`` narrows the columns, and the terminal
+operations (:meth:`Query.column`, :meth:`Query.table`,
+:meth:`Query.aggregate`, :meth:`Query.count`) evaluate lazily — only
+the projected columns' pages are ever faulted in, plus the
+``month_index`` column when a month filter needs a row mask. Nothing
+else of the store is materialized.
+
+Identifiers are validated up front against the manifest: an unknown
+column or network raises a typed :class:`~repro.errors.StoreError`
+naming the available identifiers, so typos fail fast instead of
+returning empty arrays.
+
+.. code-block:: python
+
+    store = CorpusStore.open(workspace.dataset_path)
+    col = store.query().where(months=range(0, 3)).column("n_devices")
+    by_net = store.query().project("n_change_events").aggregate("mean",
+                                                                by="network")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.format import MONTH_COLUMN
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.columnar import CorpusStore
+
+#: Aggregations :meth:`Query.aggregate` understands.
+AGGREGATES = ("mean", "sum", "min", "max", "count")
+
+#: Grouping keys :meth:`Query.aggregate` understands.
+GROUP_KEYS = ("network", "month")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One immutable filter/project scope over a :class:`CorpusStore`."""
+
+    store: "CorpusStore"
+    networks: tuple[str, ...] | None = None
+    months: tuple[int, ...] | None = None
+    columns: tuple[str, ...] | None = None
+
+    # -- builders ------------------------------------------------------------
+
+    def where(self, *, networks: Iterable[str] | None = None,
+              months: Iterable[int] | None = None) -> "Query":
+        """Narrow the row scope; repeated calls intersect."""
+        out = self
+        if networks is not None:
+            chosen = tuple(networks)
+            known = set(self.store.networks)
+            unknown = [n for n in chosen if n not in known]
+            if unknown:
+                raise StoreError(
+                    f"unknown network(s) {', '.join(map(repr, unknown))} "
+                    f"in store {self.store.root} "
+                    f"({len(known)} networks available)"
+                )
+            if out.networks is not None:
+                chosen = tuple(n for n in out.networks if n in set(chosen))
+            out = replace(out, networks=chosen)
+        if months is not None:
+            chosen_months = tuple(int(m) for m in months)
+            if out.months is not None:
+                keep = set(chosen_months)
+                chosen_months = tuple(m for m in out.months if m in keep)
+            out = replace(out, months=chosen_months)
+        return out
+
+    def project(self, *names: str) -> "Query":
+        """Narrow the column scope to ``names`` (validated, ordered)."""
+        available = self.store.column_names()
+        unknown = [name for name in names if name not in available]
+        if unknown:
+            raise StoreError(
+                f"unknown column(s) {', '.join(map(repr, unknown))} in "
+                f"store {self.store.root} "
+                f"(available: {', '.join(available)})"
+            )
+        return replace(self, columns=tuple(names))
+
+    # -- evaluation helpers --------------------------------------------------
+
+    def _scope_networks(self) -> list[str]:
+        if self.networks is None:
+            return self.store.networks
+        return list(self.networks)
+
+    def _mask(self, network_id: str) -> np.ndarray | None:
+        """Row mask for the month filter, or None for "all rows"."""
+        if self.months is None:
+            return None
+        month_col = self.store.column(network_id, MONTH_COLUMN)
+        return np.isin(month_col, np.asarray(self.months, dtype=np.int64))
+
+    def _projected(self) -> tuple[str, ...]:
+        if self.columns is None:
+            return tuple(self.store.column_names())
+        return self.columns
+
+    def _gather(self, name: str) -> np.ndarray:
+        parts = []
+        for network_id in self._scope_networks():
+            part = self.store.column(network_id, name)
+            mask = self._mask(network_id)
+            if mask is not None:
+                part = part[mask]
+            parts.append(part)
+        if not parts:
+            dtype = np.int64 if name in (MONTH_COLUMN, "tickets") else float
+            return np.empty(0, dtype=dtype)
+        out = np.concatenate(parts)
+        out.setflags(write=False)
+        return out
+
+    # -- terminals -----------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """One column across the scoped rows (read-only).
+
+        Only this column's shard segments (plus ``month_index`` when a
+        month filter is active) are read; every other column stays on
+        disk untouched.
+        """
+        return self.project(name)._gather(name)
+
+    def table(self) -> dict[str, np.ndarray]:
+        """The projected columns as ``{name: array}`` plus ``network``
+        (a per-row network-id object array, derived from shard
+        identity, not stored)."""
+        names = self._projected()
+        out: dict[str, np.ndarray] = {
+            name: self._gather(name) for name in names
+        }
+        ids: list[str] = []
+        for network_id in self._scope_networks():
+            mask = self._mask(network_id)
+            n = (self.store.shard(network_id).rows if mask is None
+                 else int(mask.sum()))
+            ids.extend([network_id] * n)
+        out["network"] = np.asarray(ids, dtype=object)
+        return out
+
+    def count(self) -> int:
+        """Scoped row count (touches only ``month_index`` if filtered)."""
+        total = 0
+        for network_id in self._scope_networks():
+            mask = self._mask(network_id)
+            total += (self.store.shard(network_id).rows if mask is None
+                      else int(mask.sum()))
+        return total
+
+    def aggregate(self, func: str, column: str | None = None, *,
+                  by: str | None = None):
+        """Aggregate one column over the scope.
+
+        ``func`` is one of :data:`AGGREGATES`; ``column`` defaults to
+        the single projected column. ``by=None`` returns a scalar;
+        ``by="network"`` returns ``[(network_id, value), ...]`` in shard
+        order (evaluated shard-by-shard — no cross-network
+        materialization); ``by="month"`` returns ``[(month, value),
+        ...]`` sorted by month.
+        """
+        if func not in AGGREGATES:
+            raise StoreError(
+                f"unknown aggregate {func!r} (choose from "
+                f"{', '.join(AGGREGATES)})"
+            )
+        if column is None:
+            projected = self._projected()
+            if len(projected) != 1:
+                raise StoreError(
+                    "aggregate() needs a column when the projection is "
+                    f"not a single column (projected: {len(projected)})"
+                )
+            column = projected[0]
+        scoped = self.project(column)
+        if by is None:
+            return _reduce(func, scoped._gather(column))
+        if by == "network":
+            out = []
+            for network_id in scoped._scope_networks():
+                part = scoped.store.column(network_id, column)
+                mask = scoped._mask(network_id)
+                if mask is not None:
+                    part = part[mask]
+                out.append((network_id, _reduce(func, part)))
+            return out
+        if by == "month":
+            groups: dict[int, list[np.ndarray]] = {}
+            for network_id in scoped._scope_networks():
+                part = scoped.store.column(network_id, column)
+                month_col = scoped.store.column(network_id, MONTH_COLUMN)
+                mask = scoped._mask(network_id)
+                if mask is not None:
+                    part, month_col = part[mask], month_col[mask]
+                for month in np.unique(month_col):
+                    groups.setdefault(int(month), []).append(
+                        part[month_col == month]
+                    )
+            return [
+                (month, _reduce(func, np.concatenate(parts)))
+                for month, parts in sorted(groups.items())
+            ]
+        raise StoreError(
+            f"unknown group key {by!r} (choose from {', '.join(GROUP_KEYS)})"
+        )
+
+
+def _reduce(func: str, values: np.ndarray):
+    if func == "count":
+        return int(values.size)
+    if values.size == 0:
+        return float("nan")
+    if func == "mean":
+        return float(values.mean())
+    if func == "sum":
+        return float(values.sum())
+    if func == "min":
+        return float(values.min())
+    return float(values.max())

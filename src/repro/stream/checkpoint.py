@@ -84,6 +84,12 @@ class IngestCheckpoint:
     applied_seqno: int = 0
     dataset_digest: str = ""
     quality_digest: str = ""
+    #: manifest digest of the columnar store the dataset was saved to
+    #: (covers every shard's sha256 transitively). Resume uses it as a
+    #: fast certification path — header reads only, no column data —
+    #: with ``dataset_digest`` as the substrate-independent fallback.
+    #: Empty for checkpoints written against a legacy ``.npz`` artifact.
+    store_digest: str = ""
     #: network id -> stage-key dict (parse/events/metrics/health)
     stage_keys: dict[str, dict[str, str]] = field(default_factory=dict)
     #: dead letters accumulated so far (seqno -> reason), for the ledger
@@ -97,6 +103,7 @@ class IngestCheckpoint:
             "applied_seqno": self.applied_seqno,
             "dataset_digest": self.dataset_digest,
             "quality_digest": self.quality_digest,
+            "store_digest": self.store_digest,
             "dead_letters": self.dead_letters,
             "stage_keys": self.stage_keys,
         }
@@ -111,6 +118,7 @@ class IngestCheckpoint:
                 str(network): {str(k): str(v) for k, v in keys.items()}
                 for network, keys in dict(data["stage_keys"]).items()
             },
+            store_digest=str(data.get("store_digest", "")),
             dead_letters=int(data.get("dead_letters", 0)),
             corpus_format=int(data.get("corpus_format",
                                        CORPUS_FORMAT_VERSION)),

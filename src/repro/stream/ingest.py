@@ -12,7 +12,8 @@ source of truth:
       wal/              append-only event journal (repro.stream.journal)
       cache/            durable StageCache (fsynced content-addressed store)
       checkpoint.json   which WAL prefix the artifacts reflect
-      dataset.npz(.json) current metric table
+      dataset.mpstore/  current metric table (sharded columnar store;
+                        a pre-store dataset.npz is still readable)
       quality.json      DataQualityReport + dead-letter ledger
       deadletter.jsonl  quarantined events, one JSON object per line
       health.json       rolling health prediction over the newest month
@@ -67,6 +68,7 @@ from repro.stream.checkpoint import (
     quality_digest,
 )
 from repro.stream.journal import WriteAheadLog
+from repro.store import CorpusStore, is_store
 from repro.synthesis.corpus import Corpus
 from repro.types import ChangeModality, ConfigSnapshot
 from repro.util.ioutils import atomic_write_text
@@ -322,6 +324,12 @@ class StreamIngester:
 
     @property
     def dataset_path(self) -> Path:
+        """The metric table's columnar store (rebuilds write here)."""
+        return self.state_dir / "dataset.mpstore"
+
+    @property
+    def legacy_dataset_path(self) -> Path:
+        """Pre-store monolithic artifact (read-only compatibility)."""
         return self.state_dir / "dataset.npz"
 
     @property
@@ -516,11 +524,7 @@ class StreamIngester:
             return True
         if not self.checkpoint.dataset_digest:
             return True  # never checkpointed: produce the base artifacts
-        try:
-            dataset = MetricDataset.load(self.dataset_path)
-        except Exception:
-            return True  # artifact torn/missing: certify by rebuilding
-        if dataset_digest(dataset) != self.checkpoint.dataset_digest:
+        if not self._dataset_artifact_current():
             return True
         # certify the checkpointed stage keys against the replayed
         # corpus — pure hashing, no stage runs
@@ -529,6 +533,30 @@ class StreamIngester:
                                   self.delta_minutes) != keys:
                 return True
         return False
+
+    def _dataset_artifact_current(self) -> bool:
+        """The saved dataset matches the checkpoint's digests.
+
+        Fast path: when the checkpoint carries a ``store_digest`` and a
+        committed store exists, compare manifest digests — the manifest
+        transitively covers every shard's sha256, so this certifies the
+        whole table with header reads only, no column materialization.
+        Anything else (legacy checkpoint, legacy artifact, damaged
+        store) falls back to loading and digesting the full dataset.
+        """
+        if self.checkpoint.store_digest and is_store(self.dataset_path):
+            try:
+                return (CorpusStore.open(self.dataset_path).digest()
+                        == self.checkpoint.store_digest)
+            except Exception:
+                return False  # torn manifest: certify by rebuilding
+        path = (self.dataset_path if is_store(self.dataset_path)
+                else self.legacy_dataset_path)
+        try:
+            dataset = MetricDataset.load(path)
+        except Exception:
+            return False  # artifact torn/missing: certify by rebuilding
+        return dataset_digest(dataset) == self.checkpoint.dataset_digest
 
     def _rebuild_and_checkpoint(self, out: IngestResult) -> None:
         dirty = sorted(self._dirty)
@@ -543,7 +571,10 @@ class StreamIngester:
                 f"dead-letter[{letter.reason}] seqno={letter.seqno}",
             )
         self._fault_point("pre-artifact-save")
-        built.dataset.save(self.dataset_path)
+        # per-network shard appends + one manifest commit: unchanged
+        # networks' shards are content-addressed reuses, not writes
+        store_digest = built.dataset.save(self.dataset_path,
+                                          durable=True) or ""
         quality_doc = report.to_dict()
         quality_doc["dead_letters"] = [
             letter.to_dict() for letter in self.dead_letters
@@ -572,6 +603,7 @@ class StreamIngester:
         }
         self.checkpoint.applied_seqno = self.wal.last_seqno
         self.checkpoint.dataset_digest = dataset_digest(built.dataset)
+        self.checkpoint.store_digest = store_digest
         self.checkpoint.quality_digest = quality_digest(report)
         self.checkpoint.dead_letters = len(self.dead_letters)
         self._fault_point("pre-checkpoint")

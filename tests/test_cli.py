@@ -199,3 +199,62 @@ class TestStreamIngestCli:
         missing = tmp_path / "never-ingested"
         assert main(["quality", "--state-dir", str(missing)]) == 2
         assert "run mpa ingest first" in capsys.readouterr().err
+
+
+class TestStoreCli:
+    def test_corpus_info(self, workspace_env, capsys):
+        assert main(["corpus", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "resident bytes" in out
+        assert "month_index" in out
+
+    def test_corpus_info_state_dir_without_store(self, workspace_env,
+                                                 tmp_path, capsys):
+        missing = tmp_path / "never-ingested"
+        assert main(["corpus", "info", "--state-dir", str(missing)]) == 2
+        assert "no columnar store" in capsys.readouterr().err
+
+    def test_query_aggregate_and_rows(self, workspace_env, capsys):
+        assert main(["query", "--columns", "n_devices",
+                     "--aggregate", "mean", "--by", "month",
+                     "--months", "0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean(n_devices) by month" in out
+        assert main(["query", "--columns", "n_devices,tickets",
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "network" in out
+        assert "more (raise --limit)" in out
+        assert main(["query", "--count"]) == 0
+        assert capsys.readouterr().out.strip().isdigit()
+
+    def test_query_unknown_column_fails_typed(self, workspace_env, capsys):
+        assert main(["query", "--columns", "not_a_metric"]) == 2
+        err = capsys.readouterr().err
+        assert "query failed" in err
+        assert "not_a_metric" in err
+
+    def test_migrate_round_trip(self, workspace_env, tmp_path, capsys):
+        from repro.core.workspace import Workspace
+        from repro.metrics.dataset import MetricDataset
+        ws = Workspace.default("tiny")
+        legacy = tmp_path / "legacy" / "dataset.npz"
+        legacy.parent.mkdir()
+        baseline = ws.dataset()
+        baseline.save(legacy)
+        capsys.readouterr()
+        assert main(["migrate", "--input", str(legacy),
+                     "--delete-legacy"]) == 0
+        out = capsys.readouterr().out
+        assert "verified identical" in out
+        assert not legacy.exists()
+        migrated = MetricDataset.load(legacy.with_name("dataset.mpstore"))
+        assert migrated.values.tobytes() == baseline.values.tobytes()
+        assert migrated.case_networks == baseline.case_networks
+
+    def test_migrate_missing_input_fails(self, workspace_env, tmp_path,
+                                         capsys):
+        assert main(["migrate", "--input",
+                     str(tmp_path / "nope.npz")]) == 2
+        assert "cannot migrate" in capsys.readouterr().err

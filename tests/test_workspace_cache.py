@@ -103,8 +103,19 @@ class TestCorruptedArtifactRecovery:
     def test_truncated_dataset_recovered(self, built_workspace):
         ws = built_workspace
         baseline = ws.dataset()
-        raw = ws.dataset_path.read_bytes()
-        ws.dataset_path.write_bytes(raw[: len(raw) // 3])
+        shard = sorted((ws.dataset_path / "shards").glob("*.shard"))[0]
+        raw = shard.read_bytes()
+        shard.write_bytes(raw[: len(raw) // 3])
+        with pytest.warns(RuntimeWarning, match="rebuilding"):
+            recovered = ws.dataset()
+        assert np.array_equal(recovered.values, baseline.values)
+        assert np.array_equal(recovered.tickets, baseline.tickets)
+
+    def test_torn_manifest_recovered(self, built_workspace):
+        ws = built_workspace
+        baseline = ws.dataset()
+        manifest = ws.dataset_path / "manifest.json"
+        manifest.write_text(manifest.read_text()[:40])
         with pytest.warns(RuntimeWarning, match="rebuilding"):
             recovered = ws.dataset()
         assert np.array_equal(recovered.values, baseline.values)
@@ -128,8 +139,6 @@ class TestCorruptedArtifactRecovery:
 
 class TestParallelWorkspaceParity:
     def test_jobs_do_not_change_cached_dataset(self, tmp_path, monkeypatch):
-        import zipfile
-
         workspaces = []
         for jobs in ("1", "2"):
             monkeypatch.setenv("MPA_JOBS", jobs)
@@ -141,9 +150,15 @@ class TestParallelWorkspaceParity:
         assert a.names == b.names
         assert np.array_equal(a.values, b.values)
         assert np.array_equal(a.tickets, b.tickets)
-        # the serialized npz members must also match byte-for-byte
-        with zipfile.ZipFile(workspaces[0].dataset_path) as za, \
-                zipfile.ZipFile(workspaces[1].dataset_path) as zb:
-            assert sorted(za.namelist()) == sorted(zb.namelist())
-            for name in za.namelist():
-                assert za.read(name) == zb.read(name)
+        # the serialized store must also match file-for-file: same
+        # manifest bytes, same content-addressed shard names and bytes
+        roots = [ws.dataset_path for ws in workspaces]
+        files_a, files_b = (
+            sorted(p.relative_to(root) for p in root.rglob("*")
+                   if p.is_file())
+            for root in roots
+        )
+        assert files_a == files_b
+        for rel in files_a:
+            assert (roots[0] / rel).read_bytes() == \
+                (roots[1] / rel).read_bytes()
