@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-pytest coverage smoke migrate-smoke fuzz lint selfcheck chaos
+.PHONY: test bench bench-check bench-pytest coverage smoke migrate-smoke serve-smoke fuzz lint selfcheck chaos
 
 # tier-1 test suite
 test:
@@ -74,3 +74,9 @@ smoke:
 # byte-identical (dataset digest and manifest digest) to a direct build
 migrate-smoke:
 	$(PYTHON) tools/migrate_smoke.py
+
+# boot the real `mpa serve` subprocess on an ephemeral port, hit every
+# endpoint (200 + schema), require a cached repeat and a typed 400,
+# then SIGTERM and require a clean exit with the final stats table
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py

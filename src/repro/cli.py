@@ -24,6 +24,10 @@ Commands:
 * ``mpa query --columns n_devices --months 0,1,2 --aggregate mean`` —
   typed projections/aggregations straight off the columnar store
   (touches only the projected columns; see :mod:`repro.store`),
+* ``mpa serve --port 8177`` — long-lived analytics service: keeps the
+  store, dataset, and caches hot and answers every analysis family
+  over HTTP/JSON with hash-keyed result caching (see
+  :mod:`repro.serve`),
 * ``mpa corpus info`` — shard/column/byte accounting of the store,
 * ``mpa migrate`` — one-shot conversion of a legacy ``dataset.npz``
   artifact into the sharded columnar store.
@@ -145,6 +149,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--limit", type=int, default=20,
                    help="max rows to list without --aggregate "
                         "(default 20)")
+
+    p = sub.add_parser("serve",
+                       help="long-lived analytics service: keep the "
+                            "store + caches hot and answer queries "
+                            "over HTTP/JSON")
+    _add_scale(p)
+    p.add_argument("--host", default=None,
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port; 0 picks a free ephemeral port "
+                        "(default 8177)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="max in-flight request handlers (default 8)")
+    p.add_argument("--cache-size", type=int, default=None,
+                   help="max cached endpoint results (default 256; "
+                        "0 disables the result cache)")
+    p.add_argument("--memo-size", type=int, default=None,
+                   help="resize the process-wide content memos for "
+                        "long-lived serving (default: leave the "
+                        "MPA_CONTENT_MEMO-derived capacity)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each request line to stderr")
 
     p = sub.add_parser("corpus",
                        help="inspect the columnar corpus store")
@@ -382,6 +408,49 @@ def main(argv: list[str] | None = None) -> int:
         except (ValueError, CorpusError) as exc:
             print(f"query failed: {exc}", file=sys.stderr)
             return 2
+        return 0
+    if args.command == "serve":
+        from repro.errors import CorpusError
+        from repro.reporting.tables import format_serve_table
+        from repro.serve import (
+            DEFAULT_CACHE_SIZE,
+            DEFAULT_HOST,
+            DEFAULT_PORT,
+            DEFAULT_WORKERS,
+            AnalyticsState,
+            create_server,
+            serve_forever,
+            tune_memos,
+        )
+        try:
+            store = workspace.store()  # builds on miss; typed on legacy
+        except CorpusError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.memo_size is not None:
+            tune_memos(args.memo_size)
+        state = AnalyticsState.for_workspace(workspace)
+        server = create_server(
+            state,
+            host=args.host if args.host is not None else DEFAULT_HOST,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            cache_size=(args.cache_size if args.cache_size is not None
+                        else DEFAULT_CACHE_SIZE),
+            workers=(args.workers if args.workers is not None
+                     else DEFAULT_WORKERS),
+            quiet=not args.verbose,
+        )
+        host, port = server.server_address[:2]
+        print(f"mpa serve: listening on http://{host}:{port} "
+              f"(store digest {store.digest()[:16]}..., "
+              f"{len(store.networks)} networks x {store.n_rows} rows)",
+              flush=True)
+        print("endpoints: /query /top /pairs /causal /predict /quality "
+              "/healthz /statsz — SIGTERM or Ctrl-C for a clean stop",
+              flush=True)
+        serve_forever(server)
+        print()
+        print(format_serve_table(server.stats()))
         return 0
     if args.command == "corpus":
         from pathlib import Path

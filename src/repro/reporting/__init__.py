@@ -5,6 +5,7 @@ from repro.reporting.tables import (
     format_mi_table,
     format_cmi_table,
     format_matching_table,
+    format_serve_table,
     format_signtest_table,
     format_causal_table,
     format_online_table,
@@ -18,6 +19,7 @@ __all__ = [
     "format_mi_table",
     "format_cmi_table",
     "format_matching_table",
+    "format_serve_table",
     "format_signtest_table",
     "format_causal_table",
     "format_online_table",

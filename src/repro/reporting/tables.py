@@ -232,6 +232,46 @@ def format_fault_table(stats: Sequence[FaultStats],
                         rows, title=title)
 
 
+def format_serve_table(stats: "ServeStats",
+                       title: str = "mpa serve telemetry",
+                       ) -> str:
+    """Render the analytics service's ``/statsz`` counters.
+
+    The header block carries process-level facts (uptime, the serving
+    store digest, reloads after concurrent commits, result-cache
+    health); the table has one row per endpoint with its request,
+    error, and cache-hit counters plus the mean handler latency.
+    """
+    from repro.util.tables import render_kv
+    cache = stats.cache
+    digest = (f"{stats.store_digest[:16]}..." if stats.store_digest
+              else "- (store unavailable)")
+    head = render_kv([
+        ("uptime", f"{stats.uptime_seconds:.1f}s"),
+        ("store digest", digest),
+        ("store reloads", stats.reloads),
+        ("requests", stats.requests_total),
+        ("errors", stats.errors_total),
+        ("result cache", f"{cache.get('entries', 0)}/"
+                         f"{cache.get('max_entries', 0)} entries, "
+                         f"{cache.get('hit_rate', 0.0):.1%} hit rate"),
+        ("cache churn", f"{cache.get('evictions', 0)} evicted, "
+                        f"{cache.get('invalidations', 0)} invalidated"),
+        ("content memos", ", ".join(
+            f"{m['name']} {m['hits']}h/{m['misses']}m"
+            for m in stats.memos) or "-"),
+    ], title=title)
+    rows = [
+        [e.path, e.requests, e.errors, e.cache_hits, f"{e.mean_ms:.2f}"]
+        for e in stats.endpoints
+    ]
+    if not rows:
+        return head
+    return head + "\n\n" + render_table(
+        ["endpoint", "requests", "errors", "cache hits", "mean ms"], rows,
+    )
+
+
 def _human_bytes(n: int) -> str:
     for unit in ("B", "KB", "MB", "GB"):
         if n < 1024 or unit == "GB":

@@ -1,0 +1,159 @@
+"""Hash-keyed result cache for the analytics service.
+
+A :class:`ResultCache` maps ``(endpoint, canonical-params)`` pairs to
+fully-computed JSON responses, scoped under a **namespace** — the
+content digest of everything the response was derived from (the store's
+manifest digest, which transitively covers every shard's SHA-256, plus
+the stage-code version and the quality ledger digest; see
+:meth:`repro.serve.handlers.AnalyticsState`-side derivation and the
+DESIGN.md invalidation argument). Because the namespace is a pure
+function of the inputs, entries never need time-based expiry: a store
+commit changes the manifest digest, the namespace rotates, and every
+stale entry becomes unreachable in the same instant the new manifest
+becomes visible. :meth:`retain` then reclaims the unreachable entries'
+memory.
+
+Params are canonicalized (sorted-key compact JSON) before hashing, so
+``?k=5&months=0,1`` and ``?months=0,1&k=5`` share one entry. The map is
+a bounded thread-safe LRU: ``max_entries`` caps memory for adversarial
+or high-cardinality query mixes, with eviction/invalidations counted
+for ``/statsz``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.runtime.telemetry import TELEMETRY
+
+#: Default bound on distinct cached results (``mpa serve --cache-size``).
+DEFAULT_CACHE_SIZE = 256
+
+_MISS = object()
+
+
+def canonical_params(params: dict) -> str:
+    """The canonical (sorted-key, compact JSON) spelling of a param map."""
+    return json.dumps(
+        {str(k): v for k, v in params.items()},
+        sort_keys=True, separators=(",", ":"),
+    )
+
+
+def result_key(namespace: str, endpoint: str, params: dict) -> str:
+    """The cache key: SHA-256 over namespace + endpoint + params.
+
+    The namespace participates in the digest (not just as a map prefix)
+    so a key is globally unique across store generations — two
+    generations can never alias even if a caller truncates keys.
+    """
+    h = hashlib.sha256(b"mpa-serve-result-v1\n")
+    h.update(namespace.encode())
+    h.update(b"\n")
+    h.update(endpoint.encode())
+    h.update(b"\n")
+    h.update(canonical_params(params).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheInfo:
+    """Counters reported by ``/statsz`` and ``format_serve_table``."""
+
+    entries: int
+    max_entries: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Thread-safe bounded LRU of computed endpoint responses."""
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        #: key -> (namespace, value); namespace kept for retain()
+        self._data: OrderedDict[str, tuple[str, object]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, namespace: str, endpoint: str, params: dict):
+        """The cached response, or ``None`` on a miss (counted)."""
+        key = result_key(namespace, endpoint, params)
+        with self._lock:
+            entry = self._data.get(key, _MISS)
+            if entry is _MISS:
+                self.misses += 1
+                TELEMETRY.record_cache("serve-results", misses=1)
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            TELEMETRY.record_cache("serve-results", hits=1)
+            return entry[1]
+
+    def put(self, namespace: str, endpoint: str, params: dict,
+            value) -> None:
+        if self.max_entries == 0:
+            return
+        key = result_key(namespace, endpoint, params)
+        with self._lock:
+            self._data[key] = (namespace, value)
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def retain(self, namespace: str) -> int:
+        """Drop every entry outside ``namespace``; returns the count.
+
+        Called when the store digest rotates: the old generation's
+        entries are already unreachable (their keys embed the old
+        namespace), this just reclaims their memory eagerly instead of
+        waiting for LRU pressure.
+        """
+        with self._lock:
+            stale = [key for key, (ns, _) in self._data.items()
+                     if ns != namespace]
+            for key in stale:
+                del self._data[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                entries=len(self._data), max_entries=self.max_entries,
+                hits=self.hits, misses=self.misses,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

@@ -1,0 +1,136 @@
+"""Closed-loop load generator for the analytics service.
+
+Drives a request mix against a running server from ``concurrency``
+client threads and reports throughput (queries/sec) and client-side
+latency percentiles (p50/p99) — the numbers that make the ROADMAP's
+"heavy traffic" goal measurable instead of a slogan. Pure stdlib
+(``urllib``), so the bench harness and the smoke job run it anywhere
+the server runs.
+
+The mix is deterministic: request *i* of ``total`` is
+``mix[i % len(mix)]``, partitioned round-robin across workers, so two
+runs against the same store issue byte-identical request sequences
+(latencies differ; the response payloads must not).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import urlopen
+
+
+@dataclass(frozen=True)
+class Request:
+    """One endpoint + params cell of the load mix."""
+
+    path: str
+    params: dict = field(default_factory=dict)
+
+    def url(self, base_url: str) -> str:
+        query = urlencode(sorted(self.params.items()))
+        return f"{base_url}{self.path}" + (f"?{query}" if query else "")
+
+
+@dataclass
+class LoadResult:
+    """What one load run measured."""
+
+    total_requests: int
+    ok_responses: int
+    errors: int
+    cache_hits: int
+    wall_seconds: float
+    latencies_ms: list[float]
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_requests / self.wall_seconds
+
+    def percentile_ms(self, pct: float) -> float:
+        """Client-side latency percentile (nearest-rank) in ms."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(pct / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+
+def fetch_json(url: str, timeout: float = 30.0) -> tuple[int, dict]:
+    """GET ``url``; returns (status, parsed JSON body) without raising
+    on HTTP error statuses (the body still carries the typed error)."""
+    try:
+        with urlopen(url, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read())
+        except ValueError:
+            return exc.code, {"error": str(exc)}
+
+
+def run_load(base_url: str, mix: list[Request], *, total_requests: int,
+             concurrency: int = 4, timeout: float = 30.0) -> LoadResult:
+    """Fire ``total_requests`` from the cyclic ``mix`` over
+    ``concurrency`` threads; never raises on per-request failures
+    (they are counted in ``errors``)."""
+    if not mix:
+        raise ValueError("load mix is empty")
+    if total_requests < 1:
+        raise ValueError("total_requests must be positive")
+    requests = [mix[i % len(mix)] for i in range(total_requests)]
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    ok = [0] * concurrency
+    errors = [0] * concurrency
+    cache_hits = [0] * concurrency
+
+    def worker(worker_id: int) -> None:
+        for i in range(worker_id, total_requests, concurrency):
+            started = time.perf_counter()
+            try:
+                status, body = fetch_json(requests[i].url(base_url),
+                                          timeout=timeout)
+            except (URLError, OSError, ValueError):
+                errors[worker_id] += 1
+                continue
+            latencies[worker_id].append(
+                (time.perf_counter() - started) * 1000.0
+            )
+            if status == 200:
+                ok[worker_id] += 1
+                if body.get("meta", {}).get("cached"):
+                    cache_hits[worker_id] += 1
+            else:
+                errors[worker_id] += 1
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return LoadResult(
+        total_requests=total_requests,
+        ok_responses=sum(ok),
+        errors=sum(errors),
+        cache_hits=sum(cache_hits),
+        wall_seconds=wall,
+        latencies_ms=[ms for per_worker in latencies for ms in per_worker],
+    )

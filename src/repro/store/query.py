@@ -10,8 +10,9 @@ else of the store is materialized.
 
 Identifiers are validated up front against the manifest: an unknown
 column or network raises a typed :class:`~repro.errors.StoreError`
-naming the available identifiers, so typos fail fast instead of
-returning empty arrays.
+naming the available identifiers (and the nearest valid column for a
+typo), so mistakes fail fast instead of returning empty arrays or
+surfacing from deep inside shard iteration.
 
 .. code-block:: python
 
@@ -23,6 +24,7 @@ returning empty arrays.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable
 
@@ -79,15 +81,27 @@ class Query:
 
     def project(self, *names: str) -> "Query":
         """Narrow the column scope to ``names`` (validated, ordered)."""
+        self._check_columns(names)
+        return replace(self, columns=tuple(names))
+
+    def _check_columns(self, names: Iterable[str]) -> None:
+        """Raise a typed :class:`StoreError` for any name the manifest
+        schema does not know, suggesting the nearest valid name."""
         available = self.store.column_names()
         unknown = [name for name in names if name not in available]
-        if unknown:
-            raise StoreError(
-                f"unknown column(s) {', '.join(map(repr, unknown))} in "
-                f"store {self.store.root} "
-                f"(available: {', '.join(available)})"
-            )
-        return replace(self, columns=tuple(names))
+        if not unknown:
+            return
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, available, n=1,
+                                              cutoff=0.4)
+            hints.append(f"{name!r}" + (f" (did you mean {close[0]!r}?)"
+                                        if close else ""))
+        raise StoreError(
+            f"unknown column(s) {', '.join(hints)} in "
+            f"store {self.store.root} "
+            f"(available: {', '.join(available)})"
+        )
 
     # -- evaluation helpers --------------------------------------------------
 
@@ -165,7 +179,9 @@ class Query:
         """Aggregate one column over the scope.
 
         ``func`` is one of :data:`AGGREGATES`; ``column`` defaults to
-        the single projected column. ``by=None`` returns a scalar;
+        the single projected column. An empty scope yields ``0.0`` for
+        ``sum`` (additive identity), ``0`` for ``count``, and NaN for
+        ``mean``/``min``/``max``. ``by=None`` returns a scalar;
         ``by="network"`` returns ``[(network_id, value), ...]`` in shard
         order (evaluated shard-by-shard — no cross-network
         materialization); ``by="month"`` returns ``[(month, value),
@@ -176,6 +192,16 @@ class Query:
                 f"unknown aggregate {func!r} (choose from "
                 f"{', '.join(AGGREGATES)})"
             )
+        if by is not None and by not in GROUP_KEYS:
+            raise StoreError(
+                f"unknown group key {by!r} (choose from "
+                f"{', '.join(GROUP_KEYS)})"
+            )
+        if column is not None:
+            # validated against the manifest schema before any shard is
+            # touched, so a typo fails fast with a suggestion instead of
+            # surfacing from deep inside shard iteration
+            self._check_columns((column,))
         if column is None:
             projected = self._projected()
             if len(projected) != 1:
@@ -212,16 +238,16 @@ class Query:
                 (month, _reduce(func, np.concatenate(parts)))
                 for month, parts in sorted(groups.items())
             ]
-        raise StoreError(
-            f"unknown group key {by!r} (choose from {', '.join(GROUP_KEYS)})"
-        )
+        raise AssertionError(f"unreachable group key {by!r}")
 
 
 def _reduce(func: str, values: np.ndarray):
     if func == "count":
         return int(values.size)
     if values.size == 0:
-        return float("nan")
+        # sum has an additive identity, so an empty scope sums to 0.0;
+        # the mean and the order statistics have no defined value there
+        return 0.0 if func == "sum" else float("nan")
     if func == "mean":
         return float(values.mean())
     if func == "sum":

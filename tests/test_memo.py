@@ -70,6 +70,47 @@ class TestContentMemo:
         with pytest.raises(ValueError, match=">= 0"):
             memo_capacity()
 
+    def test_clear_rereads_env_capacity(self, monkeypatch):
+        """A memo touched once must not pin the env-derived capacity
+        forever: clear() drops the cached value so MPA_CONTENT_MEMO
+        changes take effect, as the class docstring promises."""
+        monkeypatch.setenv(ENV_CAPACITY, "3")
+        memo = ContentMemo("t")
+        assert memo.capacity == 3  # first read caches the env value
+        monkeypatch.setenv(ENV_CAPACITY, "7")
+        assert memo.capacity == 3  # still cached mid-run (by design)
+        memo.clear()
+        assert memo.capacity == 7  # plain clear() re-reads the env
+
+    def test_clear_keeps_pinned_capacity(self, monkeypatch):
+        monkeypatch.setenv(ENV_CAPACITY, "99")
+        memo = ContentMemo("t", capacity=2)
+        memo.clear()
+        assert memo.capacity == 2  # constructor pin survives clear()
+        memo.clear(reset_capacity=True)
+        assert memo.capacity == 99  # explicit reset drops the pin
+
+    def test_reconfigure_resizes_and_trims(self):
+        """The serve-startup path: a long-lived server resizes the
+        process-wide memos without dropping still-valid entries."""
+        memo = ContentMemo("t", capacity=4)
+        for key in "abcd":
+            memo.put(key, key.upper())
+        memo.reconfigure(2)
+        assert memo.capacity == 2
+        assert len(memo) == 2  # LRU overflow evicted, newest survive
+        assert memo.get("d") == "D" and memo.get("c") == "C"
+        memo.reconfigure(None)  # back to env-derived
+        assert memo.capacity == memo_capacity()
+        with pytest.raises(ValueError, match=">= 0"):
+            memo.reconfigure(-1)
+
+    def test_reconfigure_respects_hard_limit(self, monkeypatch):
+        monkeypatch.delenv(ENV_CAPACITY, raising=False)
+        memo = ContentMemo("t", limit=2)
+        memo.reconfigure(1000)
+        assert memo.capacity == 2  # the hard limit still wins
+
     def test_hard_limit_caps_env_capacity(self, monkeypatch):
         monkeypatch.setenv(ENV_CAPACITY, "1000")
         memo = ContentMemo("t", limit=2)

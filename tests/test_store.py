@@ -152,6 +152,42 @@ class TestQuery:
         by_month = store.query().aggregate("count", "beta", by="month")
         assert by_month == [(m, 2) for m in range(4)]
 
+    def test_empty_scope_aggregates(self, tmp_path):
+        """Sum over an empty scope is 0.0 (additive identity); mean and
+        the order statistics stay NaN; count is 0."""
+        store = _write_store(tmp_path / "s", ["net0", "net1"])
+        empty = store.query().where(months=[99])
+        assert empty.count() == 0
+        assert empty.aggregate("sum", "beta") == 0.0
+        assert empty.aggregate("count", "beta") == 0
+        for func in ("mean", "min", "max"):
+            assert np.isnan(empty.aggregate(func, "beta"))
+
+    def test_empty_scope_aggregates_grouped(self, tmp_path):
+        store = _write_store(tmp_path / "s", ["net0", "net1"])
+        empty = store.query().where(months=[99])
+        by_net = empty.aggregate("sum", "beta", by="network")
+        assert by_net == [("net0", 0.0), ("net1", 0.0)]
+        by_net_mean = empty.aggregate("mean", "beta", by="network")
+        assert [n for n, _ in by_net_mean] == ["net0", "net1"]
+        assert all(np.isnan(v) for _, v in by_net_mean)
+        # no month survives the filter, so a month grouping has no rows
+        assert empty.aggregate("sum", "beta", by="month") == []
+        assert empty.aggregate("count", "beta", by="month") == []
+
+    def test_aggregate_unknown_column_fails_fast(self, tmp_path):
+        """An unknown aggregate column is a typed StoreError naming the
+        column and the nearest valid name, raised before any shard is
+        iterated — for every grouping."""
+        store = _write_store(tmp_path / "s", ["net0"])
+        for by in (None, "network", "month"):
+            with pytest.raises(StoreError,
+                               match=r"'alpah'.*did you mean 'alpha'"):
+                store.query().aggregate("mean", "alpah", by=by)
+        # the by= key is validated up front too, even with a bad column
+        with pytest.raises(StoreError, match="group key"):
+            store.query().aggregate("mean", "alpah", by="device")
+
     def test_missing_column_is_typed_error(self, tmp_path):
         store = _write_store(tmp_path / "s", ["net0"])
         with pytest.raises(StoreError, match="no_such_metric"):
