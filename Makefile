@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-pytest coverage smoke migrate-smoke serve-smoke fuzz lint selfcheck chaos
+.PHONY: test bench bench-check bench-pytest coverage smoke migrate-smoke serve-smoke whatif-smoke fuzz lint selfcheck chaos
 
 # tier-1 test suite
 test:
@@ -80,3 +80,9 @@ migrate-smoke:
 # then SIGTERM and require a clean exit with the final stats table
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
+
+# counterfactual what-if CLI end to end: attribution + scenario modes
+# answer, unknown inputs exit 2 with a typed diagnostic, and the warm
+# run stays inside a generous latency budget
+whatif-smoke:
+	$(PYTHON) tools/whatif_smoke.py

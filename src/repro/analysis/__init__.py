@@ -1,5 +1,14 @@
-"""Statistical analyses: dependence (MI/CMI) and causal inference (QED)."""
+"""Statistical analyses: dependence (MI/CMI) and causal inference
+(QED organization-level, :mod:`repro.analysis.causal` per-incident)."""
 
+from repro.analysis.causal import (
+    AttributionReport,
+    CounterfactualEstimate,
+    WhatIfResult,
+    estimate_whatif,
+    pooled_counterfactual,
+    rank_causes,
+)
 from repro.analysis.mutual_information import (
     mutual_information,
     conditional_mutual_information,
@@ -16,6 +25,12 @@ from repro.analysis.transfer import TransferResult, evaluate_transfer
 from repro.analysis.validation import RandomizedResult, run_randomized_experiment
 
 __all__ = [
+    "AttributionReport",
+    "CounterfactualEstimate",
+    "WhatIfResult",
+    "estimate_whatif",
+    "pooled_counterfactual",
+    "rank_causes",
     "mutual_information",
     "conditional_mutual_information",
     "binned_mutual_information",

@@ -1,0 +1,54 @@
+"""Counterfactual root-cause engine (per-incident causal attribution).
+
+The QED subsystem answers the paper's organization-level question; this
+package answers the per-incident one — "what would this network's
+ticket rate have been without practice C" — via matched-control
+counterfactual trajectories with regression bias correction
+(:mod:`repro.analysis.causal.engine`) and an incident-attribution
+ranker over candidate causes (:mod:`repro.analysis.causal.attribution`).
+Exposed as ``mpa whatif`` and the ``/whatif`` serve endpoint, and graded
+against the synthesizer's planted truth by the selfcheck scorecard's
+counterfactual channel.
+"""
+
+from repro.analysis.causal.engine import (
+    ALPHA_ATTRIBUTION,
+    DEFAULT_CALIPER_SD,
+    DEFAULT_K_DONORS,
+    CounterfactualEstimate,
+    MatchedCounterfactual,
+    WhatIfResult,
+    estimate_whatif,
+    pooled_counterfactual,
+    safe_caliper,
+)
+from repro.analysis.causal.attribution import (
+    AttributionReport,
+    AttributionScore,
+    SurgeWindow,
+    candidate_practices,
+    detect_surge,
+    pick_worst_network,
+    planted_candidates,
+    rank_causes,
+)
+
+__all__ = [
+    "ALPHA_ATTRIBUTION",
+    "DEFAULT_CALIPER_SD",
+    "DEFAULT_K_DONORS",
+    "CounterfactualEstimate",
+    "MatchedCounterfactual",
+    "WhatIfResult",
+    "estimate_whatif",
+    "pooled_counterfactual",
+    "safe_caliper",
+    "AttributionReport",
+    "AttributionScore",
+    "SurgeWindow",
+    "candidate_practices",
+    "detect_surge",
+    "pick_worst_network",
+    "planted_candidates",
+    "rank_causes",
+]

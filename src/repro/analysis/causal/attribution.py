@@ -1,0 +1,206 @@
+"""Incident attribution: rank candidate causes for a ticket surge.
+
+Given one network and an incident window (or the automatically detected
+surge months), every candidate practice is scored by the counterfactual
+engine — "how many of this window's tickets would have happened anyway
+had the network run practice P at the organization's low level?" — and
+candidates are ranked by the excess tickets they explain. Attribution
+demands the same p < 0.001 bar the paper's QED uses, so a candidate
+that merely correlates with the surge does not get blamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import validation as validation_mod
+from repro.analysis.causal.engine import (
+    ALPHA_ATTRIBUTION,
+    DEFAULT_CALIPER_SD,
+    DEFAULT_K_DONORS,
+    WhatIfResult,
+    estimate_whatif,
+)
+from repro.errors import InsufficientDataError
+from repro.metrics import catalog
+from repro.metrics.dataset import MetricDataset
+
+#: A network month is a surge month when its tickets exceed the
+#: network's median by this many median-absolute-deviations (floored at
+#: 1 ticket so flat-ticket networks don't flag noise).
+SURGE_MAD_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class SurgeWindow:
+    """The incident window attribution runs over."""
+
+    network_id: str
+    months: tuple[int, ...]  # surge month indices (dataset epoch-relative)
+    observed_tickets: float  # total tickets inside the window
+    baseline_tickets: float  # the network's median monthly tickets
+    auto_detected: bool
+
+    @property
+    def excess_over_baseline(self) -> float:
+        return self.observed_tickets - self.baseline_tickets * len(self.months)
+
+
+@dataclass(frozen=True, slots=True)
+class AttributionScore:
+    """One candidate practice's share of the blame."""
+
+    practice: str
+    effect: float  # mean per-case excess tickets vs counterfactual
+    excess_tickets: float  # total excess over the window
+    interval_low: float
+    interval_high: float
+    p_value: float  # one-sided: practice raises tickets
+    n_pairs: int
+    attributed: bool
+
+    @classmethod
+    def inestimable(cls, practice: str) -> "AttributionScore":
+        """No-evidence score for candidates the engine cannot estimate."""
+        return cls(practice=practice, effect=0.0, excess_tickets=0.0,
+                   interval_low=0.0, interval_high=0.0, p_value=1.0,
+                   n_pairs=0, attributed=False)
+
+    @classmethod
+    def from_whatif(cls, result: WhatIfResult,
+                    alpha: float = ALPHA_ATTRIBUTION) -> "AttributionScore":
+        est = result.estimate
+        return cls(
+            practice=result.practice,
+            effect=est.effect,
+            excess_tickets=est.excess_tickets,
+            interval_low=est.interval_low,
+            interval_high=est.interval_high,
+            p_value=est.p_value,
+            n_pairs=est.n_pairs,
+            attributed=est.attributable(alpha),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AttributionReport:
+    """Ranked candidate causes for one network's incident window."""
+
+    window: SurgeWindow
+    alpha: float
+    scores: tuple[AttributionScore, ...]  # ranked, strongest first
+
+    @property
+    def attributed(self) -> tuple[AttributionScore, ...]:
+        return tuple(s for s in self.scores if s.attributed)
+
+    @property
+    def top_cause(self) -> AttributionScore | None:
+        return self.scores[0] if self.scores else None
+
+
+def candidate_practices(dataset: MetricDataset) -> list[str]:
+    """Practice metrics present in the dataset, catalog order."""
+    present = set(dataset.names)
+    return [name for name in catalog.metric_names() if name in present]
+
+
+def planted_candidates() -> list[str]:
+    """The synthesizer's planted practices (graded candidates)."""
+    return [effect.metric for effect in validation_mod.PLANTED_EFFECTS]
+
+
+def pick_worst_network(dataset: MetricDataset) -> str:
+    """The network with the most total tickets (``--network worst``)."""
+    totals: dict[str, float] = {}
+    for network, tickets in zip(dataset.case_networks, dataset.tickets):
+        totals[network] = totals.get(network, 0.0) + float(tickets)
+    return max(sorted(totals), key=lambda n: totals[n])
+
+
+def detect_surge(dataset: MetricDataset, network_id: str) -> SurgeWindow:
+    """The network's surge months: tickets far above its own median.
+
+    Months beyond ``median + SURGE_MAD_THRESHOLD * max(MAD, 1)`` are
+    surge months; when no month clears the bar the window falls back to
+    the single worst month, so attribution always has a target.
+    """
+    networks = np.asarray(dataset.case_networks)
+    mask = networks == network_id
+    if not mask.any():
+        raise KeyError(f"unknown network {network_id!r}")
+    months = np.asarray(dataset.case_month_indices)[mask]
+    tickets = np.asarray(dataset.tickets, dtype=float)[mask]
+    median = float(np.median(tickets))
+    mad = float(np.median(np.abs(tickets - median)))
+    threshold = median + SURGE_MAD_THRESHOLD * max(mad, 1.0)
+    surge = tickets > threshold
+    auto = bool(surge.any())
+    if not auto:
+        surge = tickets == tickets.max()
+    order = np.argsort(months[surge], kind="stable")
+    picked_months = months[surge][order]
+    return SurgeWindow(
+        network_id=network_id,
+        months=tuple(int(m) for m in picked_months),
+        observed_tickets=float(tickets[surge].sum()),
+        baseline_tickets=median,
+        auto_detected=auto,
+    )
+
+
+def rank_causes(dataset: MetricDataset, network_id: str,
+                months: list[int] | None = None,
+                candidates: list[str] | None = None,
+                alpha: float = ALPHA_ATTRIBUTION,
+                k: int = DEFAULT_K_DONORS,
+                caliper_sd: float | None = DEFAULT_CALIPER_SD,
+                ) -> AttributionReport:
+    """Score and rank candidate causes for a network's ticket surge.
+
+    ``months=None`` auto-detects the surge window. Candidates the
+    engine cannot estimate (no donors, constant columns) receive the
+    null score rather than raising, so the ranking always covers every
+    candidate. Ranked by excess tickets (desc), ties broken by name.
+    """
+    if months is None:
+        window = detect_surge(dataset, network_id)
+    else:
+        networks = np.asarray(dataset.case_networks)
+        mask = networks == network_id
+        if not mask.any():
+            raise KeyError(f"unknown network {network_id!r}")
+        wanted = sorted(set(int(m) for m in months))
+        month_arr = np.asarray(dataset.case_month_indices)[mask]
+        tickets = np.asarray(dataset.tickets, dtype=float)[mask]
+        in_window = np.isin(month_arr, wanted)
+        window = SurgeWindow(
+            network_id=network_id,
+            months=tuple(int(m) for m in np.sort(month_arr[in_window])),
+            observed_tickets=float(tickets[in_window].sum()),
+            baseline_tickets=float(np.median(tickets)),
+            auto_detected=False,
+        )
+    if not window.months:
+        raise InsufficientDataError(
+            f"network {network_id} has no cases in the requested window"
+        )
+    if candidates is None:
+        candidates = candidate_practices(dataset)
+
+    scores: list[AttributionScore] = []
+    for practice in candidates:
+        try:
+            result = estimate_whatif(
+                dataset, network_id, practice,
+                months=list(window.months), k=k, caliper_sd=caliper_sd,
+            )
+        except InsufficientDataError:
+            scores.append(AttributionScore.inestimable(practice))
+            continue
+        scores.append(AttributionScore.from_whatif(result, alpha))
+    scores.sort(key=lambda s: (-s.excess_tickets, s.practice))
+    return AttributionReport(window=window, alpha=alpha,
+                             scores=tuple(scores))

@@ -1,0 +1,457 @@
+"""Counterfactual estimation: matched-control trajectories per network.
+
+The QED subsystem (:mod:`repro.analysis.qed`) answers the paper's
+Section 5.2 question — does practice X affect health *on average across
+the organization*. This engine answers the per-incident question
+NetCause poses: **what would THIS network's ticket rate have been
+without practice/change C?** The estimator is matched-control
+counterfactual imputation with regression bias correction:
+
+1. **Reference level.** "Without C" is operationalized as the practice
+   at a *reference* value — an explicit ``P=v`` from the operator, or
+   the organization's low quantile (:data:`LOW_REFERENCE_QUANTILE`) by
+   default.
+2. **Donor pool.** Candidate counterfactual twins are cases (of *other*
+   networks — a network is never its own counterfactual) whose practice
+   level sits at the reference: at or below the low quantile for the
+   default reference, or inside an IQR-scaled band around an explicit
+   ``v`` (widened to the nearest cases when the band is too sparse).
+3. **Propensity matching.** Each target case is matched to its
+   ``k`` nearest donors on logit-scale propensity scores fitted over
+   the same confounder frame the QED uses
+   (:func:`repro.analysis.qed.experiment.build_confounders` — log1p
+   scale, leave-one-out family replacement), optionally inside a
+   caliper measured in pooled score standard deviations.
+   A *degenerate* pooled SD (constant practice column, or any input
+   that collapses every propensity score to the same value) disables
+   the caliper instead of silently discarding every match — see
+   :func:`safe_caliper`.
+4. **Bias correction.** Raw donor outcomes are corrected by an outcome
+   model fitted on the donor pool (Abadie-Imbens style): the matched
+   difference becomes ``y_t - (y_d + mu0(x_t) - mu0(x_d))``, which
+   removes the residual confounding that survives nearest-neighbour
+   matching at reduced scales. Without this step, planted-*null*
+   practices that merely correlate with causal ones (e.g.
+   ``intra_device_complexity``) are falsely attributed.
+5. **Uncertainty + significance.** The pooled per-pair corrected
+   differences give a percentile interval for the effect and a
+   one-sided sign test for "does C *raise* tickets" — attribution uses
+   the paper's own p < 0.001 bar.
+
+Because the synthesizer plants its causal structure
+(:data:`repro.analysis.validation.PLANTED_EFFECTS`), every estimate
+this engine produces can be graded against ground truth; the
+counterfactual channel of the selfcheck scorecard
+(:func:`repro.analysis.selfcheck.scorecard.score_counterfactual_truth`)
+does exactly that on every ``mpa selfcheck`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.qed.experiment import _to_logit, build_confounders
+from repro.analysis.qed.propensity import propensity_scores
+from repro.errors import InsufficientDataError
+from repro.metrics.dataset import MetricDataset
+
+#: "Without practice C" defaults to the organization's low quantile.
+LOW_REFERENCE_QUANTILE = 0.3
+
+#: Cases at or above this quantile are informative targets for the
+#: pooled (organization-wide) estimate.
+TARGET_QUANTILE = 0.55
+
+#: Donor matches per target case.
+DEFAULT_K_DONORS = 5
+
+#: Default caliper (in pooled logit-score standard deviations). ``None``
+#: disables the caliper: bias correction absorbs confounder gaps far
+#: better than discarding matches does at reduced scales, where a tight
+#: caliper starves the sign test of pairs. Callers that do pass a
+#: caliper get the degenerate-spread guard in :func:`safe_caliper`.
+DEFAULT_CALIPER_SD: float | None = None
+
+#: Ridge strength of the donor-pool outcome model (standardized
+#: log1p confounders).
+DEFAULT_RIDGE_LAMBDA = 10.0
+
+#: L2 of the propensity logistic fit (matches the QED default).
+DEFAULT_PROPENSITY_L2 = 0.1
+
+#: Attribution significance bar — the paper's own rejection threshold.
+ALPHA_ATTRIBUTION = 1e-3
+
+#: Percentile interval width for effect uncertainty.
+INTERVAL_QUANTILES = (0.025, 0.975)
+
+#: Minimum donor-pool size; sparser explicit-value bands are widened to
+#: the nearest cases until the pool reaches this.
+MIN_DONOR_POOL = 8
+
+#: Pair differences within this relative epsilon of zero are ties for
+#: the sign test. Bias-corrected differences are never exactly zero in
+#: floats — a zero-effect dataset leaves ulp-scale residue that would
+#: otherwise register as signed evidence and (with enough pairs) clear
+#: any significance bar.
+SIGN_TIE_EPSILON = 1e-9
+
+#: Outcome transforms the estimator supports. ``log`` models the
+#: planted log-linear rate structure; ``linear`` keeps the whole
+#: estimate exactly linear in the outcome column (used by the
+#: monotone-scaling property tests).
+OUTCOME_MODES = ("log", "linear")
+
+
+def safe_caliper(logit_donor: np.ndarray, logit_target: np.ndarray,
+                 caliper_sd: float | None) -> float:
+    """Caliper in logit-score units, guarded against degenerate spread.
+
+    When every propensity score collapses to the same value (a constant
+    practice column makes the treatment indistinguishable from its
+    confounders, so the logistic fit returns one score for everyone),
+    the pooled standard deviation is zero and a literal
+    ``caliper_sd * sd`` caliper would discard *every* match on float
+    jitter. That degenerate case disables the caliper instead — the
+    regression the new-engine contract pins in ``tests/test_causal.py``.
+    """
+    if caliper_sd is None:
+        return np.inf
+    pooled_sd = float(np.concatenate([logit_donor, logit_target]).std())
+    # <= a ulp-scale epsilon, not <= 0: averaging identical scores can
+    # leave the mean one ulp off, making the "zero" SD ~1e-17 instead
+    if not np.isfinite(pooled_sd) or pooled_sd <= 1e-12:
+        return np.inf
+    return caliper_sd * pooled_sd
+
+
+@dataclass(frozen=True, slots=True)
+class MatchedCounterfactual:
+    """One target case with its matched-control counterfactual."""
+
+    case_index: int
+    month_index: int
+    observed_tickets: float
+    counterfactual_tickets: float  # bias-corrected donor mean
+    interval_low: float  # spread of the per-donor corrected outcomes
+    interval_high: float
+    n_donors: int
+    donor_indices: tuple[int, ...]
+    pair_diffs: tuple[float, ...]  # observed - corrected donor outcome
+
+    @property
+    def delta(self) -> float:
+        """Excess tickets this case shows over its counterfactual."""
+        return self.observed_tickets - self.counterfactual_tickets
+
+
+@dataclass(frozen=True, slots=True)
+class CounterfactualEstimate:
+    """Pooled effect of a practice over a set of target cases."""
+
+    practice: str
+    reference_value: float
+    n_targets: int
+    n_pairs: int
+    n_more: int  # pairs where observed > counterfactual
+    n_fewer: int
+    effect: float  # mean per-case (observed - counterfactual)
+    interval_low: float  # percentile interval over pair differences
+    interval_high: float
+    p_value: float  # one-sided: does the practice RAISE tickets?
+    points: tuple[MatchedCounterfactual, ...]
+
+    @property
+    def excess_tickets(self) -> float:
+        """Total tickets attributed to the practice over all targets."""
+        return float(sum(point.delta for point in self.points))
+
+    def attributable(self, alpha: float = ALPHA_ATTRIBUTION) -> bool:
+        """Does the evidence clear the attribution bar?"""
+        return self.p_value < alpha and self.effect > 0
+
+    @classmethod
+    def null(cls, practice: str, reference_value: float = float("nan"),
+             ) -> "CounterfactualEstimate":
+        """The no-evidence estimate (no donors / no contrast)."""
+        return cls(practice=practice, reference_value=reference_value,
+                   n_targets=0, n_pairs=0, n_more=0, n_fewer=0,
+                   effect=0.0, interval_low=0.0, interval_high=0.0,
+                   p_value=1.0, points=())
+
+
+@dataclass(frozen=True, slots=True)
+class WhatIfResult:
+    """``mpa whatif --network N --practice P=v`` — one scenario."""
+
+    network_id: str
+    practice: str
+    observed_value: float  # mean practice level over the window
+    counterfactual_value: float
+    months: tuple[int, ...]
+    estimate: CounterfactualEstimate
+
+    @property
+    def excess_tickets(self) -> float:
+        return self.estimate.excess_tickets
+
+
+def _ridge_outcome_model(confounders: np.ndarray, outcomes: np.ndarray,
+                         ridge_lambda: float):
+    """Fit ``mu0`` on the donor pool: standardized ridge regression."""
+    mean = confounders.mean(axis=0)
+    sd = confounders.std(axis=0)
+    sd = np.where(sd > 0, sd, 1.0)
+    z = (confounders - mean) / sd
+    gram = z.T @ z + ridge_lambda * np.eye(z.shape[1])
+    intercept = float(outcomes.mean())
+    beta = np.linalg.solve(gram, z.T @ (outcomes - intercept))
+
+    def predict(query: np.ndarray) -> np.ndarray:
+        return intercept + ((query - mean) / sd) @ beta
+
+    return predict
+
+
+def _one_sided_sign_p(n_more: int, n_fewer: int) -> float:
+    """P(>= n_more positives | fair coin) over the informative pairs."""
+    n_informative = n_more + n_fewer
+    if n_informative == 0:
+        return 1.0
+    return float(stats.binomtest(n_more, n_informative, p=0.5,
+                                 alternative="greater").pvalue)
+
+
+def _outcome_transforms(outcome: str):
+    """(forward, inverse) outcome transforms for the chosen mode.
+
+    The inverse is the *exact* inverse (no clipping), so a difference of
+    back-transformed outcomes has the same sign as the difference on the
+    modelling scale — the sign test is transform-invariant. Clipping to
+    the physical ticket range happens only at the display layer.
+    """
+    if outcome not in OUTCOME_MODES:
+        raise ValueError(f"outcome must be one of {OUTCOME_MODES}")
+    if outcome == "log":
+        return (lambda t: np.log1p(np.maximum(t, 0.0)), np.expm1)
+    return (lambda t: t, lambda y: y)
+
+
+def default_reference(column: np.ndarray,
+                      quantile: float = LOW_REFERENCE_QUANTILE) -> float:
+    """The organization's low practice level ("without C")."""
+    return float(np.quantile(np.asarray(column, dtype=float), quantile))
+
+
+def _donor_mask(column: np.ndarray, reference_value: float,
+                explicit_value: bool) -> np.ndarray:
+    """Cases eligible as counterfactual donors for ``reference_value``.
+
+    The default reference (low quantile) takes everything at or below
+    it; an explicit ``P=v`` takes an IQR-scaled band around ``v``,
+    widened to the nearest :data:`MIN_DONOR_POOL` cases when the band
+    is too sparse (degenerate spread included: a constant column makes
+    every case a donor).
+    """
+    column = np.asarray(column, dtype=float)
+    if not explicit_value:
+        return column <= reference_value
+    q25, q75 = np.quantile(column, [0.25, 0.75])
+    band = 0.5 * (q75 - q25)
+    mask = np.abs(column - reference_value) <= band
+    if int(mask.sum()) < MIN_DONOR_POOL:
+        order = np.argsort(np.abs(column - reference_value), kind="stable")
+        mask = np.zeros(len(column), dtype=bool)
+        mask[order[:MIN_DONOR_POOL]] = True
+    return mask
+
+
+def match_counterfactuals(dataset: MetricDataset, practice: str,
+                          target_indices: np.ndarray,
+                          donor_indices: np.ndarray,
+                          k: int = DEFAULT_K_DONORS,
+                          caliper_sd: float | None = DEFAULT_CALIPER_SD,
+                          propensity_l2: float = DEFAULT_PROPENSITY_L2,
+                          ridge_lambda: float = DEFAULT_RIDGE_LAMBDA,
+                          outcome: str = "log",
+                          ) -> list[MatchedCounterfactual]:
+    """Match every target case to bias-corrected counterfactual donors.
+
+    Returns one :class:`MatchedCounterfactual` per target that found at
+    least one donor (targets whose network owns the whole donor pool,
+    or whose nearest donor falls outside the caliper, are dropped).
+    """
+    forward, inverse = _outcome_transforms(outcome)
+    target_indices = np.asarray(target_indices, dtype=np.int64)
+    donor_indices = np.asarray(donor_indices, dtype=np.int64)
+    if target_indices.size == 0 or donor_indices.size == 0:
+        return []
+    _, confounders = build_confounders(dataset, practice)
+    tickets = np.asarray(dataset.tickets, dtype=float)
+    outcomes = forward(tickets)
+    mu0 = _ridge_outcome_model(confounders[donor_indices],
+                               outcomes[donor_indices], ridge_lambda)
+    scores_donor, scores_target = propensity_scores(
+        confounders[donor_indices], confounders[target_indices],
+        l2=propensity_l2,
+    )
+    logit_donor = _to_logit(scores_donor)
+    logit_target = _to_logit(scores_target)
+    caliper = safe_caliper(logit_donor, logit_target, caliper_sd)
+    networks = np.asarray(dataset.case_networks)
+    donor_networks = networks[donor_indices]
+    mu0_donor = mu0(confounders[donor_indices])
+
+    matched: list[MatchedCounterfactual] = []
+    for i, case in enumerate(target_indices):
+        distance = np.abs(logit_donor - logit_target[i])
+        distance[donor_networks == networks[case]] = np.inf
+        order = np.argsort(distance, kind="stable")[:k]
+        # the finiteness check keeps excluded same-network donors out
+        # even under an infinite caliper (inf <= inf is True)
+        chosen = order[np.isfinite(distance[order])
+                       & (distance[order] <= caliper)]
+        if chosen.size == 0:
+            continue
+        donors = donor_indices[chosen]
+        correction = mu0(confounders[case][None, :])[0] - mu0_donor[chosen]
+        counterfactual_y = outcomes[donors] + correction
+        # Aggregate on the modelling scale, then back-transform: the
+        # counterfactual point estimate is inverse(mean(y)), clipped to
+        # the physical range for display.
+        counterfactual_t = inverse(counterfactual_y)
+        point = max(float(inverse(counterfactual_y.mean())), 0.0)
+        observed = float(tickets[case])
+        matched.append(MatchedCounterfactual(
+            case_index=int(case),
+            month_index=int(dataset.case_month_indices[case]),
+            observed_tickets=observed,
+            counterfactual_tickets=point,
+            interval_low=max(float(counterfactual_t.min()), 0.0),
+            interval_high=max(float(counterfactual_t.max()), 0.0),
+            n_donors=int(chosen.size),
+            donor_indices=tuple(int(d) for d in donors),
+            pair_diffs=tuple(float(d)
+                             for d in observed - counterfactual_t),
+        ))
+    return matched
+
+
+def _pool_estimate(practice: str, reference_value: float,
+                   matched: list[MatchedCounterfactual],
+                   ) -> CounterfactualEstimate:
+    """Pool per-pair differences into one estimate + significance."""
+    if not matched:
+        return CounterfactualEstimate.null(practice, reference_value)
+    diffs = np.concatenate([np.asarray(m.pair_diffs) for m in matched])
+    tie = SIGN_TIE_EPSILON * max(1.0, float(np.abs(diffs).max()))
+    n_more = int((diffs > tie).sum())
+    n_fewer = int((diffs < -tie).sum())
+    low, high = np.quantile(diffs, INTERVAL_QUANTILES)
+    effect = float(np.mean([m.delta for m in matched]))
+    return CounterfactualEstimate(
+        practice=practice,
+        reference_value=float(reference_value),
+        n_targets=len(matched),
+        n_pairs=int(diffs.size),
+        n_more=n_more,
+        n_fewer=n_fewer,
+        effect=effect,
+        interval_low=float(low),
+        interval_high=float(high),
+        p_value=_one_sided_sign_p(n_more, n_fewer),
+        points=tuple(matched),
+    )
+
+
+def pooled_counterfactual(dataset: MetricDataset, practice: str,
+                          k: int = DEFAULT_K_DONORS,
+                          caliper_sd: float | None = DEFAULT_CALIPER_SD,
+                          propensity_l2: float = DEFAULT_PROPENSITY_L2,
+                          ridge_lambda: float = DEFAULT_RIDGE_LAMBDA,
+                          outcome: str = "log",
+                          low_quantile: float = LOW_REFERENCE_QUANTILE,
+                          target_quantile: float = TARGET_QUANTILE,
+                          ) -> CounterfactualEstimate:
+    """Organization-wide counterfactual effect of one practice.
+
+    Targets are every case at or above the practice's
+    ``target_quantile``; donors are the cases at or below its
+    ``low_quantile``. This is the estimate the selfcheck scorecard's
+    counterfactual channel grades against the planted truth. A practice
+    with no usable contrast (constant column, empty pools) yields the
+    null estimate — never an exception.
+    """
+    column = np.asarray(dataset.column(practice), dtype=float)
+    reference = float(np.quantile(column, low_quantile))
+    high = float(np.quantile(column, target_quantile))
+    donor_mask = column <= reference
+    target_mask = column >= high if high > reference else column > reference
+    matched = match_counterfactuals(
+        dataset, practice,
+        np.flatnonzero(target_mask), np.flatnonzero(donor_mask),
+        k=k, caliper_sd=caliper_sd, propensity_l2=propensity_l2,
+        ridge_lambda=ridge_lambda, outcome=outcome,
+    )
+    return _pool_estimate(practice, reference, matched)
+
+
+def estimate_whatif(dataset: MetricDataset, network_id: str, practice: str,
+                    value: float | None = None,
+                    months: list[int] | None = None,
+                    k: int = DEFAULT_K_DONORS,
+                    caliper_sd: float | None = DEFAULT_CALIPER_SD,
+                    propensity_l2: float = DEFAULT_PROPENSITY_L2,
+                    ridge_lambda: float = DEFAULT_RIDGE_LAMBDA,
+                    outcome: str = "log") -> WhatIfResult:
+    """Counterfactual trajectory for one network under ``practice=value``.
+
+    ``value=None`` asks "what if this network ran the practice at the
+    organization's low level" (the incident question); an explicit
+    ``value`` evaluates any scenario. ``months`` restricts the window
+    (default: every month the network has).
+
+    Raises :class:`KeyError` for an unknown network or practice and
+    :class:`~repro.errors.InsufficientDataError` when no counterfactual
+    donors exist (single-network datasets, empty windows).
+    """
+    networks = np.asarray(dataset.case_networks)
+    if network_id not in networks:
+        raise KeyError(f"unknown network {network_id!r}")
+    column = np.asarray(dataset.column(practice), dtype=float)
+    case_months = np.asarray(dataset.case_month_indices)
+    target_mask = networks == network_id
+    if months is not None:
+        wanted = set(int(m) for m in months)
+        target_mask &= np.isin(case_months, sorted(wanted))
+        if not target_mask.any():
+            raise InsufficientDataError(
+                f"network {network_id} has no cases in months "
+                f"{sorted(wanted)}"
+            )
+    explicit = value is not None
+    reference = float(value) if explicit else default_reference(column)
+    donor_mask = _donor_mask(column, reference, explicit)
+    donor_mask &= ~target_mask  # a network is never its own donor
+    target_idx = np.flatnonzero(target_mask)
+    matched = match_counterfactuals(
+        dataset, practice, target_idx, np.flatnonzero(donor_mask),
+        k=k, caliper_sd=caliper_sd, propensity_l2=propensity_l2,
+        ridge_lambda=ridge_lambda, outcome=outcome,
+    )
+    if not matched:
+        raise InsufficientDataError(
+            f"no counterfactual donors for {network_id} at "
+            f"{practice}={reference:g}"
+        )
+    return WhatIfResult(
+        network_id=network_id,
+        practice=practice,
+        observed_value=float(column[target_idx].mean()),
+        counterfactual_value=reference,
+        months=tuple(int(m) for m in case_months[target_idx]),
+        estimate=_pool_estimate(practice, reference, matched),
+    )

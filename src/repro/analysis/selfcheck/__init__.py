@@ -17,8 +17,11 @@ from repro.analysis.selfcheck.report import (
     run_selfcheck,
 )
 from repro.analysis.selfcheck.scorecard import (
+    CounterfactualScore,
+    CounterfactualScorecard,
     PracticeScore,
     Scorecard,
+    score_counterfactual_truth,
     score_planted_truth,
 )
 
@@ -29,7 +32,10 @@ __all__ = [
     "SELFCHECK_FORMAT_VERSION",
     "SelfCheckReport",
     "run_selfcheck",
+    "CounterfactualScore",
+    "CounterfactualScorecard",
     "PracticeScore",
     "Scorecard",
+    "score_counterfactual_truth",
     "score_planted_truth",
 ]

@@ -15,12 +15,19 @@ from repro.analysis.selfcheck.invariants import (
     InvariantResult,
     run_invariant_checks,
 )
-from repro.analysis.selfcheck.scorecard import Scorecard, score_planted_truth
+from repro.analysis.selfcheck.scorecard import (
+    CounterfactualScorecard,
+    Scorecard,
+    score_counterfactual_truth,
+    score_planted_truth,
+)
 from repro.metrics.dataset import MetricDataset
 from repro.runtime.telemetry import TELEMETRY
 
 #: Bumped when the selfcheck.json layout changes incompatibly.
-SELFCHECK_FORMAT_VERSION = 1
+#: v2 added the counterfactual-channel scorecard (absent in v1 reports,
+#: which still load — the channel reads as "not run").
+SELFCHECK_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,6 +37,7 @@ class SelfCheckReport:
     seed: int
     invariants: tuple[InvariantResult, ...]
     scorecard: Scorecard | None
+    counterfactual: CounterfactualScorecard | None = None
 
     @property
     def n_invariant_failures(self) -> int:
@@ -39,7 +47,9 @@ class SelfCheckReport:
     def passed(self) -> bool:
         if self.n_invariant_failures:
             return False
-        return self.scorecard is None or self.scorecard.passed
+        if self.scorecard is not None and not self.scorecard.passed:
+            return False
+        return self.counterfactual is None or self.counterfactual.passed
 
     def to_dict(self) -> dict:
         return {
@@ -50,11 +60,15 @@ class SelfCheckReport:
             "invariants": [r.to_dict() for r in self.invariants],
             "scorecard": (self.scorecard.to_dict()
                           if self.scorecard is not None else None),
+            "counterfactual": (self.counterfactual.to_dict()
+                               if self.counterfactual is not None
+                               else None),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SelfCheckReport":
         scorecard = data.get("scorecard")
+        counterfactual = data.get("counterfactual")
         return cls(
             seed=data.get("seed", 0),
             invariants=tuple(
@@ -62,6 +76,8 @@ class SelfCheckReport:
             ),
             scorecard=(Scorecard.from_dict(scorecard)
                        if scorecard is not None else None),
+            counterfactual=(CounterfactualScorecard.from_dict(counterfactual)
+                            if counterfactual is not None else None),
         )
 
     def regressions_from(self, baseline: "SelfCheckReport") -> list[str]:
@@ -102,6 +118,34 @@ class SelfCheckReport:
                         f"specificity regressed: {card.n_spurious} spurious "
                         f"survivors vs {base.n_spurious} in baseline"
                     )
+        if self.counterfactual is not None:
+            counter = self.counterfactual
+            if len(counter.missed) > counter.max_missed:
+                for practice in counter.missed:
+                    problems.append(
+                        f"planted causal practice {practice} not "
+                        f"attributed by the counterfactual engine"
+                    )
+            for practice in counter.false_alarms:
+                problems.append(
+                    f"planted-null practice {practice} falsely attributed "
+                    f"by the counterfactual engine"
+                )
+            base_counter = baseline.counterfactual
+            if base_counter is not None:
+                if counter.n_attributed < base_counter.n_attributed:
+                    problems.append(
+                        f"counterfactual attribution regressed: "
+                        f"{counter.n_attributed}/{counter.n_planted} planted "
+                        f"practices vs {base_counter.n_attributed}/"
+                        f"{base_counter.n_planted} in baseline"
+                    )
+                if counter.n_false_alarms > base_counter.n_false_alarms:
+                    problems.append(
+                        f"counterfactual specificity regressed: "
+                        f"{counter.n_false_alarms} false alarms vs "
+                        f"{base_counter.n_false_alarms} in baseline"
+                    )
         return problems
 
 
@@ -111,14 +155,16 @@ def run_selfcheck(dataset: MetricDataset | None, seed: int = 0,
 
     ``dataset=None`` runs the invariant half only (fast, corpus-free).
     Every verdict is mirrored into the process telemetry
-    (``invariant:*`` / ``scorecard:*`` check counters), so selfcheck
-    outcomes appear in ``MPA_TELEMETRY`` dumps alongside stage timings.
+    (``invariant:*`` / ``scorecard:*`` / ``counterfactual:*`` check
+    counters), so selfcheck outcomes appear in ``MPA_TELEMETRY`` dumps
+    alongside stage timings.
     """
     with TELEMETRY.stage("selfcheck-invariants"):
         invariants = tuple(run_invariant_checks(seed))
     for result in invariants:
         TELEMETRY.record_check(f"invariant:{result.name}", result.passed)
     scorecard = None
+    counterfactual = None
     if dataset is not None:
         with TELEMETRY.stage("selfcheck-scorecard"):
             scorecard = score_planted_truth(dataset, **scorecard_kwargs)
@@ -129,5 +175,17 @@ def run_selfcheck(dataset: MetricDataset | None, seed: int = 0,
             else:
                 TELEMETRY.record_check(f"scorecard:{score.practice}",
                                        not score.spurious)
+        with TELEMETRY.stage("selfcheck-counterfactual"):
+            counterfactual = score_counterfactual_truth(dataset)
+        for score in counterfactual.practices:
+            if score.planted_sign == "+":
+                TELEMETRY.record_check(
+                    f"counterfactual:{score.practice}", score.attributed
+                )
+            else:
+                TELEMETRY.record_check(
+                    f"counterfactual:{score.practice}", not score.false_alarm
+                )
     return SelfCheckReport(seed=seed, invariants=invariants,
-                           scorecard=scorecard)
+                           scorecard=scorecard,
+                           counterfactual=counterfactual)

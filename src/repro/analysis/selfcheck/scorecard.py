@@ -20,6 +20,13 @@ truth on every run. The scorecard answers two questions:
   point affirms causality or its pooled sign test clears the paper's
   p < 0.001 threshold.
 
+A third, independent channel grades the **counterfactual engine**
+(:mod:`repro.analysis.causal`): every planted practice gets a pooled
+matched-control counterfactual estimate, and the verdict demands that
+planted causal practices are *attributed* (one-sided p < 0.001 with a
+positive excess-ticket effect) while planted-null practices are not —
+see :func:`score_counterfactual_truth`.
+
 The scorecard is machine-readable (``to_dict``/``from_dict``) and is
 what ``mpa selfcheck`` persists as ``selfcheck.json``.
 """
@@ -32,6 +39,7 @@ import numpy as np
 
 from repro.analysis import dependence as dependence_mod
 from repro.analysis import validation as validation_mod
+from repro.analysis.causal import engine as causal_engine_mod
 from repro.analysis.qed import balance as balance_mod
 from repro.analysis.qed import experiment as experiment_mod
 from repro.analysis.qed import matching as matching_mod
@@ -52,6 +60,15 @@ ALPHA_SPURIOUS = 1e-3
 
 #: |correlation| below this counts as "no direction" in the fallback.
 CORR_DEADBAND = 0.05
+
+#: Attribution bar for the counterfactual channel (the paper's own
+#: rejection threshold, one-sided: "practice raises tickets").
+ALPHA_ATTRIBUTION = causal_engine_mod.ALPHA_ATTRIBUTION
+
+#: The counterfactual channel tolerates this many missed planted causal
+#: practices (weak planted effects sit at the edge of detectability at
+#: reduced scales); false alarms are never tolerated.
+MAX_MISSED = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,6 +155,138 @@ class Scorecard:
                 PracticeScore.from_dict(p) for p in data["practices"]
             ),
         )
+
+
+@dataclass(frozen=True, slots=True)
+class CounterfactualScore:
+    """One planted practice graded through the counterfactual engine."""
+
+    practice: str
+    planted_sign: str  # "+" causal, "0" null
+    effect: float  # mean per-case excess tickets vs counterfactual
+    interval_low: float
+    interval_high: float
+    p_value: float  # one-sided: practice raises tickets
+    n_targets: int
+    n_pairs: int
+    n_more: int
+    n_fewer: int
+    attributed: bool  # engine verdict at the attribution alpha
+    missed: bool | None  # causal practice not attributed (None for nulls)
+    false_alarm: bool  # null practice attributed
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CounterfactualScore":
+        return cls(**data)
+
+
+@dataclass(frozen=True, slots=True)
+class CounterfactualScorecard:
+    """Counterfactual-channel verdict over all planted practices."""
+
+    n_cases: int
+    n_networks: int
+    alpha: float
+    max_missed: int
+    practices: tuple[CounterfactualScore, ...]
+
+    @property
+    def n_planted(self) -> int:
+        return sum(1 for p in self.practices if p.planted_sign == "+")
+
+    @property
+    def n_attributed(self) -> int:
+        """Planted causal practices the engine correctly attributed."""
+        return sum(1 for p in self.practices
+                   if p.planted_sign == "+" and p.attributed)
+
+    @property
+    def n_false_alarms(self) -> int:
+        return sum(1 for p in self.practices if p.false_alarm)
+
+    @property
+    def missed(self) -> list[str]:
+        return [p.practice for p in self.practices if p.missed]
+
+    @property
+    def false_alarms(self) -> list[str]:
+        return [p.practice for p in self.practices if p.false_alarm]
+
+    @property
+    def passed(self) -> bool:
+        return (len(self.missed) <= self.max_missed
+                and self.n_false_alarms == 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_cases": self.n_cases,
+            "n_networks": self.n_networks,
+            "alpha": self.alpha,
+            "max_missed": self.max_missed,
+            "n_planted": self.n_planted,
+            "n_attributed": self.n_attributed,
+            "n_false_alarms": self.n_false_alarms,
+            "passed": self.passed,
+            "practices": [p.to_dict() for p in self.practices],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CounterfactualScorecard":
+        return cls(
+            n_cases=data["n_cases"],
+            n_networks=data["n_networks"],
+            alpha=data["alpha"],
+            max_missed=data["max_missed"],
+            practices=tuple(
+                CounterfactualScore.from_dict(p)
+                for p in data["practices"]
+            ),
+        )
+
+
+def score_counterfactual_truth(dataset: MetricDataset,
+                               alpha: float = ALPHA_ATTRIBUTION,
+                               max_missed: int = MAX_MISSED,
+                               **engine_kwargs) -> CounterfactualScorecard:
+    """Grade the counterfactual engine against the planted causal truth.
+
+    Every planted practice gets a pooled organization-wide
+    counterfactual estimate; a causal practice must be *attributed*
+    (one-sided p < ``alpha`` with a positive effect) and a null
+    practice must not be. The estimator is resolved through the module
+    reference so sabotage tests can monkeypatch it.
+    """
+    scores: list[CounterfactualScore] = []
+    for effect in validation_mod.PLANTED_EFFECTS:
+        estimate = causal_engine_mod.pooled_counterfactual(
+            dataset, effect.metric, **engine_kwargs
+        )
+        attributed = estimate.attributable(alpha)
+        scores.append(CounterfactualScore(
+            practice=effect.metric,
+            planted_sign=effect.sign,
+            effect=float(estimate.effect),
+            interval_low=float(estimate.interval_low),
+            interval_high=float(estimate.interval_high),
+            p_value=float(estimate.p_value),
+            n_targets=estimate.n_targets,
+            n_pairs=estimate.n_pairs,
+            n_more=estimate.n_more,
+            n_fewer=estimate.n_fewer,
+            attributed=attributed,
+            missed=(not attributed) if effect.sign == "+" else None,
+            false_alarm=effect.sign == "0" and attributed,
+        ))
+    return CounterfactualScorecard(
+        n_cases=dataset.n_cases,
+        n_networks=len(set(dataset.case_networks)),
+        alpha=alpha,
+        max_missed=max_missed,
+        practices=tuple(scores),
+    )
 
 
 def _pooled_pair_differences(dataset: MetricDataset, practice: str,

@@ -11,6 +11,10 @@ Commands:
 * ``mpa top`` — top practices by MI (Table 3),
 * ``mpa pairs`` — top practice pairs by CMI (Table 4),
 * ``mpa causal --treatment n_change_events`` — Tables 5/6 for one practice,
+* ``mpa whatif --network N --practice P=v`` — counterfactual what-if:
+  the network's matched-control ticket trajectory under the scenario;
+  without ``--practice``, ranks candidate root causes for the
+  network's detected ticket surge (see :mod:`repro.analysis.causal`),
 * ``mpa evaluate --classes 2 --variant dt+ab+os`` — cross-validated model,
 * ``mpa online --history 3`` — Table 9-style rolling prediction,
 * ``mpa selfcheck`` — statistical self-validation: estimator invariant
@@ -206,6 +210,32 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("causal", help="QED causal analysis (Tables 5/6)")
     _add_scale(p)
     p.add_argument("--treatment", required=True)
+
+    p = sub.add_parser("whatif",
+                       help="counterfactual what-if / root-cause "
+                            "attribution for one network")
+    _add_scale(p)
+    p.add_argument("--network", required=True,
+                   help="network id, or 'worst' to auto-pick the most "
+                        "ticketed network")
+    p.add_argument("--practice", default=None,
+                   help="practice name for the low-reference scenario, "
+                        "or NAME=VALUE for an explicit one; omit to "
+                        "rank all candidate causes for the surge")
+    p.add_argument("--months", default=None,
+                   help="comma-separated month indices (default: all "
+                        "months for --practice, the auto-detected "
+                        "surge window for attribution)")
+    p.add_argument("--k", type=int, default=None,
+                   help="counterfactual donors matched per case "
+                        "(default 5)")
+    p.add_argument("--caliper-sd", type=float, default=None,
+                   help="propensity caliper in pooled-SD units "
+                        "(default: no caliper)")
+    p.add_argument("--alpha", type=float, default=None,
+                   help="attribution significance bar (default 1e-3)")
+    p.add_argument("--limit", type=int, default=12,
+                   help="max ranked causes to list (default 12)")
 
     p = sub.add_parser("evaluate", help="cross-validated model (Section 6.1)")
     _add_scale(p)
@@ -445,8 +475,9 @@ def main(argv: list[str] | None = None) -> int:
               f"(store digest {store.digest()[:16]}..., "
               f"{len(store.networks)} networks x {store.n_rows} rows)",
               flush=True)
-        print("endpoints: /query /top /pairs /causal /predict /quality "
-              "/healthz /statsz — SIGTERM or Ctrl-C for a clean stop",
+        print("endpoints: /query /top /pairs /causal /whatif /predict "
+              "/quality /healthz /statsz — SIGTERM or Ctrl-C for a "
+              "clean stop",
               flush=True)
         serve_forever(server)
         print()
@@ -626,11 +657,56 @@ def main(argv: list[str] | None = None) -> int:
             print(f"baseline updated: {args.update_baseline} "
                   f"({len(baseline.entries)} benches)")
         return exit_code
+    if args.command == "whatif":
+        from repro.analysis.causal import (
+            ALPHA_ATTRIBUTION,
+            DEFAULT_K_DONORS,
+            estimate_whatif,
+            pick_worst_network,
+            rank_causes,
+        )
+        from repro.errors import InsufficientDataError
+        from repro.reporting.tables import (
+            format_attribution_table,
+            format_whatif_table,
+        )
+        dataset = workspace.dataset()
+        months = ([int(m) for m in args.months.split(",") if m.strip()]
+                  if args.months else None)
+        network = args.network
+        if network == "worst":
+            network = pick_worst_network(dataset)
+            print(f"auto-picked network {network} (most total tickets)")
+        k = args.k if args.k is not None else DEFAULT_K_DONORS
+        alpha = args.alpha if args.alpha is not None else ALPHA_ATTRIBUTION
+        try:
+            if args.practice:
+                name, _, raw = args.practice.partition("=")
+                value = float(raw) if raw else None
+                result = estimate_whatif(
+                    dataset, network, name.strip(), value=value,
+                    months=months, k=k, caliper_sd=args.caliper_sd,
+                )
+                print(format_whatif_table(result))
+            else:
+                report = rank_causes(
+                    dataset, network, months=months, alpha=alpha,
+                    k=k, caliper_sd=args.caliper_sd,
+                )
+                print(format_attribution_table(report, limit=args.limit))
+        except (KeyError, InsufficientDataError, ValueError) as exc:
+            msg = exc.args[0] if exc.args else str(exc)
+            print(f"whatif failed: {msg}", file=sys.stderr)
+            return 2
+        return 0
     if args.command == "selfcheck":
         import json
         from pathlib import Path
 
         from repro.analysis.selfcheck import SelfCheckReport, run_selfcheck
+        from repro.reporting.tables import (
+            format_counterfactual_scorecard_table,
+        )
         from repro.util.ioutils import atomic_write_text
         dataset = None if args.invariants_only else workspace.dataset()
         report = run_selfcheck(dataset, seed=args.seed)
@@ -638,6 +714,9 @@ def main(argv: list[str] | None = None) -> int:
         if report.scorecard is not None:
             print()
             print(format_scorecard_table(report.scorecard))
+        if report.counterfactual is not None:
+            print()
+            print(format_counterfactual_scorecard_table(report.counterfactual))
         out_path = (Path(args.output) if args.output
                     else workspace.selfcheck_path)
         # the previously persisted report is the regression baseline;

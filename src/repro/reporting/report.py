@@ -68,6 +68,38 @@ def generate_report(workspace: Workspace, top_k: int = 10,
         ["practice", "verdict", "p-value", "direction"], causal_rows,
     ))
 
+    sections.append("\n## Counterfactual what-if: worst network\n")
+    from repro.analysis.causal import (
+        detect_surge,
+        pick_worst_network,
+        planted_candidates,
+        rank_causes,
+    )
+    from repro.errors import InsufficientDataError
+    worst = pick_worst_network(dataset)
+    window = detect_surge(dataset, worst)
+    months_text = ", ".join(str(m) for m in window.months)
+    sections.append(
+        f"Worst network **{worst}**: {window.observed_tickets:.0f} "
+        f"tickets over month(s) {months_text} against a "
+        f"{window.baseline_tickets:.1f}/month baseline. Candidate "
+        f"causes ranked by matched-control counterfactual excess "
+        f"(one-sided sign test):\n"
+    )
+    try:
+        attribution = rank_causes(dataset, worst,
+                                  months=list(window.months),
+                                  candidates=planted_candidates())
+        sections.append(_md_table(
+            ["candidate practice", "excess tickets", "p-value",
+             "attributed?"],
+            [[display_name(s.practice), f"{s.excess_tickets:+.1f}",
+              f"{s.p_value:.2e}", "yes" if s.attributed else "no"]
+             for s in attribution.scores[:causal_k]],
+        ))
+    except InsufficientDataError as exc:
+        sections.append(f"_attribution unavailable: {exc}_")
+
     sections.append("\n## Predictive model quality (5-fold CV)\n")
     model_rows: list[list[str]] = []
     for scheme in (TWO_CLASS, FIVE_CLASS):

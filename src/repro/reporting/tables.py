@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.analysis.causal import AttributionReport, WhatIfResult
 from repro.analysis.dependence import DependenceResult, PairDependenceResult
 from repro.analysis.qed.experiment import CausalExperiment, ComparisonResult
 from repro.analysis.selfcheck.invariants import InvariantResult
-from repro.analysis.selfcheck.scorecard import Scorecard
+from repro.analysis.selfcheck.scorecard import CounterfactualScorecard, Scorecard
 from repro.core.online import OnlineResult
 from repro.metrics.catalog import display_name
 from repro.ml.model_eval import EvalReport
@@ -158,6 +159,94 @@ def format_scorecard_table(card: Scorecard,
     return render_table(
         ["Practice", "Planted", "Observed", "Evidence", "Pairs", "Pooled p",
          "Corr", "Verdict"],
+        rows, title=header,
+    )
+
+
+def format_counterfactual_scorecard_table(
+        card: CounterfactualScorecard,
+        title: str = "Counterfactual attribution scorecard") -> str:
+    """Render the counterfactual channel of a selfcheck run."""
+    rows = []
+    for p in card.practices:
+        if p.planted_sign == "+":
+            verdict = "attributed" if p.attributed else "MISSED"
+        else:
+            verdict = "FALSE ALARM" if p.false_alarm else "null ok"
+        rows.append([
+            display_name(p.practice), p.planted_sign,
+            f"{p.effect:+.2f}",
+            f"[{p.interval_low:+.2f}, {p.interval_high:+.2f}]",
+            p.n_pairs, f"{p.p_value:.2e}", verdict,
+        ])
+    header = (f"{title} ({card.n_attributed}/{card.n_planted} attributed, "
+              f"{card.n_false_alarms} false alarms, "
+              f"alpha={card.alpha:g})")
+    return render_table(
+        ["Practice", "Planted", "Effect", "Pair interval", "Pairs",
+         "One-sided p", "Verdict"],
+        rows, title=header,
+    )
+
+
+def format_whatif_table(result: WhatIfResult,
+                        title: str | None = None) -> str:
+    """Render a what-if scenario: the matched counterfactual trajectory.
+
+    One row per target case (month), with the observed tickets, the
+    bias-corrected counterfactual, its donor spread, and the excess;
+    the header carries the pooled verdict.
+    """
+    est = result.estimate
+    verdict = ("ATTRIBUTED (raises tickets)" if est.attributable()
+               else "not attributed")
+    header = title or (
+        f"What-if: {result.network_id} with "
+        f"{display_name(result.practice)} at "
+        f"{result.counterfactual_value:g} (observed "
+        f"{result.observed_value:g})"
+    )
+    header += (f" — effect {est.effect:+.2f} tickets/case, "
+               f"excess {est.excess_tickets:+.1f}, p={est.p_value:.2e}, "
+               f"{verdict}")
+    rows = [
+        [point.month_index, f"{point.observed_tickets:.0f}",
+         f"{point.counterfactual_tickets:.1f}",
+         f"[{point.interval_low:.1f}, {point.interval_high:.1f}]",
+         point.n_donors, f"{point.delta:+.1f}"]
+        for point in sorted(est.points, key=lambda p: p.month_index)
+    ]
+    return render_table(
+        ["Month", "Observed", "Counterfactual", "Donor range", "Donors",
+         "Excess"],
+        rows, title=header,
+    )
+
+
+def format_attribution_table(report: AttributionReport,
+                             limit: int | None = None,
+                             title: str | None = None) -> str:
+    """Render ranked candidate causes for a network's ticket surge."""
+    window = report.window
+    months = ",".join(str(m) for m in window.months)
+    detected = "auto-detected" if window.auto_detected else "requested"
+    header = title or (
+        f"Root-cause attribution: {window.network_id}, {detected} "
+        f"window [{months}] — {window.observed_tickets:.0f} tickets vs "
+        f"{window.baseline_tickets:.1f}/month baseline"
+    )
+    scores = report.scores[:limit] if limit else report.scores
+    rows = [
+        [display_name(s.practice), f"{s.effect:+.2f}",
+         f"{s.excess_tickets:+.1f}",
+         f"[{s.interval_low:+.2f}, {s.interval_high:+.2f}]",
+         s.n_pairs, f"{s.p_value:.2e}",
+         "ATTRIBUTED" if s.attributed else ""]
+        for s in scores
+    ]
+    return render_table(
+        ["Candidate practice", "Effect", "Excess", "Pair interval",
+         "Pairs", "One-sided p", "Verdict"],
         rows, title=header,
     )
 

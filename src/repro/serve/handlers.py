@@ -302,6 +302,114 @@ def handle_causal(snapshot: StoreSnapshot, params: dict) -> dict:
     })
 
 
+def handle_whatif(snapshot: StoreSnapshot, params: dict) -> dict:
+    """``/whatif``: counterfactual scenario or root-cause attribution.
+
+    ``network=<id>`` (or ``worst``) is required. With
+    ``practice=<name>`` (plus optional ``value=<float>``) the response
+    is the matched-control counterfactual trajectory under the
+    scenario; without it, the ranked candidate causes for the network's
+    ticket surge. Pure over (snapshot, params), so responses ride the
+    namespace-keyed result cache like every other endpoint.
+    """
+    from repro.analysis.causal import (
+        ALPHA_ATTRIBUTION,
+        DEFAULT_K_DONORS,
+        estimate_whatif,
+        pick_worst_network,
+        rank_causes,
+    )
+    from repro.errors import InsufficientDataError
+    network = params.get("network")
+    if not network:
+        raise BadRequest("whatif needs network=<id> (or network=worst)")
+    dataset = snapshot.dataset
+    if network == "worst":
+        network = pick_worst_network(dataset)
+    months_raw = _csv_param(params, "months")
+    try:
+        months = [int(m) for m in months_raw] if months_raw else None
+    except ValueError:
+        raise BadRequest(
+            f"months={params.get('months')!r} must be "
+            "comma-separated integers"
+        ) from None
+    k = _int_param(params, "k", DEFAULT_K_DONORS, minimum=1)
+    practice = params.get("practice")
+    if practice:
+        value_raw = params.get("value")
+        try:
+            value = float(value_raw) if value_raw not in (None, "") else None
+        except (TypeError, ValueError):
+            raise BadRequest(
+                f"value={value_raw!r} is not a number"
+            ) from None
+        try:
+            result = estimate_whatif(dataset, network, practice,
+                                     value=value, months=months, k=k)
+        except KeyError as exc:
+            raise BadRequest(
+                exc.args[0] if exc.args else str(exc)
+            ) from None
+        except InsufficientDataError as exc:
+            raise BadRequest(str(exc)) from None
+        est = result.estimate
+        return _jsonable({
+            "mode": "scenario",
+            "network": result.network_id,
+            "practice": result.practice,
+            "observed_value": result.observed_value,
+            "counterfactual_value": result.counterfactual_value,
+            "months": list(result.months),
+            "effect": est.effect,
+            "excess_tickets": est.excess_tickets,
+            "interval": [est.interval_low, est.interval_high],
+            "p_value": est.p_value,
+            "attributed": est.attributable(),
+            "n_pairs": est.n_pairs,
+            "trajectory": [
+                {"month": point.month_index,
+                 "observed": point.observed_tickets,
+                 "counterfactual": point.counterfactual_tickets,
+                 "counterfactual_range": [point.interval_low,
+                                          point.interval_high],
+                 "n_donors": point.n_donors,
+                 "excess": point.delta}
+                for point in sorted(est.points,
+                                    key=lambda p: p.month_index)
+            ],
+        })
+    limit = _int_param(params, "limit", 12, minimum=1)
+    try:
+        report = rank_causes(dataset, network, months=months, k=k)
+    except KeyError as exc:
+        raise BadRequest(exc.args[0] if exc.args else str(exc)) from None
+    except InsufficientDataError as exc:
+        raise BadRequest(str(exc)) from None
+    window = report.window
+    return _jsonable({
+        "mode": "attribution",
+        "network": window.network_id,
+        "window": {
+            "months": list(window.months),
+            "observed_tickets": window.observed_tickets,
+            "baseline_tickets": window.baseline_tickets,
+            "auto_detected": window.auto_detected,
+        },
+        "alpha": ALPHA_ATTRIBUTION,
+        "causes": [
+            {"practice": s.practice,
+             "effect": s.effect,
+             "excess_tickets": s.excess_tickets,
+             "interval": [s.interval_low, s.interval_high],
+             "p_value": s.p_value,
+             "n_pairs": s.n_pairs,
+             "attributed": s.attributed}
+            for s in report.scores[:limit]
+        ],
+    })
+
+
 def handle_predict(snapshot: StoreSnapshot, params: dict) -> dict:
     """``/predict``: Table 9 — rolling online health prediction."""
     from repro.core.prediction import FIVE_CLASS, TWO_CLASS
@@ -353,6 +461,7 @@ ENDPOINTS = {
     "/top": handle_top,
     "/pairs": handle_pairs,
     "/causal": handle_causal,
+    "/whatif": handle_whatif,
     "/predict": handle_predict,
     "/quality": handle_quality,
 }

@@ -10,7 +10,8 @@ their threads).
 
 Endpoints (all GET, all JSON):
 
-* ``/query`` ``/top`` ``/pairs`` ``/causal`` ``/predict`` ``/quality``
+* ``/query`` ``/top`` ``/pairs`` ``/causal`` ``/whatif`` ``/predict``
+  ``/quality``
   — the analytics surface (see :mod:`repro.serve.handlers`); responses
   carry a ``meta`` object with the serving store digest, whether the
   result came from the cache, and the handler wall time;

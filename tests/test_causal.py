@@ -1,0 +1,353 @@
+"""Tests for the counterfactual root-cause engine (repro.analysis.causal).
+
+Covers four layers of the contract:
+
+- **unit** — donor pools, caliper guards, error surfaces, and the
+  dataclass arithmetic of :mod:`repro.analysis.causal.engine`;
+- **properties** (hypothesis) — attribution is invariant under network
+  relabeling, zero-effect inputs yield intervals covering zero, and a
+  monotone scaling of the planted effect preserves the cause ranking;
+- **attribution** — surge detection, worst-network selection, and the
+  deterministic ranking of :mod:`repro.analysis.causal.attribution`;
+- **sabotage** — a deliberately broken estimator (flipped signs, or
+  everything significant) must make ``mpa selfcheck`` exit nonzero via
+  the counterfactual scorecard channel.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.analysis.causal.engine as engine_mod
+from repro.analysis.causal import (
+    AttributionScore,
+    DEFAULT_K_DONORS,
+    SurgeWindow,
+    detect_surge,
+    estimate_whatif,
+    pick_worst_network,
+    pooled_counterfactual,
+    rank_causes,
+    safe_caliper,
+)
+from repro.analysis.causal.engine import MIN_DONOR_POOL, _donor_mask
+from repro.errors import InsufficientDataError
+from repro.metrics.dataset import MetricDataset
+from repro.types import MonthKey
+
+
+def make_dataset(seed: int = 0, n_networks: int = 6, n_months: int = 4,
+                 tickets: np.ndarray | None = None,
+                 practice: np.ndarray | None = None) -> MetricDataset:
+    """A small synthetic case table: one practice plus one confounder."""
+    rng = np.random.default_rng(seed)
+    case_networks, case_months = [], []
+    for i in range(n_networks):
+        for m in range(n_months):
+            case_networks.append(f"net{i}")
+            case_months.append(m)
+    n = len(case_networks)
+    prac = (np.asarray(practice, dtype=float) if practice is not None
+            else rng.uniform(0.0, 10.0, n))
+    conf = rng.uniform(0.0, 5.0, n)
+    tick = (np.asarray(tickets, dtype=float) if tickets is not None
+            else rng.integers(0, 12, n).astype(float))
+    return MetricDataset(["prac", "conf"], case_networks, case_months,
+                         np.column_stack([prac, conf]), tick,
+                         MonthKey(2011, 1))
+
+
+def relabel(dataset: MetricDataset, mapping: dict) -> MetricDataset:
+    return MetricDataset(
+        dataset.names,
+        [mapping[n] for n in dataset.case_networks],
+        dataset.case_month_indices, dataset.values, dataset.tickets,
+        dataset.epoch,
+    )
+
+
+class TestSafeCaliper:
+    def test_none_disables(self):
+        assert safe_caliper(np.array([0.1, 0.9]), np.array([0.5]),
+                            None) == np.inf
+
+    def test_normal_spread_scales_pooled_sd(self):
+        donor = np.array([-1.0, 1.0])
+        target = np.array([-1.0, 1.0])
+        pooled = np.concatenate([donor, target]).std()
+        assert safe_caliper(donor, target, 2.0) == pytest.approx(2.0 * pooled)
+
+    def test_constant_scores_disable_caliper(self):
+        # the degenerate-pooled-SD regression: a constant practice
+        # column collapses every propensity score, and a literal
+        # caliper_sd * 0.0 caliper would discard every match
+        same = np.full(10, 0.37)
+        assert safe_caliper(same, same[:3], 2.0) == np.inf
+
+    def test_nonfinite_spread_disables_caliper(self):
+        donor = np.array([np.inf, -np.inf, 0.0])
+        with np.errstate(invalid="ignore"):
+            assert safe_caliper(donor, np.array([0.0]), 1.0) == np.inf
+
+    def test_degenerate_confounders_still_match(self):
+        # end to end: constant confounder column + an explicit caliper
+        # must still produce matched pairs, not an empty estimate
+        ds = make_dataset(3)
+        ds.values[:, 1] = 2.0  # constant confounder
+        est = pooled_counterfactual(ds, "prac", caliper_sd=2.0)
+        assert est.n_pairs > 0
+
+
+class TestEngine:
+    def test_pooled_estimate_accounting(self):
+        est = pooled_counterfactual(make_dataset(0), "prac")
+        assert est.n_targets == len(est.points)
+        assert est.n_pairs == sum(len(p.pair_diffs) for p in est.points)
+        assert est.n_more + est.n_fewer <= est.n_pairs
+        assert 0.0 <= est.p_value <= 1.0
+        assert est.interval_low <= est.interval_high
+        for point in est.points:
+            assert point.n_donors == len(point.donor_indices)
+            assert 1 <= point.n_donors <= DEFAULT_K_DONORS
+
+    def test_constant_practice_yields_null(self):
+        ds = make_dataset(1, practice=np.full(24, 4.0))
+        est = pooled_counterfactual(ds, "prac")
+        assert est.n_pairs == 0
+        assert est.p_value == 1.0
+        assert not est.attributable()
+
+    def test_bad_outcome_mode_rejected(self):
+        with pytest.raises(ValueError, match="outcome must be one of"):
+            pooled_counterfactual(make_dataset(0), "prac", outcome="cubic")
+
+    def test_whatif_never_matches_own_network(self):
+        ds = make_dataset(2)
+        result = estimate_whatif(ds, "net1", "prac")
+        own = {i for i, n in enumerate(ds.case_networks) if n == "net1"}
+        for point in result.estimate.points:
+            assert point.case_index in own
+            assert not own.intersection(point.donor_indices)
+
+    def test_whatif_month_window(self):
+        result = estimate_whatif(make_dataset(2), "net1", "prac",
+                                 months=[1, 2])
+        assert set(result.months) <= {1, 2}
+
+    def test_whatif_unknown_network(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            estimate_whatif(make_dataset(0), "net99", "prac")
+
+    def test_whatif_unknown_practice(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            estimate_whatif(make_dataset(0), "net0", "warp_factor")
+
+    def test_whatif_empty_window(self):
+        with pytest.raises(InsufficientDataError, match="no cases in"):
+            estimate_whatif(make_dataset(0), "net0", "prac", months=[99])
+
+    def test_whatif_no_donors_single_network(self):
+        ds = make_dataset(0, n_networks=1, n_months=6)
+        with pytest.raises(InsufficientDataError,
+                           match="no counterfactual donors"):
+            estimate_whatif(ds, "net0", "prac")
+
+    def test_explicit_value_sets_reference(self):
+        result = estimate_whatif(make_dataset(4), "net0", "prac", value=1.5)
+        assert result.counterfactual_value == 1.5
+
+    def test_sparse_explicit_band_widens_to_minimum_pool(self):
+        column = np.arange(24, dtype=float)
+        mask = _donor_mask(column, 1000.0, explicit_value=True)
+        assert int(mask.sum()) == MIN_DONOR_POOL
+        # the widened pool is the nearest cases to the requested value
+        assert mask[-MIN_DONOR_POOL:].all()
+
+    def test_constant_column_explicit_value_all_donors(self):
+        mask = _donor_mask(np.full(20, 3.0), 3.0, explicit_value=True)
+        assert mask.all()
+
+
+class TestAttribution:
+    def test_detect_surge_finds_planted_spike(self):
+        tickets = np.full(24, 2.0)
+        tickets[2] = 40.0  # net0, month 2
+        window = detect_surge(make_dataset(5, tickets=tickets), "net0")
+        assert window.auto_detected
+        assert window.months == (2,)
+        assert window.observed_tickets == 40.0
+
+    def test_detect_surge_flat_falls_back_to_worst_month(self):
+        tickets = np.full(24, 3.0)
+        tickets[1] = 4.0
+        window = detect_surge(make_dataset(5, tickets=tickets), "net0")
+        assert not window.auto_detected
+        assert window.months == (1,)
+
+    def test_detect_surge_unknown_network(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            detect_surge(make_dataset(0), "net99")
+
+    def test_pick_worst_network_most_tickets(self):
+        tickets = np.zeros(24)
+        tickets[8:12] = 50.0  # all of net2's months
+        assert pick_worst_network(make_dataset(0, tickets=tickets)) == "net2"
+
+    def test_pick_worst_network_tie_breaks_by_name(self):
+        assert pick_worst_network(
+            make_dataset(0, tickets=np.full(24, 1.0))) == "net0"
+
+    def test_rank_causes_requested_window(self):
+        report = rank_causes(make_dataset(6), "net0", months=[0, 1],
+                             candidates=["prac", "conf"])
+        assert not report.window.auto_detected
+        assert set(report.window.months) <= {0, 1}
+        assert [s.practice for s in report.scores] != []
+        keys = [(-s.excess_tickets, s.practice) for s in report.scores]
+        assert keys == sorted(keys)
+        assert {s.practice for s in report.scores} == {"prac", "conf"}
+
+    def test_rank_causes_single_network_is_inestimable(self):
+        ds = make_dataset(0, n_networks=1, n_months=6)
+        report = rank_causes(ds, "net0", candidates=["prac", "conf"])
+        assert all(s == AttributionScore.inestimable(s.practice)
+                   for s in report.scores)
+
+    def test_surge_window_excess(self):
+        window = SurgeWindow(network_id="n", months=(1, 2),
+                             observed_tickets=30.0, baseline_tickets=5.0,
+                             auto_detected=True)
+        assert window.excess_over_baseline == 20.0
+
+
+def _permutation(n_networks: int, shuffle_seed: int) -> dict:
+    order = np.random.default_rng(shuffle_seed).permutation(n_networks)
+    return {f"net{i}": f"zz{order[i]:02d}" for i in range(n_networks)}
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    def test_relabeling_networks_is_invariant(self, seed, shuffle_seed):
+        """Bijectively renaming networks changes nothing: network ids
+        enter the estimator only through same-network donor exclusion."""
+        ds = make_dataset(seed)
+        mapping = _permutation(6, shuffle_seed)
+        relabeled = relabel(ds, mapping)
+
+        est = pooled_counterfactual(ds, "prac")
+        est2 = pooled_counterfactual(relabeled, "prac")
+        assert est2.effect == est.effect
+        assert est2.p_value == est.p_value
+        assert est2.n_pairs == est.n_pairs
+        assert est2.excess_tickets == est.excess_tickets
+
+        w = estimate_whatif(ds, "net2", "prac")
+        w2 = estimate_whatif(relabeled, mapping["net2"], "prac")
+        assert w2.estimate.effect == w.estimate.effect
+        assert w2.estimate.p_value == w.estimate.p_value
+        assert w2.months == w.months
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0.0, 50.0))
+    def test_zero_effect_interval_covers_zero(self, seed, level):
+        """Tickets independent of every practice (constant) must yield a
+        null verdict: zero effect, an interval covering zero, p = 1."""
+        ds = make_dataset(seed, tickets=np.full(24, level))
+
+        for outcome in ("linear", "log"):
+            est = pooled_counterfactual(ds, "prac", outcome=outcome)
+            assert est.n_pairs > 0
+            # float residue of the bias correction is allowed; signed
+            # evidence and a verdict are not
+            assert est.effect == pytest.approx(0.0, abs=1e-9)
+            assert est.interval_low <= 1e-9
+            assert est.interval_high >= -1e-9
+            assert est.n_more == 0 == est.n_fewer
+            assert est.p_value == 1.0
+            assert not est.attributable()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([0.25, 0.5, 2.0, 4.0]))
+    def test_monotone_scaling_preserves_ranking(self, seed, lam):
+        """Scaling every outcome by a positive constant scales effects
+        linearly (outcome="linear") and preserves the cause ranking.
+        Power-of-two factors commute exactly with float arithmetic, so
+        the assertions are exact, not approximate."""
+        rng = np.random.default_rng(seed)
+        tickets = rng.integers(0, 12, 24).astype(float)
+        base = make_dataset(seed, tickets=tickets)
+        scaled = make_dataset(seed, tickets=tickets * lam)
+
+        ranking = {}
+        for ds, key in ((base, "base"), (scaled, "scaled")):
+            estimates = {p: pooled_counterfactual(ds, p, outcome="linear")
+                         for p in ("prac", "conf")}
+            ranking[key] = sorted(
+                estimates,
+                key=lambda p: (-estimates[p].excess_tickets, p))
+            for p, est in estimates.items():
+                ranking[f"{key}:{p}"] = est
+
+        assert ranking["base"] == ranking["scaled"]
+        for p in ("prac", "conf"):
+            b, s = ranking[f"base:{p}"], ranking[f"scaled:{p}"]
+            assert s.effect == lam * b.effect
+            assert s.excess_tickets == lam * b.excess_tickets
+            assert s.p_value == b.p_value
+            assert (s.n_more, s.n_fewer) == (b.n_more, b.n_fewer)
+
+
+@pytest.fixture(scope="module")
+def shared_cache(tmp_path_factory):
+    """One workspace build shared by every sabotage run."""
+    return tmp_path_factory.mktemp("causal-selfcheck")
+
+
+@pytest.fixture()
+def selfcheck_env(shared_cache, monkeypatch):
+    monkeypatch.setenv("MPA_CACHE_DIR", str(shared_cache))
+    monkeypatch.setenv("MPA_SCALE", "tiny")
+    return shared_cache
+
+
+class TestSelfcheckSabotage:
+    """`mpa selfcheck` must catch a broken counterfactual estimator."""
+
+    def test_intact_engine_passes(self, selfcheck_env, capsys):
+        from repro.cli import main
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "Counterfactual attribution scorecard" in out
+        assert "selfcheck passed" in out
+
+    def test_sign_flipped_estimator_fails(self, selfcheck_env, monkeypatch,
+                                          capsys):
+        from repro.cli import main
+        orig = engine_mod.pooled_counterfactual
+
+        def flipped(dataset, practice, **kwargs):
+            est = orig(dataset, practice, **kwargs)
+            return dataclasses.replace(est, effect=-est.effect)
+
+        monkeypatch.setattr(engine_mod, "pooled_counterfactual", flipped)
+        assert main(["selfcheck"]) == 1
+        err = capsys.readouterr().err
+        assert "not attributed by the counterfactual engine" in err
+
+    def test_always_significant_estimator_fails(self, selfcheck_env,
+                                                monkeypatch, capsys):
+        from repro.cli import main
+        orig = engine_mod.pooled_counterfactual
+
+        def eager(dataset, practice, **kwargs):
+            est = orig(dataset, practice, **kwargs)
+            return dataclasses.replace(est, effect=max(est.effect, 1.0),
+                                       p_value=0.0)
+
+        monkeypatch.setattr(engine_mod, "pooled_counterfactual", eager)
+        assert main(["selfcheck"]) == 1
+        err = capsys.readouterr().err
+        assert "falsely attributed" in err

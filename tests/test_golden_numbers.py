@@ -10,7 +10,10 @@ tiny corpus the test suite already builds:
   counts, p-value, and which treatment steps were skipped for support);
 * Figure 8 / Section 6 — two-class decision-tree accuracy at seed 1
   (within a small absolute tolerance, and strictly above the majority
-  baseline).
+  baseline);
+* the counterfactual what-if verdicts — the pooled effect, sign counts
+  and p-value for a planted causal practice, a planted null that must
+  stay un-attributed, and the worst-network incident scenario.
 
 If a refactor legitimately moves one of these, the diff is the review
 artifact: update the constant here *and* refresh
@@ -19,6 +22,11 @@ artifact: update the constant here *and* refresh
 
 import pytest
 
+from repro.analysis.causal import (
+    estimate_whatif,
+    pick_worst_network,
+    pooled_counterfactual,
+)
 from repro.analysis.dependence import rank_practices_by_mi
 from repro.analysis.qed.experiment import run_causal_analysis
 from repro.core.prediction import TWO_CLASS, evaluate_model
@@ -53,6 +61,27 @@ GOLDEN_SIGN_SKIPPED = ["2:3", "3:4", "4:5"]
 GOLDEN_TWO_CLASS_DT_ACCURACY = 0.7777777777777778
 GOLDEN_TWO_CLASS_MAJORITY_ACCURACY = 0.6041666666666666
 ACCURACY_TOLERANCE = 0.02
+
+# Counterfactual engine at tiny: the organization-wide matched-control
+# estimate for a planted causal practice clears the p < 1e-3 bar...
+GOLDEN_CF_PRACTICE = "n_change_events"
+GOLDEN_CF_EFFECT = 2.723253161110
+GOLDEN_CF_P_VALUE = 5.895336562e-20
+GOLDEN_CF_N_PAIRS = 365
+GOLDEN_CF_N_MORE = 268
+GOLDEN_CF_N_FEWER = 97
+# ...while a planted NULL that merely correlates with the causal
+# practices stays un-attributed (p >= 1e-3): the specificity half of
+# the planted-truth conformance contract.
+GOLDEN_CF_NULL_PRACTICE = "intra_device_complexity"
+GOLDEN_CF_NULL_P_VALUE = 1.413442526e-02
+
+# The worst-network incident scenario (`mpa whatif --network worst`).
+GOLDEN_CF_WORST_NETWORK = "net0017"
+GOLDEN_CF_WHATIF_EFFECT = 8.548213026259
+GOLDEN_CF_WHATIF_EXCESS = 51.289278157556
+GOLDEN_CF_WHATIF_P_VALUE = 4.339963198e-07
+GOLDEN_CF_WHATIF_N_PAIRS = 30
 
 
 class TestTable3MutualInformation:
@@ -93,6 +122,38 @@ class TestTable6SignVerdicts:
         (result,) = experiment.results
         assert result.sign.p_value == pytest.approx(
             GOLDEN_SIGN_P_VALUE, rel=1e-4)
+
+
+class TestCounterfactualVerdicts:
+    def test_planted_causal_practice_is_attributed(self, tiny_dataset):
+        est = pooled_counterfactual(tiny_dataset, GOLDEN_CF_PRACTICE)
+        assert est.effect == pytest.approx(GOLDEN_CF_EFFECT, rel=1e-6)
+        assert est.p_value == pytest.approx(GOLDEN_CF_P_VALUE, rel=1e-4)
+        assert est.n_pairs == GOLDEN_CF_N_PAIRS
+        assert (est.n_more, est.n_fewer) == (GOLDEN_CF_N_MORE,
+                                             GOLDEN_CF_N_FEWER)
+        assert est.attributable()
+
+    def test_planted_null_stays_unattributed(self, tiny_dataset):
+        est = pooled_counterfactual(tiny_dataset, GOLDEN_CF_NULL_PRACTICE)
+        assert est.p_value == pytest.approx(GOLDEN_CF_NULL_P_VALUE,
+                                            rel=1e-4)
+        assert est.p_value >= 1e-3
+        assert not est.attributable()
+
+    def test_worst_network_whatif_is_pinned(self, tiny_dataset):
+        assert pick_worst_network(tiny_dataset) == GOLDEN_CF_WORST_NETWORK
+        result = estimate_whatif(tiny_dataset, GOLDEN_CF_WORST_NETWORK,
+                                 GOLDEN_CF_PRACTICE)
+        est = result.estimate
+        assert est.effect == pytest.approx(GOLDEN_CF_WHATIF_EFFECT,
+                                           rel=1e-6)
+        assert est.excess_tickets == pytest.approx(GOLDEN_CF_WHATIF_EXCESS,
+                                                   rel=1e-6)
+        assert est.p_value == pytest.approx(GOLDEN_CF_WHATIF_P_VALUE,
+                                            rel=1e-4)
+        assert est.n_pairs == GOLDEN_CF_WHATIF_N_PAIRS
+        assert est.attributable()
 
 
 class TestTwoClassAccuracy:

@@ -34,6 +34,7 @@ from repro.serve.handlers import (
     handle_quality,
     handle_query,
     handle_top,
+    handle_whatif,
 )
 from repro.store import StoreError, StoreWriter
 
@@ -211,6 +212,47 @@ class TestHandlers:
         with pytest.raises(BadRequest, match="not an integer"):
             handle_predict(snapshot, {"history": "soon"})
 
+    def test_whatif_scenario_mode(self, state):
+        snapshot = state.current()
+        body = handle_whatif(snapshot, {"network": "net0",
+                                        "practice": "n_change_events"})
+        assert body["mode"] == "scenario"
+        assert body["network"] == "net0"
+        assert body["practice"] == "n_change_events"
+        assert len(body["trajectory"]) == len(body["months"])
+        point = body["trajectory"][0]
+        assert {"month", "observed", "counterfactual",
+                "counterfactual_range", "n_donors", "excess"} <= set(point)
+        # no case of the scenario network may donate to itself
+        assert all(p["n_donors"] >= 1 for p in body["trajectory"])
+
+    def test_whatif_attribution_mode(self, state):
+        snapshot = state.current()
+        body = handle_whatif(snapshot, {"network": "worst", "limit": "2"})
+        assert body["mode"] == "attribution"
+        assert body["network"] in NETWORKS
+        assert body["window"]["months"]
+        assert len(body["causes"]) <= 2
+        for cause in body["causes"]:
+            assert {"practice", "effect", "excess_tickets", "p_value",
+                    "attributed"} <= set(cause)
+
+    def test_whatif_bad_requests(self, state):
+        snapshot = state.current()
+        with pytest.raises(BadRequest, match="needs network="):
+            handle_whatif(snapshot, {})
+        with pytest.raises(BadRequest, match="unknown network"):
+            handle_whatif(snapshot, {"network": "net9"})
+        with pytest.raises(BadRequest, match="unknown metric"):
+            handle_whatif(snapshot, {"network": "net0",
+                                     "practice": "nope"})
+        with pytest.raises(BadRequest, match="not a number"):
+            handle_whatif(snapshot, {"network": "net0",
+                                     "practice": "n_devices",
+                                     "value": "lots"})
+        with pytest.raises(BadRequest, match="comma-separated integers"):
+            handle_whatif(snapshot, {"network": "net0", "months": "x"})
+
     def test_quality_with_and_without_ledger(self, tmp_path, store_root):
         without = AnalyticsState(store_root).current()
         assert handle_quality(without, {})["available"] is False
@@ -254,6 +296,7 @@ class TestHTTPServer:
             "/top": "/top?k=3",
             "/pairs": "/pairs?k=2",
             "/causal": "/causal?treatment=n_change_events",
+            "/whatif": "/whatif?network=worst",
             "/predict": "/predict?history=2",
             "/quality": "/quality",
         }

@@ -5,9 +5,10 @@ workspace, parses the listening line for the ephemeral port, and
 requires:
 
 1. **every endpoint family answers** — ``/query`` (rows, aggregate,
-   count), ``/top``, ``/pairs``, ``/causal``, ``/predict``,
-   ``/quality``, ``/healthz``, ``/statsz`` all return 200 with the
-   expected top-level schema;
+   count), ``/top``, ``/pairs``, ``/causal``, ``/whatif`` (both
+   attribution and scenario modes), ``/predict``, ``/quality``,
+   ``/healthz``, ``/statsz`` all return 200 with the expected
+   top-level schema;
 2. **the result cache works over the wire** — a repeated identical
    query reports ``meta.cached: true`` and ``/statsz`` counts the hit;
 3. **errors stay typed** — an unknown column is a 400 naming the
@@ -48,6 +49,10 @@ CHECKS = [
     ("/pairs?k=2", {"k", "pairs"}),
     ("/causal?treatment=n_change_events",
      {"treatment", "comparisons", "skipped_points"}),
+    ("/whatif?network=worst&limit=3",
+     {"mode", "network", "window", "alpha", "causes"}),
+    ("/whatif?network=worst&practice=n_change_events",
+     {"mode", "network", "practice", "effect", "p_value", "trajectory"}),
     ("/predict?history=2",
      {"history_months", "scheme", "monthly_accuracy", "mean_accuracy"}),
     ("/quality", {"available"}),

@@ -1,0 +1,105 @@
+"""What-if smoke check: the counterfactual CLI end to end, timed.
+
+Runs the real ``mpa whatif`` CLI in subprocesses against a throwaway
+tiny workspace and requires:
+
+1. **attribution mode answers** — ``mpa whatif --network worst`` exits
+   0 and prints the ranked root-cause table;
+2. **scenario mode answers** — ``mpa whatif --network worst --practice
+   n_change_events`` exits 0 and prints the counterfactual trajectory
+   with a pooled verdict line;
+3. **errors stay typed** — an unknown network exits 2 with a
+   ``whatif failed:`` diagnostic on stderr, never a traceback;
+4. **warm latency is sane** — the second (cache-warm) attribution run
+   finishes inside a generous wall-clock budget, so a gross perf
+   regression in the matching path fails fast in CI.
+
+Exercised in CI next to the serve smoke; run locally via
+``make whatif-smoke``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+WARM_BUDGET_SECONDS = 60.0
+
+
+def _run(env: dict, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+def run() -> int:
+    with tempfile.TemporaryDirectory(prefix="mpa-whatif-smoke-") as tmp:
+        env = dict(os.environ)
+        env["MPA_CACHE_DIR"] = str(Path(tmp) / "cache")
+        env["MPA_SCALE"] = "tiny"
+        env["PYTHONPATH"] = f"{SRC}{os.pathsep}" + env.get("PYTHONPATH", "")
+
+        # 1. attribution mode (cold run pays the workspace build)
+        proc = _run(env, "whatif", "--network", "worst")
+        if proc.returncode != 0:
+            print(f"FAIL: attribution mode exited {proc.returncode}\n"
+                  f"{proc.stdout}\n{proc.stderr}", file=sys.stderr)
+            return 1
+        if "Root-cause attribution" not in proc.stdout:
+            print(f"FAIL: no attribution table:\n{proc.stdout}",
+                  file=sys.stderr)
+            return 1
+        print("ok: attribution mode prints the ranked-cause table")
+
+        # 2. scenario mode
+        proc = _run(env, "whatif", "--network", "worst",
+                    "--practice", "n_change_events")
+        if proc.returncode != 0:
+            print(f"FAIL: scenario mode exited {proc.returncode}\n"
+                  f"{proc.stdout}\n{proc.stderr}", file=sys.stderr)
+            return 1
+        if "What-if:" not in proc.stdout or "effect" not in proc.stdout:
+            print(f"FAIL: no scenario trajectory:\n{proc.stdout}",
+                  file=sys.stderr)
+            return 1
+        print("ok: scenario mode prints the counterfactual trajectory")
+
+        # 3. typed failure on an unknown network
+        proc = _run(env, "whatif", "--network", "no-such-net")
+        if proc.returncode != 2 or "whatif failed:" not in proc.stderr:
+            print(f"FAIL: unknown network -> rc={proc.returncode}, "
+                  f"stderr:\n{proc.stderr}", file=sys.stderr)
+            return 1
+        if "Traceback" in proc.stderr:
+            print(f"FAIL: raw traceback leaked:\n{proc.stderr}",
+                  file=sys.stderr)
+            return 1
+        print("ok: unknown network is a clean exit-2 diagnostic")
+
+        # 4. warm run stays inside the latency budget
+        start = time.monotonic()
+        proc = _run(env, "whatif", "--network", "worst")
+        elapsed = time.monotonic() - start
+        if proc.returncode != 0:
+            print(f"FAIL: warm run exited {proc.returncode}",
+                  file=sys.stderr)
+            return 1
+        if elapsed > WARM_BUDGET_SECONDS:
+            print(f"FAIL: warm attribution took {elapsed:.1f}s "
+                  f"(> {WARM_BUDGET_SECONDS:.0f}s budget)",
+                  file=sys.stderr)
+            return 1
+        print(f"ok: warm attribution run in {elapsed:.1f}s")
+
+    print("whatif smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())
